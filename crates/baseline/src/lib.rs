@@ -1,0 +1,49 @@
+//! Rep-An: the benchmark solution of paper Section IV.
+//!
+//! Rep-An anonymizes an uncertain graph in two *isolated* stages:
+//!
+//! 1. **Representative extraction** — collapse the uncertain graph into a
+//!    single deterministic instance that preserves expected vertex degrees
+//!    (Parchas et al., SIGMOD 2014).
+//! 2. **Deterministic obfuscation** — run the (k, ε)-obfuscation of Boldi
+//!    et al. (VLDB 2012) on that instance, re-injecting *fresh* uncertainty.
+//!
+//! Because stage 2 never sees the original probabilities and stage 1 is
+//! oblivious to reliability, the composition injects far more structural
+//! noise than Chameleon for the same privacy level — the paper's Figure 4
+//! experiment, reproduced by the `fig4` bench binary.
+//!
+//! Boldi et al.'s scheme is exactly the ME variant of the core crate run on
+//! a deterministic input (the paper notes max-entropy perturbation with
+//! p ∈ {0, 1} *is* Boldi's scheme, and on a deterministic graph expected
+//! degrees coincide with structural degrees), so stage 2 reuses
+//! [`chameleon_core::Chameleon`] with [`chameleon_core::Method::Me`].
+
+//! # Example
+//!
+//! ```
+//! use chameleon_baseline::RepAn;
+//! use chameleon_core::ChameleonConfig;
+//! use chameleon_datasets::dblp_like;
+//!
+//! let graph = dblp_like(150, 3);
+//! let config = ChameleonConfig::builder()
+//!     .k(5)
+//!     .epsilon(0.08)
+//!     .trials(2)
+//!     .num_world_samples(60)
+//!     .build();
+//! let result = RepAn::new(config).anonymize(&graph, 1).unwrap();
+//! assert!(result.eps_hat <= 0.08);
+//! // Stage 1 is deterministic: every representative edge has p = 1.
+//! assert!(result.representative.edges().iter().all(|e| e.p == 1.0));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod repan;
+pub mod representative;
+
+pub use repan::{RepAn, RepAnResult};
+pub use representative::{extract_representative, RepresentativeStrategy};

@@ -1,0 +1,99 @@
+//! Per-figure benchmark groups: each group runs a scaled-down version of
+//! one paper table/figure pipeline so `cargo bench` exercises every
+//! experiment end-to-end (full-scale regeneration is via the `table1`,
+//! `fig3`, `fig4`, `fig8`–`fig11` / `figall` binaries — see DESIGN.md §5).
+
+use chameleon_baseline::{extract_representative, RepresentativeStrategy};
+use chameleon_bench::{anonymize, build_dataset, utility_errors, AnyMethod, ExperimentConfig};
+use chameleon_datasets::DatasetKind;
+use chameleon_stats::Histogram;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Tiny configuration shared by the figure benches.
+fn tiny() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: 150,
+        seed: 7,
+        worlds: 60,
+        pairs: 150,
+        metric_worlds: 8,
+        bfs_sources: 6,
+        k_values: vec![8],
+        epsilon: 0.08,
+        trials: 2,
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let cfg = tiny();
+    c.bench_function("table1_dataset_characteristics", |b| {
+        b.iter(|| {
+            for kind in DatasetKind::ALL {
+                let g = build_dataset(kind, &cfg);
+                black_box((g.num_edges(), g.mean_edge_prob(), g.expected_average_degree()));
+            }
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let cfg = tiny();
+    let g = build_dataset(DatasetKind::Dblp, &cfg);
+    c.bench_function("fig3_probability_histogram", |b| {
+        b.iter(|| {
+            let mut hist = Histogram::new(0.0, 1.0, 10);
+            for e in g.edges() {
+                hist.push(e.p);
+            }
+            black_box(hist.fractions())
+        })
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let cfg = tiny();
+    let g = build_dataset(DatasetKind::Brightkite, &cfg);
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("representative_extraction", |b| {
+        b.iter(|| black_box(extract_representative(&g, RepresentativeStrategy::ExpectedDegree)))
+    });
+    group.bench_function("repan_vs_rsme_cell", |b| {
+        b.iter(|| {
+            let repan = anonymize(&g, AnyMethod::RepAn, 8, &cfg);
+            let rsme = anonymize(&g, AnyMethod::Rsme, 8, &cfg);
+            black_box((repan.is_ok(), rsme.is_ok()))
+        })
+    });
+    group.finish();
+}
+
+/// One sweep cell per method — the unit of work behind Figs. 8–11 (the
+/// four figures share anonymizations and differ only in which metric they
+/// read off `utility_errors`).
+fn bench_fig8_to_11(c: &mut Criterion) {
+    let cfg = tiny();
+    let g = build_dataset(DatasetKind::Brightkite, &cfg);
+    let mut group = c.benchmark_group("fig8_to_11_cells");
+    group.sample_size(10);
+    for method in AnyMethod::ALL {
+        group.bench_function(format!("anonymize_{}", method.name()), |b| {
+            b.iter(|| black_box(anonymize(&g, method, 8, &cfg)))
+        });
+    }
+    let published = anonymize(&g, AnyMethod::Rsme, 8, &cfg).expect("rsme succeeds at tiny scale");
+    group.bench_function("utility_metrics_all_four", |b| {
+        b.iter(|| black_box(utility_errors(&g, &published, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig3,
+    bench_fig4,
+    bench_fig8_to_11
+);
+criterion_main!(figures);

@@ -1,0 +1,174 @@
+//! Micro-benchmarks for the computational kernels of the reproduction,
+//! including the paper's Lemma 2 vs Lemma 3 comparison: the naive per-edge
+//! ERR estimator against Algorithm 2's reused-sampling estimator.
+
+use chameleon_core::anonymity::{anonymity_check, AdversaryKnowledge};
+use chameleon_core::relevance::{
+    edge_reliability_relevance, edge_reliability_relevance_alg2, edge_reliability_relevance_naive,
+    vertex_reliability_relevance,
+};
+use chameleon_core::uniqueness::uniqueness_scores;
+use chameleon_datasets::brightkite_like;
+use chameleon_reliability::{sample_distinct_pairs, WorldEnsemble};
+use chameleon_stats::{PoissonBinomial, TruncatedNormal};
+use chameleon_ugraph::{UncertainGraph, WorldSampler};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn graph(n: usize) -> UncertainGraph {
+    brightkite_like(n, 1234)
+}
+
+fn bench_world_sampling(c: &mut Criterion) {
+    let g = graph(500);
+    let mut group = c.benchmark_group("world_sampling");
+    group.bench_function("sample_one_world", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| black_box(WorldSampler::sample(&g, &mut rng)))
+    });
+    group.bench_function("connected_pairs_per_world", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = WorldSampler::sample(&g, &mut rng);
+        b.iter(|| black_box(w.connected_pairs(&g)))
+    });
+    group.finish();
+}
+
+fn bench_ensemble(c: &mut Criterion) {
+    let g = graph(500);
+    let mut group = c.benchmark_group("ensemble");
+    group.sample_size(20);
+    group.bench_function("build_200_worlds", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(WorldEnsemble::sample(&g, 200, &mut rng))
+        })
+    });
+    let mut rng = StdRng::seed_from_u64(3);
+    let ens = WorldEnsemble::sample(&g, 200, &mut rng);
+    let pairs = sample_distinct_pairs(g.num_nodes(), 500, &mut rng);
+    group.bench_function("reliability_500_pairs", |b| {
+        b.iter(|| black_box(ens.reliability_many(&pairs)))
+    });
+    group.finish();
+}
+
+/// Paper Lemma 2 vs Lemma 3: the reused-sampling ERR estimator
+/// (Algorithm 2) against the naive per-edge baseline. The asymptotic gap
+/// is a factor of |E|; keep the instance small so the naive side finishes.
+fn bench_err_estimators(c: &mut Criterion) {
+    let g = graph(120);
+    let mut group = c.benchmark_group("err_lemma2_vs_lemma3");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("algorithm2_reused", g.num_edges()), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let ens = WorldEnsemble::sample(&g, 100, &mut rng);
+            black_box(edge_reliability_relevance_alg2(&g, &ens))
+        })
+    });
+    group.bench_function(BenchmarkId::new("coupled_default", g.num_edges()), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let ens = WorldEnsemble::sample(&g, 100, &mut rng);
+            black_box(edge_reliability_relevance(&g, &ens))
+        })
+    });
+    group.bench_function(BenchmarkId::new("naive_per_edge", g.num_edges()), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            black_box(edge_reliability_relevance_naive(&g, 100, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_anonymity_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anonymity_check");
+    for n in [200usize, 500, 1000] {
+        let g = graph(n);
+        let knowledge = AdversaryKnowledge::expected_degrees(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(anonymity_check(&g, &knowledge, 20)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scores(c: &mut Criterion) {
+    let g = graph(500);
+    let mut group = c.benchmark_group("scores");
+    group.bench_function("uniqueness_500", |b| {
+        b.iter(|| black_box(uniqueness_scores(&g)))
+    });
+    let mut rng = StdRng::seed_from_u64(6);
+    let ens = WorldEnsemble::sample(&g, 150, &mut rng);
+    let err = edge_reliability_relevance(&g, &ens);
+    group.bench_function("vrr_aggregate", |b| {
+        b.iter(|| black_box(vertex_reliability_relevance(&g, &err)))
+    });
+    group.finish();
+}
+
+fn bench_traversal_kernels(c: &mut Criterion) {
+    use chameleon_reliability::distance_constrained_reliability;
+    use chameleon_reliability::metrics::anf::anf;
+    use chameleon_reliability::metrics::hyperanf::hyperanf;
+    use chameleon_ugraph::{World, WorldView};
+    let g = graph(500);
+    let mut group = c.benchmark_group("traversal");
+    group.sample_size(20);
+    group.bench_function("dcr_one_query_200_worlds", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(8);
+            black_box(distance_constrained_reliability(&g, 0, 100, 4, 200, &mut rng))
+        })
+    });
+    let mut full = World::empty(g.num_edges());
+    for e in 0..g.num_edges() as u32 {
+        full.set(e, true);
+    }
+    group.bench_function("fm_anf_64_sketches", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let view = WorldView::new(&g, &full);
+            black_box(anf(&view, 64, 32, &mut rng))
+        })
+    });
+    group.bench_function("hyperanf_256_registers", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(10);
+            let view = WorldView::new(&g, &full);
+            black_box(hyperanf(&view, 8, 32, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_stats_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+    let probs: Vec<f64> = (0..64).map(|i| 0.1 + 0.8 * (i as f64 / 64.0)).collect();
+    group.bench_function("poisson_binomial_64", |b| {
+        b.iter(|| black_box(PoissonBinomial::new(&probs)))
+    });
+    let tn = TruncatedNormal::half_unit(0.3);
+    group.bench_function("trunc_normal_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(tn.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_world_sampling,
+    bench_ensemble,
+    bench_err_estimators,
+    bench_anonymity_check,
+    bench_scores,
+    bench_traversal_kernels,
+    bench_stats_kernels
+);
+criterion_main!(kernels);

@@ -1,0 +1,49 @@
+//! Benchmarks for the downstream mining tasks (reliable kNN, reliable
+//! clusters, influence spread) — the workloads whose answers the
+//! mining-utility experiment compares across releases.
+
+use chameleon_datasets::brightkite_like;
+use chameleon_mining::{greedy_seed_selection, influence_spread, reliability_knn, reliable_clusters};
+use chameleon_reliability::WorldEnsemble;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_mining_tasks(c: &mut Criterion) {
+    let g = brightkite_like(500, 77);
+    let mut rng = StdRng::seed_from_u64(0);
+    let ens = WorldEnsemble::sample(&g, 300, &mut rng);
+    let mut group = c.benchmark_group("mining");
+    group.sample_size(20);
+    group.bench_function("reliability_knn_top10", |b| {
+        b.iter(|| black_box(reliability_knn(&ens, 0, 10)))
+    });
+    group.bench_function("reliable_clusters", |b| {
+        b.iter(|| black_box(reliable_clusters(&g, &ens, 0.5, 3)))
+    });
+    group.bench_function("influence_spread_5_seeds", |b| {
+        b.iter(|| black_box(influence_spread(&ens, &[0, 10, 20, 30, 40])))
+    });
+    group.bench_function("greedy_seed_selection_k3", |b| {
+        b.iter(|| black_box(greedy_seed_selection(&ens, 3)))
+    });
+    group.finish();
+}
+
+fn bench_ensemble_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mining_ensemble_scaling");
+    group.sample_size(10);
+    for worlds in [100usize, 300, 1000] {
+        let g = brightkite_like(400, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ens = WorldEnsemble::sample(&g, worlds, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(worlds), &worlds, |b, _| {
+            b.iter(|| black_box(reliability_knn(&ens, 0, 10)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(mining, bench_mining_tasks, bench_ensemble_scaling);
+criterion_main!(mining);

@@ -1,0 +1,140 @@
+//! Minimal command-line argument parsing for the experiment binaries
+//! (kept dependency-free; the offline crate set has no CLI parser).
+
+use std::collections::HashMap;
+
+/// Parsed `--flag value` pairs plus positional arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (skipping the program name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator of arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if let Some((k, v)) = name.split_once('=') {
+                    out.flags.insert(k.to_string(), v.to_string());
+                } else if iter
+                    .peek()
+                    .map(|next| !next.starts_with("--"))
+                    .unwrap_or(false)
+                {
+                    let value = iter.next().expect("peeked");
+                    out.flags.insert(name.to_string(), value);
+                } else {
+                    out.switches.push(name.to_string());
+                }
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        out
+    }
+
+    /// Typed flag lookup with default.
+    ///
+    /// # Panics
+    /// Panics with a usage message when the value does not parse.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.flags.get(name) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                panic!("invalid value {raw:?} for --{name}");
+            }),
+        }
+    }
+
+    /// Comma-separated list flag, e.g. `--k 10,20,30`.
+    pub fn get_list<T: std::str::FromStr>(&self, name: &str, default: Vec<T>) -> Vec<T> {
+        match self.flags.get(name) {
+            None => default,
+            Some(raw) => raw
+                .split(',')
+                .map(|tok| {
+                    tok.trim().parse().unwrap_or_else(|_| {
+                        panic!("invalid list element {tok:?} for --{name}")
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// True when a bare `--name` switch was supplied.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name) || self.flags.contains_key(name)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn flag_value_pairs() {
+        let a = parse(&["--scale", "500", "--seed", "7"]);
+        assert_eq!(a.get("scale", 0usize), 500);
+        assert_eq!(a.get("seed", 0u64), 7);
+        assert_eq!(a.get("missing", 42u64), 42);
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let a = parse(&["--epsilon=0.05"]);
+        assert!((a.get("epsilon", 0.0f64) - 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn switches_and_positionals() {
+        // Positionals precede switches: `--quick foo` would bind foo as the
+        // flag's value (greedy), so binaries take positionals first.
+        let a = parse(&["input.txt", "--quick"]);
+        assert!(a.has("quick"));
+        assert!(!a.has("slow"));
+        assert_eq!(a.positional(), &["input.txt".to_string()]);
+        // Greedy binding variant.
+        let b = parse(&["--quick", "input.txt"]);
+        assert!(b.has("quick"));
+        assert!(b.positional().is_empty());
+    }
+
+    #[test]
+    fn list_flag() {
+        let a = parse(&["--k", "10,20,30"]);
+        assert_eq!(a.get_list("k", vec![1usize]), vec![10, 20, 30]);
+        assert_eq!(a.get_list("j", vec![5usize]), vec![5]);
+    }
+
+    #[test]
+    fn switch_followed_by_flag() {
+        let a = parse(&["--quick", "--scale", "100"]);
+        assert!(a.has("quick"));
+        assert_eq!(a.get("scale", 0usize), 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_value_panics() {
+        let a = parse(&["--scale", "abc"]);
+        let _ = a.get("scale", 0usize);
+    }
+}

@@ -1,0 +1,118 @@
+//! Syntactic vs differential privacy (the paper's Related-Work claim):
+//! compare Chameleon RSME against the ε-DP dK-1 synthetic publisher on
+//! correspondence-free aggregate metrics.
+//!
+//! DP releases have no node correspondence, so per-pair reliability is
+//! undefined for them; we compare what *can* be compared: expected
+//! connected pairs (the aggregate behind reliability), average degree,
+//! average distance, clustering coefficient, and degree-distribution
+//! distances (total variation / earth mover's).
+//!
+//! Usage: `dp_compare [--scale N] [--seed S] [--k K] [--dp-eps 0.1,1,10]`
+
+use chameleon_bench::{anonymize, build_dataset, AnyMethod, Args, ExperimentConfig, TablePrinter};
+use chameleon_datasets::DatasetKind;
+use chameleon_dp::DpPublisher;
+use chameleon_reliability::metrics::clustering::expected_clustering;
+use chameleon_reliability::metrics::distance::expected_distances;
+use chameleon_reliability::metrics::distribution::degree_distribution_distances;
+use chameleon_reliability::metrics::relative_error;
+use chameleon_reliability::WorldEnsemble;
+use chameleon_stats::SeedSequence;
+use chameleon_ugraph::UncertainGraph;
+
+struct AggregateErrors {
+    connected_pairs: f64,
+    avg_degree: f64,
+    avg_distance: f64,
+    clustering: f64,
+    degree_tv: f64,
+    degree_emd: f64,
+}
+
+fn aggregate_errors(
+    original: &UncertainGraph,
+    published: &UncertainGraph,
+    cfg: &ExperimentConfig,
+) -> AggregateErrors {
+    let seq = SeedSequence::new(cfg.seed);
+    let a = WorldEnsemble::sample(original, cfg.metric_worlds, &mut seq.rng("agg-a"));
+    let b = WorldEnsemble::sample(published, cfg.metric_worlds, &mut seq.rng("agg-b"));
+    let cp = relative_error(a.expected_connected_pairs(), b.expected_connected_pairs());
+    let deg = relative_error(
+        original.expected_average_degree(),
+        published.expected_average_degree(),
+    );
+    let da = expected_distances(original, &a, cfg.bfs_sources, &mut seq.rng("agg-src"));
+    let db = expected_distances(published, &b, cfg.bfs_sources, &mut seq.rng("agg-src"));
+    let dist = relative_error(da.avg_distance, db.avg_distance);
+    let ca = expected_clustering(original, &a);
+    let cb = expected_clustering(published, &b);
+    let cc = relative_error(ca.clustering_coefficient, cb.clustering_coefficient);
+    let dd = degree_distribution_distances(original, &a, published, &b);
+    AggregateErrors {
+        connected_pairs: cp,
+        avg_degree: deg,
+        avg_distance: dist,
+        clustering: cc,
+        degree_tv: dd.total_variation,
+        degree_emd: dd.earth_movers,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = ExperimentConfig::from_args(&args);
+    if !args.has("metric-worlds") {
+        cfg.metric_worlds = 40;
+    }
+    let k: usize = args.get("k", (cfg.scale / 10).max(2));
+    let dp_eps: Vec<f64> = args.get_list("dp-eps", vec![0.1, 1.0, 10.0]);
+
+    println!("== syntactic (Chameleon RSME, k={k}) vs differential privacy (dK-1) ==");
+    let mut table = TablePrinter::new([
+        "dataset",
+        "publisher",
+        "E[cc] err",
+        "deg err",
+        "dist err",
+        "cc err",
+        "deg TV",
+        "deg EMD",
+    ]);
+    for kind in DatasetKind::ALL {
+        let g = build_dataset(kind, &cfg);
+        let mut emit = |label: String, published: &UncertainGraph| {
+            let e = aggregate_errors(&g, published, &cfg);
+            eprintln!(
+                "[dp] {kind} {label}: cp={:.3} deg={:.3} dist={:.3} cc={:.3} tv={:.3}",
+                e.connected_pairs, e.avg_degree, e.avg_distance, e.clustering, e.degree_tv
+            );
+            table.row([
+                kind.name().to_string(),
+                label,
+                format!("{:.4}", e.connected_pairs),
+                format!("{:.4}", e.avg_degree),
+                format!("{:.4}", e.avg_distance),
+                format!("{:.4}", e.clustering),
+                format!("{:.4}", e.degree_tv),
+                format!("{:.3}", e.degree_emd),
+            ]);
+        };
+        match anonymize(&g, AnyMethod::Rsme, k, &cfg) {
+            Ok(published) => emit("Chameleon".into(), &published),
+            Err(e) => eprintln!("[dp] {kind} Chameleon FAILED ({e})"),
+        }
+        for &eps in &dp_eps {
+            let publisher = DpPublisher::new(eps);
+            let release = publisher.publish(&g, SeedSequence::new(cfg.seed).derive("dp"));
+            emit(format!("DP eps={eps}"), &release);
+        }
+    }
+    print!("{}", table.render());
+    let path = chameleon_bench::table::results_dir().join("dp_compare.csv");
+    match table.write_csv(&path) {
+        Ok(()) => println!("(csv written to {})", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

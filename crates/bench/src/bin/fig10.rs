@@ -1,0 +1,19 @@
+//! Figure 10: ability of the four methods to preserve **average distance**
+//! (relative error of the expected per-world mean shortest-path length).
+//!
+//! Usage: `fig10 [--scale N] [--seed S] [--metric-worlds W] [--bfs-sources B] [--k a,b,c]`
+
+use chameleon_bench::{emit_figure, run_sweep, AnyMethod, Args, ExperimentConfig};
+use chameleon_datasets::DatasetKind;
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = ExperimentConfig::from_args(&args);
+    let rows = run_sweep(&cfg, &AnyMethod::ALL, &DatasetKind::ALL);
+    emit_figure(
+        "Fig 10 — average distance preservation (relative error)",
+        "fig10.csv",
+        &rows,
+        |e| e.avg_distance,
+    );
+}

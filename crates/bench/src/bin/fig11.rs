@@ -1,0 +1,20 @@
+//! Figure 11: ability of the four methods to preserve the **clustering
+//! coefficient** (relative error of the expected global clustering
+//! coefficient).
+//!
+//! Usage: `fig11 [--scale N] [--seed S] [--metric-worlds W] [--k a,b,c]`
+
+use chameleon_bench::{emit_figure, run_sweep, AnyMethod, Args, ExperimentConfig};
+use chameleon_datasets::DatasetKind;
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = ExperimentConfig::from_args(&args);
+    let rows = run_sweep(&cfg, &AnyMethod::ALL, &DatasetKind::ALL);
+    emit_figure(
+        "Fig 11 — clustering coefficient preservation (relative error)",
+        "fig11.csv",
+        &rows,
+        |e| e.clustering,
+    );
+}

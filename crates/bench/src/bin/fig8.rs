@@ -1,0 +1,20 @@
+//! Figure 8: ability of the four methods to preserve **reliability**
+//! (average per-pair reliability discrepancy vs the original), across the
+//! three datasets and the k sweep.
+//!
+//! Usage: `fig8 [--scale N] [--seed S] [--worlds W] [--pairs P] [--k a,b,c]`
+
+use chameleon_bench::{emit_figure, run_sweep, AnyMethod, Args, ExperimentConfig};
+use chameleon_datasets::DatasetKind;
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = ExperimentConfig::from_args(&args);
+    let rows = run_sweep(&cfg, &AnyMethod::ALL, &DatasetKind::ALL);
+    emit_figure(
+        "Fig 8 — reliability preservation (avg reliability discrepancy)",
+        "fig8.csv",
+        &rows,
+        |e| e.reliability,
+    );
+}

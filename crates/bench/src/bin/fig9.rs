@@ -1,0 +1,19 @@
+//! Figure 9: ability of the four methods to preserve **average node
+//! degree** (relative error of the expected average degree).
+//!
+//! Usage: `fig9 [--scale N] [--seed S] [--k a,b,c]`
+
+use chameleon_bench::{emit_figure, run_sweep, AnyMethod, Args, ExperimentConfig};
+use chameleon_datasets::DatasetKind;
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = ExperimentConfig::from_args(&args);
+    let rows = run_sweep(&cfg, &AnyMethod::ALL, &DatasetKind::ALL);
+    emit_figure(
+        "Fig 9 — average node degree preservation (relative error)",
+        "fig9.csv",
+        &rows,
+        |e| e.avg_degree,
+    );
+}

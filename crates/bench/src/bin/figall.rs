@@ -1,0 +1,39 @@
+//! Runs the full Fig. 8–11 sweep once and emits all four figures (the
+//! anonymizations are shared, so this is 4× cheaper than running fig8,
+//! fig9, fig10, fig11 separately).
+//!
+//! Usage: `figall [--scale N] [--seed S] [--worlds W] [--pairs P] [--k a,b,c]`
+
+use chameleon_bench::{emit_figure, run_sweep, AnyMethod, Args, ExperimentConfig};
+use chameleon_datasets::DatasetKind;
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = ExperimentConfig::from_args(&args);
+    eprintln!("[figall] config: {cfg:?}");
+    let rows = run_sweep(&cfg, &AnyMethod::ALL, &DatasetKind::ALL);
+    emit_figure(
+        "Fig 8 — reliability preservation (avg reliability discrepancy)",
+        "fig8.csv",
+        &rows,
+        |e| e.reliability,
+    );
+    emit_figure(
+        "Fig 9 — average node degree preservation (relative error)",
+        "fig9.csv",
+        &rows,
+        |e| e.avg_degree,
+    );
+    emit_figure(
+        "Fig 10 — average distance preservation (relative error)",
+        "fig10.csv",
+        &rows,
+        |e| e.avg_distance,
+    );
+    emit_figure(
+        "Fig 11 — clustering coefficient preservation (relative error)",
+        "fig11.csv",
+        &rows,
+        |e| e.clustering,
+    );
+}

@@ -1,0 +1,36 @@
+//! Diagnostic: raw (pre-anonymization) exposure of each dataset across a
+//! range of k — how many vertices a degree-informed adversary can single
+//! out in a *naive* release. Used to choose meaningful k sweeps for the
+//! figure experiments (k where raw exposure is non-trivial).
+//!
+//! Usage: `probe [--scale N] [--seed S] [--k a,b,c,...]`
+
+use chameleon_bench::{build_dataset, Args, ExperimentConfig, TablePrinter};
+use chameleon_core::{anonymity_check, AdversaryKnowledge};
+use chameleon_datasets::DatasetKind;
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = ExperimentConfig::from_args(&args);
+    let default_ks: Vec<usize> = [2, 5, 10, 20, 40, 80, 160]
+        .into_iter()
+        .filter(|&k| k < cfg.scale)
+        .collect();
+    let ks = args.get_list("k", default_ks);
+
+    let mut table = TablePrinter::new(["dataset", "k", "exposed", "fraction"]);
+    for kind in DatasetKind::ALL {
+        let g = build_dataset(kind, &cfg);
+        let knowledge = AdversaryKnowledge::expected_degrees(&g);
+        for &k in &ks {
+            let rep = anonymity_check(&g, &knowledge, k);
+            table.row([
+                kind.name().to_string(),
+                k.to_string(),
+                rep.unobfuscated.len().to_string(),
+                format!("{:.4}", rep.eps_hat),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+}

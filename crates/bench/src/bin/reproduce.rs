@@ -1,0 +1,62 @@
+//! One-command reproduction: runs every experiment binary in sequence
+//! with shared flags and writes all outputs under `results/`.
+//!
+//! Usage: `reproduce [--scale N] [--seed S] [--quick]`
+//! (`--quick` shrinks scale/worlds for a fast smoke reproduction)
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut forwarded: Vec<String> = args.iter().filter(|a| *a != "--quick").cloned().collect();
+    if quick {
+        for flag in [
+            "--scale", "300", "--worlds", "150", "--pairs", "500", "--metric-worlds", "10",
+            "--trials", "3",
+        ] {
+            forwarded.push(flag.to_string());
+        }
+    }
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    std::fs::create_dir_all("results").ok();
+    let experiments = [
+        "table1",
+        "fig3",
+        "fig4",
+        "figall",
+        "ablation",
+        "mining_utility",
+        "dp_compare",
+        "scaling",
+    ];
+    let mut failures = Vec::new();
+    for exp in experiments {
+        println!("=== running {exp} ===");
+        let out_path = format!("results/{exp}.out");
+        let output = Command::new(exe_dir.join(exp))
+            .args(&forwarded)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        std::fs::write(&out_path, &output.stdout).expect("write results");
+        if !output.status.success() {
+            eprintln!(
+                "{exp} FAILED:\n{}",
+                String::from_utf8_lossy(&output.stderr)
+            );
+            failures.push(exp);
+        } else {
+            println!("  -> {out_path}");
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed; outputs in results/");
+    } else {
+        eprintln!("\nfailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Efficiency experiment: wall-clock anonymization time vs graph scale
+//! (the paper's abstract promises an effectiveness *and efficiency*
+//! evaluation; this is the efficiency half at reproduction scale).
+//!
+//! For each scale, reports time for the one-time invariants (uniqueness +
+//! ERR/VRR over N sampled worlds) and for the full σ-search anonymization,
+//! per method.
+//!
+//! Usage: `scaling [--scales 200,400,800,1600] [--seed S] [--worlds W]`
+
+use chameleon_bench::{anonymize, AnyMethod, Args, ExperimentConfig, TablePrinter};
+use chameleon_core::relevance::{edge_reliability_relevance, vertex_reliability_relevance};
+use chameleon_core::uniqueness::uniqueness_scores;
+use chameleon_datasets::DatasetKind;
+use chameleon_reliability::WorldEnsemble;
+use chameleon_stats::SeedSequence;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::from_env();
+    let base = ExperimentConfig::from_args(&args);
+    let scales: Vec<usize> = args.get_list("scales", vec![200, 400, 800, 1600]);
+
+    println!("== efficiency: anonymization wall-clock vs scale (BRIGHTKITE-like) ==");
+    let mut table = TablePrinter::new([
+        "n",
+        "m",
+        "invariants (s)",
+        "RSME (s)",
+        "ME (s)",
+        "Rep-An (s)",
+    ]);
+    for &scale in &scales {
+        let mut cfg = base.clone();
+        cfg.scale = scale;
+        cfg.k_values = vec![(scale / 10).max(2)];
+        let k = cfg.k_values[0];
+        let g = chameleon_bench::build_dataset(DatasetKind::Brightkite, &cfg);
+        let seq = SeedSequence::new(cfg.seed);
+
+        let t0 = Instant::now();
+        let _u = uniqueness_scores(&g);
+        let mut rng = seq.rng("scaling-ens");
+        let ens = WorldEnsemble::sample(&g, cfg.worlds, &mut rng);
+        let err = edge_reliability_relevance(&g, &ens);
+        let _vrr = vertex_reliability_relevance(&g, &err);
+        let invariants = t0.elapsed().as_secs_f64();
+
+        let time_method = |method: AnyMethod| -> String {
+            let t = Instant::now();
+            match anonymize(&g, method, k, &cfg) {
+                Ok(_) => format!("{:.2}", t.elapsed().as_secs_f64()),
+                Err(_) => format!("{:.2} (fail)", t.elapsed().as_secs_f64()),
+            }
+        };
+        let rsme = time_method(AnyMethod::Rsme);
+        let me = time_method(AnyMethod::Me);
+        let repan = time_method(AnyMethod::RepAn);
+        eprintln!("[scaling] n={scale}: invariants {invariants:.2}s, RSME {rsme}s");
+        table.row([
+            scale.to_string(),
+            g.num_edges().to_string(),
+            format!("{invariants:.2}"),
+            rsme,
+            me,
+            repan,
+        ]);
+    }
+    print!("{}", table.render());
+    let path = chameleon_bench::table::results_dir().join("scaling.csv");
+    match table.write_csv(&path) {
+        Ok(()) => println!("(csv written to {})", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,59 @@
+//! Table I: characteristics of the datasets and privacy parameters.
+//!
+//! Prints the paper-scale values alongside the scaled synthetic stand-ins
+//! actually generated for the reproduction.
+//!
+//! Usage: `table1 [--scale N] [--seed S]`
+
+use chameleon_bench::{build_dataset, Args, ExperimentConfig, TablePrinter};
+use chameleon_datasets::DatasetKind;
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = ExperimentConfig::from_args(&args);
+
+    println!("== Table I: dataset characteristics ==\n");
+    println!("-- Paper scale (reference) --");
+    let mut paper = TablePrinter::new(["Graph", "Nodes", "Edges", "Edge Prob", "Tolerance"]);
+    for kind in DatasetKind::ALL {
+        let s = kind.paper_spec();
+        paper.row([
+            s.kind.name().to_string(),
+            s.nodes.to_string(),
+            s.edges.to_string(),
+            format!("{:.2}", s.mean_edge_prob),
+            format!("{:.0e}", s.tolerance),
+        ]);
+    }
+    print!("{}", paper.render());
+
+    println!("\n-- Reproduction scale (synthetic stand-ins, scale={}) --", cfg.scale);
+    let mut scaled = TablePrinter::new([
+        "Graph",
+        "Nodes",
+        "Edges",
+        "Edge Prob",
+        "Mean Degree",
+        "Max Degree",
+        "Tolerance(cfg)",
+    ]);
+    for kind in DatasetKind::ALL {
+        let g = build_dataset(kind, &cfg);
+        let max_deg = (0..g.num_nodes() as u32).map(|v| g.degree(v)).max().unwrap_or(0);
+        scaled.row([
+            kind.name().to_string(),
+            g.num_nodes().to_string(),
+            g.num_edges().to_string(),
+            format!("{:.3}", g.mean_edge_prob()),
+            format!("{:.2}", g.expected_average_degree()),
+            max_deg.to_string(),
+            format!("{:.3}", cfg.epsilon),
+        ]);
+    }
+    print!("{}", scaled.render());
+    let path = chameleon_bench::table::results_dir().join("table1.csv");
+    match scaled.write_csv(&path) {
+        Ok(()) => println!("(csv written to {})", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (see DESIGN.md §5 for the experiment index).
+//!
+//! Each figure/table has a binary in `src/bin/` that prints the series the
+//! paper reports and writes CSV into `results/`. Criterion benches in
+//! `benches/` time the computational kernels and run scaled-down versions
+//! of each experiment pipeline.
+//!
+//! Scale note: the paper runs k ∈ \[100, 300\] on graphs of 12k–825k nodes.
+//! The default reproduction scale is ~800-node synthetic analogues, with k
+//! swept at matching *fractions* of |V| (k ≈ 1.25%–3.75% of n); every
+//! binary accepts `--scale`, `--k`, `--worlds`, `--pairs`, `--seed` to run
+//! larger.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod experiment;
+pub mod sweep;
+pub mod table;
+
+pub use args::Args;
+pub use experiment::{
+    anonymize, build_dataset, utility_errors, AnyMethod, ExperimentConfig, UtilityErrors,
+};
+pub use sweep::{emit_figure, run_sweep, SweepRow};
+pub use table::{write_csv, TablePrinter};

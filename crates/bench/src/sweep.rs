@@ -1,0 +1,94 @@
+//! The (dataset × method × k) sweep shared by the Fig. 8–11 binaries.
+
+use crate::experiment::{anonymize, build_dataset, utility_errors, AnyMethod, ExperimentConfig};
+use chameleon_datasets::DatasetKind;
+
+/// One sweep cell.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Dataset the cell belongs to.
+    pub dataset: DatasetKind,
+    /// Method evaluated.
+    pub method: AnyMethod,
+    /// Obfuscation level.
+    pub k: usize,
+    /// The measured utility errors, or the failure message.
+    pub outcome: Result<crate::experiment::UtilityErrors, String>,
+}
+
+/// Runs the full sweep; progress lines go to stderr so stdout stays a clean
+/// table.
+pub fn run_sweep(
+    cfg: &ExperimentConfig,
+    methods: &[AnyMethod],
+    datasets: &[DatasetKind],
+) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for &dataset in datasets {
+        let graph = build_dataset(dataset, cfg);
+        eprintln!(
+            "[sweep] {dataset}: n={}, m={}, mean_p={:.3}",
+            graph.num_nodes(),
+            graph.num_edges(),
+            graph.mean_edge_prob()
+        );
+        for &k in &cfg.k_values {
+            for &method in methods {
+                eprint!("[sweep]   k={k} {method} ... ");
+                let outcome = anonymize(&graph, method, k, cfg)
+                    .map(|published| utility_errors(&graph, &published, cfg));
+                match &outcome {
+                    Ok(e) => eprintln!(
+                        "rel={:.4} deg={:.4} dist={:.4} cc={:.4}",
+                        e.reliability, e.avg_degree, e.avg_distance, e.clustering
+                    ),
+                    Err(msg) => eprintln!("FAILED ({msg})"),
+                }
+                rows.push(SweepRow {
+                    dataset,
+                    method,
+                    k,
+                    outcome,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Formats one error metric from a sweep row (`--` for failed cells).
+pub fn format_metric(
+    row: &SweepRow,
+    pick: impl Fn(&crate::experiment::UtilityErrors) -> f64,
+) -> String {
+    match &row.outcome {
+        Ok(e) => format!("{:.4}", pick(e)),
+        Err(_) => "--".to_string(),
+    }
+}
+
+/// Prints a per-figure table (one metric) and writes its CSV.
+pub fn emit_figure(
+    title: &str,
+    csv_name: &str,
+    rows: &[SweepRow],
+    pick: impl Fn(&crate::experiment::UtilityErrors) -> f64 + Copy,
+) {
+    println!("== {title} ==");
+    let mut table = crate::table::TablePrinter::new(["dataset", "k", "method", "error"]);
+    for row in rows {
+        table.row([
+            row.dataset.name().to_string(),
+            row.k.to_string(),
+            row.method.name().to_string(),
+            format_metric(row, pick),
+        ]);
+    }
+    print!("{}", table.render());
+    let path = crate::table::results_dir().join(csv_name);
+    match table.write_csv(&path) {
+        Ok(()) => println!("(csv written to {})", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    println!();
+}

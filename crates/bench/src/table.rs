@@ -1,0 +1,177 @@
+//! Table printing and CSV output for the experiment binaries.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Aligned-column table printer for terminal output.
+#[derive(Debug, Clone)]
+pub struct TablePrinter {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TablePrinter {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV.
+    ///
+    /// # Errors
+    /// I/O errors from file creation/writing.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let header = self.header.iter().map(String::as_str).collect::<Vec<_>>();
+        let rows: Vec<Vec<String>> = self.rows.clone();
+        write_csv(path, &header, &rows)
+    }
+}
+
+/// Writes a CSV file (quotes cells containing commas/quotes).
+///
+/// # Errors
+/// I/O errors from file creation/writing.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.as_ref().parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let quote = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    writeln!(
+        file,
+        "{}",
+        header.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+    )?;
+    for row in rows {
+        writeln!(
+            file,
+            "{}",
+            row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        )?;
+    }
+    Ok(())
+}
+
+/// Default results directory (overridable via `CHAMELEON_RESULTS_DIR`).
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("CHAMELEON_RESULTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TablePrinter::new(["dataset", "k", "error"]);
+        t.row(["DBLP", "100", "0.05"]);
+        t.row(["BRIGHTKITE", "200", "0.150"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("dataset"));
+        assert!(lines[2].starts_with("DBLP"));
+        // Columns align: "k" column starts at same offset in all rows.
+        let pos = lines[0].find("k").unwrap();
+        assert_eq!(&lines[2][pos..pos + 3], "100");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TablePrinter::new(["a", "b"]);
+        t.row(["x"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn csv_roundtrip_content() {
+        let dir = std::env::temp_dir().join("chameleon-table-test");
+        let path = dir.join("out.csv");
+        let mut t = TablePrinter::new(["name", "value"]);
+        t.row(["plain", "1"]);
+        t.row(["with,comma", "2"]);
+        t.row(["with\"quote", "3"]);
+        t.write_csv(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("name,value\n"));
+        assert!(text.contains("\"with,comma\",2"));
+        assert!(text.contains("\"with\"\"quote\",3"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn results_dir_env_override() {
+        // Serialized via a unique env var name is unnecessary — just check
+        // the default path when unset.
+        if std::env::var_os("CHAMELEON_RESULTS_DIR").is_none() {
+            assert_eq!(results_dir(), std::path::PathBuf::from("results"));
+        }
+    }
+}

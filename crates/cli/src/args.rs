@@ -1,0 +1,133 @@
+//! Flag parsing for the `chameleon` CLI (dependency-free).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional operands, `--flag value`
+/// pairs and bare `--switch`es.
+#[derive(Debug, Clone, Default)]
+pub struct Cli {
+    command: Option<String>,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl Cli {
+    /// Parses process arguments (program name skipped).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument iterator. The first non-flag token is
+    /// the subcommand.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Cli::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if let Some((k, v)) = name.split_once('=') {
+                    out.flags.insert(k.to_string(), v.to_string());
+                } else if iter
+                    .peek()
+                    .map(|next| !next.starts_with("--"))
+                    .unwrap_or(false)
+                {
+                    let value = iter.next().expect("peeked");
+                    out.flags.insert(name.to_string(), value);
+                } else {
+                    out.switches.push(name.to_string());
+                }
+            } else if out.command.is_none() {
+                out.command = Some(arg);
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        out
+    }
+
+    /// The subcommand, if any.
+    pub fn command(&self) -> Option<&str> {
+        self.command.as_deref()
+    }
+
+    /// Positional operands after the subcommand.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Typed flag with default.
+    ///
+    /// # Errors
+    /// Returns a message naming the flag on parse failure.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value {raw:?} for --{name}")),
+        }
+    }
+
+    /// Required flag.
+    ///
+    /// # Errors
+    /// Returns a message when the flag is missing or unparsable.
+    pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Err(format!("missing required flag --{name}")),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value {raw:?} for --{name}")),
+        }
+    }
+
+    /// True when `--name` was given (as switch or with a value).
+    #[allow(dead_code)] // part of the parser's public surface; used in tests
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name) || self.flags.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Cli {
+        Cli::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn subcommand_and_operands() {
+        let c = parse(&["anonymize", "in.txt", "out.txt", "--k", "20"]);
+        assert_eq!(c.command(), Some("anonymize"));
+        assert_eq!(c.positional(), &["in.txt".to_string(), "out.txt".to_string()]);
+        assert_eq!(c.get("k", 0usize).unwrap(), 20);
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let c = parse(&["check"]);
+        assert!(c.require::<usize>("k").unwrap_err().contains("--k"));
+    }
+
+    #[test]
+    fn invalid_value_is_error_not_panic() {
+        let c = parse(&["check", "--k", "abc"]);
+        assert!(c.get("k", 1usize).is_err());
+    }
+
+    #[test]
+    fn empty_command_line() {
+        let c = parse(&[]);
+        assert_eq!(c.command(), None);
+        assert!(c.positional().is_empty());
+    }
+
+    #[test]
+    fn switches() {
+        let c = parse(&["stats", "g.txt", "--verbose"]);
+        assert!(c.has("verbose"));
+        assert!(!c.has("quiet"));
+    }
+}

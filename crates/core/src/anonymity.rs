@@ -1,0 +1,445 @@
+//! The (k, ε)-obfuscation anonymity check (paper Definition 3, after
+//! Boldi et al. VLDB 2012).
+//!
+//! The adversary knows the *degree* of a target vertex in the original
+//! graph and tries to locate it in the published uncertain graph `G̃`. For
+//! a property value ω, the adversary's posterior over vertices is
+//!
+//! ```text
+//! Y_ω(u) = Pr[deg_G̃(u) = ω] / Σ_w Pr[deg_G̃(w) = ω]
+//! ```
+//!
+//! where `deg_G̃(u)` is Poisson–binomial over `u`'s incident edge
+//! probabilities. A vertex `v` with original property ω_v is k-obfuscated
+//! iff `H(Y_{ω_v}) ≥ log₂ k`; the graph is (k, ε)-obf iff at most `ε·|V|`
+//! vertices fail.
+//!
+//! For an uncertain *original* graph, the adversary value ω_v is taken to
+//! be the rounded expected degree of `v` in the original graph (DESIGN.md
+//! §3); for a deterministic original it is the plain degree — both are
+//! covered by [`AdversaryKnowledge`].
+
+use chameleon_stats::poisson_binomial::pmf_truncated;
+use chameleon_stats::shannon_entropy_bits;
+use chameleon_ugraph::{NodeId, UncertainGraph};
+use std::collections::HashMap;
+
+/// The adversary's background knowledge: one property value per vertex of
+/// the original graph (paper: "The popular assumption of auxiliary
+/// information is node degree").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdversaryKnowledge {
+    /// ω_v for every vertex of the original graph.
+    targets: Vec<u32>,
+}
+
+impl AdversaryKnowledge {
+    /// Degree knowledge for an uncertain original graph: ω_v =
+    /// round(E[deg_G(v)]).
+    pub fn expected_degrees(original: &UncertainGraph) -> Self {
+        Self {
+            targets: original
+                .expected_degrees()
+                .iter()
+                .map(|&d| d.round() as u32)
+                .collect(),
+        }
+    }
+
+    /// Degree knowledge for a deterministic original graph: ω_v = deg(v).
+    pub fn structural_degrees(original: &UncertainGraph) -> Self {
+        Self {
+            targets: (0..original.num_nodes() as u32)
+                .map(|v| original.degree(v) as u32)
+                .collect(),
+        }
+    }
+
+    /// Explicit property values (for tests and custom adversaries).
+    pub fn from_values(targets: Vec<u32>) -> Self {
+        Self { targets }
+    }
+
+    /// ω_v for vertex `v`.
+    pub fn target(&self, v: NodeId) -> u32 {
+        self.targets[v as usize]
+    }
+
+    /// All target values.
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True when no vertices are covered.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+}
+
+/// Outcome of the anonymity check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnonymityReport {
+    /// Fraction of vertices NOT k-obfuscated (the ε̃ returned by GenObf).
+    pub eps_hat: f64,
+    /// Vertices that failed the entropy bound, ascending.
+    pub unobfuscated: Vec<NodeId>,
+    /// Entropy (bits) of `Y_ω` for every distinct adversary value ω.
+    pub entropy_by_omega: HashMap<u32, f64>,
+    /// The k that was checked.
+    pub k: usize,
+}
+
+impl AnonymityReport {
+    /// True when the graph is (k, ε)-obfuscated at tolerance `epsilon`.
+    pub fn satisfies(&self, epsilon: f64) -> bool {
+        self.eps_hat <= epsilon
+    }
+
+    /// Number of obfuscated vertices.
+    pub fn obfuscated_count(&self, total: usize) -> usize {
+        total - self.unobfuscated.len()
+    }
+}
+
+/// Variant of [`anonymity_check`] for an adversary with *approximate*
+/// degree knowledge: the posterior weight of vertex `u` for target value ω
+/// is `Pr[|deg_G̃(u) − ω| ≤ tolerance]` instead of an exact match.
+///
+/// This models the practical attacker the k-obfuscation literature calls
+/// "fuzzy matching" (paper §III-C: "blend every vertex with other
+/// fuzzy-matching nodes"): real auxiliary information (contact counts,
+/// co-author counts) is rarely exact. `tolerance = 0` coincides with
+/// [`anonymity_check`].
+///
+/// # Panics
+/// Same contract as [`anonymity_check`].
+pub fn anonymity_check_tolerant(
+    published: &UncertainGraph,
+    knowledge: &AdversaryKnowledge,
+    k: usize,
+    tolerance: u32,
+) -> AnonymityReport {
+    assert!(k >= 1, "k must be at least 1");
+    let n = published.num_nodes();
+    assert_eq!(
+        knowledge.len(),
+        n,
+        "adversary knowledge must cover every vertex"
+    );
+    if n == 0 {
+        return AnonymityReport {
+            eps_hat: 0.0,
+            unobfuscated: Vec::new(),
+            entropy_by_omega: HashMap::new(),
+            k,
+        };
+    }
+    let omega_max =
+        knowledge.targets().iter().copied().max().unwrap_or(0) as usize + tolerance as usize;
+    let pmfs: Vec<Vec<f64>> = (0..n as u32)
+        .map(|v| pmf_truncated(&published.incident_probs(v), omega_max))
+        .collect();
+    let mut entropy_by_omega: HashMap<u32, f64> = HashMap::new();
+    for &omega in knowledge.targets() {
+        entropy_by_omega.entry(omega).or_insert(f64::NAN);
+    }
+    let threshold = (k as f64).log2();
+    let mut weights = vec![0.0; n];
+    for (&omega, slot) in entropy_by_omega.iter_mut() {
+        let lo = omega.saturating_sub(tolerance) as usize;
+        let hi = (omega + tolerance) as usize;
+        for (u, pmf) in pmfs.iter().enumerate() {
+            weights[u] = (lo..=hi)
+                .map(|w| pmf.get(w).copied().unwrap_or(0.0))
+                .sum();
+        }
+        *slot = shannon_entropy_bits(&weights);
+    }
+    let mut unobfuscated = Vec::new();
+    for v in 0..n as u32 {
+        if entropy_by_omega[&knowledge.target(v)] < threshold {
+            unobfuscated.push(v);
+        }
+    }
+    AnonymityReport {
+        eps_hat: unobfuscated.len() as f64 / n as f64,
+        unobfuscated,
+        entropy_by_omega,
+        k,
+    }
+}
+
+/// Checks whether `published` k-obfuscates the vertices of the original
+/// graph described by `knowledge` (paper Definition 3; the
+/// `anonymityCheck` of Algorithm 3 line 24).
+///
+/// Complexity: O(Σ_v d_v·min(d_v, ω_max)) for the degree pmfs (truncated
+/// Poisson–binomial DP) plus O(|Ω|·|V|) for the entropy sweep.
+///
+/// # Panics
+/// Panics if `knowledge` covers a different number of vertices than
+/// `published` or `k == 0`.
+pub fn anonymity_check(
+    published: &UncertainGraph,
+    knowledge: &AdversaryKnowledge,
+    k: usize,
+) -> AnonymityReport {
+    assert!(k >= 1, "k must be at least 1");
+    let n = published.num_nodes();
+    assert_eq!(
+        knowledge.len(),
+        n,
+        "adversary knowledge must cover every vertex"
+    );
+    if n == 0 {
+        return AnonymityReport {
+            eps_hat: 0.0,
+            unobfuscated: Vec::new(),
+            entropy_by_omega: HashMap::new(),
+            k,
+        };
+    }
+    let omega_max = knowledge.targets().iter().copied().max().unwrap_or(0) as usize;
+    // Per-vertex degree pmf, truncated at ω_max (values above are never
+    // queried).
+    let pmfs: Vec<Vec<f64>> = (0..n as u32)
+        .map(|v| pmf_truncated(&published.incident_probs(v), omega_max))
+        .collect();
+    // Distinct adversary values.
+    let mut entropy_by_omega: HashMap<u32, f64> = HashMap::new();
+    for &omega in knowledge.targets() {
+        entropy_by_omega.entry(omega).or_insert(f64::NAN);
+    }
+    let threshold = (k as f64).log2();
+    let mut weights = vec![0.0; n];
+    for (&omega, slot) in entropy_by_omega.iter_mut() {
+        let w = omega as usize;
+        for (u, pmf) in pmfs.iter().enumerate() {
+            weights[u] = pmf.get(w).copied().unwrap_or(0.0);
+        }
+        *slot = shannon_entropy_bits(&weights);
+    }
+    let mut unobfuscated = Vec::new();
+    for v in 0..n as u32 {
+        let h = entropy_by_omega[&knowledge.target(v)];
+        if h < threshold {
+            unobfuscated.push(v);
+        }
+    }
+    AnonymityReport {
+        eps_hat: unobfuscated.len() as f64 / n as f64,
+        unobfuscated,
+        entropy_by_omega,
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// n disconnected edges, all with probability p: every vertex is
+    /// statistically identical.
+    fn matching(pairs: usize, p: f64) -> UncertainGraph {
+        let mut g = UncertainGraph::with_nodes(2 * pairs);
+        for i in 0..pairs as u32 {
+            g.add_edge(2 * i, 2 * i + 1, p).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn symmetric_graph_fully_obfuscated_at_n() {
+        // 8 identical vertices: Y_ω is uniform over all 8 → H = 3 bits →
+        // k-obf for k ≤ 8.
+        let g = matching(4, 0.5);
+        let knowledge = AdversaryKnowledge::expected_degrees(&g);
+        let rep = anonymity_check(&g, &knowledge, 8);
+        assert_eq!(rep.eps_hat, 0.0);
+        assert!(rep.unobfuscated.is_empty());
+        assert!(rep.satisfies(0.0));
+        let h = rep.entropy_by_omega[&1]; // ω = round(0.5) = 1? no: E[deg]=0.5 → round = 1? 0.5_f64.round() = 1
+        assert!((h - 3.0).abs() < 1e-9, "h={h}");
+    }
+
+    #[test]
+    fn symmetric_graph_fails_above_n() {
+        let g = matching(4, 0.5);
+        let knowledge = AdversaryKnowledge::expected_degrees(&g);
+        let rep = anonymity_check(&g, &knowledge, 9);
+        assert_eq!(rep.eps_hat, 1.0);
+        assert_eq!(rep.unobfuscated.len(), 8);
+        assert!(!rep.satisfies(0.5));
+    }
+
+    #[test]
+    fn unique_hub_is_exposed() {
+        // Hub of deterministic degree 5 among degree-1 leaves: Y_5 is a
+        // point mass on the hub → H = 0 → unobfuscated for any k ≥ 2.
+        let mut g = UncertainGraph::with_nodes(6);
+        for v in 1..6u32 {
+            g.add_edge(0, v, 1.0).unwrap();
+        }
+        let knowledge = AdversaryKnowledge::structural_degrees(&g);
+        let rep = anonymity_check(&g, &knowledge, 2);
+        assert!(rep.unobfuscated.contains(&0));
+        assert!((rep.entropy_by_omega[&5]).abs() < 1e-12);
+        // Leaves hide among each other: H(Y_1) = log2(5) ≈ 2.32 ≥ 1.
+        assert!(!rep.unobfuscated.contains(&1));
+        assert!((rep.eps_hat - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncertainty_blends_degrees() {
+        // Same hub topology but probabilistic edges: the hub's degree
+        // spreads over 0..=5, leaves over 0..=1; with p=0.5 the posterior
+        // for ω=3 (hub's expected degree) is dominated by the hub but leaves
+        // contribute nothing (leaf max degree 1 < 3).
+        let mut g = UncertainGraph::with_nodes(6);
+        for v in 1..6u32 {
+            g.add_edge(0, v, 0.5).unwrap();
+        }
+        let knowledge = AdversaryKnowledge::expected_degrees(&g);
+        // ω_hub = round(2.5) = 3 (ties round away from zero), ω_leaf = round(0.5) = 1.
+        assert_eq!(knowledge.target(0), 3);
+        assert_eq!(knowledge.target(1), 1);
+        let rep = anonymity_check(&g, &knowledge, 2);
+        // Y_3 = point mass on hub (only vertex that can reach degree 3).
+        assert!(rep.entropy_by_omega[&3].abs() < 1e-12);
+        assert!(rep.unobfuscated.contains(&0));
+        // Y_1: hub has Pr[deg=1] = 5·(.5)^5 = 5/32; leaves Pr = .5 each →
+        // near-uniform over 5 leaves + small hub → H > log2(2).
+        assert!(rep.entropy_by_omega[&1] > 1.0);
+    }
+
+    #[test]
+    fn k_equal_one_is_trivially_satisfied() {
+        let g = matching(2, 0.3);
+        let knowledge = AdversaryKnowledge::expected_degrees(&g);
+        let rep = anonymity_check(&g, &knowledge, 1);
+        assert_eq!(rep.eps_hat, 0.0);
+    }
+
+    #[test]
+    fn empty_graph_trivially_obfuscated() {
+        let g = UncertainGraph::with_nodes(0);
+        let knowledge = AdversaryKnowledge::from_values(vec![]);
+        let rep = anonymity_check(&g, &knowledge, 10);
+        assert_eq!(rep.eps_hat, 0.0);
+        assert!(knowledge.is_empty());
+    }
+
+    #[test]
+    fn zero_probability_omega_gives_zero_entropy() {
+        // ω that no vertex can attain → all-zero weights → H = 0 →
+        // unobfuscated.
+        let g = matching(2, 1.0);
+        let knowledge = AdversaryKnowledge::from_values(vec![7, 1, 1, 1]);
+        let rep = anonymity_check(&g, &knowledge, 2);
+        assert!(rep.unobfuscated.contains(&0));
+        assert_eq!(rep.entropy_by_omega[&7], 0.0);
+    }
+
+    #[test]
+    fn report_counts() {
+        let g = matching(3, 0.5);
+        let knowledge = AdversaryKnowledge::expected_degrees(&g);
+        let rep = anonymity_check(&g, &knowledge, 4);
+        assert_eq!(rep.obfuscated_count(6), 6 - rep.unobfuscated.len());
+        assert_eq!(rep.k, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_knowledge_panics() {
+        let g = matching(2, 0.5);
+        let knowledge = AdversaryKnowledge::from_values(vec![1, 1]);
+        let _ = anonymity_check(&g, &knowledge, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_panics() {
+        let g = matching(1, 0.5);
+        let knowledge = AdversaryKnowledge::expected_degrees(&g);
+        let _ = anonymity_check(&g, &knowledge, 0);
+    }
+
+    #[test]
+    fn zero_tolerance_matches_exact_check() {
+        let mut g = UncertainGraph::with_nodes(6);
+        for v in 1..6u32 {
+            g.add_edge(0, v, 0.7).unwrap();
+        }
+        g.add_edge(1, 2, 0.3).unwrap();
+        let knowledge = AdversaryKnowledge::expected_degrees(&g);
+        let exact = anonymity_check(&g, &knowledge, 3);
+        let tol0 = anonymity_check_tolerant(&g, &knowledge, 3, 0);
+        assert_eq!(exact.unobfuscated, tol0.unobfuscated);
+        assert_eq!(exact.eps_hat, tol0.eps_hat);
+        for (omega, h) in &exact.entropy_by_omega {
+            assert!((h - tol0.entropy_by_omega[omega]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tolerance_blends_adjacent_classes() {
+        // Deterministic path 0-1-2-3: exact adversary distinguishes
+        // endpoints (deg 1) from middles (deg 2): H(Y_1) = 1 bit. With
+        // tolerance 1, every vertex matches both values → uniform over 4
+        // → 2 bits.
+        let mut g = UncertainGraph::with_nodes(4);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g.add_edge(2, 3, 1.0).unwrap();
+        let knowledge = AdversaryKnowledge::structural_degrees(&g);
+        let exact = anonymity_check(&g, &knowledge, 2);
+        let fuzzy = anonymity_check_tolerant(&g, &knowledge, 2, 1);
+        assert!((exact.entropy_by_omega[&1] - 1.0).abs() < 1e-12);
+        assert!((fuzzy.entropy_by_omega[&1] - 2.0).abs() < 1e-12);
+        assert!((fuzzy.entropy_by_omega[&2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerant_adversary_is_weaker_on_smooth_graphs() {
+        // A graph with a spread of expected degrees: widening the window
+        // never decreases the number of obfuscated vertices here.
+        let mut g = UncertainGraph::with_nodes(12);
+        for v in 1..12u32 {
+            g.add_edge(0, v, 0.5).unwrap();
+        }
+        for v in 1..11u32 {
+            g.add_edge(v, v + 1, 0.5).unwrap();
+        }
+        let knowledge = AdversaryKnowledge::expected_degrees(&g);
+        let exact = anonymity_check_tolerant(&g, &knowledge, 4, 0);
+        let fuzzy = anonymity_check_tolerant(&g, &knowledge, 4, 2);
+        assert!(fuzzy.unobfuscated.len() <= exact.unobfuscated.len());
+    }
+
+    #[test]
+    fn adding_uncertainty_blends_adjacent_degrees() {
+        // Path 0-1-2-3. Deterministic: Y_1 = uniform over the two endpoints
+        // → H = 1 bit. With p = 0.5 everywhere, every vertex has
+        // Pr[deg = 1] = 0.5 → Y_1 uniform over all four → H = 2 bits.
+        let build = |p: f64| {
+            let mut g = UncertainGraph::with_nodes(4);
+            g.add_edge(0, 1, p).unwrap();
+            g.add_edge(1, 2, p).unwrap();
+            g.add_edge(2, 3, p).unwrap();
+            g
+        };
+        let det = build(1.0);
+        let fuzz = build(0.5);
+        let knowledge = AdversaryKnowledge::structural_degrees(&det);
+        let h_det = anonymity_check(&det, &knowledge, 2).entropy_by_omega[&1];
+        let h_fuzz = anonymity_check(&fuzz, &knowledge, 2).entropy_by_omega[&1];
+        assert!((h_det - 1.0).abs() < 1e-12, "h_det={h_det}");
+        assert!((h_fuzz - 2.0).abs() < 1e-12, "h_fuzz={h_fuzz}");
+    }
+}

@@ -1,0 +1,672 @@
+//! The Chameleon anonymization driver: GenObf (paper Algorithm 3) wrapped
+//! in the σ binary-search skeleton (paper Algorithm 1).
+
+use crate::anonymity::{anonymity_check, AdversaryKnowledge, AnonymityReport};
+use crate::candidate::{select_candidates, VertexSampler};
+use crate::config::ChameleonConfig;
+use crate::method::Method;
+use crate::perturb::draw_noise;
+use crate::relevance::{
+    edge_reliability_relevance, min_max_normalize, vertex_reliability_relevance,
+};
+use crate::uniqueness::uniqueness_scores_scaled;
+use chameleon_reliability::WorldEnsemble;
+use chameleon_stats::SeedSequence;
+use chameleon_ugraph::{NodeId, UncertainGraph};
+use std::collections::HashSet;
+
+/// Downward σ sweep length when the upward phase fails (σ_init · 2⁻²⁰ is
+/// effectively zero noise; below that the graph is unchanged and further
+/// halving cannot change the outcome).
+const MAX_HALVINGS: usize = 20;
+
+/// Errors from the anonymization pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChameleonError {
+    /// The configuration failed validation.
+    Config(String),
+    /// No (k, ε)-obfuscation was found even at the largest σ tried; the
+    /// privacy demand is too strong for this graph (the paper notes very
+    /// large k produces graphs "extremely different from the original").
+    NoObfuscationFound {
+        /// Largest noise level attempted.
+        max_sigma: f64,
+        /// Best (smallest) ε̂ observed across all attempts.
+        best_eps_hat: f64,
+    },
+    /// The input graph is degenerate (no nodes or no edges to perturb).
+    DegenerateInput(String),
+}
+
+impl std::fmt::Display for ChameleonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChameleonError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            ChameleonError::NoObfuscationFound {
+                max_sigma,
+                best_eps_hat,
+            } => write!(
+                f,
+                "no (k, eps)-obfuscation found up to sigma = {max_sigma} \
+                 (best eps-hat = {best_eps_hat})"
+            ),
+            ChameleonError::DegenerateInput(msg) => write!(f, "degenerate input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ChameleonError {}
+
+/// Output of a successful anonymization.
+#[derive(Debug, Clone)]
+pub struct ObfuscationResult {
+    /// The published (k, ε)-obfuscated uncertain graph.
+    pub graph: UncertainGraph,
+    /// The final (smallest successful) noise parameter σ.
+    pub sigma: f64,
+    /// Achieved fraction of unobfuscated vertices (≤ ε).
+    pub eps_hat: f64,
+    /// The method variant used.
+    pub method: Method,
+    /// Total GenObf invocations across the σ search.
+    pub genobf_calls: usize,
+    /// Anonymity report of the returned graph.
+    pub report: AnonymityReport,
+    /// Per-vertex uniqueness scores of the input (diagnostics).
+    pub uniqueness: Vec<f64>,
+    /// Per-vertex reliability relevance of the input (diagnostics; empty
+    /// for methods that do not use it).
+    pub vrr: Vec<f64>,
+    /// σ-search telemetry: every GenObf invocation as
+    /// `(sigma, best eps-hat observed at that sigma)` in call order —
+    /// lets callers plot the search trajectory and the privacy-vs-noise
+    /// response of their graph.
+    pub sigma_trace: Vec<(f64, f64)>,
+}
+
+/// Outcome of one GenObf call (paper Algorithm 3's `⟨ε̃, G̃⟩`).
+#[derive(Debug, Clone)]
+struct GenObfOutcome {
+    /// ε̃ — fraction unobfuscated, or 1.0 when every trial failed.
+    eps_hat: f64,
+    /// Smallest ε̂ actually observed across trials, even when above the
+    /// target (diagnostic; drives the near-miss report on failure).
+    eps_nearest: f64,
+    graph: Option<(UncertainGraph, AnonymityReport)>,
+}
+
+/// The anonymization engine. Construct with a [`ChameleonConfig`], then
+/// call [`Chameleon::anonymize`].
+#[derive(Debug, Clone)]
+pub struct Chameleon {
+    config: ChameleonConfig,
+}
+
+impl Chameleon {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: ChameleonConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ChameleonConfig {
+        &self.config
+    }
+
+    /// Anonymizes `graph` with the given method variant; `seed` drives all
+    /// randomness (same seed ⇒ identical output).
+    ///
+    /// Implements paper Algorithm 1: uniqueness and reliability relevance
+    /// are computed once (they depend only on the input graph), then GenObf
+    /// is invoked under an exponential-growth + bisection search for the
+    /// smallest σ that yields a (k, ε)-obfuscation.
+    ///
+    /// # Errors
+    /// [`ChameleonError::Config`] on invalid configuration,
+    /// [`ChameleonError::DegenerateInput`] on an empty graph, and
+    /// [`ChameleonError::NoObfuscationFound`] when the privacy target is
+    /// unreachable within the σ budget.
+    pub fn anonymize(
+        &self,
+        graph: &UncertainGraph,
+        method: Method,
+        seed: u64,
+    ) -> Result<ObfuscationResult, ChameleonError> {
+        self.config.validate().map_err(ChameleonError::Config)?;
+        if graph.num_nodes() == 0 {
+            return Err(ChameleonError::DegenerateInput("graph has no nodes".into()));
+        }
+        if graph.num_edges() == 0 {
+            return Err(ChameleonError::DegenerateInput("graph has no edges".into()));
+        }
+        let seq = SeedSequence::new(seed);
+        let knowledge = AdversaryKnowledge::expected_degrees(graph);
+
+        // ---- Lines 1–2 of Algorithm 3, hoisted: invariants of the input.
+        let uniq = uniqueness_scores_scaled(graph, self.config.bandwidth_scale);
+        let vrr = if method.reliability_oriented() {
+            let mut rng = seq.rng("relevance-ensemble");
+            let ensemble =
+                WorldEnsemble::sample(graph, self.config.num_world_samples, &mut rng);
+            let err = edge_reliability_relevance(graph, &ensemble);
+            vertex_reliability_relevance(graph, &err)
+        } else {
+            Vec::new()
+        };
+        let (excluded, selection) = prepare_selection(graph, method, &uniq, &vrr, &self.config);
+
+        let mut sigma_trace: Vec<(f64, f64)> = Vec::new();
+        // ---- Algorithm 1: exponential growth phase.
+        //
+        // Deviation from the paper (documented in DESIGN.md §3): Algorithm
+        // 1 assumes privacy is monotone in sigma. That holds for
+        // deterministic inputs (Boldi et al.), but with an *uncertain*
+        // original, over-noising can RE-EXPOSE vertices: injected edges
+        // shift every degree distribution away from the adversary's
+        // recorded values, collapsing the entropy of low-degree classes. So
+        // when the upward sweep fails we also sweep downward (halving) —
+        // the feasible region is an interval, and the final bisection still
+        // finds its lower (minimum-noise) edge.
+        let mut calls = 0usize;
+        let mut best_eps_seen = 1.0f64;
+        let mut sigma_l = 0.0f64;
+        let mut sigma_u = self.config.sigma_init;
+        let mut best: Option<(UncertainGraph, AnonymityReport, f64, f64)> = None;
+        for _ in 0..=self.config.max_doublings {
+            let outcome = self.gen_obf(
+                graph,
+                &knowledge,
+                method,
+                sigma_u,
+                &selection,
+                &excluded,
+                &seq,
+                &mut calls,
+            );
+            best_eps_seen = best_eps_seen.min(outcome.eps_nearest);
+            sigma_trace.push((sigma_u, outcome.eps_nearest));
+            if let Some((g, rep)) = outcome.graph {
+                best = Some((g, rep, sigma_u, outcome.eps_hat));
+                break;
+            }
+            sigma_l = sigma_u;
+            sigma_u *= 2.0;
+        }
+        if best.is_none() {
+            // Downward sweep: privacy may hold at noise levels below
+            // sigma_init (e.g. when the raw graph is already nearly
+            // compliant and large noise over-perturbs).
+            let mut sigma = self.config.sigma_init / 2.0;
+            for _ in 0..MAX_HALVINGS {
+                let outcome = self.gen_obf(
+                    graph,
+                    &knowledge,
+                    method,
+                    sigma,
+                    &selection,
+                    &excluded,
+                    &seq,
+                    &mut calls,
+                );
+                best_eps_seen = best_eps_seen.min(outcome.eps_nearest);
+                sigma_trace.push((sigma, outcome.eps_nearest));
+                if let Some((g, rep)) = outcome.graph {
+                    sigma_l = 0.0;
+                    sigma_u = sigma;
+                    best = Some((g, rep, sigma, outcome.eps_hat));
+                    break;
+                }
+                sigma /= 2.0;
+            }
+        }
+        let Some(mut current_best) = best else {
+            return Err(ChameleonError::NoObfuscationFound {
+                max_sigma: sigma_u,
+                best_eps_hat: best_eps_seen,
+            });
+        };
+
+        // ---- Algorithm 1: bisection phase (relative tolerance, so tiny
+        // feasible edges are located precisely).
+        while sigma_u - sigma_l > self.config.sigma_tolerance * sigma_u.max(1e-12) {
+            let sigma = 0.5 * (sigma_u + sigma_l);
+            let outcome = self.gen_obf(
+                graph,
+                &knowledge,
+                method,
+                sigma,
+                &selection,
+                &excluded,
+                &seq,
+                &mut calls,
+            );
+            best_eps_seen = best_eps_seen.min(outcome.eps_nearest);
+            sigma_trace.push((sigma, outcome.eps_nearest));
+            match outcome.graph {
+                Some((g, rep)) => {
+                    sigma_u = sigma;
+                    current_best = (g, rep, sigma, outcome.eps_hat);
+                }
+                None => {
+                    sigma_l = sigma;
+                }
+            }
+        }
+
+        let (graph_out, report, sigma, eps_hat) = current_best;
+        Ok(ObfuscationResult {
+            graph: graph_out,
+            sigma,
+            eps_hat,
+            method,
+            genobf_calls: calls,
+            report,
+            uniqueness: uniq,
+            vrr,
+            sigma_trace,
+        })
+    }
+
+    /// One GenObf invocation (paper Algorithm 3): `t` randomized attempts
+    /// at noise level σ, returning the best (k, ε)-satisfying graph found.
+    #[allow(clippy::too_many_arguments)]
+    fn gen_obf(
+        &self,
+        graph: &UncertainGraph,
+        knowledge: &AdversaryKnowledge,
+        method: Method,
+        sigma: f64,
+        selection: &[f64],
+        excluded: &HashSet<NodeId>,
+        seq: &SeedSequence,
+        calls: &mut usize,
+    ) -> GenObfOutcome {
+        let call_idx = *calls as u64;
+        *calls += 1;
+        let cfg = &self.config;
+        let sampler = VertexSampler::new(selection, excluded);
+        let strategy = method.perturbation();
+        let mut best: Option<(f64, UncertainGraph, AnonymityReport)> = None;
+        let mut eps_nearest = 1.0f64;
+        for trial in 0..cfg.trials {
+            let mut rng = seq.rng_indexed("genobf-trial", call_idx * 1000 + trial as u64);
+            // Edge selection (lines 9–16).
+            let candidates = select_candidates(graph, &sampler, cfg.size_multiplier, &mut rng);
+            if candidates.is_empty() {
+                continue;
+            }
+            // Noise budgets (σ(e) ∝ Q^e, mean σ(e) = σ; §V-E).
+            let q_edge: Vec<f64> = candidates
+                .iter()
+                .map(|c| 0.5 * (selection[c.u as usize] + selection[c.v as usize]))
+                .collect();
+            let q_sum: f64 = q_edge.iter().sum();
+            let q_mean = if q_sum > 0.0 {
+                q_sum / candidates.len() as f64
+            } else {
+                1.0
+            };
+            // Perturbation (lines 17–23).
+            let mut perturbed = graph.clone();
+            for (cand, &qe) in candidates.iter().zip(&q_edge) {
+                let sigma_e = if q_sum > 0.0 {
+                    (sigma * qe / q_mean).clamp(1e-9, 3.0)
+                } else {
+                    sigma.clamp(1e-9, 3.0)
+                };
+                let r = draw_noise(sigma_e, cfg.white_noise, &mut rng);
+                let p_new = strategy.apply(cand.p, r, &mut rng);
+                match cand.existing {
+                    Some(e) => perturbed.set_prob(e, p_new).expect("edge exists"),
+                    None => {
+                        perturbed
+                            .add_edge(cand.u, cand.v, p_new)
+                            .expect("candidate was a non-edge");
+                    }
+                }
+            }
+            // Anonymity check (line 24).
+            let report = anonymity_check(&perturbed, knowledge, cfg.k);
+            eps_nearest = eps_nearest.min(report.eps_hat);
+            if report.eps_hat <= cfg.epsilon {
+                let better = best
+                    .as_ref()
+                    .map(|(e, _, _)| report.eps_hat < *e)
+                    .unwrap_or(true);
+                if better {
+                    best = Some((report.eps_hat, perturbed, report));
+                }
+            }
+        }
+        match best {
+            Some((eps_hat, g, rep)) => GenObfOutcome {
+                eps_hat,
+                eps_nearest,
+                graph: Some((g, rep)),
+            },
+            None => GenObfOutcome {
+                eps_hat: 1.0,
+                eps_nearest,
+                graph: None,
+            },
+        }
+    }
+}
+
+/// Lines 3–6 of Algorithm 3: pick the excluded set `H` (the ⌈ε/2·|V|⌉
+/// vertices with the largest combined uniqueness × relevance — hopeless to
+/// obfuscate, allowed to be skipped by the ε tolerance) and the selection
+/// weights `Q^v` over `V \ H`.
+fn prepare_selection(
+    graph: &UncertainGraph,
+    method: Method,
+    uniq: &[f64],
+    vrr: &[f64],
+    cfg: &ChameleonConfig,
+) -> (HashSet<NodeId>, Vec<f64>) {
+    let n = graph.num_nodes();
+    // Exclusion score: U · VRR when relevance is available, else U.
+    let exclusion: Vec<f64> = if method.reliability_oriented() {
+        uniq.iter().zip(vrr).map(|(u, r)| u * r).collect()
+    } else {
+        uniq.to_vec()
+    };
+    let h_size = ((cfg.epsilon / 2.0) * n as f64).ceil() as usize;
+    // Keep at least 2 vertices samplable.
+    let h_size = h_size.min(n.saturating_sub(2));
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        exclusion[b]
+            .partial_cmp(&exclusion[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let excluded: HashSet<NodeId> = order[..h_size].iter().map(|&v| v as NodeId).collect();
+    // Selection weights over V \ H (excluded vertices keep an entry but are
+    // never sampled; slot content is irrelevant).
+    // Selection weight floor: with a sharp VRR estimate, `1 − VRR̂` is
+    // exactly 0 for the most reliability-critical vertex and near 0 for
+    // its peers; if those vertices are also the unique ones that *must*
+    // be obfuscated, GenObf can never succeed at any σ. The floor keeps
+    // every vertex perturbable (at 20× lower priority) while preserving
+    // the reliability-sensitive ordering.
+    const SELECTION_FLOOR: f64 = 0.05;
+    let selection: Vec<f64> = if method.reliability_oriented() {
+        let vrr_norm = min_max_normalize(vrr);
+        uniq.iter()
+            .zip(&vrr_norm)
+            .map(|(u, r)| u * (1.0 - r).max(SELECTION_FLOOR))
+            .collect()
+    } else {
+        uniq.to_vec()
+    };
+    (excluded, selection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_ugraph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A graph where everyone has a near-identical neighborhood except a
+    /// few unique hubs — obfuscatable with modest noise.
+    fn test_graph(seed: u64) -> UncertainGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = generators::gnm(80, 200, &mut rng);
+        for e in 0..g.num_edges() as u32 {
+            let p = 0.2 + 0.6 * ((e % 7) as f64 / 7.0);
+            g.set_prob(e, p).unwrap();
+        }
+        g
+    }
+
+    fn quick_config(k: usize) -> ChameleonConfig {
+        ChameleonConfig::builder()
+            .k(k)
+            .epsilon(0.1)
+            .trials(3)
+            .num_world_samples(150)
+            .sigma_tolerance(0.2)
+            .build()
+    }
+
+    #[test]
+    fn anonymize_satisfies_privacy_target() {
+        let g = test_graph(1);
+        let cham = Chameleon::new(quick_config(8));
+        for method in Method::ALL {
+            let res = cham.anonymize(&g, method, 99).unwrap();
+            assert!(
+                res.eps_hat <= 0.1,
+                "{method}: eps_hat = {}",
+                res.eps_hat
+            );
+            assert_eq!(res.graph.num_nodes(), g.num_nodes());
+            assert!(res.graph.num_edges() >= g.num_edges());
+            assert!(res.sigma > 0.0);
+            assert!(res.genobf_calls >= 1);
+            // Returned report must match a fresh check.
+            let knowledge = AdversaryKnowledge::expected_degrees(&g);
+            let fresh = anonymity_check(&res.graph, &knowledge, 8);
+            assert!((fresh.eps_hat - res.eps_hat).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn results_are_reproducible() {
+        let g = test_graph(2);
+        let cham = Chameleon::new(quick_config(6));
+        let a = cham.anonymize(&g, Method::Rsme, 7).unwrap();
+        let b = cham.anonymize(&g, Method::Rsme, 7).unwrap();
+        assert_eq!(a.sigma, b.sigma);
+        assert_eq!(a.eps_hat, b.eps_hat);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        for (x, y) in a.graph.edges().iter().zip(b.graph.edges()) {
+            assert_eq!((x.u, x.v), (y.u, y.v));
+            assert!((x.p - y.p).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = test_graph(3);
+        let cham = Chameleon::new(quick_config(6));
+        let a = cham.anonymize(&g, Method::Rsme, 1).unwrap();
+        let b = cham.anonymize(&g, Method::Rsme, 2).unwrap();
+        let same = a.graph.num_edges() == b.graph.num_edges()
+            && a.graph
+                .edges()
+                .iter()
+                .zip(b.graph.edges())
+                .all(|(x, y)| (x.p - y.p).abs() < 1e-15);
+        assert!(!same, "independent seeds should differ");
+    }
+
+    #[test]
+    fn impossible_target_reports_failure() {
+        // k greater than |V| can never be met (entropy ≤ log2 n).
+        let g = test_graph(4);
+        let cfg = ChameleonConfig::builder()
+            .k(1000)
+            .epsilon(0.0)
+            .trials(1)
+            .num_world_samples(60)
+            .max_doublings(2)
+            .sigma_tolerance(0.5)
+            .build();
+        let cham = Chameleon::new(cfg);
+        match cham.anonymize(&g, Method::Me, 5) {
+            Err(ChameleonError::NoObfuscationFound { best_eps_hat, .. }) => {
+                assert!(best_eps_hat > 0.0);
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let cham = Chameleon::new(quick_config(2));
+        let empty = UncertainGraph::with_nodes(0);
+        assert!(matches!(
+            cham.anonymize(&empty, Method::Rsme, 0),
+            Err(ChameleonError::DegenerateInput(_))
+        ));
+        let edgeless = UncertainGraph::with_nodes(5);
+        assert!(matches!(
+            cham.anonymize(&edgeless, Method::Rsme, 0),
+            Err(ChameleonError::DegenerateInput(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = quick_config(2);
+        cfg.epsilon = 2.0;
+        let g = test_graph(5);
+        assert!(matches!(
+            Chameleon::new(cfg).anonymize(&g, Method::Rsme, 0),
+            Err(ChameleonError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn me_variant_skips_vrr() {
+        let g = test_graph(6);
+        let cham = Chameleon::new(quick_config(4));
+        let res = cham.anonymize(&g, Method::Me, 11).unwrap();
+        assert!(res.vrr.is_empty());
+        let res = cham.anonymize(&g, Method::Rs, 11).unwrap();
+        assert_eq!(res.vrr.len(), g.num_nodes());
+    }
+
+    #[test]
+    fn stronger_k_needs_no_less_noise() {
+        let g = test_graph(7);
+        let weak = Chameleon::new(quick_config(3))
+            .anonymize(&g, Method::Rsme, 13)
+            .unwrap();
+        let strong = Chameleon::new(quick_config(20))
+            .anonymize(&g, Method::Rsme, 13)
+            .unwrap();
+        assert!(
+            strong.sigma >= weak.sigma - 0.2,
+            "strong k sigma {} should not be far below weak k sigma {}",
+            strong.sigma,
+            weak.sigma
+        );
+    }
+
+    #[test]
+    fn prepare_selection_excludes_top_combined() {
+        let g = test_graph(8);
+        let uniq = uniqueness_scores_scaled(&g, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let ens = WorldEnsemble::sample(&g, 100, &mut rng);
+        let err = edge_reliability_relevance(&g, &ens);
+        let vrr = vertex_reliability_relevance(&g, &err);
+        let cfg = ChameleonConfig::builder().epsilon(0.2).build();
+        let (excluded, selection) = prepare_selection(&g, Method::Rsme, &uniq, &vrr, &cfg);
+        assert_eq!(excluded.len(), ((0.2 / 2.0) * 80.0f64).ceil() as usize);
+        assert_eq!(selection.len(), 80);
+        // Excluded vertices are exactly the top combined-score ones.
+        let combined: Vec<f64> = uniq.iter().zip(&vrr).map(|(u, r)| u * r).collect();
+        let min_excluded = excluded
+            .iter()
+            .map(|&v| combined[v as usize])
+            .fold(f64::INFINITY, f64::min);
+        let max_included = (0..80u32)
+            .filter(|v| !excluded.contains(v))
+            .map(|v| combined[v as usize])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(min_excluded >= max_included - 1e-12);
+    }
+
+    #[test]
+    fn zero_epsilon_keeps_everyone() {
+        let g = test_graph(9);
+        let uniq = uniqueness_scores_scaled(&g, 1.0);
+        let cfg = ChameleonConfig::builder().epsilon(0.0).build();
+        let (excluded, _) = prepare_selection(&g, Method::Me, &uniq, &[], &cfg);
+        assert!(excluded.is_empty());
+    }
+
+    #[test]
+    fn downward_sweep_finds_tiny_sigma_when_raw_passes() {
+        // A symmetric-ish graph that already satisfies (k, ε) raw: the
+        // minimum-noise answer is σ ≈ 0 and must be found even though
+        // σ_init = 1 may over-noise at the first probe.
+        let mut g = UncertainGraph::with_nodes(40);
+        for i in 0..20u32 {
+            g.add_edge(2 * i, 2 * i + 1, 0.5).unwrap();
+        }
+        let knowledge = AdversaryKnowledge::expected_degrees(&g);
+        let raw = anonymity_check(&g, &knowledge, 4);
+        assert_eq!(raw.eps_hat, 0.0, "raw graph must already pass");
+        let cfg = ChameleonConfig::builder()
+            .k(4)
+            .epsilon(0.05)
+            .trials(2)
+            .num_world_samples(60)
+            .sigma_tolerance(0.2)
+            .build();
+        let res = Chameleon::new(cfg).anonymize(&g, Method::Me, 8).unwrap();
+        assert!(
+            res.sigma < 0.2,
+            "minimum-noise sigma should be near zero, got {}",
+            res.sigma
+        );
+        // Utility: original probabilities barely move (white noise aside).
+        let moved = res
+            .graph
+            .edges()
+            .iter()
+            .take(g.num_edges())
+            .zip(g.edges())
+            .filter(|(a, b)| (a.p - b.p).abs() > 0.2)
+            .count();
+        assert!(
+            moved < g.num_edges() / 4,
+            "{moved} of {} original edges moved by > 0.2",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn sigma_trace_records_every_genobf_call() {
+        let g = test_graph(11);
+        let cham = Chameleon::new(quick_config(6));
+        let res = cham.anonymize(&g, Method::Me, 21).unwrap();
+        assert_eq!(res.sigma_trace.len(), res.genobf_calls);
+        // Every recorded sigma is positive; eps values are in [0, 1].
+        for &(s, e) in &res.sigma_trace {
+            assert!(s > 0.0 && s.is_finite());
+            assert!((0.0..=1.0).contains(&e));
+        }
+        // The final sigma appears in the trace.
+        assert!(res
+            .sigma_trace
+            .iter()
+            .any(|&(s, _)| (s - res.sigma).abs() < 1e-12));
+    }
+
+    #[test]
+    fn selection_floor_keeps_critical_vertices_perturbable() {
+        let g = test_graph(10);
+        let uniq = uniqueness_scores_scaled(&g, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ens = WorldEnsemble::sample(&g, 100, &mut rng);
+        let err = edge_reliability_relevance(&g, &ens);
+        let vrr = vertex_reliability_relevance(&g, &err);
+        let cfg = ChameleonConfig::builder().epsilon(0.05).build();
+        let (excluded, selection) = prepare_selection(&g, Method::Rsme, &uniq, &vrr, &cfg);
+        for v in 0..g.num_nodes() as u32 {
+            if !excluded.contains(&v) {
+                assert!(
+                    selection[v as usize] > 0.0,
+                    "vertex {v} has zero selection weight"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Configuration of the Chameleon anonymization pipeline.
+
+/// Tunable parameters of [`crate::Chameleon`].
+///
+/// Field defaults follow the paper: `c = 2` candidate-set multiplier,
+/// `q = 0.01` white-noise level, `t = 5` GenObf trials, `N = 1000` sampled
+/// worlds (the paper's "1000 usually suffices" setting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChameleonConfig {
+    /// Desired obfuscation level `k` (paper Definition 3): every obfuscated
+    /// vertex must hide in an entropy-≥ log₂k crowd.
+    pub k: usize,
+    /// Tolerance ε: up to `ε·|V|` vertices may remain unobfuscated.
+    pub epsilon: f64,
+    /// Candidate-set size multiplier `c` (Algorithm 3 line 16): the
+    /// perturbation set grows to `c·|E|` edges.
+    pub size_multiplier: f64,
+    /// White-noise level `q` (Algorithm 3 line 20): with probability `q` an
+    /// edge's noise is drawn from U(0,1) instead of the truncated normal.
+    pub white_noise: f64,
+    /// Number of randomized GenObf attempts `t` per σ value.
+    pub trials: usize,
+    /// Number of Monte-Carlo worlds `N` for reliability-relevance
+    /// estimation.
+    pub num_world_samples: usize,
+    /// Initial upper bound for the σ search (Algorithm 1 starts at 1).
+    pub sigma_init: f64,
+    /// Stop the σ bisection once `σ_u − σ_l` falls below this.
+    pub sigma_tolerance: f64,
+    /// Hard cap on σ doubling steps (Algorithm 1 lines 2–5) to guarantee
+    /// termination when no obfuscation exists at any noise level.
+    pub max_doublings: usize,
+    /// Uniqueness-bandwidth scale: θ = `bandwidth_scale`·σ_G (the paper's
+    /// §V-C choice is 1.0; exposed for ablation).
+    pub bandwidth_scale: f64,
+}
+
+impl Default for ChameleonConfig {
+    fn default() -> Self {
+        Self {
+            k: 100,
+            epsilon: 1e-3,
+            size_multiplier: 2.0,
+            white_noise: 0.01,
+            trials: 5,
+            num_world_samples: 1000,
+            sigma_init: 1.0,
+            sigma_tolerance: 0.05,
+            max_doublings: 6,
+            bandwidth_scale: 1.0,
+        }
+    }
+}
+
+impl ChameleonConfig {
+    /// Starts a builder with paper defaults.
+    pub fn builder() -> ChameleonConfigBuilder {
+        ChameleonConfigBuilder::default()
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k < 1 {
+            return Err("k must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.epsilon) {
+            return Err(format!("epsilon {} must lie in [0, 1]", self.epsilon));
+        }
+        if self.size_multiplier <= 0.0 {
+            return Err("size multiplier must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.white_noise) {
+            return Err(format!("white-noise level {} must lie in [0, 1]", self.white_noise));
+        }
+        if self.trials == 0 {
+            return Err("need at least one trial".into());
+        }
+        if self.num_world_samples == 0 {
+            return Err("need at least one world sample".into());
+        }
+        if self.sigma_init <= 0.0 || !self.sigma_init.is_finite() {
+            return Err("sigma_init must be positive and finite".into());
+        }
+        if self.sigma_tolerance <= 0.0 {
+            return Err("sigma_tolerance must be positive".into());
+        }
+        if !(self.bandwidth_scale.is_finite() && self.bandwidth_scale > 0.0) {
+            return Err("bandwidth_scale must be positive and finite".into());
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ChameleonConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct ChameleonConfigBuilder {
+    config: Option<ChameleonConfig>,
+}
+
+macro_rules! setter {
+    ($(#[$doc:meta])* $name:ident : $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(mut self, value: $ty) -> Self {
+            self.entry().$name = value;
+            self
+        }
+    };
+}
+
+impl ChameleonConfigBuilder {
+    fn entry(&mut self) -> &mut ChameleonConfig {
+        self.config.get_or_insert_with(ChameleonConfig::default)
+    }
+
+    setter!(
+        /// Sets the obfuscation level `k`.
+        k: usize
+    );
+    setter!(
+        /// Sets the tolerance ε.
+        epsilon: f64
+    );
+    setter!(
+        /// Sets the candidate-set multiplier `c`.
+        size_multiplier: f64
+    );
+    setter!(
+        /// Sets the white-noise level `q`.
+        white_noise: f64
+    );
+    setter!(
+        /// Sets the number of GenObf trials `t`.
+        trials: usize
+    );
+    setter!(
+        /// Sets the Monte-Carlo world count `N`.
+        num_world_samples: usize
+    );
+    setter!(
+        /// Sets the initial σ search bound.
+        sigma_init: f64
+    );
+    setter!(
+        /// Sets the σ bisection tolerance.
+        sigma_tolerance: f64
+    );
+    setter!(
+        /// Sets the doubling-step cap.
+        max_doublings: usize
+    );
+    setter!(
+        /// Sets the uniqueness-bandwidth scale (ablation; paper uses 1).
+        bandwidth_scale: f64
+    );
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid (use [`ChameleonConfig::validate`]
+    /// for fallible validation).
+    pub fn build(mut self) -> ChameleonConfig {
+        let config = self.entry().clone();
+        config.validate().expect("invalid Chameleon configuration");
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ChameleonConfig::default();
+        assert_eq!(c.k, 100);
+        assert_eq!(c.trials, 5);
+        assert_eq!(c.num_world_samples, 1000);
+        assert!((c.size_multiplier - 2.0).abs() < 1e-12);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = ChameleonConfig::builder()
+            .k(50)
+            .epsilon(0.01)
+            .trials(3)
+            .num_world_samples(200)
+            .sigma_tolerance(0.1)
+            .build();
+        assert_eq!(c.k, 50);
+        assert_eq!(c.trials, 3);
+        assert_eq!(c.num_world_samples, 200);
+        assert!((c.epsilon - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn validation_rejects_bad_values() {
+        let mut c = ChameleonConfig::default();
+        c.k = 0;
+        assert!(c.validate().is_err());
+        let mut c = ChameleonConfig::default();
+        c.epsilon = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = ChameleonConfig::default();
+        c.size_multiplier = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ChameleonConfig::default();
+        c.white_noise = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = ChameleonConfig::default();
+        c.trials = 0;
+        assert!(c.validate().is_err());
+        let mut c = ChameleonConfig::default();
+        c.num_world_samples = 0;
+        assert!(c.validate().is_err());
+        let mut c = ChameleonConfig::default();
+        c.sigma_init = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = ChameleonConfig::default();
+        c.sigma_tolerance = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ChameleonConfig::default();
+        c.bandwidth_scale = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Chameleon configuration")]
+    fn builder_panics_on_invalid() {
+        let _ = ChameleonConfig::builder().k(0).build();
+    }
+}

@@ -1,0 +1,373 @@
+//! Reliability relevance (paper §V-D): the sensitivity of the graph's
+//! reliability to perturbation of a single edge.
+//!
+//! By the factorization lemma (Lemma 1),
+//! `R_{u,v}(G) = p(e)·[R_{u,v}(G_e) − R_{u,v}(G_ē)] + R_{u,v}(G_ē)` —
+//! reliability is *linear* in each individual edge probability — so the
+//! edge reliability relevance is
+//!
+//! ```text
+//! ERR^e(G) = Σ_{u,v} |∂R_{u,v}/∂p(e)| = E[cc | e present] − E[cc | e absent]
+//! ```
+//!
+//! the gap in expected connected-pair count between the worlds containing
+//! `e` and those missing it. Algorithm 2 estimates ERR for *all* edges from
+//! one shared ensemble of N sampled worlds by conditioning on each edge's
+//! membership — O(N·α(|V|)·|E|) total instead of the naive O(|E|·N·α·|E|)
+//! (Lemma 3 vs Lemma 2).
+//!
+//! The vertex-level aggregate is `VRR^u = Σ_{e ∋ u} p(e)·ERR^e` — the
+//! expected reliability impact of perturbing around `u`.
+
+use chameleon_reliability::WorldEnsemble;
+use chameleon_ugraph::UncertainGraph;
+use rand::Rng;
+
+/// Estimates `ERR^e` for every edge via the paper-faithful reused-sampling
+/// estimator (paper Algorithm 2) over a pre-built ensemble.
+///
+/// For edge `e` with probability `p`, worlds are partitioned by membership
+/// of `e`:
+///
+/// ```text
+/// ERR^e ≈ mean cc over worlds containing e − mean cc over worlds missing e
+///       = CC_e / (N·p̂)  −  CC_ē / (N·(1−p̂))           (with p̂ = n_e / N)
+/// ```
+///
+/// Deterministic edges (p ∈ {0, 1}) appear in all or none of the worlds; a
+/// conditional mean over an empty stratum is undefined, and we return 0 —
+/// perturbing the edge by an infinitesimal amount is impossible in one
+/// direction and the algorithm never needs the value (such edges carry no
+/// uncertainty budget).
+///
+/// Note: this estimator differences two conditional means of `cc`, whose
+/// world-to-world variance is large on shattered graphs; prefer the
+/// coupled [`edge_reliability_relevance`] (same expectation, same cost,
+/// far lower variance) outside of Lemma 2/3 benchmarking.
+pub fn edge_reliability_relevance_alg2(
+    graph: &UncertainGraph,
+    ensemble: &WorldEnsemble,
+) -> Vec<f64> {
+    let m = graph.num_edges();
+    let n_worlds = ensemble.len();
+    let mut cc_with = vec![0.0f64; m];
+    let mut count_with = vec![0u32; m];
+    let mut cc_total = 0.0f64;
+    for (w, world) in ensemble.worlds().iter().enumerate() {
+        let cc = ensemble.connected_pairs(w) as f64;
+        cc_total += cc;
+        for e in world.present_edges() {
+            cc_with[e as usize] += cc;
+            count_with[e as usize] += 1;
+        }
+    }
+    let mut err = Vec::with_capacity(m);
+    for e in 0..m {
+        let n_e = count_with[e];
+        let n_not = n_worlds as u32 - n_e;
+        if n_e == 0 || n_not == 0 {
+            err.push(0.0);
+            continue;
+        }
+        let mean_with = cc_with[e] / n_e as f64;
+        let mean_without = (cc_total - cc_with[e]) / n_not as f64;
+        // Connectivity is monotone in edge presence, so the true gap is
+        // ≥ 0; clamp away sampling noise.
+        err.push((mean_with - mean_without).max(0.0));
+    }
+    err
+}
+
+/// Coupled (variance-reduced) ERR estimator — the pipeline default.
+///
+/// By independence of the edges, coupling `G_e` and `G_ē` on all *other*
+/// edges gives the exact identity
+///
+/// ```text
+/// ERR^e = E[cc(G_e)] − E[cc(G_ē)]
+///       = E_{w ~ other edges}[ s_u(w)·s_v(w)·1{u,v in different comps} ]
+/// ```
+///
+/// where `s_x(w)` is the size of `x`'s component in `w` without `e`. A
+/// sampled world of `G` that happens to lack `e` is distributed exactly as
+/// a sample of the other-edge marginal, so the ensemble is reused the same
+/// way as in Algorithm 2 — same O(N·|E|) cost — but each term is a
+/// *within-world* difference: the huge world-to-world variance of `cc`
+/// cancels instead of entering the estimate. Empirically (see the
+/// `ablation errsamples` study) the cc-differencing form of Algorithm 2
+/// needs orders of magnitude more worlds to rank edges stably; this
+/// estimator is unbiased for the same quantity (DESIGN.md §3).
+///
+/// Edges present in every sampled world (e.g. p = 1) have no usable
+/// samples and return 0, matching [`edge_reliability_relevance_alg2`]'s
+/// convention for deterministic edges.
+pub fn edge_reliability_relevance(graph: &UncertainGraph, ensemble: &WorldEnsemble) -> Vec<f64> {
+    let m = graph.num_edges();
+    let mut sum = vec![0.0f64; m];
+    let mut count = vec![0u32; m];
+    for (w, world) in ensemble.worlds().iter().enumerate() {
+        let labels = ensemble.labels(w);
+        let sizes = ensemble.component_sizes(w);
+        for (idx, edge) in graph.edges().iter().enumerate() {
+            if world.contains(idx as u32) {
+                continue;
+            }
+            count[idx] += 1;
+            let (lu, lv) = (labels[edge.u as usize], labels[edge.v as usize]);
+            if lu != lv {
+                sum[idx] += sizes[lu as usize] as f64 * sizes[lv as usize] as f64;
+            }
+        }
+    }
+    (0..m)
+        .map(|e| if count[e] == 0 { 0.0 } else { sum[e] / count[e] as f64 })
+        .collect()
+}
+
+/// Convenience wrapper: samples an ensemble of `num_worlds` worlds and
+/// estimates ERR.
+pub fn edge_reliability_relevance_sampled<R: Rng + ?Sized>(
+    graph: &UncertainGraph,
+    num_worlds: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    let ensemble = WorldEnsemble::sample(graph, num_worlds, rng);
+    edge_reliability_relevance(graph, &ensemble)
+}
+
+/// Naive ERR estimator (paper's "baseline algorithm", Lemma 2): for each
+/// edge, sample two fresh conditioned ensembles (e forced present / forced
+/// absent) and difference their expected connected-pair counts. Quadratic
+/// in |E|; retained for testing and for the Lemma 2-vs-3 benchmark.
+pub fn edge_reliability_relevance_naive<R: Rng + ?Sized>(
+    graph: &UncertainGraph,
+    num_worlds: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    let m = graph.num_edges();
+    let mut err = Vec::with_capacity(m);
+    let mut g = graph.clone();
+    for e in 0..m as u32 {
+        let p = graph.prob(e);
+        g.set_prob(e, 1.0).expect("in range");
+        let with = WorldEnsemble::sample(&g, num_worlds, rng).expected_connected_pairs();
+        g.set_prob(e, 0.0).expect("in range");
+        let without = WorldEnsemble::sample(&g, num_worlds, rng).expected_connected_pairs();
+        g.set_prob(e, p).expect("in range");
+        err.push((with - without).max(0.0));
+    }
+    err
+}
+
+/// Vertex reliability relevance `VRR^u = Σ_{e ∋ u} p(e)·ERR^e`
+/// (paper §V-D).
+pub fn vertex_reliability_relevance(graph: &UncertainGraph, err: &[f64]) -> Vec<f64> {
+    assert_eq!(err.len(), graph.num_edges(), "ERR vector length mismatch");
+    let mut vrr = vec![0.0; graph.num_nodes()];
+    for (idx, edge) in graph.edges().iter().enumerate() {
+        let contribution = edge.p * err[idx];
+        vrr[edge.u as usize] += contribution;
+        vrr[edge.v as usize] += contribution;
+    }
+    vrr
+}
+
+/// Min–max normalizes a score vector to `[0, 1]` (used by GenObf line 5 to
+/// normalize VRR before combining with uniqueness). Constant vectors map to
+/// all-zeros.
+pub fn min_max_normalize(scores: &[f64]) -> Vec<f64> {
+    if scores.is_empty() {
+        return Vec::new();
+    }
+    let lo = scores.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    if span <= 0.0 {
+        return vec![0.0; scores.len()];
+    }
+    scores.iter().map(|&s| (s - lo) / span).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The paper's Fig. 5(a) scenario: two reliable clusters joined by a
+    /// single bridge; the bridge must dominate ERR.
+    fn two_clusters() -> UncertainGraph {
+        let mut g = UncertainGraph::with_nodes(8);
+        // cluster A: 0,1,2,3 near-clique
+        for &(u, v) in &[(0, 1), (1, 2), (2, 3), (0, 2), (1, 3), (0, 3)] {
+            g.add_edge(u, v, 0.9).unwrap();
+        }
+        // cluster B: 4,5,6,7 near-clique
+        for &(u, v) in &[(4, 5), (5, 6), (6, 7), (4, 6), (5, 7), (4, 7)] {
+            g.add_edge(u, v, 0.9).unwrap();
+        }
+        // bridge
+        g.add_edge(3, 4, 0.5).unwrap();
+        g
+    }
+
+    #[test]
+    fn bridge_edge_has_highest_relevance() {
+        let g = two_clusters();
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = edge_reliability_relevance_sampled(&g, 2000, &mut rng);
+        let bridge = g.find_edge(3, 4).unwrap() as usize;
+        for (e, &score) in err.iter().enumerate() {
+            if e != bridge {
+                assert!(
+                    err[bridge] > score,
+                    "bridge ERR {} must dominate edge {e}'s {score}",
+                    err[bridge]
+                );
+            }
+        }
+        // Analytically: making the bridge present connects ~4×4 = 16 extra
+        // pairs (both clusters are internally connected w.h.p.).
+        assert!(err[bridge] > 10.0, "bridge ERR = {}", err[bridge]);
+    }
+
+    #[test]
+    fn single_edge_graph_exact_value() {
+        // One edge on 2 nodes: cc = 1 when present, 0 when absent → ERR = 1.
+        let mut g = UncertainGraph::with_nodes(2);
+        g.add_edge(0, 1, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = edge_reliability_relevance_sampled(&g, 3000, &mut rng);
+        assert!((err[0] - 1.0).abs() < 0.05, "err={}", err[0]);
+    }
+
+    #[test]
+    fn deterministic_edges_coupled_semantics() {
+        let mut g = UncertainGraph::with_nodes(3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let err = edge_reliability_relevance_sampled(&g, 100, &mut rng);
+        // p = 1: never absent from a world → no usable samples → 0.
+        assert_eq!(err[0], 0.0);
+        // p = 0: the coupled estimator still knows its marginal impact —
+        // adding 1-2 would connect pairs (1,2) and (0,2).
+        assert!((err[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alg2_deterministic_edges_get_zero() {
+        let mut g = UncertainGraph::with_nodes(3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let ens = WorldEnsemble::sample(&g, 100, &mut rng);
+        // Algorithm 2 cannot condition on an empty stratum: both are 0.
+        assert_eq!(edge_reliability_relevance_alg2(&g, &ens), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn coupled_matches_alg2_in_expectation() {
+        let g = two_clusters();
+        let mut rng = StdRng::seed_from_u64(12);
+        let ens = WorldEnsemble::sample(&g, 6000, &mut rng);
+        let coupled = edge_reliability_relevance(&g, &ens);
+        let alg2 = edge_reliability_relevance_alg2(&g, &ens);
+        // Same target quantity; Algorithm 2 is noisier, so compare loosely.
+        for (e, (c, a)) in coupled.iter().zip(&alg2).enumerate() {
+            assert!((c - a).abs() < 1.5, "edge {e}: coupled={c}, alg2={a}");
+        }
+    }
+
+    #[test]
+    fn coupled_single_edge_exact() {
+        // One p = 0.5 edge on 2 nodes: every e-absent world has two
+        // singletons → s_u·s_v = 1 exactly, no Monte-Carlo noise at all.
+        let mut g = UncertainGraph::with_nodes(2);
+        g.add_edge(0, 1, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let err = edge_reliability_relevance_sampled(&g, 50, &mut rng);
+        assert_eq!(err[0], 1.0);
+    }
+
+    #[test]
+    fn reused_matches_naive() {
+        let g = two_clusters();
+        let mut rng = StdRng::seed_from_u64(3);
+        let fast = edge_reliability_relevance_sampled(&g, 4000, &mut rng);
+        let naive = edge_reliability_relevance_naive(&g, 1500, &mut rng);
+        for (e, (f, n)) in fast.iter().zip(&naive).enumerate() {
+            assert!(
+                (f - n).abs() < 1.2,
+                "edge {e}: fast={f}, naive={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_paths_reduce_relevance() {
+        // Edge 0-1 alone vs edge 0-1 with a strong parallel path 0-2-1:
+        // the parallel path makes 0-1 less critical.
+        let mut lone = UncertainGraph::with_nodes(2);
+        lone.add_edge(0, 1, 0.5).unwrap();
+        let mut redundant = UncertainGraph::with_nodes(3);
+        redundant.add_edge(0, 1, 0.5).unwrap();
+        redundant.add_edge(0, 2, 0.95).unwrap();
+        redundant.add_edge(2, 1, 0.95).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let e_lone = edge_reliability_relevance_sampled(&lone, 3000, &mut rng)[0];
+        let e_red = edge_reliability_relevance_sampled(&redundant, 3000, &mut rng)[0];
+        assert!(
+            e_red < e_lone,
+            "redundant {e_red} should be below lone {e_lone}"
+        );
+    }
+
+    #[test]
+    fn vrr_aggregates_incident_edges() {
+        let mut g = UncertainGraph::with_nodes(3);
+        g.add_edge(0, 1, 0.5).unwrap();
+        g.add_edge(1, 2, 0.25).unwrap();
+        let err = vec![2.0, 4.0];
+        let vrr = vertex_reliability_relevance(&g, &err);
+        assert!((vrr[0] - 0.5 * 2.0).abs() < 1e-12);
+        assert!((vrr[1] - (0.5 * 2.0 + 0.25 * 4.0)).abs() < 1e-12);
+        assert!((vrr[2] - 0.25 * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn vrr_rejects_wrong_length() {
+        let mut g = UncertainGraph::with_nodes(2);
+        g.add_edge(0, 1, 0.5).unwrap();
+        let _ = vertex_reliability_relevance(&g, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn min_max_normalize_behaviour() {
+        assert_eq!(min_max_normalize(&[]), Vec::<f64>::new());
+        assert_eq!(min_max_normalize(&[3.0, 3.0]), vec![0.0, 0.0]);
+        let n = min_max_normalize(&[1.0, 2.0, 3.0]);
+        assert!((n[0] - 0.0).abs() < 1e-15);
+        assert!((n[1] - 0.5).abs() < 1e-15);
+        assert!((n[2] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn err_nonnegative_everywhere() {
+        let g = two_clusters();
+        let mut rng = StdRng::seed_from_u64(5);
+        let err = edge_reliability_relevance_sampled(&g, 200, &mut rng);
+        assert!(err.iter().all(|&e| e >= 0.0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UncertainGraph::with_nodes(4);
+        let mut rng = StdRng::seed_from_u64(6);
+        let err = edge_reliability_relevance_sampled(&g, 10, &mut rng);
+        assert!(err.is_empty());
+        let vrr = vertex_reliability_relevance(&g, &err);
+        assert_eq!(vrr, vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Dataset specifications: the paper-scale characteristics (Table I) and
+//! the scaled defaults used by the reproduction experiments.
+
+/// Which of the paper's three datasets a synthetic graph models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// DBLP co-authorship network.
+    Dblp,
+    /// BRIGHTKITE location-based social network.
+    Brightkite,
+    /// Protein–protein interaction network (DREAM challenge).
+    Ppi,
+}
+
+impl DatasetKind {
+    /// All three, in the paper's order.
+    pub const ALL: [DatasetKind; 3] = [DatasetKind::Dblp, DatasetKind::Brightkite, DatasetKind::Ppi];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Dblp => "DBLP",
+            DatasetKind::Brightkite => "BRIGHTKITE",
+            DatasetKind::Ppi => "PPI",
+        }
+    }
+
+    /// The paper-scale specification (Table I).
+    pub fn paper_spec(&self) -> DatasetSpec {
+        match self {
+            DatasetKind::Dblp => DatasetSpec {
+                kind: *self,
+                nodes: 824_774,
+                edges: 5_566_096,
+                mean_edge_prob: 0.46,
+                tolerance: 1e-4,
+                power_law_gamma: 2.3,
+            },
+            DatasetKind::Brightkite => DatasetSpec {
+                kind: *self,
+                nodes: 58_228,
+                edges: 214_078,
+                mean_edge_prob: 0.29,
+                tolerance: 1e-3,
+                power_law_gamma: 2.4,
+            },
+            DatasetKind::Ppi => DatasetSpec {
+                kind: *self,
+                nodes: 12_420,
+                edges: 397_309,
+                mean_edge_prob: 0.29,
+                tolerance: 1e-2,
+                power_law_gamma: 2.6,
+            },
+        }
+    }
+
+    /// A spec scaled down to approximately `nodes` vertices, preserving the
+    /// paper dataset's mean degree (capped for tractability), mean edge
+    /// probability and tolerance.
+    pub fn scaled_spec(&self, nodes: usize) -> DatasetSpec {
+        let paper = self.paper_spec();
+        // Cap mean degree: PPI's 64 is untenably dense for Monte-Carlo at
+        // small scale; 24 preserves "much denser than the others".
+        let mean_degree = paper.mean_degree().min(24.0);
+        let edges = ((nodes as f64 * mean_degree) / 2.0).round() as usize;
+        DatasetSpec {
+            kind: *self,
+            nodes,
+            edges,
+            mean_edge_prob: paper.mean_edge_prob,
+            tolerance: paper.tolerance,
+            power_law_gamma: paper.power_law_gamma,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A dataset specification: target sizes and distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Which dataset this models.
+    pub kind: DatasetKind,
+    /// Target node count.
+    pub nodes: usize,
+    /// Target edge count.
+    pub edges: usize,
+    /// Target mean edge probability (paper Table I "Edge Prob").
+    pub mean_edge_prob: f64,
+    /// Paper tolerance parameter ε (Table I "Tolerance level").
+    pub tolerance: f64,
+    /// Degree power-law exponent used by the synthetic topology.
+    pub power_law_gamma: f64,
+}
+
+impl DatasetSpec {
+    /// Mean degree `2·|E| / |V|`.
+    pub fn mean_degree(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            2.0 * self.edges as f64 / self.nodes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_i_values() {
+        let dblp = DatasetKind::Dblp.paper_spec();
+        assert_eq!(dblp.nodes, 824_774);
+        assert_eq!(dblp.edges, 5_566_096);
+        assert!((dblp.mean_edge_prob - 0.46).abs() < 1e-12);
+        assert!((dblp.tolerance - 1e-4).abs() < 1e-18);
+
+        let bk = DatasetKind::Brightkite.paper_spec();
+        assert_eq!(bk.nodes, 58_228);
+        assert!((bk.tolerance - 1e-3).abs() < 1e-18);
+
+        let ppi = DatasetKind::Ppi.paper_spec();
+        assert_eq!(ppi.edges, 397_309);
+        assert!((ppi.tolerance - 1e-2).abs() < 1e-18);
+    }
+
+    #[test]
+    fn mean_degrees_match_paper() {
+        // DBLP ≈ 13.5, BRIGHTKITE ≈ 7.35, PPI ≈ 64.
+        assert!((DatasetKind::Dblp.paper_spec().mean_degree() - 13.497).abs() < 0.01);
+        assert!((DatasetKind::Brightkite.paper_spec().mean_degree() - 7.353).abs() < 0.01);
+        assert!((DatasetKind::Ppi.paper_spec().mean_degree() - 63.97).abs() < 0.01);
+    }
+
+    #[test]
+    fn scaled_spec_preserves_shape() {
+        let s = DatasetKind::Brightkite.scaled_spec(2000);
+        assert_eq!(s.nodes, 2000);
+        assert!((s.mean_degree() - 7.353).abs() < 0.1);
+        assert_eq!(s.mean_edge_prob, 0.29);
+        // PPI density capped.
+        let p = DatasetKind::Ppi.scaled_spec(1000);
+        assert!((p.mean_degree() - 24.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(DatasetKind::Dblp.name(), "DBLP");
+        assert_eq!(format!("{}", DatasetKind::Ppi), "PPI");
+        assert_eq!(DatasetKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn zero_node_mean_degree() {
+        let mut s = DatasetKind::Dblp.paper_spec();
+        s.nodes = 0;
+        assert_eq!(s.mean_degree(), 0.0);
+    }
+}

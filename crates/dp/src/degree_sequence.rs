@@ -1,0 +1,158 @@
+//! ε-DP degree sequences with constrained inference (Hay, Rastogi, Miklau,
+//! Suciu — VLDB 2009): noise the *sorted* degree sequence (edge-level L1
+//! sensitivity 2: one edge moves two degrees by one each) and restore the
+//! monotonicity constraint by isotonic regression (pool-adjacent-violators),
+//! which provably shrinks the error from O(n/ε) to Õ(√n/ε) and — in
+//! practice — eliminates the phantom-hub artifacts of naive histogram
+//! noising.
+
+use crate::laplace::sample_laplace;
+use rand::Rng;
+
+/// Isotonic regression under the L2 norm via pool-adjacent-violators:
+/// returns the non-decreasing sequence closest to `values`.
+pub fn isotonic_regression(values: &[f64]) -> Vec<f64> {
+    // Blocks of (mean, count), merged while decreasing.
+    let mut means: Vec<f64> = Vec::with_capacity(values.len());
+    let mut counts: Vec<usize> = Vec::with_capacity(values.len());
+    for &v in values {
+        means.push(v);
+        counts.push(1);
+        while means.len() > 1 && means[means.len() - 2] > means[means.len() - 1] {
+            let (m2, c2) = (means.pop().expect("nonempty"), counts.pop().expect("nonempty"));
+            let last = means.len() - 1;
+            let c1 = counts[last];
+            means[last] = (means[last] * c1 as f64 + m2 * c2 as f64) / (c1 + c2) as f64;
+            counts[last] = c1 + c2;
+        }
+    }
+    let mut out = Vec::with_capacity(values.len());
+    for (m, c) in means.into_iter().zip(counts) {
+        for _ in 0..c {
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// ε-DP estimate of a graph's degree sequence: sorts, adds Laplace(2/ε)
+/// per entry, applies isotonic regression, rounds, and clamps to
+/// `[0, max_degree]`. The output is sorted ascending (ordering is not a
+/// secret; the mapping to nodes is discarded by the synthetic generator).
+///
+/// # Panics
+/// Panics if `epsilon` is not strictly positive and finite.
+pub fn dp_degree_sequence<R: Rng + ?Sized>(
+    degrees: &[usize],
+    epsilon: f64,
+    max_degree: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(
+        epsilon.is_finite() && epsilon > 0.0,
+        "epsilon must be positive, got {epsilon}"
+    );
+    let mut sorted: Vec<f64> = degrees.iter().map(|&d| d as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("degrees are finite"));
+    let scale = 2.0 / epsilon;
+    for v in &mut sorted {
+        *v += sample_laplace(scale, rng);
+    }
+    isotonic_regression(&sorted)
+        .into_iter()
+        .map(|v| (v.round().max(0.0) as usize).min(max_degree))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn isotonic_identity_on_sorted_input() {
+        let v = vec![1.0, 2.0, 2.0, 5.0];
+        assert_eq!(isotonic_regression(&v), v);
+    }
+
+    #[test]
+    fn isotonic_pools_violations() {
+        // [3, 1] → pooled mean [2, 2].
+        assert_eq!(isotonic_regression(&[3.0, 1.0]), vec![2.0, 2.0]);
+        // Known example: [1, 3, 2, 4] → [1, 2.5, 2.5, 4].
+        assert_eq!(
+            isotonic_regression(&[1.0, 3.0, 2.0, 4.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
+    }
+
+    #[test]
+    fn isotonic_output_is_monotone_and_mean_preserving() {
+        let v = vec![5.0, 4.0, 6.0, 1.0, 9.0, 2.0, 2.0, 8.0];
+        let iso = isotonic_regression(&v);
+        for w in iso.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        let mean_in: f64 = v.iter().sum::<f64>() / v.len() as f64;
+        let mean_out: f64 = iso.iter().sum::<f64>() / iso.len() as f64;
+        assert!((mean_in - mean_out).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isotonic_empty_and_single() {
+        assert!(isotonic_regression(&[]).is_empty());
+        assert_eq!(isotonic_regression(&[7.0]), vec![7.0]);
+    }
+
+    #[test]
+    fn dp_sequence_tracks_truth_at_high_epsilon() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let degrees: Vec<usize> = (0..500).map(|i| (i % 20) + 1).collect();
+        let noisy = dp_degree_sequence(&degrees, 50.0, 100, &mut rng);
+        let sum_true: usize = degrees.iter().sum();
+        let sum_noisy: usize = noisy.iter().sum();
+        let rel = (sum_true as f64 - sum_noisy as f64).abs() / sum_true as f64;
+        assert!(rel < 0.05, "total degree off by {rel}");
+        // Monotone output.
+        for w in noisy.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn dp_sequence_no_phantom_hubs() {
+        // The killer artifact of naive histogram noising: at low epsilon,
+        // isotonic post-processing must not invent degrees far above the
+        // true maximum.
+        let mut rng = StdRng::seed_from_u64(1);
+        let degrees: Vec<usize> = vec![2; 300];
+        let noisy = dp_degree_sequence(&degrees, 0.5, 256, &mut rng);
+        let max = *noisy.iter().max().unwrap();
+        assert!(max < 20, "phantom hub of degree {max} appeared");
+    }
+
+    #[test]
+    fn dp_sequence_low_epsilon_noisier() {
+        let degrees: Vec<usize> = (0..400).map(|i| i % 10).collect();
+        let l1 = |eps: f64, seed: u64| -> f64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let noisy = dp_degree_sequence(&degrees, eps, 64, &mut rng);
+            let mut truth: Vec<usize> = degrees.clone();
+            truth.sort_unstable();
+            truth
+                .iter()
+                .zip(&noisy)
+                .map(|(&a, &b)| (a as f64 - b as f64).abs())
+                .sum()
+        };
+        assert!(l1(0.1, 3) > l1(10.0, 3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_epsilon() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = dp_degree_sequence(&[1, 2], -1.0, 10, &mut rng);
+    }
+}

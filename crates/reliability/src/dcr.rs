@@ -1,0 +1,204 @@
+//! Distance-constrained reachability (Jin, Liu, Ding, Wang — VLDB 2011,
+//! the paper's ref [19], which also supplies its DBLP dataset model):
+//! the probability that `t` is within `d` hops of `s` over the possible
+//! worlds of an uncertain graph.
+//!
+//! DCR refines two-terminal reliability (`d = ∞`) and underlies
+//! distance-aware variants of reliable kNN. Estimated by Monte-Carlo with
+//! early-terminating BFS per sampled world.
+
+use chameleon_stats::Summary;
+use chameleon_ugraph::traversal::bfs_distances;
+use chameleon_ugraph::{NodeId, UncertainGraph, WorldSampler, WorldView};
+use rand::Rng;
+
+/// Estimate of `Pr[dist(s, t) <= d]` with its Monte-Carlo standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DcrEstimate {
+    /// The estimated probability.
+    pub probability: f64,
+    /// Standard error of the estimate.
+    pub std_error: f64,
+    /// Number of worlds sampled.
+    pub worlds: usize,
+}
+
+/// Estimates distance-constrained reachability for one `(s, t, d)` query.
+///
+/// # Panics
+/// Panics if `s` or `t` is out of range or `num_worlds == 0`.
+pub fn distance_constrained_reliability<R: Rng + ?Sized>(
+    graph: &UncertainGraph,
+    s: NodeId,
+    t: NodeId,
+    max_hops: u32,
+    num_worlds: usize,
+    rng: &mut R,
+) -> DcrEstimate {
+    let n = graph.num_nodes() as u32;
+    assert!(s < n && t < n, "query nodes out of range");
+    assert!(num_worlds > 0, "need at least one world");
+    let mut summary = Summary::new();
+    for _ in 0..num_worlds {
+        let world = WorldSampler::sample(graph, rng);
+        let view = WorldView::new(graph, &world);
+        let hit = bounded_bfs_reaches(&view, s, t, max_hops);
+        summary.push(if hit { 1.0 } else { 0.0 });
+    }
+    DcrEstimate {
+        probability: summary.mean(),
+        std_error: summary.std_error(),
+        worlds: num_worlds,
+    }
+}
+
+/// Batch variant: evaluates `Pr[dist(s, t) <= d]` for every `d` in
+/// `hop_budgets` from one set of sampled worlds (the reuse trick again —
+/// one BFS per world serves all budgets).
+pub fn dcr_profile<R: Rng + ?Sized>(
+    graph: &UncertainGraph,
+    s: NodeId,
+    t: NodeId,
+    hop_budgets: &[u32],
+    num_worlds: usize,
+    rng: &mut R,
+) -> Vec<DcrEstimate> {
+    let n = graph.num_nodes() as u32;
+    assert!(s < n && t < n, "query nodes out of range");
+    assert!(num_worlds > 0, "need at least one world");
+    let mut summaries: Vec<Summary> = vec![Summary::new(); hop_budgets.len()];
+    for _ in 0..num_worlds {
+        let world = WorldSampler::sample(graph, rng);
+        let view = WorldView::new(graph, &world);
+        let dist = bfs_distances(&view, s);
+        let dt = dist[t as usize];
+        for (i, &budget) in hop_budgets.iter().enumerate() {
+            summaries[i].push(if dt <= budget { 1.0 } else { 0.0 });
+        }
+    }
+    summaries
+        .into_iter()
+        .map(|summary| DcrEstimate {
+            probability: summary.mean(),
+            std_error: summary.std_error(),
+            worlds: num_worlds,
+        })
+        .collect()
+}
+
+/// Early-terminating bounded BFS: does `t` lie within `max_hops` of `s`?
+fn bounded_bfs_reaches(view: &WorldView<'_>, s: NodeId, t: NodeId, max_hops: u32) -> bool {
+    if s == t {
+        return true;
+    }
+    let n = view.num_nodes();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[s as usize] = 0;
+    queue.push_back(s);
+    while let Some(x) = queue.pop_front() {
+        let dx = dist[x as usize];
+        if dx >= max_hops {
+            continue; // children would exceed the budget
+        }
+        for y in view.neighbors(x) {
+            if dist[y as usize] == u32::MAX {
+                if y == t {
+                    return true;
+                }
+                dist[y as usize] = dx + 1;
+                queue.push_back(y);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn path(probs: &[f64]) -> UncertainGraph {
+        let mut g = UncertainGraph::with_nodes(probs.len() + 1);
+        for (i, &p) in probs.iter().enumerate() {
+            g.add_edge(i as u32, i as u32 + 1, p).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn deterministic_path_respects_budget() {
+        let g = path(&[1.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(0);
+        // dist(0, 3) = 3.
+        let within_2 = distance_constrained_reliability(&g, 0, 3, 2, 50, &mut rng);
+        assert_eq!(within_2.probability, 0.0);
+        let within_3 = distance_constrained_reliability(&g, 0, 3, 3, 50, &mut rng);
+        assert_eq!(within_3.probability, 1.0);
+    }
+
+    #[test]
+    fn probabilistic_path_matches_product() {
+        // Pr[dist(0,2) <= 2] = p1 * p2 = 0.42.
+        let g = path(&[0.7, 0.6]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = distance_constrained_reliability(&g, 0, 2, 2, 8000, &mut rng);
+        assert!((est.probability - 0.42).abs() < 0.02, "{}", est.probability);
+        assert!(est.std_error > 0.0 && est.std_error < 0.01);
+    }
+
+    #[test]
+    fn budget_constrains_alternate_routes() {
+        // Short risky route (1 hop, p=0.3) + long safe route (3 hops, p=1):
+        // within 1 hop only the direct edge counts.
+        let mut g = UncertainGraph::with_nodes(4);
+        g.add_edge(0, 3, 0.3).unwrap();
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g.add_edge(2, 3, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let hop1 = distance_constrained_reliability(&g, 0, 3, 1, 6000, &mut rng);
+        assert!((hop1.probability - 0.3).abs() < 0.02, "{}", hop1.probability);
+        let hop3 = distance_constrained_reliability(&g, 0, 3, 3, 500, &mut rng);
+        assert_eq!(hop3.probability, 1.0); // safe route always there
+    }
+
+    #[test]
+    fn profile_is_monotone_in_budget() {
+        let g = path(&[0.5, 0.5, 0.5, 0.5]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let profile = dcr_profile(&g, 0, 4, &[1, 2, 3, 4, 10], 3000, &mut rng);
+        for w in profile.windows(2) {
+            assert!(w[0].probability <= w[1].probability + 1e-12);
+        }
+        // Budget < true distance ⇒ 0; budget ≥ n ⇒ plain reliability.
+        assert_eq!(profile[0].probability, 0.0);
+        assert!((profile[4].probability - 0.0625).abs() < 0.02);
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = path(&[0.1]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let est = distance_constrained_reliability(&g, 0, 0, 0, 10, &mut rng);
+        assert_eq!(est.probability, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range() {
+        let g = path(&[0.5]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = distance_constrained_reliability(&g, 0, 9, 1, 10, &mut rng);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_worlds() {
+        let g = path(&[0.5]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = distance_constrained_reliability(&g, 0, 1, 1, 0, &mut rng);
+    }
+}

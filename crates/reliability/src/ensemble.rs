@@ -1,0 +1,366 @@
+//! World ensembles: a fixed set of sampled possible worlds with cached
+//! connectivity structure.
+
+use chameleon_ugraph::{NodeId, UncertainGraph, World, WorldSampler};
+use rand::Rng;
+
+/// A Monte-Carlo ensemble of possible worlds of one uncertain graph, with
+/// per-world component labels and connected-pair counts cached.
+///
+/// Building the ensemble costs O(N·(|E| + |V|·α(|V|))); afterwards every
+/// two-terminal reliability query is O(N) label comparisons and the
+/// expected-connected-pairs statistic is O(1). The paper's ERR estimator
+/// (Algorithm 2) iterates over exactly this cache.
+#[derive(Debug, Clone)]
+pub struct WorldEnsemble {
+    worlds: Vec<World>,
+    labels: Vec<Vec<u32>>,
+    /// Per world: size of each component, indexed by dense label.
+    component_sizes: Vec<Vec<u32>>,
+    connected_pairs: Vec<u64>,
+    num_nodes: usize,
+}
+
+impl WorldEnsemble {
+    /// Samples `n` worlds of `graph`.
+    pub fn sample<R: Rng + ?Sized>(graph: &UncertainGraph, n: usize, rng: &mut R) -> Self {
+        let worlds = WorldSampler::sample_many(graph, n, rng);
+        Self::from_worlds(graph, worlds)
+    }
+
+    /// Builds an ensemble from worlds sampled with *common random numbers*:
+    /// `uniforms[w][i]` drives edge `i` in world `w`. Two graphs whose edge
+    /// arrays agree on shared edges can be compared with the same `uniforms`
+    /// matrix, eliminating independent-sampling noise from discrepancy
+    /// estimates.
+    ///
+    /// # Panics
+    /// Panics if any uniform row is shorter than the graph's edge count.
+    pub fn from_uniforms(graph: &UncertainGraph, uniforms: &[Vec<f64>]) -> Self {
+        let worlds = uniforms
+            .iter()
+            .map(|u| WorldSampler::sample_with_uniforms(graph, u))
+            .collect();
+        Self::from_worlds(graph, worlds)
+    }
+
+    /// Wraps pre-sampled worlds.
+    pub fn from_worlds(graph: &UncertainGraph, worlds: Vec<World>) -> Self {
+        let mut labels = Vec::with_capacity(worlds.len());
+        let mut component_sizes = Vec::with_capacity(worlds.len());
+        let mut connected_pairs = Vec::with_capacity(worlds.len());
+        for w in &worlds {
+            let mut uf = w.components(graph);
+            connected_pairs.push(uf.connected_pairs());
+            let l = uf.component_labels();
+            let mut sizes = vec![0u32; uf.num_components()];
+            for &lab in &l {
+                sizes[lab as usize] += 1;
+            }
+            labels.push(l);
+            component_sizes.push(sizes);
+        }
+        Self {
+            worlds,
+            labels,
+            component_sizes,
+            connected_pairs,
+            num_nodes: graph.num_nodes(),
+        }
+    }
+
+    /// Number of worlds.
+    pub fn len(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// True when the ensemble holds no worlds.
+    pub fn is_empty(&self) -> bool {
+        self.worlds.is_empty()
+    }
+
+    /// Number of nodes of the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The sampled worlds.
+    pub fn worlds(&self) -> &[World] {
+        &self.worlds
+    }
+
+    /// Component labels of world `w`.
+    pub fn labels(&self, w: usize) -> &[u32] {
+        &self.labels[w]
+    }
+
+    /// Component sizes of world `w`, indexed by the dense labels of
+    /// [`WorldEnsemble::labels`].
+    pub fn component_sizes(&self, w: usize) -> &[u32] {
+        &self.component_sizes[w]
+    }
+
+    /// Connected-pair count `cc(G_w)` of world `w`.
+    pub fn connected_pairs(&self, w: usize) -> u64 {
+        self.connected_pairs[w]
+    }
+
+    /// All per-world connected-pair counts.
+    pub fn connected_pairs_all(&self) -> &[u64] {
+        &self.connected_pairs
+    }
+
+    /// Estimated two-terminal reliability `R_{u,v}` (paper Definition 1):
+    /// the fraction of worlds in which `u` and `v` share a component.
+    pub fn two_terminal_reliability(&self, u: NodeId, v: NodeId) -> f64 {
+        if self.worlds.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .labels
+            .iter()
+            .filter(|l| l[u as usize] == l[v as usize])
+            .count();
+        hits as f64 / self.worlds.len() as f64
+    }
+
+    /// Reliability for many pairs in one pass over the label cache.
+    pub fn reliability_many(&self, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        let n = self.worlds.len();
+        if n == 0 {
+            return vec![0.0; pairs.len()];
+        }
+        let mut hits = vec![0u32; pairs.len()];
+        for l in &self.labels {
+            for (i, &(u, v)) in pairs.iter().enumerate() {
+                if l[u as usize] == l[v as usize] {
+                    hits[i] += 1;
+                }
+            }
+        }
+        hits.into_iter().map(|h| h as f64 / n as f64).collect()
+    }
+
+    /// Estimated set-to-set reliability (the "sets of nodes" generalization
+    /// in paper Definition 1): the probability that *some* vertex of
+    /// `sources` shares a connected component with *some* vertex of
+    /// `targets`.
+    ///
+    /// # Panics
+    /// Panics if either set is empty or indexes out of range.
+    pub fn set_reliability(&self, sources: &[NodeId], targets: &[NodeId]) -> f64 {
+        assert!(
+            !sources.is_empty() && !targets.is_empty(),
+            "set reliability needs non-empty node sets"
+        );
+        if self.worlds.is_empty() {
+            return 0.0;
+        }
+        let mut hits = 0usize;
+        let mut source_labels = std::collections::HashSet::new();
+        for l in &self.labels {
+            source_labels.clear();
+            for &s in sources {
+                source_labels.insert(l[s as usize]);
+            }
+            if targets
+                .iter()
+                .any(|&t| source_labels.contains(&l[t as usize]))
+            {
+                hits += 1;
+            }
+        }
+        hits as f64 / self.worlds.len() as f64
+    }
+
+    /// Estimated expected number of connected pairs
+    /// `E[cc(G)] = Σ_{u<v} R_{u,v}` — the aggregate the ERR estimator
+    /// differentiates (paper §V-D).
+    pub fn expected_connected_pairs(&self) -> f64 {
+        if self.connected_pairs.is_empty() {
+            return 0.0;
+        }
+        self.connected_pairs.iter().map(|&c| c as f64).sum::<f64>()
+            / self.connected_pairs.len() as f64
+    }
+}
+
+/// Generates a CRN uniforms matrix: `n_worlds` rows of `n_edges` uniforms.
+/// Rows are the "randomness" of each world, reusable across graph variants
+/// whose edge arrays align.
+pub fn crn_uniforms<R: Rng + ?Sized>(n_worlds: usize, n_edges: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    (0..n_worlds)
+        .map(|_| (0..n_edges).map(|_| rng.gen::<f64>()).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bridge_graph() -> UncertainGraph {
+        // Two triangles joined by a bridge of probability 0.5:
+        //   0-1-2 (p=0.9 each, triangle)   3-4-5 (p=0.9 each, triangle)
+        //   bridge 2-3 (p=0.5)
+        let mut g = UncertainGraph::with_nodes(6);
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(u, v, 0.9).unwrap();
+        }
+        g.add_edge(2, 3, 0.5).unwrap();
+        g
+    }
+
+    #[test]
+    fn deterministic_graph_reliability_is_binary() {
+        let mut g = UncertainGraph::with_nodes(4);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(2, 3, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let ens = WorldEnsemble::sample(&g, 50, &mut rng);
+        assert_eq!(ens.two_terminal_reliability(0, 1), 1.0);
+        assert_eq!(ens.two_terminal_reliability(0, 2), 0.0);
+        assert_eq!(ens.two_terminal_reliability(2, 3), 1.0);
+    }
+
+    #[test]
+    fn single_edge_reliability_matches_probability() {
+        let mut g = UncertainGraph::with_nodes(2);
+        g.add_edge(0, 1, 0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ens = WorldEnsemble::sample(&g, 5000, &mut rng);
+        let r = ens.two_terminal_reliability(0, 1);
+        assert!((r - 0.3).abs() < 0.03, "r={r}");
+    }
+
+    #[test]
+    fn series_edges_multiply() {
+        // 0 -0.6- 1 -0.5- 2: R(0,2) = 0.3 (independent series).
+        let mut g = UncertainGraph::with_nodes(3);
+        g.add_edge(0, 1, 0.6).unwrap();
+        g.add_edge(1, 2, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let ens = WorldEnsemble::sample(&g, 8000, &mut rng);
+        let r = ens.two_terminal_reliability(0, 2);
+        assert!((r - 0.3).abs() < 0.025, "r={r}");
+    }
+
+    #[test]
+    fn parallel_edges_via_triangle() {
+        // R(0,1) in a two-path structure 0-1 (0.5) plus 0-2-1 (1.0, 1.0):
+        // 1 - (1-0.5)(1-1.0) = 1.0.
+        let mut g = UncertainGraph::with_nodes(3);
+        g.add_edge(0, 1, 0.5).unwrap();
+        g.add_edge(0, 2, 1.0).unwrap();
+        g.add_edge(2, 1, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let ens = WorldEnsemble::sample(&g, 100, &mut rng);
+        assert_eq!(ens.two_terminal_reliability(0, 1), 1.0);
+    }
+
+    #[test]
+    fn reliability_many_matches_single() {
+        let g = bridge_graph();
+        let mut rng = StdRng::seed_from_u64(4);
+        let ens = WorldEnsemble::sample(&g, 500, &mut rng);
+        let pairs = vec![(0u32, 1u32), (0, 5), (2, 3)];
+        let many = ens.reliability_many(&pairs);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            assert!((many[i] - ens.two_terminal_reliability(u, v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expected_connected_pairs_sums_reliabilities() {
+        let g = bridge_graph();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ens = WorldEnsemble::sample(&g, 400, &mut rng);
+        let mut total = 0.0;
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                total += ens.two_terminal_reliability(u, v);
+            }
+        }
+        assert!(
+            (ens.expected_connected_pairs() - total).abs() < 1e-9,
+            "{} vs {total}",
+            ens.expected_connected_pairs()
+        );
+    }
+
+    #[test]
+    fn empty_ensemble_degenerates() {
+        let g = bridge_graph();
+        let ens = WorldEnsemble::from_worlds(&g, vec![]);
+        assert!(ens.is_empty());
+        assert_eq!(ens.two_terminal_reliability(0, 1), 0.0);
+        assert_eq!(ens.expected_connected_pairs(), 0.0);
+        assert_eq!(ens.reliability_many(&[(0, 1)]), vec![0.0]);
+    }
+
+    #[test]
+    fn crn_identical_graphs_give_identical_ensembles() {
+        let g = bridge_graph();
+        let mut rng = StdRng::seed_from_u64(6);
+        let uniforms = crn_uniforms(100, g.num_edges(), &mut rng);
+        let a = WorldEnsemble::from_uniforms(&g, &uniforms);
+        let b = WorldEnsemble::from_uniforms(&g, &uniforms);
+        for (wa, wb) in a.worlds().iter().zip(b.worlds()) {
+            assert_eq!(wa, wb);
+        }
+        assert_eq!(
+            a.two_terminal_reliability(0, 5),
+            b.two_terminal_reliability(0, 5)
+        );
+    }
+
+    #[test]
+    fn set_reliability_generalizes_two_terminal() {
+        let g = bridge_graph();
+        let mut rng = StdRng::seed_from_u64(10);
+        let ens = WorldEnsemble::sample(&g, 800, &mut rng);
+        // Singleton sets reduce to two-terminal reliability.
+        assert_eq!(
+            ens.set_reliability(&[0], &[5]),
+            ens.two_terminal_reliability(0, 5)
+        );
+        // Supersets can only help: R({0,1,2} → {5}) ≥ R({0} → {5}).
+        assert!(
+            ens.set_reliability(&[0, 1, 2], &[5]) >= ens.set_reliability(&[0], &[5])
+        );
+        // Overlapping sets are trivially connected.
+        assert_eq!(ens.set_reliability(&[0, 3], &[3]), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_reliability_rejects_empty_sets() {
+        let g = bridge_graph();
+        let ens = WorldEnsemble::from_worlds(&g, vec![]);
+        let _ = ens.set_reliability(&[], &[1]);
+    }
+
+    #[test]
+    fn crn_uniform_matrix_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let u = crn_uniforms(3, 5, &mut rng);
+        assert_eq!(u.len(), 3);
+        assert!(u.iter().all(|row| row.len() == 5));
+        assert!(u.iter().flatten().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn higher_bridge_probability_increases_cross_reliability() {
+        let mut g = bridge_graph();
+        let mut rng = StdRng::seed_from_u64(8);
+        let uniforms = crn_uniforms(2000, g.num_edges(), &mut rng);
+        let low = WorldEnsemble::from_uniforms(&g, &uniforms);
+        let bridge = g.find_edge(2, 3).unwrap();
+        g.set_prob(bridge, 0.95).unwrap();
+        let high = WorldEnsemble::from_uniforms(&g, &uniforms);
+        assert!(
+            high.two_terminal_reliability(0, 5) > low.two_terminal_reliability(0, 5)
+        );
+    }
+}

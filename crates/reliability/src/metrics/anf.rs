@@ -1,0 +1,261 @@
+//! Approximate Neighbourhood Function (ANF) sketches.
+//!
+//! The paper approximates shortest-path statistics with ANF/HyperANF
+//! (citation [8]) because exact all-pairs BFS on every sampled world is
+//! prohibitive at DBLP scale. We implement the classic Flajolet–Martin
+//! bitstring variant of Palmer–Gibbons–Faloutsos: each node carries `k`
+//! FM sketches; one synchronous round of bitwise-OR over the edges
+//! corresponds to one hop of neighbourhood growth, and the number of set
+//! leading bits estimates the neighbourhood size.
+
+use chameleon_ugraph::WorldView;
+use rand::Rng;
+
+/// φ constant of the Flajolet–Martin estimator (`2^R / φ` corrects the
+/// expected position of the lowest unset bit).
+const FM_PHI: f64 = 0.77351;
+
+/// Per-hop neighbourhood function estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighbourhoodFunction {
+    /// `nf[h]` ≈ number of ordered pairs (u, w) with `dist(u, w) ≤ h`
+    /// (including u itself, as in the original ANF definition).
+    pub nf: Vec<f64>,
+}
+
+impl NeighbourhoodFunction {
+    /// Estimated mean finite distance: `Σ_h h·(N(h) − N(h−1)) / (N(H) − N(0))`,
+    /// i.e. the average hop count over pairs that ever become reachable.
+    /// Returns 0 when nothing beyond self-reachability is observed.
+    pub fn mean_distance(&self) -> f64 {
+        if self.nf.len() < 2 {
+            return 0.0;
+        }
+        let reachable = self.nf[self.nf.len() - 1] - self.nf[0];
+        if reachable <= 0.0 {
+            return 0.0;
+        }
+        let mut weighted = 0.0;
+        for h in 1..self.nf.len() {
+            let added = (self.nf[h] - self.nf[h - 1]).max(0.0);
+            weighted += h as f64 * added;
+        }
+        weighted / reachable
+    }
+
+    /// Effective diameter at quantile `q` (e.g. 0.9): the smallest `h` such
+    /// that `N(h) ≥ N(0) + q·(N(max) − N(0))`.
+    pub fn effective_diameter(&self, q: f64) -> usize {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.nf.len() < 2 {
+            return 0;
+        }
+        let base = self.nf[0];
+        let span = self.nf[self.nf.len() - 1] - base;
+        if span <= 0.0 {
+            return 0;
+        }
+        let target = base + q * span;
+        for (h, &v) in self.nf.iter().enumerate() {
+            if v >= target {
+                return h;
+            }
+        }
+        self.nf.len() - 1
+    }
+}
+
+/// Draws an FM sketch bit position: geometric with `P[pos = i] = 2^-(i+1)`,
+/// clamped to the sketch width.
+fn fm_bit<R: Rng + ?Sized>(rng: &mut R, width: u32) -> u32 {
+    let mut pos = 0;
+    while pos + 1 < width && rng.gen::<bool>() {
+        pos += 1;
+    }
+    pos
+}
+
+/// Estimated cardinality of a single FM sketch set (union of `k` sketches
+/// averaged via the lowest-zero-bit statistic).
+fn fm_estimate(sketches: &[u64]) -> f64 {
+    let mean_lowest_zero: f64 = sketches
+        .iter()
+        .map(|&s| (!s).trailing_zeros() as f64)
+        .sum::<f64>()
+        / sketches.len() as f64;
+    2f64.powf(mean_lowest_zero) / FM_PHI
+}
+
+/// Runs ANF on one world: returns the neighbourhood function up to
+/// `max_hops` (stops early when no sketch changes, i.e. all neighbourhoods
+/// converged). `k` is the number of independent sketches per node (paper-
+/// typical values 32–64 give ~10% relative error; error ∝ 1/√k).
+pub fn anf<R: Rng + ?Sized>(
+    view: &WorldView<'_>,
+    k: usize,
+    max_hops: usize,
+    rng: &mut R,
+) -> NeighbourhoodFunction {
+    assert!(k > 0, "need at least one sketch");
+    let n = view.num_nodes();
+    let width = 64u32;
+    // sketches[v][j] — j-th FM bitmask of node v.
+    let mut cur: Vec<Vec<u64>> = (0..n)
+        .map(|_| {
+            (0..k)
+                .map(|_| 1u64 << fm_bit(rng, width))
+                .collect::<Vec<u64>>()
+        })
+        .collect();
+    let mut nf = Vec::with_capacity(max_hops + 1);
+    let total_at = |sk: &Vec<Vec<u64>>| -> f64 {
+        sk.iter().map(|s| fm_estimate(s)).sum()
+    };
+    nf.push(total_at(&cur));
+    let mut next = cur.clone();
+    for _ in 0..max_hops {
+        let mut changed = false;
+        for (v, slot) in next.iter_mut().enumerate() {
+            slot.clone_from(&cur[v]);
+            for u in view.neighbors(v as u32) {
+                for j in 0..k {
+                    slot[j] |= cur[u as usize][j];
+                }
+            }
+            if !changed && *slot != cur[v] {
+                changed = true;
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+        nf.push(total_at(&cur));
+        if !changed {
+            break;
+        }
+    }
+    NeighbourhoodFunction { nf }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_ugraph::{UncertainGraph, World, WorldView};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn full_world(g: &UncertainGraph) -> World {
+        let mut w = World::empty(g.num_edges());
+        for e in 0..g.num_edges() as u32 {
+            w.set(e, true);
+        }
+        w
+    }
+
+    fn path(n: usize) -> UncertainGraph {
+        let mut g = UncertainGraph::with_nodes(n);
+        for v in 0..(n - 1) as u32 {
+            g.add_edge(v, v + 1, 1.0).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn nf_monotone_nondecreasing() {
+        let g = path(20);
+        let w = full_world(&g);
+        let view = WorldView::new(&g, &w);
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = anf(&view, 32, 30, &mut rng);
+        for win in f.nf.windows(2) {
+            assert!(win[1] >= win[0] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn nf_terminal_value_approximates_reachable_pairs() {
+        // Connected graph on n nodes: N(∞) ≈ n² ordered pairs (with self).
+        let n = 64;
+        let g = path(n);
+        let w = full_world(&g);
+        let view = WorldView::new(&g, &w);
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = anf(&view, 64, n, &mut rng);
+        let last = *f.nf.last().unwrap();
+        let expect = (n * n) as f64;
+        assert!(
+            (last - expect).abs() / expect < 0.35,
+            "last={last}, expect={expect}"
+        );
+    }
+
+    #[test]
+    fn mean_distance_tracks_bfs_on_cycle() {
+        // Cycle of 16: mean distance over distinct pairs = ~4.27
+        // (distances 1..8 with multiplicities 2,2,...,2,1 per node).
+        let n = 16usize;
+        let mut g = UncertainGraph::with_nodes(n);
+        for v in 0..n as u32 {
+            g.add_edge(v, (v + 1) % n as u32, 1.0).unwrap();
+        }
+        let w = full_world(&g);
+        let view = WorldView::new(&g, &w);
+        // exact mean: for even n, distances from a node: 1..(n/2 -1) twice + n/2 once
+        let exact = {
+            let half = n / 2;
+            let sum: usize = (1..half).map(|d| 2 * d).sum::<usize>() + half;
+            sum as f64 / (n - 1) as f64
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = anf(&view, 64, n, &mut rng);
+        let est = f.mean_distance();
+        assert!(
+            (est - exact).abs() / exact < 0.35,
+            "est={est}, exact={exact}"
+        );
+    }
+
+    #[test]
+    fn effective_diameter_of_path() {
+        let g = path(32);
+        let w = full_world(&g);
+        let view = WorldView::new(&g, &w);
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = anf(&view, 64, 40, &mut rng);
+        let d90 = f.effective_diameter(0.9);
+        // True 90% effective diameter of a 32-path is ≈ 25; sketch noise is
+        // material at this scale, accept a generous band.
+        assert!((15..=32).contains(&d90), "d90={d90}");
+        assert_eq!(f.effective_diameter(0.0), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_zero_mean_distance() {
+        let g = UncertainGraph::with_nodes(10);
+        let w = World::empty(0);
+        let view = WorldView::new(&g, &w);
+        let mut rng = StdRng::seed_from_u64(4);
+        let f = anf(&view, 16, 5, &mut rng);
+        assert_eq!(f.mean_distance(), 0.0);
+        assert_eq!(f.effective_diameter(0.9), 0);
+    }
+
+    #[test]
+    fn early_termination_on_convergence() {
+        let g = path(4);
+        let w = full_world(&g);
+        let view = WorldView::new(&g, &w);
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = anf(&view, 8, 100, &mut rng);
+        // Diameter 3, so at most 4-5 rounds before sketches stabilize.
+        assert!(f.nf.len() <= 6, "rounds={}", f.nf.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_sketches_rejected() {
+        let g = path(3);
+        let w = full_world(&g);
+        let view = WorldView::new(&g, &w);
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = anf(&view, 0, 5, &mut rng);
+    }
+}

@@ -1,0 +1,178 @@
+//! Degree-based metrics (paper Fig. 9 and the first metric group of §VI-A):
+//! average node degree, maximal degree, and degree distributions.
+
+use crate::ensemble::WorldEnsemble;
+use chameleon_stats::histogram::IntHistogram;
+use chameleon_stats::Summary;
+use chameleon_ugraph::{UncertainGraph, WorldView};
+
+/// Expected average degree — closed form `2·Σp(e)/|V|` (the paper notes
+/// this is the only metric with a closed formula).
+pub fn expected_average_degree(graph: &UncertainGraph) -> f64 {
+    graph.expected_average_degree()
+}
+
+/// Monte-Carlo estimate of the expected *maximum* degree over worlds.
+pub fn expected_max_degree(graph: &UncertainGraph, ensemble: &WorldEnsemble) -> f64 {
+    let mut s = Summary::new();
+    for w in ensemble.worlds() {
+        let view = WorldView::new(graph, w);
+        let max = (0..graph.num_nodes() as u32)
+            .map(|v| view.degree(v))
+            .max()
+            .unwrap_or(0);
+        s.push(max as f64);
+    }
+    s.mean()
+}
+
+/// Monte-Carlo estimate of the full expected degree distribution: the mean
+/// count of nodes with each integer degree, as an [`IntHistogram`] of
+/// degrees pooled across worlds (divide counts by `ensemble.len()` for
+/// per-world averages).
+pub fn pooled_degree_histogram(graph: &UncertainGraph, ensemble: &WorldEnsemble) -> IntHistogram {
+    let mut h = IntHistogram::new();
+    for w in ensemble.worlds() {
+        let view = WorldView::new(graph, w);
+        for v in 0..graph.num_nodes() as u32 {
+            h.push(view.degree(v) as u64);
+        }
+    }
+    h
+}
+
+/// Average sampled degree (should converge to
+/// [`expected_average_degree`]; useful as an estimator sanity check and for
+/// graphs given only as ensembles).
+pub fn sampled_average_degree(graph: &UncertainGraph, ensemble: &WorldEnsemble) -> f64 {
+    if graph.num_nodes() == 0 {
+        return 0.0;
+    }
+    let mut s = Summary::new();
+    for w in ensemble.worlds() {
+        s.push(2.0 * w.num_present() as f64 / graph.num_nodes() as f64);
+    }
+    s.mean()
+}
+
+/// L1 distance between the *expected-degree* histograms of two graphs with
+/// common node count, normalized by node count. A coarse "degree
+/// distribution error" companion to the paper's average-degree plot.
+pub fn expected_degree_l1(a: &UncertainGraph, b: &UncertainGraph) -> f64 {
+    assert_eq!(a.num_nodes(), b.num_nodes(), "node sets must match");
+    if a.num_nodes() == 0 {
+        return 0.0;
+    }
+    let mut ha = IntHistogram::new();
+    let mut hb = IntHistogram::new();
+    for v in 0..a.num_nodes() as u32 {
+        ha.push(a.expected_degree(v).round() as u64);
+        hb.push(b.expected_degree(v).round() as u64);
+    }
+    let max = ha.max_value().unwrap_or(0).max(hb.max_value().unwrap_or(0));
+    let mut l1 = 0.0;
+    for d in 0..=max {
+        l1 += (ha.count(d) as f64 - hb.count(d) as f64).abs();
+    }
+    l1 / a.num_nodes() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star(p: f64) -> UncertainGraph {
+        // Center 0 with 4 leaves.
+        let mut g = UncertainGraph::with_nodes(5);
+        for v in 1..5u32 {
+            g.add_edge(0, v, p).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn closed_form_average_degree() {
+        let g = star(0.5);
+        // 2 * 2.0 / 5
+        assert!((expected_average_degree(&g) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_average_degree_converges() {
+        let g = star(0.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let ens = WorldEnsemble::sample(&g, 4000, &mut rng);
+        let sampled = sampled_average_degree(&g, &ens);
+        assert!(
+            (sampled - expected_average_degree(&g)).abs() < 0.05,
+            "sampled={sampled}"
+        );
+    }
+
+    #[test]
+    fn max_degree_deterministic() {
+        let g = star(1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ens = WorldEnsemble::sample(&g, 20, &mut rng);
+        assert_eq!(expected_max_degree(&g, &ens), 4.0);
+    }
+
+    #[test]
+    fn max_degree_binomial_center() {
+        let g = star(0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ens = WorldEnsemble::sample(&g, 3000, &mut rng);
+        // Max degree is the center's Binomial(4, .5) unless it's 0 and some
+        // leaf pairing exists — leaves only touch the center, so max degree
+        // = center degree except all-absent world (max 0). E[max] =
+        // E[Bin(4,.5)] = 2 exactly (all-absent world has degree 0 which IS
+        // the binomial value 0).
+        let m = expected_max_degree(&g, &ens);
+        assert!((m - 2.0).abs() < 0.1, "m={m}");
+    }
+
+    #[test]
+    fn pooled_histogram_counts() {
+        let g = star(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ens = WorldEnsemble::sample(&g, 10, &mut rng);
+        let h = pooled_degree_histogram(&g, &ens);
+        // 10 worlds × (1 node of degree 4 + 4 nodes of degree 1)
+        assert_eq!(h.count(4), 10);
+        assert_eq!(h.count(1), 40);
+        assert_eq!(h.total(), 50);
+    }
+
+    #[test]
+    fn degree_l1_zero_for_identical() {
+        let g = star(0.5);
+        assert_eq!(expected_degree_l1(&g, &g.clone()), 0.0);
+    }
+
+    #[test]
+    fn degree_l1_detects_shift() {
+        let a = star(0.0);
+        let b = star(1.0);
+        // expected degrees a: all 0; b: center 4, leaves 1.
+        // histograms: a = {0:5}, b = {4:1, 1:4} → L1 = 5 + 4 + 1 = 10 → /5 = 2.
+        assert!((expected_degree_l1(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degree_l1_requires_same_nodes() {
+        let a = star(0.5);
+        let b = UncertainGraph::with_nodes(3);
+        let _ = expected_degree_l1(&a, &b);
+    }
+
+    #[test]
+    fn empty_graph_degenerates() {
+        let g = UncertainGraph::with_nodes(0);
+        let ens = WorldEnsemble::from_worlds(&g, vec![]);
+        assert_eq!(sampled_average_degree(&g, &ens), 0.0);
+        assert_eq!(expected_degree_l1(&g, &UncertainGraph::with_nodes(0)), 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Cross-validation of the ANF sketch against exact BFS on sampled worlds
+//! — justifying the paper's use of ANF [8] for shortest-path statistics
+//! as a drop-in estimator.
+
+use chameleon_reliability::metrics::anf::anf;
+use chameleon_reliability::WorldEnsemble;
+use chameleon_stats::Summary;
+use chameleon_ugraph::traversal::distance_stats;
+use chameleon_ugraph::{generators, UncertainGraph, WorldView};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dense_uncertain_graph(seed: u64) -> UncertainGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = generators::barabasi_albert(180, 3, &mut rng);
+    for e in 0..g.num_edges() as u32 {
+        g.set_prob(e, 0.85).unwrap();
+    }
+    g
+}
+
+/// ANF mean distance tracks exact BFS mean distance over sampled worlds
+/// within sketch tolerance on a connected-ish graph.
+#[test]
+fn anf_mean_distance_tracks_bfs() {
+    let g = dense_uncertain_graph(1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let ens = WorldEnsemble::sample(&g, 12, &mut rng);
+
+    let all_sources: Vec<u32> = (0..g.num_nodes() as u32).collect();
+    let mut exact = Summary::new();
+    let mut sketch = Summary::new();
+    for w in ens.worlds() {
+        let view = WorldView::new(&g, w);
+        let stats = distance_stats(&view, &all_sources);
+        if stats.reachable_pairs == 0 {
+            continue;
+        }
+        exact.push(stats.mean_distance);
+        let nf = anf(&view, 64, 64, &mut rng);
+        sketch.push(nf.mean_distance());
+    }
+    assert!(exact.count() > 0, "need connected worlds");
+    let rel = (exact.mean() - sketch.mean()).abs() / exact.mean();
+    assert!(
+        rel < 0.25,
+        "ANF mean {} vs BFS mean {} (rel err {rel})",
+        sketch.mean(),
+        exact.mean()
+    );
+}
+
+/// ANF must preserve *ordering*: a long path has larger mean distance than
+/// a dense BA graph of the same size.
+#[test]
+fn anf_orders_topologies_correctly() {
+    let n = 128usize;
+    let mut path = UncertainGraph::with_nodes(n);
+    for v in 0..(n - 1) as u32 {
+        path.add_edge(v, v + 1, 1.0).unwrap();
+    }
+    let mut rng = StdRng::seed_from_u64(3);
+    let dense = generators::barabasi_albert(n, 4, &mut rng);
+
+    let full = |g: &UncertainGraph| {
+        let mut w = chameleon_ugraph::World::empty(g.num_edges());
+        for e in 0..g.num_edges() as u32 {
+            w.set(e, true);
+        }
+        w
+    };
+    let wp = full(&path);
+    let wd = full(&dense);
+    let vp = WorldView::new(&path, &wp);
+    let vd = WorldView::new(&dense, &wd);
+    let mp = anf(&vp, 48, 160, &mut rng).mean_distance();
+    let md = anf(&vd, 48, 20, &mut rng).mean_distance();
+    assert!(
+        mp > 3.0 * md,
+        "path mean {mp} should far exceed dense mean {md}"
+    );
+}
+
+/// Effective diameter from the sketch is consistent with the exact
+/// diameter on a known topology.
+#[test]
+fn anf_effective_diameter_sane_on_star() {
+    // Star: every pair within 2 hops.
+    let mut g = UncertainGraph::with_nodes(100);
+    for v in 1..100u32 {
+        g.add_edge(0, v, 1.0).unwrap();
+    }
+    let mut w = chameleon_ugraph::World::empty(g.num_edges());
+    for e in 0..g.num_edges() as u32 {
+        w.set(e, true);
+    }
+    let view = WorldView::new(&g, &w);
+    let mut rng = StdRng::seed_from_u64(4);
+    let nf = anf(&view, 64, 10, &mut rng);
+    assert!(nf.effective_diameter(0.99) <= 3);
+    assert!(nf.mean_distance() < 2.5);
+    assert!(nf.mean_distance() > 1.0);
+}

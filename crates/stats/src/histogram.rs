@@ -1,0 +1,295 @@
+//! Fixed-bin histograms for reproducing the paper's distribution plots
+//! (Fig. 3: edge-probability distributions and degree distributions).
+
+/// A histogram with `bins` equal-width bins over `[lo, hi)`; values exactly
+/// equal to `hi` fall into the last bin, values outside the range are
+//  counted separately.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo < hi, "invalid range [{lo}, {hi})");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x > self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let bins = self.counts.len();
+        let idx = if x >= self.hi {
+            bins - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+    }
+
+    /// Adds every observation in the slice.
+    pub fn extend_from(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total observations pushed (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Inclusive-lower bin edges, `bins + 1` values from `lo` to `hi`.
+    pub fn edges(&self) -> Vec<f64> {
+        let bins = self.counts.len();
+        (0..=bins)
+            .map(|i| self.lo + (self.hi - self.lo) * i as f64 / bins as f64)
+            .collect()
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Bin counts normalized to fractions of total in-range observations
+    /// (empty histogram yields all zeros).
+    pub fn fractions(&self) -> Vec<f64> {
+        let in_range = self.total - self.underflow - self.overflow;
+        if in_range == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / in_range as f64)
+            .collect()
+    }
+
+    /// Renders an ASCII bar chart (one line per bin) — used by the figure
+    /// binaries to print distribution plots into terminals and logs.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar_len = ((c as f64 / max as f64) * width as f64).round() as usize;
+            let lo = self.lo + (self.hi - self.lo) * i as f64 / self.counts.len() as f64;
+            let hi = self.lo + (self.hi - self.lo) * (i + 1) as f64 / self.counts.len() as f64;
+            out.push_str(&format!(
+                "[{lo:8.3},{hi:8.3}) {c:>8} {}\n",
+                "#".repeat(bar_len)
+            ));
+        }
+        out
+    }
+}
+
+/// An integer-valued exact frequency counter (for degree distributions,
+/// where bins must align with integers).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IntHistogram {
+    counts: std::collections::BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl IntHistogram {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: u64) {
+        *self.counts.entry(x).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Frequency of value `x`.
+    pub fn count(&self, x: u64) -> u64 {
+        self.counts.get(&x).copied().unwrap_or(0)
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sorted `(value, count)` pairs.
+    pub fn items(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Largest observed value.
+    pub fn max_value(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Complementary cumulative distribution `Pr[X >= x]` at each observed
+    /// value, in ascending value order — the standard way heavy-tailed
+    /// degree distributions are plotted.
+    pub fn ccdf(&self) -> Vec<(u64, f64)> {
+        let mut remaining = self.total as f64;
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (&v, &c) in &self.counts {
+            out.push((v, remaining / self.total.max(1) as f64));
+            remaining -= c as f64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bins_partition_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend_from(&[0.0, 0.1, 0.3, 0.5, 0.74, 0.76, 0.99, 1.0]);
+        assert_eq!(h.counts(), &[2, 1, 2, 3]);
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn top_edge_goes_to_last_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.push(1.0);
+        assert_eq!(h.counts()[9], 1);
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(-0.5);
+        h.push(1.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.counts(), &[0, 0]);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend_from(&[1.0, 2.0, 3.0, 7.0, 9.0]);
+        let total: f64 = h.fractions().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_and_centers() {
+        let h = Histogram::new(0.0, 1.0, 2);
+        assert_eq!(h.edges(), vec![0.0, 0.5, 1.0]);
+        assert!((h.bin_center(0) - 0.25).abs() < 1e-12);
+        assert!((h.bin_center(1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_render_nonempty() {
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        h.extend_from(&[0.1, 0.1, 0.9]);
+        let s = h.render_ascii(10);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn int_histogram_counts() {
+        let mut h = IntHistogram::new();
+        for x in [3u64, 3, 3, 7, 9] {
+            h.push(x);
+        }
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.count(7), 1);
+        assert_eq!(h.count(4), 0);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.max_value(), Some(9));
+    }
+
+    #[test]
+    fn int_histogram_ccdf() {
+        let mut h = IntHistogram::new();
+        for x in [1u64, 2, 2, 3] {
+            h.push(x);
+        }
+        let ccdf = h.ccdf();
+        assert_eq!(ccdf[0], (1, 1.0));
+        assert!((ccdf[1].1 - 0.75).abs() < 1e-12);
+        assert!((ccdf[2].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_bins() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn total_conserved(xs in proptest::collection::vec(-2.0f64..3.0, 0..200)) {
+            let mut h = Histogram::new(0.0, 1.0, 7);
+            h.extend_from(&xs);
+            let binned: u64 = h.counts().iter().sum();
+            prop_assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
+        }
+
+        #[test]
+        fn ccdf_monotone_decreasing(xs in proptest::collection::vec(0u64..50, 1..100)) {
+            let mut h = IntHistogram::new();
+            for x in &xs { h.push(*x); }
+            let ccdf = h.ccdf();
+            for w in ccdf.windows(2) {
+                prop_assert!(w[0].1 >= w[1].1);
+            }
+            prop_assert!((ccdf[0].1 - 1.0).abs() < 1e-12);
+        }
+    }
+}

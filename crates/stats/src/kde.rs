@@ -1,0 +1,225 @@
+//! Gaussian-kernel density estimation for commonness/uniqueness scores.
+//!
+//! Paper Definition 4 (after Boldi et al.): the θ-commonness of a property
+//! value ω is `C_θ(ω) = Σ_u φ_{0,θ}(d(ω, P(u)))` — a Gaussian KDE evaluated
+//! at ω over all vertices' property values — and the θ-uniqueness is
+//! `U_θ(ω) = 1 / C_θ(ω)`. Chameleon sets θ = σ_G, the standard deviation of
+//! the property values in the input uncertain graph (paper §V-C).
+
+use crate::summary::Summary;
+
+/// A Gaussian kernel density / commonness estimator over scalar property
+/// values (expected degrees in the paper).
+#[derive(Debug, Clone)]
+pub struct GaussianKde {
+    points: Vec<f64>,
+    theta: f64,
+    norm: f64,
+}
+
+impl GaussianKde {
+    /// Builds the estimator with explicit bandwidth `theta`.
+    ///
+    /// # Panics
+    /// Panics if `theta` is not strictly positive and finite.
+    pub fn new(points: Vec<f64>, theta: f64) -> Self {
+        assert!(
+            theta.is_finite() && theta > 0.0,
+            "bandwidth must be positive, got {theta}"
+        );
+        let norm = 1.0 / (theta * (2.0 * std::f64::consts::PI).sqrt());
+        Self { points, theta, norm }
+    }
+
+    /// Builds the estimator with the paper's bandwidth choice θ = σ_G, the
+    /// (population) standard deviation of the property values themselves.
+    /// Falls back to bandwidth 1 when the values are constant, matching the
+    /// degenerate case where every node is equally common.
+    pub fn with_data_bandwidth(points: Vec<f64>) -> Self {
+        let mut s = Summary::new();
+        for &x in &points {
+            s.push(x);
+        }
+        let sd = s.population_std_dev();
+        let theta = if sd > 1e-12 { sd } else { 1.0 };
+        Self::new(points, theta)
+    }
+
+    /// The bandwidth θ in use.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Number of support points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the estimator holds no support points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// θ-commonness `C_θ(ω) = Σ_u φ_{0,θ}(ω − x_u)` (unnormalized KDE, as in
+    /// the paper: the kernel values are summed, not averaged).
+    pub fn commonness(&self, omega: f64) -> f64 {
+        let inv2t2 = 1.0 / (2.0 * self.theta * self.theta);
+        self.points
+            .iter()
+            .map(|&x| {
+                let d = omega - x;
+                self.norm * (-d * d * inv2t2).exp()
+            })
+            .sum()
+    }
+
+    /// θ-uniqueness `U_θ(ω) = 1 / C_θ(ω)`.
+    ///
+    /// A value far from all support points has commonness ≈ 0; the result is
+    /// capped at `1/f64::MIN_POSITIVE`-ish via a floor on commonness so that
+    /// downstream weighting stays finite.
+    pub fn uniqueness(&self, omega: f64) -> f64 {
+        let c = self.commonness(omega).max(1e-300);
+        1.0 / c
+    }
+
+    /// Evaluates uniqueness at every support point (the per-vertex scores
+    /// `U^v` of Algorithm 3 line 1). O(n²) — fine at experiment scales; the
+    /// binned variant below is available for large graphs.
+    pub fn uniqueness_at_support(&self) -> Vec<f64> {
+        self.points.iter().map(|&x| self.uniqueness(x)).collect()
+    }
+}
+
+/// Commonness of every support point computed via value-binning:
+/// property values (e.g. expected degrees) concentrate on few distinct
+/// values, so we bucket identical-after-rounding values and evaluate the
+/// kernel once per pair of buckets. Exact when values are multiples of
+/// `resolution`; otherwise an approximation with error bounded by the kernel
+/// Lipschitz constant times `resolution`.
+pub fn binned_uniqueness(points: &[f64], theta: f64, resolution: f64) -> Vec<f64> {
+    assert!(theta > 0.0 && resolution > 0.0);
+    use std::collections::BTreeMap;
+    let key = |x: f64| (x / resolution).round() as i64;
+    let mut buckets: BTreeMap<i64, usize> = BTreeMap::new();
+    for &x in points {
+        *buckets.entry(key(x)).or_insert(0) += 1;
+    }
+    let reps: Vec<(f64, f64)> = buckets
+        .iter()
+        .map(|(&k, &c)| (k as f64 * resolution, c as f64))
+        .collect();
+    let norm = 1.0 / (theta * (2.0 * std::f64::consts::PI).sqrt());
+    let inv2t2 = 1.0 / (2.0 * theta * theta);
+    let mut commonness_by_key: BTreeMap<i64, f64> = BTreeMap::new();
+    for (&k, _) in buckets.iter() {
+        let omega = k as f64 * resolution;
+        let c: f64 = reps
+            .iter()
+            .map(|&(x, cnt)| {
+                let d = omega - x;
+                cnt * norm * (-d * d * inv2t2).exp()
+            })
+            .sum();
+        commonness_by_key.insert(k, c);
+    }
+    points
+        .iter()
+        .map(|&x| 1.0 / commonness_by_key[&key(x)].max(1e-300))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn common_value_has_low_uniqueness() {
+        // Many nodes with degree 3, one with degree 50.
+        let mut pts = vec![3.0; 99];
+        pts.push(50.0);
+        let kde = GaussianKde::new(pts, 1.0);
+        assert!(kde.uniqueness(50.0) > 10.0 * kde.uniqueness(3.0));
+    }
+
+    #[test]
+    fn commonness_is_kernel_sum() {
+        let kde = GaussianKde::new(vec![0.0], 1.0);
+        let expected = 1.0 / (2.0 * std::f64::consts::PI).sqrt();
+        assert!((kde.commonness(0.0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_bandwidth_is_population_sd() {
+        let pts = vec![1.0, 2.0, 3.0, 4.0];
+        let kde = GaussianKde::with_data_bandwidth(pts);
+        // population sd of {1,2,3,4} = sqrt(1.25)
+        assert!((kde.theta() - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_data_falls_back_to_unit_bandwidth() {
+        let kde = GaussianKde::with_data_bandwidth(vec![5.0; 10]);
+        assert_eq!(kde.theta(), 1.0);
+    }
+
+    #[test]
+    fn uniqueness_at_support_matches_pointwise() {
+        let pts = vec![1.0, 2.0, 2.0, 8.0];
+        let kde = GaussianKde::new(pts.clone(), 1.5);
+        let scores = kde.uniqueness_at_support();
+        for (i, &x) in pts.iter().enumerate() {
+            assert!((scores[i] - kde.uniqueness(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn binned_matches_exact_on_integer_grid() {
+        let pts: Vec<f64> = vec![1.0, 1.0, 2.0, 5.0, 5.0, 5.0, 9.0];
+        let kde = GaussianKde::new(pts.clone(), 2.0);
+        let exact = kde.uniqueness_at_support();
+        let binned = binned_uniqueness(&pts, 2.0, 1.0);
+        for (a, b) in exact.iter().zip(&binned) {
+            assert!((a - b).abs() / a < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn empty_estimator() {
+        let kde = GaussianKde::new(vec![], 1.0);
+        assert!(kde.is_empty());
+        assert_eq!(kde.len(), 0);
+        assert_eq!(kde.commonness(0.0), 0.0);
+        assert!(kde.uniqueness(0.0) > 1e100); // floor kicks in, finite
+        assert!(kde.uniqueness(0.0).is_finite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_bandwidth() {
+        let _ = GaussianKde::new(vec![1.0], 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn uniqueness_positive_and_finite(
+            pts in proptest::collection::vec(0.0f64..100.0, 1..50),
+            omega in 0.0f64..100.0
+        ) {
+            let kde = GaussianKde::new(pts, 2.0);
+            let u = kde.uniqueness(omega);
+            prop_assert!(u > 0.0 && u.is_finite());
+        }
+
+        #[test]
+        fn farther_values_are_more_unique(
+            base in 0.0f64..10.0
+        ) {
+            let kde = GaussianKde::new(vec![base; 20], 1.0);
+            let near = kde.uniqueness(base + 0.5);
+            let far = kde.uniqueness(base + 5.0);
+            prop_assert!(far > near);
+        }
+    }
+}

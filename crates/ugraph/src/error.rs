@@ -1,0 +1,97 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced by graph construction, mutation and (de)serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node index was out of range for the graph.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: u32,
+        /// Number of nodes in the graph.
+        num_nodes: u32,
+    },
+    /// A self-loop `(v, v)` was supplied; the paper's model forbids them.
+    SelfLoop(u32),
+    /// The edge `(u, v)` already exists; the model forbids multi-edges.
+    DuplicateEdge(u32, u32),
+    /// A probability was outside `[0, 1]` or non-finite.
+    InvalidProbability(f64),
+    /// An edge index was out of range.
+    EdgeOutOfRange {
+        /// The offending edge index.
+        edge: usize,
+        /// Number of edges in the graph.
+        num_edges: usize,
+    },
+    /// A parse error while reading the text format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An underlying I/O failure (message-only so the error stays `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (graph has {num_nodes} nodes)")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v} is not allowed"),
+            GraphError::DuplicateEdge(u, v) => {
+                write!(f, "edge ({u}, {v}) already exists; multi-edges are not allowed")
+            }
+            GraphError::InvalidProbability(p) => {
+                write!(f, "probability {p} is not in [0, 1]")
+            }
+            GraphError::EdgeOutOfRange { edge, num_edges } => {
+                write!(f, "edge index {edge} out of range (graph has {num_edges} edges)")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(GraphError::SelfLoop(3).to_string().contains("self-loop"));
+        assert!(GraphError::DuplicateEdge(1, 2).to_string().contains("(1, 2)"));
+        assert!(GraphError::InvalidProbability(1.5).to_string().contains("1.5"));
+        assert!(GraphError::NodeOutOfRange { node: 9, num_nodes: 4 }
+            .to_string()
+            .contains("9"));
+        assert!(GraphError::EdgeOutOfRange { edge: 7, num_edges: 2 }
+            .to_string()
+            .contains("7"));
+        assert!(GraphError::Parse { line: 3, message: "bad".into() }
+            .to_string()
+            .contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: GraphError =
+            std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into();
+        assert!(e.to_string().contains("missing"));
+    }
+}

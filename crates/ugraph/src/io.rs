@@ -1,0 +1,232 @@
+//! Plain-text edge-list interchange format.
+//!
+//! ```text
+//! # optional comments
+//! nodes 5
+//! 0 1 0.75
+//! 1 2 0.20
+//! ```
+//!
+//! A `nodes N` header fixes the node count (otherwise it is inferred as
+//! 1 + the largest endpoint). Duplicate records resolve via the caller's
+//! [`DedupPolicy`]. This is the format produced for anonymized releases and
+//! consumed by the examples and the CLI-style experiment binaries.
+
+use crate::builder::{DedupPolicy, GraphBuilder};
+use crate::error::GraphError;
+use crate::graph::UncertainGraph;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Writes a graph in the text format.
+pub fn write_text<W: Write>(graph: &UncertainGraph, mut out: W) -> Result<(), GraphError> {
+    writeln!(out, "# uncertain graph: {} nodes, {} edges", graph.num_nodes(), graph.num_edges())?;
+    writeln!(out, "nodes {}", graph.num_nodes())?;
+    for e in graph.edges() {
+        writeln!(out, "{} {} {}", e.u, e.v, e.p)?;
+    }
+    Ok(())
+}
+
+/// Writes a graph to a file.
+pub fn write_file<P: AsRef<Path>>(graph: &UncertainGraph, path: P) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_text(graph, std::io::BufWriter::new(file))
+}
+
+/// Reads a graph in the text format.
+pub fn read_text<R: BufRead>(input: R, policy: DedupPolicy) -> Result<UncertainGraph, GraphError> {
+    let mut builder = GraphBuilder::new(0).dedup_policy(policy);
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("nodes ") {
+            let n: usize = rest.trim().parse().map_err(|_| GraphError::Parse {
+                line: lineno,
+                message: format!("invalid node count: {rest:?}"),
+            })?;
+            builder.ensure_nodes(n);
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse_u32 = |tok: Option<&str>, what: &str| -> Result<u32, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: lineno,
+                message: format!("missing {what}"),
+            })?
+            .parse()
+            .map_err(|_| GraphError::Parse {
+                line: lineno,
+                message: format!("invalid {what}"),
+            })
+        };
+        let u = parse_u32(parts.next(), "source node")?;
+        let v = parse_u32(parts.next(), "target node")?;
+        let p: f64 = parts
+            .next()
+            .ok_or_else(|| GraphError::Parse {
+                line: lineno,
+                message: "missing probability".into(),
+            })?
+            .parse()
+            .map_err(|_| GraphError::Parse {
+                line: lineno,
+                message: "invalid probability".into(),
+            })?;
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: lineno,
+                message: "trailing tokens".into(),
+            });
+        }
+        builder.add_edge(u, v, p).map_err(|e| GraphError::Parse {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(builder.build())
+}
+
+/// Reads a graph from a file.
+pub fn read_file<P: AsRef<Path>>(path: P, policy: DedupPolicy) -> Result<UncertainGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_text(std::io::BufReader::new(file), policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_graph() -> UncertainGraph {
+        let mut g = UncertainGraph::with_nodes(5);
+        g.add_edge(0, 1, 0.75).unwrap();
+        g.add_edge(1, 2, 0.2).unwrap();
+        g.add_edge(3, 4, 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_text(&g, &mut buf).unwrap();
+        let g2 = read_text(buf.as_slice(), DedupPolicy::Reject).unwrap();
+        assert_eq!(g2.num_nodes(), 5);
+        assert_eq!(g2.num_edges(), 3);
+        for (a, b) in g.edges().iter().zip(g2.edges()) {
+            assert_eq!((a.u, a.v), (b.u, b.v));
+            assert!((a.p - b.p).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample_graph();
+        let dir = std::env::temp_dir().join("chameleon-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        write_file(&g, &path).unwrap();
+        let g2 = read_file(&path, DedupPolicy::Reject).unwrap();
+        assert_eq!(g2.num_edges(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\nnodes 3\n0 1 0.5\n# middle\n1 2 0.25\n";
+        let g = read_text(text.as_bytes(), DedupPolicy::Reject).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn node_count_inferred_without_header() {
+        let text = "0 9 0.5\n";
+        let g = read_text(text.as_bytes(), DedupPolicy::Reject).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+    }
+
+    #[test]
+    fn header_can_exceed_max_endpoint() {
+        let text = "nodes 20\n0 1 0.5\n";
+        let g = read_text(text.as_bytes(), DedupPolicy::Reject).unwrap();
+        assert_eq!(g.num_nodes(), 20);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad_prob = "0 1 nope\n";
+        match read_text(bad_prob.as_bytes(), DedupPolicy::Reject) {
+            Err(GraphError::Parse { line: 1, message }) => {
+                assert!(message.contains("probability"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let missing = "nodes 3\n0\n";
+        match read_text(missing.as_bytes(), DedupPolicy::Reject) {
+            Err(GraphError::Parse { line: 2, .. }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        let trailing = "0 1 0.5 extra\n";
+        assert!(matches!(
+            read_text(trailing.as_bytes(), DedupPolicy::Reject),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn self_loop_rejected_with_line() {
+        let text = "2 2 0.5\n";
+        match read_text(text.as_bytes(), DedupPolicy::Reject) {
+            Err(GraphError::Parse { line: 1, message }) => {
+                assert!(message.contains("self-loop"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_policy_applied() {
+        let text = "0 1 0.5\n1 0 0.9\n";
+        let g = read_text(text.as_bytes(), DedupPolicy::KeepLast).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert!((g.prob(0) - 0.9).abs() < 1e-15);
+        assert!(read_text(text.as_bytes(), DedupPolicy::Reject).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_file("/nonexistent/chameleon/file.txt", DedupPolicy::Reject).unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_graphs(
+            edges in proptest::collection::vec((0u32..40, 0u32..40, 0.0f64..=1.0), 0..120),
+            extra_nodes in 0usize..10
+        ) {
+            let mut builder = crate::builder::GraphBuilder::new(0);
+            for (u, v, p) in edges {
+                let _ = builder.add_edge(u, v, p);
+            }
+            builder.ensure_nodes(extra_nodes);
+            let g = builder.build();
+            let mut buf = Vec::new();
+            write_text(&g, &mut buf).unwrap();
+            let g2 = read_text(buf.as_slice(), DedupPolicy::Reject).unwrap();
+            prop_assert_eq!(g.num_nodes(), g2.num_nodes());
+            prop_assert_eq!(g.num_edges(), g2.num_edges());
+            for (a, b) in g.edges().iter().zip(g2.edges()) {
+                prop_assert_eq!((a.u, a.v), (b.u, b.v));
+                // f64 Display round-trips exactly in Rust.
+                prop_assert_eq!(a.p.to_bits(), b.p.to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Possible-world Monte-Carlo sampling.
+//!
+//! The paper's estimators all share one pattern: draw N possible worlds
+//! (N ≈ 1000 "usually suffices to achieve accuracy convergence", §IV-A /
+//! §VI-A citing [19], [30]) and average a per-world statistic. The sampler
+//! here materializes worlds as edge bitsets so downstream passes (union-find,
+//! BFS, triangle counting) can reuse the same ensemble — the core trick of
+//! the reused-sampling ERR estimator (Algorithm 2).
+
+use crate::bitset::BitSet;
+use crate::graph::UncertainGraph;
+use crate::world::World;
+use rand::Rng;
+
+/// Samples possible worlds of an uncertain graph.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldSampler;
+
+impl WorldSampler {
+    /// Draws one world: each edge kept independently with its probability.
+    pub fn sample<R: Rng + ?Sized>(graph: &UncertainGraph, rng: &mut R) -> World {
+        let m = graph.num_edges();
+        let mut bits = BitSet::new(m);
+        for (i, edge) in graph.edges().iter().enumerate() {
+            // Branchless-ish fast paths for deterministic edges.
+            let present = if edge.p >= 1.0 {
+                true
+            } else if edge.p <= 0.0 {
+                false
+            } else {
+                rng.gen::<f64>() < edge.p
+            };
+            if present {
+                bits.set(i, true);
+            }
+        }
+        World::from_bitset(bits)
+    }
+
+    /// Draws an ensemble of `n` worlds.
+    pub fn sample_many<R: Rng + ?Sized>(
+        graph: &UncertainGraph,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<World> {
+        (0..n).map(|_| Self::sample(graph, rng)).collect()
+    }
+
+    /// Draws a world from `graph` using an externally supplied uniform
+    /// variate per edge (common random numbers): edge `i` is present iff
+    /// `uniforms[i] < p(e_i)`.
+    ///
+    /// This lets an experiment evaluate the *same* underlying randomness on
+    /// an original and an anonymized graph, so reliability-discrepancy
+    /// estimates are not polluted by independent sampling noise. Edges of
+    /// the anonymized graph beyond the original edge count (newly injected
+    /// ones) must have their own entries in `uniforms`.
+    ///
+    /// # Panics
+    /// Panics if `uniforms.len() < graph.num_edges()`.
+    pub fn sample_with_uniforms(graph: &UncertainGraph, uniforms: &[f64]) -> World {
+        let m = graph.num_edges();
+        assert!(
+            uniforms.len() >= m,
+            "need {m} uniforms, got {}",
+            uniforms.len()
+        );
+        let mut bits = BitSet::new(m);
+        for (i, edge) in graph.edges().iter().enumerate() {
+            if uniforms[i] < edge.p {
+                bits.set(i, true);
+            }
+        }
+        World::from_bitset(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph() -> UncertainGraph {
+        let mut g = UncertainGraph::with_nodes(4);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 0.0).unwrap();
+        g.add_edge(2, 3, 0.5).unwrap();
+        g
+    }
+
+    #[test]
+    fn deterministic_edges_always_respected() {
+        let g = graph();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let w = WorldSampler::sample(&g, &mut rng);
+            assert!(w.contains(0), "p=1 edge must be present");
+            assert!(!w.contains(1), "p=0 edge must be absent");
+        }
+    }
+
+    #[test]
+    fn half_probability_edge_frequency() {
+        let g = graph();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 4000;
+        let hits = (0..n)
+            .filter(|_| WorldSampler::sample(&g, &mut rng).contains(2))
+            .count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.5).abs() < 0.03, "freq={freq}");
+    }
+
+    #[test]
+    fn ensemble_size() {
+        let g = graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        let worlds = WorldSampler::sample_many(&g, 17, &mut rng);
+        assert_eq!(worlds.len(), 17);
+        for w in &worlds {
+            assert_eq!(w.num_edge_slots(), g.num_edges());
+        }
+    }
+
+    #[test]
+    fn reproducible_given_seed() {
+        let g = graph();
+        let w1 = WorldSampler::sample(&g, &mut StdRng::seed_from_u64(42));
+        let w2 = WorldSampler::sample(&g, &mut StdRng::seed_from_u64(42));
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn uniforms_drive_membership() {
+        let g = graph();
+        // uniforms: edge0 p=1: 0.99 < 1 → present; edge1 p=0: 0.01 !< 0 →
+        // absent; edge2 p=0.5: 0.49 < 0.5 → present.
+        let w = WorldSampler::sample_with_uniforms(&g, &[0.99, 0.01, 0.49]);
+        assert!(w.contains(0));
+        assert!(!w.contains(1));
+        assert!(w.contains(2));
+        let w2 = WorldSampler::sample_with_uniforms(&g, &[0.99, 0.01, 0.51]);
+        assert!(!w2.contains(2));
+    }
+
+    #[test]
+    fn common_random_numbers_align_graphs() {
+        // Two graphs differing in one probability: worlds agree on all
+        // other edges when driven by the same uniforms.
+        let mut g1 = UncertainGraph::with_nodes(3);
+        g1.add_edge(0, 1, 0.5).unwrap();
+        g1.add_edge(1, 2, 0.5).unwrap();
+        let mut g2 = g1.clone();
+        g2.set_prob(1, 0.9).unwrap();
+        let uniforms = [0.4, 0.7];
+        let w1 = WorldSampler::sample_with_uniforms(&g1, &uniforms);
+        let w2 = WorldSampler::sample_with_uniforms(&g2, &uniforms);
+        assert_eq!(w1.contains(0), w2.contains(0));
+        assert!(!w1.contains(1)); // 0.7 >= 0.5
+        assert!(w2.contains(1)); // 0.7 < 0.9
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_uniforms_panics() {
+        let g = graph();
+        let _ = WorldSampler::sample_with_uniforms(&g, &[0.5]);
+    }
+}

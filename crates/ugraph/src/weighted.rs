@@ -1,0 +1,325 @@
+//! Weighted uncertain graphs: edges carry a weight *and* an existence
+//! probability.
+//!
+//! The paper's related-work discussion (§II) points out why probabilities
+//! cannot be folded into weights: "each link in the road network can be
+//! weighted indicating the distance or travel time between them, and a
+//! probability can be assigned to model the likelihood of a traffic jam".
+//! This module realizes that data model — a thin layer over
+//! [`UncertainGraph`] that attaches per-edge weights and provides the
+//! weighted analogues of the traversal metrics (per-world Dijkstra,
+//! expected weighted distances). Anonymization perturbs only the
+//! probabilities; weights ride along unchanged into the release.
+
+use crate::graph::{EdgeId, NodeId, UncertainGraph};
+use crate::world::WorldView;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An uncertain graph whose edges additionally carry non-negative weights
+/// (lengths, travel times, costs).
+#[derive(Debug, Clone)]
+pub struct WeightedUncertainGraph {
+    graph: UncertainGraph,
+    weights: Vec<f64>,
+}
+
+impl WeightedUncertainGraph {
+    /// Attaches weights to an existing uncertain graph.
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != graph.num_edges()` or any weight is
+    /// negative/non-finite.
+    pub fn new(graph: UncertainGraph, weights: Vec<f64>) -> Self {
+        assert_eq!(
+            weights.len(),
+            graph.num_edges(),
+            "need one weight per edge"
+        );
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be non-negative and finite"
+        );
+        Self { graph, weights }
+    }
+
+    /// The underlying uncertain graph.
+    pub fn graph(&self) -> &UncertainGraph {
+        &self.graph
+    }
+
+    /// Weight of edge `e`.
+    pub fn weight(&self, e: EdgeId) -> f64 {
+        self.weights[e as usize]
+    }
+
+    /// All weights, edge-indexed.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Replaces the underlying uncertain graph (e.g. with an anonymized
+    /// version) while keeping weights for the shared edge prefix; edges
+    /// added by the anonymizer get `default_weight`.
+    ///
+    /// # Panics
+    /// Panics if the new graph has fewer edges than weights, or endpoint
+    /// mismatch in the shared prefix (edge identity must be preserved, as
+    /// the Chameleon pipeline guarantees).
+    pub fn with_published(&self, published: UncertainGraph, default_weight: f64) -> Self {
+        assert!(
+            published.num_edges() >= self.graph.num_edges(),
+            "published graph lost edges"
+        );
+        for (i, e) in self.graph.edges().iter().enumerate() {
+            let out = published.edge(i as EdgeId);
+            assert_eq!(
+                (out.u, out.v),
+                (e.u, e.v),
+                "edge identity broken at index {i}"
+            );
+        }
+        let mut weights = self.weights.clone();
+        weights.resize(published.num_edges(), default_weight);
+        Self {
+            graph: published,
+            weights,
+        }
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance via reversed comparison; ties by node.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then(other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source Dijkstra over one possible world; unreachable nodes get
+/// `f64::INFINITY`.
+pub fn dijkstra(
+    weighted: &WeightedUncertainGraph,
+    view: &WorldView<'_>,
+    source: NodeId,
+) -> Vec<f64> {
+    let n = weighted.graph().num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+        if d > dist[node as usize] {
+            continue;
+        }
+        for &(nbr, e) in weighted.graph().neighbors(node) {
+            if !view.world().contains(e) {
+                continue;
+            }
+            let nd = d + weighted.weight(e);
+            if nd < dist[nbr as usize] {
+                dist[nbr as usize] = nd;
+                heap.push(HeapEntry { dist: nd, node: nbr });
+            }
+        }
+    }
+    dist
+}
+
+/// Expected weighted distance statistics from sampled worlds: the mean
+/// over worlds of the mean finite source→target distance from the given
+/// sources, and the mean fraction of reachable pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpectedWeightedDistances {
+    /// Mean finite weighted distance over reachable (source, target) pairs,
+    /// averaged across worlds.
+    pub mean_distance: f64,
+    /// Mean count of reachable pairs per world.
+    pub avg_reachable_pairs: f64,
+}
+
+/// Estimates expected weighted distances over the worlds of `ensemble`
+/// (any iterator of [`crate::world::World`]s paired with the weighted
+/// graph's topology).
+pub fn expected_weighted_distances(
+    weighted: &WeightedUncertainGraph,
+    worlds: &[crate::world::World],
+    sources: &[NodeId],
+) -> ExpectedWeightedDistances {
+    let mut dist_sum = 0.0;
+    let mut dist_count = 0u64;
+    let mut reach_sum = 0u64;
+    for world in worlds {
+        let view = WorldView::new(weighted.graph(), world);
+        for &s in sources {
+            let dist = dijkstra(weighted, &view, s);
+            for (t, &d) in dist.iter().enumerate() {
+                if t as NodeId != s && d.is_finite() {
+                    dist_sum += d;
+                    dist_count += 1;
+                    reach_sum += 1;
+                }
+            }
+        }
+    }
+    ExpectedWeightedDistances {
+        mean_distance: if dist_count == 0 {
+            0.0
+        } else {
+            dist_sum / dist_count as f64
+        },
+        avg_reachable_pairs: if worlds.is_empty() {
+            0.0
+        } else {
+            reach_sum as f64 / worlds.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::WorldSampler;
+    use crate::world::World;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Weighted triangle: direct 0-2 edge is heavy, the two-hop route is
+    /// light.
+    fn weighted_triangle(p: f64) -> WeightedUncertainGraph {
+        let mut g = UncertainGraph::with_nodes(3);
+        g.add_edge(0, 1, p).unwrap(); // weight 1
+        g.add_edge(1, 2, p).unwrap(); // weight 1
+        g.add_edge(0, 2, p).unwrap(); // weight 5
+        WeightedUncertainGraph::new(g, vec![1.0, 1.0, 5.0])
+    }
+
+    fn full_world(g: &UncertainGraph) -> World {
+        let mut w = World::empty(g.num_edges());
+        for e in 0..g.num_edges() as u32 {
+            w.set(e, true);
+        }
+        w
+    }
+
+    #[test]
+    fn dijkstra_prefers_light_route() {
+        let wg = weighted_triangle(1.0);
+        let w = full_world(wg.graph());
+        let view = WorldView::new(wg.graph(), &w);
+        let dist = dijkstra(&wg, &view, 0);
+        assert_eq!(dist[0], 0.0);
+        assert_eq!(dist[1], 1.0);
+        assert_eq!(dist[2], 2.0); // via 1, not the weight-5 direct edge
+    }
+
+    #[test]
+    fn dijkstra_uses_direct_edge_when_route_is_cut() {
+        let wg = weighted_triangle(1.0);
+        let mut w = full_world(wg.graph());
+        w.set(1, false); // cut 1-2
+        let view = WorldView::new(wg.graph(), &w);
+        let dist = dijkstra(&wg, &view, 0);
+        assert_eq!(dist[2], 5.0);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let wg = weighted_triangle(1.0);
+        let w = World::empty(wg.graph().num_edges());
+        let view = WorldView::new(wg.graph(), &w);
+        let dist = dijkstra(&wg, &view, 0);
+        assert!(dist[1].is_infinite());
+        assert!(dist[2].is_infinite());
+    }
+
+    #[test]
+    fn expected_distances_interpolate_with_probability() {
+        // With p = 0.5 the light route sometimes breaks and the heavy edge
+        // takes over: E[d(0,2) | reachable] ∈ (2, 5).
+        let wg = weighted_triangle(0.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let worlds = WorldSampler::sample_many(wg.graph(), 2000, &mut rng);
+        let stats = expected_weighted_distances(&wg, &worlds, &[0]);
+        assert!(stats.mean_distance > 1.0, "{}", stats.mean_distance);
+        assert!(stats.mean_distance < 4.0, "{}", stats.mean_distance);
+        assert!(stats.avg_reachable_pairs > 0.0);
+    }
+
+    #[test]
+    fn with_published_extends_weights() {
+        let wg = weighted_triangle(0.8);
+        let mut published = wg.graph().clone();
+        published.set_prob(0, 0.6).unwrap();
+        published.add_edge(1, 0, 0.3).unwrap_err(); // duplicate rejected
+        // Add a genuinely new edge pair? Graph is complete on 3 nodes, so
+        // rebuild with 4 nodes instead.
+        let mut g4 = UncertainGraph::with_nodes(4);
+        g4.add_edge(0, 1, 0.8).unwrap();
+        g4.add_edge(1, 2, 0.8).unwrap();
+        g4.add_edge(0, 2, 0.8).unwrap();
+        let wg4 = WeightedUncertainGraph::new(g4.clone(), vec![1.0, 1.0, 5.0]);
+        let mut pub4 = g4;
+        pub4.add_edge(2, 3, 0.4).unwrap(); // anonymizer-injected edge
+        let out = wg4.with_published(pub4, 9.0);
+        assert_eq!(out.weights().len(), 4);
+        assert_eq!(out.weight(3), 9.0);
+        assert_eq!(out.weight(2), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_weights_rejected() {
+        let mut g = UncertainGraph::with_nodes(2);
+        g.add_edge(0, 1, 0.5).unwrap();
+        let _ = WeightedUncertainGraph::new(g, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weight_rejected() {
+        let mut g = UncertainGraph::with_nodes(2);
+        g.add_edge(0, 1, 0.5).unwrap();
+        let _ = WeightedUncertainGraph::new(g, vec![-1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn with_published_rejects_identity_break() {
+        let wg = weighted_triangle(0.5);
+        // A different graph with the same edge count but different pairs.
+        let mut other = UncertainGraph::with_nodes(3);
+        other.add_edge(0, 1, 0.5).unwrap();
+        other.add_edge(0, 2, 0.5).unwrap();
+        other.add_edge(1, 2, 0.5).unwrap();
+        let _ = wg.with_published(other, 1.0);
+    }
+
+    #[test]
+    fn weight_accessors() {
+        let wg = weighted_triangle(0.5);
+        assert_eq!(wg.weight(2), 5.0);
+        assert_eq!(wg.weights(), &[1.0, 1.0, 5.0]);
+        assert_eq!(wg.graph().num_nodes(), 3);
+    }
+}

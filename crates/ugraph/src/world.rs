@@ -1,0 +1,235 @@
+//! Sampled possible worlds and world-restricted graph views.
+
+use crate::bitset::BitSet;
+use crate::graph::{EdgeId, NodeId, UncertainGraph};
+use crate::union_find::UnionFind;
+
+/// A possible world of an uncertain graph: one bit per edge, set when the
+/// edge is present in this world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct World {
+    present: BitSet,
+}
+
+impl World {
+    /// An all-absent world over `num_edges` edges.
+    pub fn empty(num_edges: usize) -> Self {
+        Self {
+            present: BitSet::new(num_edges),
+        }
+    }
+
+    /// Builds a world from an explicit bitset.
+    pub fn from_bitset(present: BitSet) -> Self {
+        Self { present }
+    }
+
+    /// Number of edge slots (present or not).
+    pub fn num_edge_slots(&self) -> usize {
+        self.present.len()
+    }
+
+    /// True when edge `e` exists in this world.
+    #[inline]
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.present.get(e as usize)
+    }
+
+    /// Marks edge `e` present/absent.
+    pub fn set(&mut self, e: EdgeId, present: bool) {
+        self.present.set(e as usize, present);
+    }
+
+    /// Number of edges present.
+    pub fn num_present(&self) -> usize {
+        self.present.count_ones()
+    }
+
+    /// Iterator over the ids of present edges.
+    pub fn present_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.present.iter_ones().map(|i| i as EdgeId)
+    }
+
+    /// Connected components of the world under `graph`'s topology, as a
+    /// populated union-find.
+    ///
+    /// # Panics
+    /// Panics if this world's edge-slot count disagrees with the graph's.
+    pub fn components(&self, graph: &UncertainGraph) -> UnionFind {
+        assert_eq!(
+            self.num_edge_slots(),
+            graph.num_edges(),
+            "world/graph edge-count mismatch"
+        );
+        let mut uf = UnionFind::new(graph.num_nodes());
+        for e in self.present_edges() {
+            let edge = graph.edge(e);
+            uf.union(edge.u, edge.v);
+        }
+        uf
+    }
+
+    /// Number of connected vertex pairs in this world (the `cc(G)` statistic
+    /// of paper Algorithm 2).
+    pub fn connected_pairs(&self, graph: &UncertainGraph) -> u64 {
+        self.components(graph).connected_pairs()
+    }
+}
+
+/// A zero-copy adjacency view of `graph` restricted to the edges present in
+/// `world` — the deterministic instance on which per-world metrics (BFS
+/// distances, triangles, …) are computed.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldView<'a> {
+    graph: &'a UncertainGraph,
+    world: &'a World,
+}
+
+impl<'a> WorldView<'a> {
+    /// Creates the view.
+    ///
+    /// # Panics
+    /// Panics if world and graph disagree on edge count.
+    pub fn new(graph: &'a UncertainGraph, world: &'a World) -> Self {
+        assert_eq!(
+            world.num_edge_slots(),
+            graph.num_edges(),
+            "world/graph edge-count mismatch"
+        );
+        Self { graph, world }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Number of edges present in the world.
+    pub fn num_edges(&self) -> usize {
+        self.world.num_present()
+    }
+
+    /// The underlying uncertain graph.
+    pub fn graph(&self) -> &'a UncertainGraph {
+        self.graph
+    }
+
+    /// The underlying world.
+    pub fn world(&self) -> &'a World {
+        self.world
+    }
+
+    /// Neighbors of `v` in this world.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + 'a {
+        let world = self.world;
+        self.graph
+            .neighbors(v)
+            .iter()
+            .filter(move |&&(_, e)| world.contains(e))
+            .map(|&(n, _)| n)
+    }
+
+    /// Degree of `v` in this world.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).count()
+    }
+
+    /// True when `(u, v)` is an edge present in this world.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.graph
+            .find_edge(u, v)
+            .map(|e| self.world.contains(e))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> UncertainGraph {
+        // 0 - 1 - 2 - 3, all probability 0.5
+        let mut g = UncertainGraph::with_nodes(4);
+        g.add_edge(0, 1, 0.5).unwrap();
+        g.add_edge(1, 2, 0.5).unwrap();
+        g.add_edge(2, 3, 0.5).unwrap();
+        g
+    }
+
+    #[test]
+    fn empty_world_has_no_edges() {
+        let g = path_graph();
+        let w = World::empty(g.num_edges());
+        assert_eq!(w.num_present(), 0);
+        assert_eq!(w.connected_pairs(&g), 0);
+        let view = WorldView::new(&g, &w);
+        assert_eq!(view.num_edges(), 0);
+        assert_eq!(view.degree(1), 0);
+    }
+
+    #[test]
+    fn full_world_matches_structure() {
+        let g = path_graph();
+        let mut w = World::empty(g.num_edges());
+        for e in 0..g.num_edges() as u32 {
+            w.set(e, true);
+        }
+        assert_eq!(w.num_present(), 3);
+        assert_eq!(w.connected_pairs(&g), 6); // C(4,2)
+        let view = WorldView::new(&g, &w);
+        assert_eq!(view.degree(1), 2);
+        assert!(view.has_edge(0, 1));
+        assert!(!view.has_edge(0, 3));
+        let nbrs: Vec<NodeId> = view.neighbors(2).collect();
+        assert_eq!(nbrs, vec![1, 3]);
+    }
+
+    #[test]
+    fn partial_world_components() {
+        let g = path_graph();
+        let mut w = World::empty(g.num_edges());
+        w.set(0, true); // only 0-1
+        let mut uf = w.components(&g);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(1, 2));
+        assert_eq!(uf.num_components(), 3);
+        assert_eq!(w.connected_pairs(&g), 1);
+    }
+
+    #[test]
+    fn present_edges_iterator() {
+        let g = path_graph();
+        let mut w = World::empty(g.num_edges());
+        w.set(0, true);
+        w.set(2, true);
+        let ids: Vec<EdgeId> = w.present_edges().collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn set_and_unset() {
+        let mut w = World::empty(5);
+        w.set(3, true);
+        assert!(w.contains(3));
+        w.set(3, false);
+        assert!(!w.contains(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_world_panics() {
+        let g = path_graph();
+        let w = World::empty(99);
+        let _ = WorldView::new(&g, &w);
+    }
+
+    #[test]
+    fn world_view_accessors() {
+        let g = path_graph();
+        let w = World::empty(g.num_edges());
+        let view = WorldView::new(&g, &w);
+        assert_eq!(view.num_nodes(), 4);
+        assert_eq!(view.graph().num_edges(), 3);
+        assert_eq!(view.world().num_present(), 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Chameleon — reliability-preserving anonymization of uncertain graphs.
+//!
+//! This umbrella crate re-exports the workspace crates of the reproduction
+//! of *"Sharing Uncertain Graphs Using Syntactic Private Graph Models"*
+//! (Xiao, Eltabakh, Kong — ICDE 2018) under one roof, plus a [`prelude`]
+//! for examples and downstream users.
+//!
+//! * [`ugraph`] — uncertain graph structures, possible-world sampling,
+//!   generators and I/O.
+//! * [`stats`] — the probability toolkit (truncated normals,
+//!   Poisson–binomial degree laws, entropy, KDE).
+//! * [`reliability`] — Monte-Carlo reliability estimation, reliability
+//!   discrepancy, and structural metrics.
+//! * [`core`] — the Chameleon anonymizer (uniqueness, reliability
+//!   relevance, GenObf, the (k, ε)-obfuscation check).
+//! * [`baseline`] — the Rep-An benchmark pipeline.
+//! * [`datasets`] — synthetic DBLP/BRIGHTKITE/PPI stand-ins.
+//! * [`mining`] — downstream mining tasks (reliable kNN, reliable
+//!   clusters, influence spread) for task-level utility evaluation.
+//! * [`dp`] — the differentially-private dK-1 publication baseline from
+//!   the paper's related-work comparison.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use chameleon_baseline as baseline;
+pub use chameleon_core as core;
+pub use chameleon_datasets as datasets;
+pub use chameleon_dp as dp;
+pub use chameleon_mining as mining;
+pub use chameleon_reliability as reliability;
+pub use chameleon_stats as stats;
+pub use chameleon_ugraph as ugraph;
+
+/// Everything a typical caller needs.
+pub mod prelude {
+    pub use chameleon_baseline::{RepAn, RepAnResult, RepresentativeStrategy};
+    pub use chameleon_core::{
+        anonymity_check, AdversaryKnowledge, AnonymityReport, Chameleon, ChameleonConfig,
+        ChameleonError, Method, ObfuscationResult,
+    };
+    pub use chameleon_datasets::{brightkite_like, dblp_like, ppi_like, DatasetKind};
+    pub use chameleon_mining::{
+        greedy_seed_selection, influence_spread, reliability_knn, reliable_clusters,
+    };
+    pub use chameleon_reliability::{
+        avg_reliability_discrepancy, sample_distinct_pairs, WorldEnsemble,
+    };
+    pub use chameleon_stats::SeedSequence;
+    pub use chameleon_ugraph::{GraphBuilder, UncertainGraph, World, WorldSampler};
+}

@@ -1,0 +1,113 @@
+//! End-to-end integration: dataset generation → anonymization (all
+//! methods) → independent privacy verification → release round-trip.
+
+use chameleon::prelude::*;
+use chameleon::ugraph::builder::DedupPolicy;
+use chameleon::ugraph::io;
+
+fn test_cfg(k: usize, eps: f64) -> ChameleonConfig {
+    ChameleonConfig::builder()
+        .k(k)
+        .epsilon(eps)
+        .trials(3)
+        .num_world_samples(150)
+        .sigma_tolerance(0.1)
+        .build()
+}
+
+#[test]
+fn chameleon_pipeline_all_methods() {
+    let graph = brightkite_like(250, 11);
+    let knowledge = AdversaryKnowledge::expected_degrees(&graph);
+    for method in [Method::Rsme, Method::Rs, Method::Me] {
+        let result = Chameleon::new(test_cfg(25, 0.04))
+            .anonymize(&graph, method, 5)
+            .unwrap_or_else(|e| panic!("{method} failed: {e}"));
+        // The engine's claim must be verifiable independently.
+        let verify = anonymity_check(&result.graph, &knowledge, 25);
+        assert!(
+            verify.eps_hat <= 0.04,
+            "{method}: independent check eps-hat {} exceeds tolerance",
+            verify.eps_hat
+        );
+        assert_eq!(verify.eps_hat, result.eps_hat);
+        // Node set preserved, edge set extended only.
+        assert_eq!(result.graph.num_nodes(), graph.num_nodes());
+        assert!(result.graph.num_edges() >= graph.num_edges());
+        for (i, e) in graph.edges().iter().enumerate() {
+            let out = result.graph.edge(i as u32);
+            assert_eq!((out.u, out.v), (e.u, e.v), "edge identity must survive");
+        }
+    }
+}
+
+#[test]
+fn repan_pipeline_and_release_roundtrip() {
+    let graph = dblp_like(220, 3);
+    let repan = RepAn::new(test_cfg(10, 0.06));
+    let result = repan.anonymize(&graph, 9).expect("rep-an should succeed at k=10");
+    assert!(result.eps_hat <= 0.06);
+    // Published graph survives serialization.
+    let mut buf = Vec::new();
+    io::write_text(&result.graph, &mut buf).unwrap();
+    let loaded = io::read_text(buf.as_slice(), DedupPolicy::Reject).unwrap();
+    assert_eq!(loaded.num_nodes(), result.graph.num_nodes());
+    assert_eq!(loaded.num_edges(), result.graph.num_edges());
+    for (a, b) in loaded.edges().iter().zip(result.graph.edges()) {
+        assert!((a.p - b.p).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn utility_is_measurable_and_bounded() {
+    let graph = ppi_like(200, 21);
+    let result = Chameleon::new(test_cfg(15, 0.05))
+        .anonymize(&graph, Method::Rsme, 77)
+        .expect("rsme should succeed");
+    let seq = SeedSequence::new(2);
+    let pairs = sample_distinct_pairs(graph.num_nodes(), 300, &mut seq.rng("p"));
+    let a = WorldEnsemble::sample(&graph, 200, &mut seq.rng("a"));
+    let b = WorldEnsemble::sample(&result.graph, 200, &mut seq.rng("b"));
+    let rep = avg_reliability_discrepancy(&a, &b, &pairs);
+    assert!(rep.avg >= 0.0 && rep.avg <= 1.0);
+    assert!(rep.max <= 1.0);
+    // Average degree should stay within a factor of 3 (sanity, not paper).
+    let d0 = graph.expected_average_degree();
+    let d1 = result.graph.expected_average_degree();
+    assert!(d1 < 3.0 * d0 && d1 > d0 / 3.0, "degree blew up: {d0} -> {d1}");
+}
+
+#[test]
+fn impossible_privacy_fails_cleanly_end_to_end() {
+    let graph = brightkite_like(60, 4);
+    // k > n can never be achieved.
+    let cfg = ChameleonConfig::builder()
+        .k(100)
+        .epsilon(0.01)
+        .trials(1)
+        .num_world_samples(50)
+        .max_doublings(2)
+        .sigma_tolerance(0.2)
+        .build();
+    let err = Chameleon::new(cfg)
+        .anonymize(&graph, Method::Me, 0)
+        .unwrap_err();
+    assert!(matches!(err, ChameleonError::NoObfuscationFound { .. }));
+}
+
+#[test]
+fn published_graph_probabilities_are_valid() {
+    let graph = dblp_like(150, 8);
+    for method in [Method::Rsme, Method::Rs, Method::Me] {
+        let result = Chameleon::new(test_cfg(8, 0.05))
+            .anonymize(&graph, method, 1)
+            .unwrap();
+        for e in result.graph.edges() {
+            assert!(
+                e.p.is_finite() && (0.0..=1.0).contains(&e.p),
+                "{method}: invalid probability {}",
+                e.p
+            );
+        }
+    }
+}

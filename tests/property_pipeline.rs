@@ -1,0 +1,107 @@
+//! Property-based whole-pipeline tests: for randomly generated small
+//! uncertain graphs, anonymization either fails cleanly or returns a graph
+//! that (1) verifiably satisfies the requested (k, ε)-obfuscation,
+//! (2) preserves the node set and original edge identities, and
+//! (3) carries only valid probabilities.
+
+use chameleon::prelude::*;
+use proptest::prelude::*;
+
+fn arbitrary_graph() -> impl Strategy<Value = UncertainGraph> {
+    (
+        20usize..50,
+        proptest::collection::vec((0u32..50, 0u32..50, 0.05f64..=0.95), 20..90),
+    )
+        .prop_map(|(n, edges)| {
+            let mut builder = GraphBuilder::new(n);
+            for (u, v, p) in edges {
+                let _ = builder.add_edge(u % n as u32, v % n as u32, p);
+            }
+            builder.build()
+        })
+        .prop_filter("need at least one edge", |g| g.num_edges() > 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case runs a full anonymization; keep it lean
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn anonymization_invariants(graph in arbitrary_graph(), seed in 0u64..1000) {
+        let k = 4usize;
+        let epsilon = 0.1f64;
+        let cfg = ChameleonConfig::builder()
+            .k(k)
+            .epsilon(epsilon)
+            .trials(2)
+            .num_world_samples(60)
+            .sigma_tolerance(0.25)
+            .max_doublings(3)
+            .build();
+        let knowledge = AdversaryKnowledge::expected_degrees(&graph);
+        match Chameleon::new(cfg).anonymize(&graph, Method::Rsme, seed) {
+            Ok(result) => {
+                // (1) the guarantee holds under an independent check
+                let verify = anonymity_check(&result.graph, &knowledge, k);
+                prop_assert!(
+                    verify.eps_hat <= epsilon + 1e-12,
+                    "claimed eps-hat {} but independent check found {}",
+                    result.eps_hat,
+                    verify.eps_hat
+                );
+                // (2) node set and original edge identity preserved
+                prop_assert_eq!(result.graph.num_nodes(), graph.num_nodes());
+                prop_assert!(result.graph.num_edges() >= graph.num_edges());
+                for (i, e) in graph.edges().iter().enumerate() {
+                    let out = result.graph.edge(i as u32);
+                    prop_assert_eq!((out.u, out.v), (e.u, e.v));
+                }
+                // (3) probabilities valid
+                for e in result.graph.edges() {
+                    prop_assert!(e.p.is_finite() && (0.0..=1.0).contains(&e.p));
+                }
+                // sigma is meaningful
+                prop_assert!(result.sigma >= 0.0 && result.sigma.is_finite());
+            }
+            Err(ChameleonError::NoObfuscationFound { best_eps_hat, .. }) => {
+                // Failure must be "honest": the graph really is hard —
+                // the raw graph must not already satisfy the target.
+                let raw = anonymity_check(&graph, &knowledge, k);
+                prop_assert!(
+                    raw.eps_hat > epsilon,
+                    "engine failed (best {}) although the raw graph passes ({})",
+                    best_eps_hat,
+                    raw.eps_hat
+                );
+            }
+            Err(other) => {
+                return Err(TestCaseError::fail(format!("unexpected error: {other}")));
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip_of_releases(graph in arbitrary_graph(), seed in 0u64..50) {
+        let cfg = ChameleonConfig::builder()
+            .k(3)
+            .epsilon(0.15)
+            .trials(1)
+            .num_world_samples(40)
+            .sigma_tolerance(0.5)
+            .max_doublings(2)
+            .build();
+        if let Ok(result) = Chameleon::new(cfg).anonymize(&graph, Method::Me, seed) {
+            let mut buf = Vec::new();
+            chameleon::ugraph::io::write_text(&result.graph, &mut buf).unwrap();
+            let loaded = chameleon::ugraph::io::read_text(
+                buf.as_slice(),
+                chameleon::ugraph::builder::DedupPolicy::Reject,
+            )
+            .unwrap();
+            prop_assert_eq!(loaded.num_nodes(), result.graph.num_nodes());
+            prop_assert_eq!(loaded.num_edges(), result.graph.num_edges());
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Relabeling invariance: privacy and utility quantities must depend only
+//! on graph structure, never on node numbering. A permuted copy of a graph
+//! must produce permuted-identical analyses.
+
+use chameleon::prelude::*;
+use chameleon::core::PrivacyProfile;
+
+/// Builds a relabeled copy of `g` under `perm` (new_id = perm[old_id]).
+fn relabel(g: &UncertainGraph, perm: &[u32]) -> UncertainGraph {
+    let mut out = UncertainGraph::with_nodes(g.num_nodes());
+    for e in g.edges() {
+        out.add_edge(perm[e.u as usize], perm[e.v as usize], e.p)
+            .unwrap();
+    }
+    out
+}
+
+/// A fixed pseudo-random permutation of 0..n.
+fn permutation(n: usize, seed: u64) -> Vec<u32> {
+    use rand::seq::SliceRandom;
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut rng = SeedSequence::new(seed).rng("perm");
+    perm.shuffle(&mut rng);
+    perm
+}
+
+#[test]
+fn anonymity_check_is_relabel_invariant() {
+    let g = brightkite_like(250, 3);
+    let perm = permutation(g.num_nodes(), 1);
+    let h = relabel(&g, &perm);
+    let kg = AdversaryKnowledge::expected_degrees(&g);
+    let kh = AdversaryKnowledge::expected_degrees(&h);
+    for k in [5usize, 20, 60] {
+        let rg = anonymity_check(&g, &kg, k);
+        let rh = anonymity_check(&h, &kh, k);
+        assert_eq!(rg.unobfuscated.len(), rh.unobfuscated.len(), "k={k}");
+        assert_eq!(rg.eps_hat, rh.eps_hat);
+        // The same vertices (under the permutation) are exposed.
+        let mut mapped: Vec<u32> = rg
+            .unobfuscated
+            .iter()
+            .map(|&v| perm[v as usize])
+            .collect();
+        mapped.sort_unstable();
+        assert_eq!(mapped, rh.unobfuscated);
+    }
+}
+
+#[test]
+fn privacy_profile_is_relabel_invariant() {
+    let g = dblp_like(200, 5);
+    let perm = permutation(g.num_nodes(), 2);
+    let h = relabel(&g, &perm);
+    let pg = PrivacyProfile::compute(&g, &AdversaryKnowledge::expected_degrees(&g));
+    let ph = PrivacyProfile::compute(&h, &AdversaryKnowledge::expected_degrees(&h));
+    for (v, &hv) in pg.entropy_bits.iter().enumerate() {
+        let mapped = perm[v] as usize;
+        assert!(
+            (hv - ph.entropy_bits[mapped]).abs() < 1e-9,
+            "vertex {v} entropy {hv} vs mapped {}",
+            ph.entropy_bits[mapped]
+        );
+    }
+    for eps in [0.0, 0.02, 0.1] {
+        assert_eq!(pg.max_k_at(eps), ph.max_k_at(eps));
+    }
+}
+
+#[test]
+fn uniqueness_scores_are_relabel_invariant() {
+    use chameleon::core::uniqueness_scores;
+    let g = ppi_like(150, 7);
+    let perm = permutation(g.num_nodes(), 3);
+    let h = relabel(&g, &perm);
+    let ug = uniqueness_scores(&g);
+    let uh = uniqueness_scores(&h);
+    for (v, &s) in ug.iter().enumerate() {
+        assert!(
+            (s - uh[perm[v] as usize]).abs() < 1e-9,
+            "vertex {v}: {s} vs {}",
+            uh[perm[v] as usize]
+        );
+    }
+}

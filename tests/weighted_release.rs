@@ -1,0 +1,66 @@
+//! Integration: the weighted+probabilistic data model survives the
+//! anonymization pipeline (paper §II's road-network motivation) — weights
+//! ride along unchanged, probabilities are obfuscated, expected weighted
+//! distances stay close.
+
+use chameleon::prelude::*;
+use chameleon::ugraph::weighted::{expected_weighted_distances, WeightedUncertainGraph};
+
+fn grid(side: u32, seed: u64) -> (UncertainGraph, Vec<f64>) {
+    let n = (side * side) as usize;
+    let mut g = UncertainGraph::with_nodes(n);
+    let mut weights = Vec::new();
+    let seq = SeedSequence::new(seed);
+    let mut rng = seq.rng("grid");
+    use rand::Rng;
+    let idx = |r: u32, c: u32| r * side + c;
+    for r in 0..side {
+        for c in 0..side {
+            if c + 1 < side {
+                g.add_edge(idx(r, c), idx(r, c + 1), 0.5 + 0.45 * rng.gen::<f64>())
+                    .unwrap();
+                weights.push(1.0 + rng.gen::<f64>());
+            }
+            if r + 1 < side {
+                g.add_edge(idx(r, c), idx(r + 1, c), 0.5 + 0.45 * rng.gen::<f64>())
+                    .unwrap();
+                weights.push(1.0 + rng.gen::<f64>());
+            }
+        }
+    }
+    (g, weights)
+}
+
+#[test]
+fn weighted_pipeline_preserves_travel_times() {
+    let (g, weights) = grid(8, 3);
+    let roads = WeightedUncertainGraph::new(g.clone(), weights);
+    let cfg = ChameleonConfig::builder()
+        .k(8)
+        .epsilon(0.05)
+        .trials(2)
+        .num_world_samples(80)
+        .sigma_tolerance(0.2)
+        .build();
+    let release = Chameleon::new(cfg)
+        .anonymize(&g, Method::Rsme, 5)
+        .expect("grid anonymizes");
+
+    // Weights transfer: shared prefix identical, injected edges defaulted.
+    let published = roads.with_published(release.graph.clone(), 2.0);
+    assert_eq!(published.weights().len(), release.graph.num_edges());
+    for e in 0..g.num_edges() as u32 {
+        assert_eq!(published.weight(e), roads.weight(e));
+    }
+
+    // Expected travel times stay in the same ballpark.
+    let seq = SeedSequence::new(9);
+    let sources = [0u32, 27, 63];
+    let worlds_a = WorldSampler::sample_many(&g, 60, &mut seq.rng("a"));
+    let worlds_b = WorldSampler::sample_many(&release.graph, 60, &mut seq.rng("b"));
+    let before = expected_weighted_distances(&roads, &worlds_a, &sources);
+    let after = expected_weighted_distances(&published, &worlds_b, &sources);
+    assert!(before.mean_distance > 0.0);
+    let rel = (after.mean_distance - before.mean_distance).abs() / before.mean_distance;
+    assert!(rel < 0.5, "travel time drifted {rel:.2}x");
+}
