@@ -22,6 +22,7 @@ fn tiny() -> ExperimentConfig {
         k_values: vec![8],
         epsilon: 0.08,
         trials: 2,
+        threads: 1,
     }
 }
 

@@ -1,0 +1,175 @@
+//! Perf snapshot for the deterministic-parallelism PR: times the three
+//! Monte-Carlo hot paths (world sampling + per-world analysis, the ERR
+//! estimator, and the anonymity check) at 1 thread and at all hardware
+//! threads on a fixed synthetic graph, and writes the numbers to
+//! `BENCH_PR1.json` so later PRs can track the perf trajectory.
+//!
+//! The same chunked algorithms run at every thread count, so the two
+//! configurations produce bit-identical results — this binary asserts
+//! that before reporting timings.
+//!
+//! Usage: `perf_pr1 [--scale N] [--worlds W] [--reps R] [--out PATH]`
+
+use chameleon_bench::{Args, ExperimentConfig};
+use chameleon_core::{anonymity_check_threads, edge_reliability_relevance_threads};
+use chameleon_core::AdversaryKnowledge;
+use chameleon_datasets::DatasetKind;
+use chameleon_reliability::WorldEnsemble;
+use chameleon_stats::parallel;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median-of-`reps` wall-clock seconds for `f`.
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct Site {
+    name: &'static str,
+    serial_s: f64,
+    parallel_s: f64,
+}
+
+impl Site {
+    fn speedup(&self) -> f64 {
+        if self.parallel_s > 0.0 {
+            self.serial_s / self.parallel_s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = ExperimentConfig::from_args(&args);
+    cfg.scale = args.get("scale", 800usize);
+    cfg.worlds = args.get("worlds", 500usize);
+    let reps: usize = args.get("reps", 3usize);
+    let out: String = args.get("out", "BENCH_PR1.json".to_string());
+
+    let all_threads = parallel::available_threads();
+    let g = chameleon_bench::build_dataset(DatasetKind::Brightkite, &cfg);
+    let knowledge = AdversaryKnowledge::expected_degrees(&g);
+    let k = (cfg.scale / 10).max(2);
+    println!(
+        "== perf_pr1: n={} m={} worlds={} threads=1 vs {} (reps={}) ==",
+        g.num_nodes(),
+        g.num_edges(),
+        cfg.worlds,
+        all_threads,
+        reps
+    );
+
+    // Determinism spot-check before timing anything: both thread counts
+    // must produce bit-identical outputs.
+    let ens_1 = WorldEnsemble::sample_seeded(&g, cfg.worlds, cfg.seed, 1);
+    let ens_p = WorldEnsemble::sample_seeded(&g, cfg.worlds, cfg.seed, all_threads);
+    let err_1 = edge_reliability_relevance_threads(&g, &ens_1, 1);
+    let err_p = edge_reliability_relevance_threads(&g, &ens_p, all_threads);
+    assert_eq!(err_1, err_p, "parallel ERR diverged from serial");
+    let chk_1 = anonymity_check_threads(&g, &knowledge, k, 1);
+    let chk_p = anonymity_check_threads(&g, &knowledge, k, all_threads);
+    assert_eq!(
+        chk_1.eps_hat.to_bits(),
+        chk_p.eps_hat.to_bits(),
+        "parallel anonymity check diverged from serial"
+    );
+    drop(ens_p);
+
+    let sampling = Site {
+        name: "world_sampling",
+        serial_s: time_median(reps, || {
+            let e = WorldEnsemble::sample_seeded(&g, cfg.worlds, cfg.seed, 1);
+            assert_eq!(e.len(), cfg.worlds);
+        }),
+        parallel_s: time_median(reps, || {
+            let e = WorldEnsemble::sample_seeded(&g, cfg.worlds, cfg.seed, all_threads);
+            assert_eq!(e.len(), cfg.worlds);
+        }),
+    };
+    let err = Site {
+        name: "edge_reliability_relevance",
+        serial_s: time_median(reps, || {
+            let e = edge_reliability_relevance_threads(&g, &ens_1, 1);
+            assert_eq!(e.len(), g.num_edges());
+        }),
+        parallel_s: time_median(reps, || {
+            let e = edge_reliability_relevance_threads(&g, &ens_1, all_threads);
+            assert_eq!(e.len(), g.num_edges());
+        }),
+    };
+    let check = Site {
+        name: "anonymity_check",
+        serial_s: time_median(reps, || {
+            let r = anonymity_check_threads(&g, &knowledge, k, 1);
+            assert!(r.eps_hat.is_finite());
+        }),
+        parallel_s: time_median(reps, || {
+            let r = anonymity_check_threads(&g, &knowledge, k, all_threads);
+            assert!(r.eps_hat.is_finite());
+        }),
+    };
+
+    let worlds_per_sec_serial = cfg.worlds as f64 / sampling.serial_s;
+    let worlds_per_sec_parallel = cfg.worlds as f64 / sampling.parallel_s;
+    for site in [&sampling, &err, &check] {
+        println!(
+            "{:<28} serial {:.4}s  parallel({} threads) {:.4}s  speedup {:.2}x",
+            site.name,
+            site.serial_s,
+            all_threads,
+            site.parallel_s,
+            site.speedup()
+        );
+    }
+    println!(
+        "world sampling throughput: {worlds_per_sec_serial:.1} worlds/s (1 thread), \
+         {worlds_per_sec_parallel:.1} worlds/s ({all_threads} threads)"
+    );
+
+    // Hand-rolled JSON — the workspace carries no serialization dependency.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"PR1 deterministic parallel hot path\",");
+    let _ = writeln!(json, "  \"hardware_threads\": {all_threads},");
+    let _ = writeln!(json, "  \"scale\": {},", cfg.scale);
+    let _ = writeln!(json, "  \"edges\": {},", g.num_edges());
+    let _ = writeln!(json, "  \"worlds\": {},", cfg.worlds);
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"worlds_sampled_per_sec\": {{ \"serial\": {worlds_per_sec_serial:.2}, \"parallel\": {worlds_per_sec_parallel:.2} }},"
+    );
+    for (i, site) in [&sampling, &err, &check].into_iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "  \"{}\": {{ \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \"threads\": {}, \"speedup\": {:.3} }}{}",
+            site.name,
+            site.serial_s,
+            site.parallel_s,
+            all_threads,
+            site.speedup(),
+            if i < 2 { "," } else { "" }
+        );
+    }
+    json.push_str("}\n");
+
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("(json written to {out})"),
+        Err(e) => eprintln!("warning: could not write {out}: {e}"),
+    }
+    if all_threads < 4 {
+        println!(
+            "note: only {all_threads} hardware thread(s) available — speedups at this core \
+             count do not reflect the parallel layer's headroom"
+        );
+    }
+}

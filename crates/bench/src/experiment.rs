@@ -68,6 +68,8 @@ pub struct ExperimentConfig {
     pub epsilon: f64,
     /// GenObf trials per σ.
     pub trials: usize,
+    /// Worker threads for the Monte-Carlo hot paths (`0` = all cores).
+    pub threads: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -82,6 +84,7 @@ impl Default for ExperimentConfig {
             k_values: vec![40, 80, 100],
             epsilon: 0.05,
             trials: 5,
+            threads: 0,
         }
     }
 }
@@ -111,6 +114,7 @@ impl ExperimentConfig {
             k_values: args.get_list("k", default_ks),
             epsilon: args.get("epsilon", d.epsilon),
             trials: args.get("trials", d.trials),
+            threads: args.get("threads", d.threads),
         }
     }
 
@@ -122,6 +126,7 @@ impl ExperimentConfig {
             .trials(self.trials)
             .num_world_samples(self.worlds)
             .sigma_tolerance(0.05)
+            .num_threads(self.threads)
             .build()
     }
 }
@@ -261,6 +266,7 @@ mod tests {
             k_values: vec![3],
             epsilon: 0.1,
             trials: 2,
+            threads: 1,
         }
     }
 

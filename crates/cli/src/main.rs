@@ -7,7 +7,9 @@
 //! chameleon check     <graph.txt> --k K [--epsilon E] [--original orig.txt]
 //!                     [--tolerance T]   # adversary knows degree only up to ±T
 //! chameleon anonymize <in.txt> <out.txt> --k K [--epsilon E] [--method RSME|RS|ME|REPAN]
-//!                     [--seed S] [--worlds N] [--trials T]
+//!                     [--seed S] [--worlds N] [--trials T] [--threads T]
+//!                     # --threads 0 (default) uses all cores; results are
+//!                     # bit-identical for every thread count
 //! chameleon attack    <graph.txt> [--original orig.txt] [--candidates C]
 //! chameleon profile   <graph.txt> [--original orig.txt] [--top T]
 //! chameleon compare   <a.txt> <b.txt> [--worlds N] [--pairs P] [--seed S]
@@ -158,11 +160,13 @@ fn cmd_anonymize(cli: &Cli) -> Result<(), String> {
     let seed: u64 = cli.get("seed", 42u64)?;
     let worlds: usize = cli.get("worlds", 500usize)?;
     let trials: usize = cli.get("trials", 5usize)?;
+    let threads: usize = cli.get("threads", 0usize)?;
     let config = ChameleonConfig::builder()
         .k(k)
         .epsilon(epsilon)
         .num_world_samples(worlds)
         .trials(trials)
+        .num_threads(threads)
         .build();
     let (published, sigma, eps_hat) = if method.eq_ignore_ascii_case("repan") {
         let r = RepAn::new(config).anonymize(&graph, seed).map_err(|e| e.to_string())?;

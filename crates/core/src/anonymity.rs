@@ -19,10 +19,21 @@
 //! §3); for a deterministic original it is the plain degree — both are
 //! covered by [`AdversaryKnowledge`].
 
+use chameleon_stats::parallel;
 use chameleon_stats::poisson_binomial::pmf_truncated;
 use chameleon_stats::shannon_entropy_bits;
 use chameleon_ugraph::{NodeId, UncertainGraph};
 use std::collections::HashMap;
+
+/// Builds the per-vertex truncated degree pmfs — the dominant cost of the
+/// anonymity check — on up to `threads` worker threads. Each vertex's pmf
+/// is a pure function of its incident probabilities, so the output is
+/// identical for every thread count.
+fn degree_pmfs(published: &UncertainGraph, omega_max: usize, threads: usize) -> Vec<Vec<f64>> {
+    parallel::map_items(published.num_nodes(), threads, |v| {
+        pmf_truncated(&published.incident_probs(v as u32), omega_max)
+    })
+}
 
 /// The adversary's background knowledge: one property value per vertex of
 /// the original graph (paper: "The popular assumption of auxiliary
@@ -124,6 +135,22 @@ pub fn anonymity_check_tolerant(
     k: usize,
     tolerance: u32,
 ) -> AnonymityReport {
+    anonymity_check_tolerant_threads(published, knowledge, k, tolerance, 1)
+}
+
+/// [`anonymity_check_tolerant`] with the degree-pmf construction spread
+/// over up to `threads` worker threads (`0` = all hardware threads). The
+/// report is identical for every thread count.
+///
+/// # Panics
+/// Same contract as [`anonymity_check`].
+pub fn anonymity_check_tolerant_threads(
+    published: &UncertainGraph,
+    knowledge: &AdversaryKnowledge,
+    k: usize,
+    tolerance: u32,
+    threads: usize,
+) -> AnonymityReport {
     assert!(k >= 1, "k must be at least 1");
     let n = published.num_nodes();
     assert_eq!(
@@ -141,9 +168,7 @@ pub fn anonymity_check_tolerant(
     }
     let omega_max =
         knowledge.targets().iter().copied().max().unwrap_or(0) as usize + tolerance as usize;
-    let pmfs: Vec<Vec<f64>> = (0..n as u32)
-        .map(|v| pmf_truncated(&published.incident_probs(v), omega_max))
-        .collect();
+    let pmfs = degree_pmfs(published, omega_max, threads);
     let mut entropy_by_omega: HashMap<u32, f64> = HashMap::new();
     for &omega in knowledge.targets() {
         entropy_by_omega.entry(omega).or_insert(f64::NAN);
@@ -189,6 +214,22 @@ pub fn anonymity_check(
     knowledge: &AdversaryKnowledge,
     k: usize,
 ) -> AnonymityReport {
+    anonymity_check_threads(published, knowledge, k, 1)
+}
+
+/// [`anonymity_check`] with the degree-pmf construction spread over up to
+/// `threads` worker threads (`0` = all hardware threads). The report is
+/// identical for every thread count: the pmfs are pure per-vertex
+/// computations and the entropy sweep stays serial.
+///
+/// # Panics
+/// Same contract as [`anonymity_check`].
+pub fn anonymity_check_threads(
+    published: &UncertainGraph,
+    knowledge: &AdversaryKnowledge,
+    k: usize,
+    threads: usize,
+) -> AnonymityReport {
     assert!(k >= 1, "k must be at least 1");
     let n = published.num_nodes();
     assert_eq!(
@@ -207,9 +248,7 @@ pub fn anonymity_check(
     let omega_max = knowledge.targets().iter().copied().max().unwrap_or(0) as usize;
     // Per-vertex degree pmf, truncated at ω_max (values above are never
     // queried).
-    let pmfs: Vec<Vec<f64>> = (0..n as u32)
-        .map(|v| pmf_truncated(&published.incident_probs(v), omega_max))
-        .collect();
+    let pmfs = degree_pmfs(published, omega_max, threads);
     // Distinct adversary values.
     let mut entropy_by_omega: HashMap<u32, f64> = HashMap::new();
     for &omega in knowledge.targets() {
@@ -368,6 +407,32 @@ mod tests {
         let g = matching(1, 0.5);
         let knowledge = AdversaryKnowledge::expected_degrees(&g);
         let _ = anonymity_check(&g, &knowledge, 0);
+    }
+
+    #[test]
+    fn threaded_check_is_thread_count_invariant() {
+        let mut g = UncertainGraph::with_nodes(30);
+        for v in 1..30u32 {
+            g.add_edge(0, v, 0.4).unwrap();
+            g.add_edge(v, (v % 29) + 1, 0.6).unwrap();
+        }
+        let knowledge = AdversaryKnowledge::expected_degrees(&g);
+        let serial = anonymity_check_threads(&g, &knowledge, 4, 1);
+        let serial_tol = anonymity_check_tolerant_threads(&g, &knowledge, 4, 1, 1);
+        for threads in [2, 4, 8] {
+            let par = anonymity_check_threads(&g, &knowledge, 4, threads);
+            assert_eq!(serial.unobfuscated, par.unobfuscated);
+            assert_eq!(serial.eps_hat.to_bits(), par.eps_hat.to_bits());
+            for (omega, h) in &serial.entropy_by_omega {
+                assert_eq!(h.to_bits(), par.entropy_by_omega[omega].to_bits());
+            }
+            let par_tol = anonymity_check_tolerant_threads(&g, &knowledge, 4, 1, threads);
+            assert_eq!(serial_tol.unobfuscated, par_tol.unobfuscated);
+            assert_eq!(serial_tol.eps_hat.to_bits(), par_tol.eps_hat.to_bits());
+        }
+        // The plain entry points are exactly the 1-thread variants.
+        let plain = anonymity_check(&g, &knowledge, 4);
+        assert_eq!(plain.unobfuscated, serial.unobfuscated);
     }
 
     #[test]

@@ -1,17 +1,17 @@
 //! The Chameleon anonymization driver: GenObf (paper Algorithm 3) wrapped
 //! in the σ binary-search skeleton (paper Algorithm 1).
 
-use crate::anonymity::{anonymity_check, AdversaryKnowledge, AnonymityReport};
+use crate::anonymity::{anonymity_check_threads, AdversaryKnowledge, AnonymityReport};
 use crate::candidate::{select_candidates, VertexSampler};
 use crate::config::ChameleonConfig;
 use crate::method::Method;
 use crate::perturb::draw_noise;
 use crate::relevance::{
-    edge_reliability_relevance, min_max_normalize, vertex_reliability_relevance,
+    edge_reliability_relevance_threads, min_max_normalize, vertex_reliability_relevance,
 };
 use crate::uniqueness::uniqueness_scores_scaled;
 use chameleon_reliability::WorldEnsemble;
-use chameleon_stats::SeedSequence;
+use chameleon_stats::{parallel, SeedSequence};
 use chameleon_ugraph::{NodeId, UncertainGraph};
 use std::collections::HashSet;
 
@@ -140,15 +140,19 @@ impl Chameleon {
             return Err(ChameleonError::DegenerateInput("graph has no edges".into()));
         }
         let seq = SeedSequence::new(seed);
+        let threads = parallel::resolve_threads(self.config.num_threads);
         let knowledge = AdversaryKnowledge::expected_degrees(graph);
 
         // ---- Lines 1–2 of Algorithm 3, hoisted: invariants of the input.
         let uniq = uniqueness_scores_scaled(graph, self.config.bandwidth_scale);
         let vrr = if method.reliability_oriented() {
-            let mut rng = seq.rng("relevance-ensemble");
-            let ensemble =
-                WorldEnsemble::sample(graph, self.config.num_world_samples, &mut rng);
-            let err = edge_reliability_relevance(graph, &ensemble);
+            let ensemble = WorldEnsemble::sample_seeded(
+                graph,
+                self.config.num_world_samples,
+                seq.derive("relevance-ensemble"),
+                threads,
+            );
+            let err = edge_reliability_relevance_threads(graph, &ensemble, threads);
             vertex_reliability_relevance(graph, &err)
         } else {
             Vec::new()
@@ -284,50 +288,73 @@ impl Chameleon {
         let call_idx = *calls as u64;
         *calls += 1;
         let cfg = &self.config;
+        let threads = parallel::resolve_threads(cfg.num_threads);
         let sampler = VertexSampler::new(selection, excluded);
         let strategy = method.perturbation();
-        let mut best: Option<(f64, UncertainGraph, AnonymityReport)> = None;
-        let mut eps_nearest = 1.0f64;
-        for trial in 0..cfg.trials {
-            let mut rng = seq.rng_indexed("genobf-trial", call_idx * 1000 + trial as u64);
-            // Edge selection (lines 9–16).
-            let candidates = select_candidates(graph, &sampler, cfg.size_multiplier, &mut rng);
-            if candidates.is_empty() {
-                continue;
-            }
-            // Noise budgets (σ(e) ∝ Q^e, mean σ(e) = σ; §V-E).
-            let q_edge: Vec<f64> = candidates
-                .iter()
-                .map(|c| 0.5 * (selection[c.u as usize] + selection[c.v as usize]))
-                .collect();
-            let q_sum: f64 = q_edge.iter().sum();
-            let q_mean = if q_sum > 0.0 {
-                q_sum / candidates.len() as f64
-            } else {
-                1.0
-            };
-            // Perturbation (lines 17–23).
-            let mut perturbed = graph.clone();
-            for (cand, &qe) in candidates.iter().zip(&q_edge) {
-                let sigma_e = if q_sum > 0.0 {
-                    (sigma * qe / q_mean).clamp(1e-9, 3.0)
+        // When trials run concurrently, the per-trial anonymity check runs
+        // single-threaded (nested fan-out would oversubscribe the pool);
+        // with a single trial the check gets the whole budget instead. The
+        // report is thread-count-invariant either way.
+        let check_threads = if threads.min(cfg.trials) > 1 { 1 } else { threads };
+        // Trials are independent: each owns the RNG stream
+        // (seed, "genobf-trial", call_idx, trial), so they can run in any
+        // order on any number of threads and still reproduce the serial
+        // result exactly. The (call, trial) pair seeds via
+        // `rng_indexed2` — the flattened `call·1000 + trial` form used
+        // previously collides once a config asks for ≥ 1000 trials.
+        let outcomes: Vec<(f64, Option<(UncertainGraph, AnonymityReport)>)> =
+            parallel::map_items(cfg.trials, threads, |trial| {
+                let mut rng = seq.rng_indexed2("genobf-trial", call_idx, trial as u64);
+                // Edge selection (lines 9–16).
+                let candidates =
+                    select_candidates(graph, &sampler, cfg.size_multiplier, &mut rng);
+                if candidates.is_empty() {
+                    return (1.0, None);
+                }
+                // Noise budgets (σ(e) ∝ Q^e, mean σ(e) = σ; §V-E).
+                let q_edge: Vec<f64> = candidates
+                    .iter()
+                    .map(|c| 0.5 * (selection[c.u as usize] + selection[c.v as usize]))
+                    .collect();
+                let q_sum: f64 = q_edge.iter().sum();
+                let q_mean = if q_sum > 0.0 {
+                    q_sum / candidates.len() as f64
                 } else {
-                    sigma.clamp(1e-9, 3.0)
+                    1.0
                 };
-                let r = draw_noise(sigma_e, cfg.white_noise, &mut rng);
-                let p_new = strategy.apply(cand.p, r, &mut rng);
-                match cand.existing {
-                    Some(e) => perturbed.set_prob(e, p_new).expect("edge exists"),
-                    None => {
-                        perturbed
-                            .add_edge(cand.u, cand.v, p_new)
-                            .expect("candidate was a non-edge");
+                // Perturbation (lines 17–23).
+                let mut perturbed = graph.clone();
+                for (cand, &qe) in candidates.iter().zip(&q_edge) {
+                    let sigma_e = if q_sum > 0.0 {
+                        (sigma * qe / q_mean).clamp(1e-9, 3.0)
+                    } else {
+                        sigma.clamp(1e-9, 3.0)
+                    };
+                    let r = draw_noise(sigma_e, cfg.white_noise, &mut rng);
+                    let p_new = strategy.apply(cand.p, r, &mut rng);
+                    match cand.existing {
+                        Some(e) => perturbed.set_prob(e, p_new).expect("edge exists"),
+                        None => {
+                            perturbed
+                                .add_edge(cand.u, cand.v, p_new)
+                                .expect("candidate was a non-edge");
+                        }
                     }
                 }
-            }
-            // Anonymity check (line 24).
-            let report = anonymity_check(&perturbed, knowledge, cfg.k);
-            eps_nearest = eps_nearest.min(report.eps_hat);
+                // Anonymity check (line 24).
+                let report = anonymity_check_threads(&perturbed, knowledge, cfg.k, check_threads);
+                (report.eps_hat, Some((perturbed, report)))
+            });
+        // Fold in trial order with strict-improvement selection: the
+        // winner is the first trial attaining the minimal passing ε̂,
+        // exactly as a serial loop over trials would pick.
+        let mut best: Option<(f64, UncertainGraph, AnonymityReport)> = None;
+        let mut eps_nearest = 1.0f64;
+        for (eps_observed, trial_result) in outcomes {
+            eps_nearest = eps_nearest.min(eps_observed);
+            let Some((perturbed, report)) = trial_result else {
+                continue;
+            };
             if report.eps_hat <= cfg.epsilon {
                 let better = best
                     .as_ref()
@@ -405,6 +432,8 @@ fn prepare_selection(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::anonymity::anonymity_check;
+    use crate::relevance::edge_reliability_relevance;
     use chameleon_ugraph::generators;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -465,6 +494,34 @@ mod tests {
         for (x, y) in a.graph.edges().iter().zip(b.graph.edges()) {
             assert_eq!((x.u, x.v), (y.u, y.v));
             assert!((x.p - y.p).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let g = test_graph(12);
+        let base = quick_config(6);
+        let serial_cfg = ChameleonConfig {
+            num_threads: 1,
+            ..base.clone()
+        };
+        let serial = Chameleon::new(serial_cfg)
+            .anonymize(&g, Method::Rsme, 17)
+            .unwrap();
+        for threads in [2, 8] {
+            let cfg = ChameleonConfig {
+                num_threads: threads,
+                ..base.clone()
+            };
+            let par = Chameleon::new(cfg).anonymize(&g, Method::Rsme, 17).unwrap();
+            assert_eq!(serial.sigma.to_bits(), par.sigma.to_bits());
+            assert_eq!(serial.eps_hat.to_bits(), par.eps_hat.to_bits());
+            assert_eq!(serial.genobf_calls, par.genobf_calls);
+            assert_eq!(serial.graph.num_edges(), par.graph.num_edges());
+            for (a, b) in serial.graph.edges().iter().zip(par.graph.edges()) {
+                assert_eq!((a.u, a.v), (b.u, b.v));
+                assert_eq!(a.p.to_bits(), b.p.to_bits());
+            }
         }
     }
 

@@ -33,6 +33,11 @@ pub struct ChameleonConfig {
     /// Uniqueness-bandwidth scale: θ = `bandwidth_scale`·σ_G (the paper's
     /// §V-C choice is 1.0; exposed for ablation).
     pub bandwidth_scale: f64,
+    /// Worker threads for the Monte-Carlo hot paths (world sampling, ERR
+    /// estimation, anonymity checks, GenObf trials). `0` uses all hardware
+    /// threads. Results are bit-identical for every value — `1` runs the
+    /// same chunked algorithms without thread machinery.
+    pub num_threads: usize,
 }
 
 impl Default for ChameleonConfig {
@@ -48,6 +53,7 @@ impl Default for ChameleonConfig {
             sigma_tolerance: 0.05,
             max_doublings: 6,
             bandwidth_scale: 1.0,
+            num_threads: 0,
         }
     }
 }
@@ -156,6 +162,10 @@ impl ChameleonConfigBuilder {
         /// Sets the uniqueness-bandwidth scale (ablation; paper uses 1).
         bandwidth_scale: f64
     );
+    setter!(
+        /// Sets the worker-thread count (`0` = all hardware threads).
+        num_threads: usize
+    );
 
     /// Finalizes the configuration.
     ///
@@ -191,11 +201,19 @@ mod tests {
             .trials(3)
             .num_world_samples(200)
             .sigma_tolerance(0.1)
+            .num_threads(2)
             .build();
         assert_eq!(c.k, 50);
         assert_eq!(c.trials, 3);
         assert_eq!(c.num_world_samples, 200);
+        assert_eq!(c.num_threads, 2);
         assert!((c.epsilon - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn threads_default_to_auto() {
+        assert_eq!(ChameleonConfig::default().num_threads, 0);
+        assert!(ChameleonConfig::default().validate().is_ok());
     }
 
     #[test]

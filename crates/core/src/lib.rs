@@ -62,12 +62,17 @@ pub mod profile;
 pub mod relevance;
 pub mod uniqueness;
 
-pub use anonymity::{anonymity_check, anonymity_check_tolerant, AdversaryKnowledge, AnonymityReport};
+pub use anonymity::{
+    anonymity_check, anonymity_check_threads, anonymity_check_tolerant,
+    anonymity_check_tolerant_threads, AdversaryKnowledge, AnonymityReport,
+};
 pub use attack::{simulate_degree_attack, AttackReport};
 pub use chameleon::{Chameleon, ChameleonError, ObfuscationResult};
 pub use config::{ChameleonConfig, ChameleonConfigBuilder};
 pub use method::Method;
 pub use perturb::PerturbStrategy;
 pub use profile::PrivacyProfile;
-pub use relevance::{edge_reliability_relevance, vertex_reliability_relevance};
+pub use relevance::{
+    edge_reliability_relevance, edge_reliability_relevance_threads, vertex_reliability_relevance,
+};
 pub use uniqueness::uniqueness_scores;

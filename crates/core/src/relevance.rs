@@ -20,8 +20,15 @@
 //! expected reliability impact of perturbing around `u`.
 
 use chameleon_reliability::WorldEnsemble;
+use chameleon_stats::parallel;
 use chameleon_ugraph::UncertainGraph;
 use rand::Rng;
+
+/// Worlds per accumulation chunk for the parallel ERR estimators. Partial
+/// sums are computed per chunk and folded in chunk order, so results are
+/// bit-identical at any thread count; changing this constant regroups the
+/// floating-point accumulation and may shift results by ulps.
+const ERR_WORLD_CHUNK: usize = 64;
 
 /// Estimates `ERR^e` for every edge via the paper-faithful reused-sampling
 /// estimator (paper Algorithm 2) over a pre-built ensemble.
@@ -48,18 +55,46 @@ pub fn edge_reliability_relevance_alg2(
     graph: &UncertainGraph,
     ensemble: &WorldEnsemble,
 ) -> Vec<f64> {
+    edge_reliability_relevance_alg2_threads(graph, ensemble, 1)
+}
+
+/// [`edge_reliability_relevance_alg2`] on up to `threads` worker threads
+/// (`0` = all hardware threads).
+///
+/// Worlds are accumulated in fixed chunks of worlds whose partial sums are
+/// folded in chunk order, so the result is bit-identical for every
+/// `threads` value.
+pub fn edge_reliability_relevance_alg2_threads(
+    graph: &UncertainGraph,
+    ensemble: &WorldEnsemble,
+    threads: usize,
+) -> Vec<f64> {
     let m = graph.num_edges();
     let n_worlds = ensemble.len();
+    let partials = parallel::map_chunks(n_worlds, ERR_WORLD_CHUNK, threads, |_, range| {
+        let mut cc_with = vec![0.0f64; m];
+        let mut count_with = vec![0u32; m];
+        let mut cc_total = 0.0f64;
+        for w in range {
+            let world = &ensemble.worlds()[w];
+            let cc = ensemble.connected_pairs(w) as f64;
+            cc_total += cc;
+            for e in world.present_edges() {
+                cc_with[e as usize] += cc;
+                count_with[e as usize] += 1;
+            }
+        }
+        (cc_with, count_with, cc_total)
+    });
     let mut cc_with = vec![0.0f64; m];
     let mut count_with = vec![0u32; m];
     let mut cc_total = 0.0f64;
-    for (w, world) in ensemble.worlds().iter().enumerate() {
-        let cc = ensemble.connected_pairs(w) as f64;
-        cc_total += cc;
-        for e in world.present_edges() {
-            cc_with[e as usize] += cc;
-            count_with[e as usize] += 1;
+    for (part_cc_with, part_count, part_total) in partials {
+        for e in 0..m {
+            cc_with[e] += part_cc_with[e];
+            count_with[e] += part_count[e];
         }
+        cc_total += part_total;
     }
     let mut err = Vec::with_capacity(m);
     for e in 0..m {
@@ -102,21 +137,47 @@ pub fn edge_reliability_relevance_alg2(
 /// samples and return 0, matching [`edge_reliability_relevance_alg2`]'s
 /// convention for deterministic edges.
 pub fn edge_reliability_relevance(graph: &UncertainGraph, ensemble: &WorldEnsemble) -> Vec<f64> {
+    edge_reliability_relevance_threads(graph, ensemble, 1)
+}
+
+/// [`edge_reliability_relevance`] on up to `threads` worker threads
+/// (`0` = all hardware threads).
+///
+/// Per-edge sums and sample counts are accumulated per fixed chunk of
+/// worlds and the partials folded in chunk order, so the result is
+/// bit-identical for every `threads` value.
+pub fn edge_reliability_relevance_threads(
+    graph: &UncertainGraph,
+    ensemble: &WorldEnsemble,
+    threads: usize,
+) -> Vec<f64> {
     let m = graph.num_edges();
+    let partials = parallel::map_chunks(ensemble.len(), ERR_WORLD_CHUNK, threads, |_, range| {
+        let mut sum = vec![0.0f64; m];
+        let mut count = vec![0u32; m];
+        for w in range {
+            let world = &ensemble.worlds()[w];
+            let labels = ensemble.labels(w);
+            let sizes = ensemble.component_sizes(w);
+            for (idx, edge) in graph.edges().iter().enumerate() {
+                if world.contains(idx as u32) {
+                    continue;
+                }
+                count[idx] += 1;
+                let (lu, lv) = (labels[edge.u as usize], labels[edge.v as usize]);
+                if lu != lv {
+                    sum[idx] += sizes[lu as usize] as f64 * sizes[lv as usize] as f64;
+                }
+            }
+        }
+        (sum, count)
+    });
     let mut sum = vec![0.0f64; m];
     let mut count = vec![0u32; m];
-    for (w, world) in ensemble.worlds().iter().enumerate() {
-        let labels = ensemble.labels(w);
-        let sizes = ensemble.component_sizes(w);
-        for (idx, edge) in graph.edges().iter().enumerate() {
-            if world.contains(idx as u32) {
-                continue;
-            }
-            count[idx] += 1;
-            let (lu, lv) = (labels[edge.u as usize], labels[edge.v as usize]);
-            if lu != lv {
-                sum[idx] += sizes[lu as usize] as f64 * sizes[lv as usize] as f64;
-            }
+    for (part_sum, part_count) in partials {
+        for e in 0..m {
+            sum[e] += part_sum[e];
+            count[e] += part_count[e];
         }
     }
     (0..m)
@@ -351,6 +412,28 @@ mod tests {
         assert!((n[0] - 0.0).abs() < 1e-15);
         assert!((n[1] - 0.5).abs() < 1e-15);
         assert!((n[2] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn threaded_estimators_are_bitwise_thread_count_invariant() {
+        let g = two_clusters();
+        let mut rng = StdRng::seed_from_u64(20);
+        // A world count straddling several accumulation chunks, with a
+        // ragged tail.
+        let ens = WorldEnsemble::sample(&g, 3 * super::ERR_WORLD_CHUNK + 11, &mut rng);
+        let coupled_1 = edge_reliability_relevance_threads(&g, &ens, 1);
+        let alg2_1 = edge_reliability_relevance_alg2_threads(&g, &ens, 1);
+        for threads in [2, 4, 8] {
+            let coupled_n = edge_reliability_relevance_threads(&g, &ens, threads);
+            let alg2_n = edge_reliability_relevance_alg2_threads(&g, &ens, threads);
+            for e in 0..g.num_edges() {
+                assert_eq!(coupled_1[e].to_bits(), coupled_n[e].to_bits());
+                assert_eq!(alg2_1[e].to_bits(), alg2_n[e].to_bits());
+            }
+        }
+        // The serial entry points are exactly the 1-thread variants.
+        assert_eq!(edge_reliability_relevance(&g, &ens), coupled_1);
+        assert_eq!(edge_reliability_relevance_alg2(&g, &ens), alg2_1);
     }
 
     #[test]

@@ -1,8 +1,17 @@
 //! World ensembles: a fixed set of sampled possible worlds with cached
 //! connectivity structure.
 
+use chameleon_stats::parallel;
+use chameleon_stats::SeedSequence;
 use chameleon_ugraph::{NodeId, UncertainGraph, World, WorldSampler};
 use rand::Rng;
+
+/// Fixed number of worlds per sampling/analysis chunk. Chunk boundaries
+/// (and the per-chunk RNG streams of [`WorldEnsemble::sample_seeded`])
+/// depend only on this constant and the world count, never on the thread
+/// count — that is what makes parallel ensembles bit-identical to serial
+/// ones. Changing it changes which worlds a given seed produces.
+pub const WORLD_CHUNK: usize = 32;
 
 /// A Monte-Carlo ensemble of possible worlds of one uncertain graph, with
 /// per-world component labels and connected-pair counts cached.
@@ -28,6 +37,28 @@ impl WorldEnsemble {
         Self::from_worlds(graph, worlds)
     }
 
+    /// Samples `n` worlds from a seed, using up to `threads` worker
+    /// threads (`0` = all hardware threads).
+    ///
+    /// Worlds are produced in fixed blocks of [`WORLD_CHUNK`]; block `c`
+    /// draws from its own RNG stream `(seed, "world-chunk", c)`. Because
+    /// neither the block boundaries nor the streams depend on the thread
+    /// count, the ensemble is **bit-identical** for every `threads` value
+    /// — parallelism changes wall-clock time only. (The stream layout
+    /// differs from feeding one sequential RNG through
+    /// [`WorldEnsemble::sample`]; both are deterministic per seed.)
+    pub fn sample_seeded(graph: &UncertainGraph, n: usize, seed: u64, threads: usize) -> Self {
+        let seq = SeedSequence::new(seed);
+        let world_chunks = parallel::map_chunks(n, WORLD_CHUNK, threads, |c, range| {
+            let mut rng = seq.rng_indexed("world-chunk", c as u64);
+            range
+                .map(|_| WorldSampler::sample(graph, &mut rng))
+                .collect::<Vec<World>>()
+        });
+        let worlds = world_chunks.into_iter().flatten().collect();
+        Self::from_worlds_threads(graph, worlds, threads)
+    }
+
     /// Builds an ensemble from worlds sampled with *common random numbers*:
     /// `uniforms[w][i]` drives edge `i` in world `w`. Two graphs whose edge
     /// arrays agree on shared edges can be compared with the same `uniforms`
@@ -46,19 +77,36 @@ impl WorldEnsemble {
 
     /// Wraps pre-sampled worlds.
     pub fn from_worlds(graph: &UncertainGraph, worlds: Vec<World>) -> Self {
+        Self::from_worlds_threads(graph, worlds, 1)
+    }
+
+    /// Wraps pre-sampled worlds, running the per-world connectivity
+    /// analysis (union–find labels, component sizes, connected-pair
+    /// counts) on up to `threads` worker threads (`0` = all hardware
+    /// threads). Each world's analysis is a pure function of that world,
+    /// so the result is identical for every thread count.
+    pub fn from_worlds_threads(graph: &UncertainGraph, worlds: Vec<World>, threads: usize) -> Self {
+        let analyzed = parallel::map_chunks(worlds.len(), WORLD_CHUNK, threads, |_, range| {
+            range
+                .map(|i| {
+                    let mut uf = worlds[i].components(graph);
+                    let cc = uf.connected_pairs();
+                    let l = uf.component_labels();
+                    let mut sizes = vec![0u32; uf.num_components()];
+                    for &lab in &l {
+                        sizes[lab as usize] += 1;
+                    }
+                    (l, sizes, cc)
+                })
+                .collect::<Vec<_>>()
+        });
         let mut labels = Vec::with_capacity(worlds.len());
         let mut component_sizes = Vec::with_capacity(worlds.len());
         let mut connected_pairs = Vec::with_capacity(worlds.len());
-        for w in &worlds {
-            let mut uf = w.components(graph);
-            connected_pairs.push(uf.connected_pairs());
-            let l = uf.component_labels();
-            let mut sizes = vec![0u32; uf.num_components()];
-            for &lab in &l {
-                sizes[lab as usize] += 1;
-            }
+        for (l, sizes, cc) in analyzed.into_iter().flatten() {
             labels.push(l);
             component_sizes.push(sizes);
+            connected_pairs.push(cc);
         }
         Self {
             worlds,
@@ -297,6 +345,42 @@ mod tests {
         assert_eq!(ens.two_terminal_reliability(0, 1), 0.0);
         assert_eq!(ens.expected_connected_pairs(), 0.0);
         assert_eq!(ens.reliability_many(&[(0, 1)]), vec![0.0]);
+    }
+
+    #[test]
+    fn sample_seeded_is_thread_count_invariant() {
+        let g = bridge_graph();
+        // A world count that is not a multiple of WORLD_CHUNK, so the last
+        // chunk is ragged.
+        let n = 3 * WORLD_CHUNK + 7;
+        let serial = WorldEnsemble::sample_seeded(&g, n, 42, 1);
+        for threads in [2, 4, 8] {
+            let par = WorldEnsemble::sample_seeded(&g, n, 42, threads);
+            assert_eq!(serial.worlds(), par.worlds());
+            assert_eq!(serial.connected_pairs_all(), par.connected_pairs_all());
+            for w in 0..n {
+                assert_eq!(serial.labels(w), par.labels(w));
+                assert_eq!(serial.component_sizes(w), par.component_sizes(w));
+            }
+        }
+        // Different seeds still give different ensembles.
+        let other = WorldEnsemble::sample_seeded(&g, n, 43, 2);
+        assert_ne!(serial.worlds(), other.worlds());
+    }
+
+    #[test]
+    fn from_worlds_threads_matches_serial_analysis() {
+        let g = bridge_graph();
+        let mut rng = StdRng::seed_from_u64(9);
+        let worlds = (0..50)
+            .map(|_| chameleon_ugraph::WorldSampler::sample(&g, &mut rng))
+            .collect::<Vec<_>>();
+        let serial = WorldEnsemble::from_worlds(&g, worlds.clone());
+        let par = WorldEnsemble::from_worlds_threads(&g, worlds, 4);
+        assert_eq!(serial.connected_pairs_all(), par.connected_pairs_all());
+        for w in 0..50 {
+            assert_eq!(serial.labels(w), par.labels(w));
+        }
     }
 
     #[test]

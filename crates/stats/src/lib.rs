@@ -19,6 +19,9 @@
 //! * [`summary`] — streaming mean/variance (Welford) summaries.
 //! * [`rng`] — deterministic seed fan-out so that every experiment in the
 //!   reproduction is bit-for-bit repeatable.
+//! * [`parallel`] — fixed-chunk data parallelism whose results are
+//!   bit-identical at any thread count, so the Monte-Carlo hot paths can
+//!   use every core without giving up reproducibility.
 //!
 //! All samplers take `&mut impl Rng` so callers control determinism.
 
@@ -29,6 +32,7 @@ pub mod entropy;
 pub mod gamma;
 pub mod histogram;
 pub mod kde;
+pub mod parallel;
 pub mod poisson_binomial;
 pub mod rng;
 pub mod summary;

@@ -72,6 +72,19 @@ impl SeedSequence {
         splitmix64(&mut state)
     }
 
+    /// Derives a child seed indexed by a `(label, i, j)` pair.
+    ///
+    /// Each index is mixed through its own SplitMix64 step, so distinct
+    /// `(i, j)` pairs never alias by construction — unlike flattening the
+    /// pair into `i·K + j`, which collides as soon as `j` reaches `K`
+    /// (e.g. per-call × per-trial streams with ≥ K trials).
+    pub fn derive_indexed2(&self, label: &str, i: u64, j: u64) -> u64 {
+        let mut state = self.derive(label) ^ i.wrapping_mul(0xA24B_AED4_963E_E407);
+        splitmix64(&mut state);
+        state ^= j.wrapping_mul(0x9FB2_1C65_1E98_DF25);
+        splitmix64(&mut state)
+    }
+
     /// Builds a [`StdRng`] for the component named `label`.
     pub fn rng(&self, label: &str) -> StdRng {
         StdRng::seed_from_u64(self.derive(label))
@@ -80,6 +93,11 @@ impl SeedSequence {
     /// Builds a [`StdRng`] for the `(label, index)` component.
     pub fn rng_indexed(&self, label: &str, index: u64) -> StdRng {
         StdRng::seed_from_u64(self.derive_indexed(label, index))
+    }
+
+    /// Builds a [`StdRng`] for the `(label, i, j)` component.
+    pub fn rng_indexed2(&self, label: &str, i: u64, j: u64) -> StdRng {
+        StdRng::seed_from_u64(self.derive_indexed2(label, i, j))
     }
 }
 
@@ -101,6 +119,29 @@ mod tests {
         let s = SeedSequence::new(7);
         assert_ne!(s.derive("a"), s.derive("b"));
         assert_ne!(s.derive_indexed("a", 0), s.derive_indexed("a", 1));
+    }
+
+    #[test]
+    fn indexed2_pairs_never_alias_like_flattened_indices() {
+        // The old call sites flattened (call, trial) into call·1000 + trial,
+        // which collides e.g. (0, 1000) with (1, 0). derive_indexed2 keeps a
+        // dense grid of pairs distinct.
+        let s = SeedSequence::new(11);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            for j in 0..2048u64 {
+                assert!(
+                    seen.insert(s.derive_indexed2("t", i, j)),
+                    "seed collision at ({i}, {j})"
+                );
+            }
+        }
+        // Deterministic, and sensitive to both indices.
+        assert_eq!(
+            s.derive_indexed2("t", 3, 5),
+            SeedSequence::new(11).derive_indexed2("t", 3, 5)
+        );
+        assert_ne!(s.derive_indexed2("t", 3, 5), s.derive_indexed2("t", 5, 3));
     }
 
     #[test]

@@ -79,6 +79,72 @@ fn measurements_are_deterministic() {
 }
 
 #[test]
+fn parallel_execution_matches_serial_at_every_site() {
+    use chameleon::core::relevance::{
+        edge_reliability_relevance_alg2_threads, edge_reliability_relevance_threads,
+    };
+    use chameleon::core::{anonymity_check_threads, anonymity_check_tolerant_threads};
+
+    let g = brightkite_like(220, 3);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+    // Site 1: chunk-seeded world sampling and per-world analysis.
+    let e1 = WorldEnsemble::sample_seeded(&g, 137, 99, 1);
+    let e8 = WorldEnsemble::sample_seeded(&g, 137, 99, 8);
+    assert_eq!(e1.worlds(), e8.worlds());
+    for w in 0..e1.len() {
+        assert_eq!(e1.labels(w), e8.labels(w));
+        assert_eq!(e1.component_sizes(w), e8.component_sizes(w));
+    }
+    assert_eq!(e1.connected_pairs_all(), e8.connected_pairs_all());
+
+    // Site 2: ERR estimators fold per-chunk partials in chunk order.
+    assert_eq!(
+        bits(&edge_reliability_relevance_threads(&g, &e1, 1)),
+        bits(&edge_reliability_relevance_threads(&g, &e1, 8))
+    );
+    assert_eq!(
+        bits(&edge_reliability_relevance_alg2_threads(&g, &e1, 1)),
+        bits(&edge_reliability_relevance_alg2_threads(&g, &e1, 8))
+    );
+
+    // Site 3: per-vertex degree-pmf construction in both anonymity checks.
+    let knowledge = AdversaryKnowledge::expected_degrees(&g);
+    let c1 = anonymity_check_threads(&g, &knowledge, 12, 1);
+    let c8 = anonymity_check_threads(&g, &knowledge, 12, 8);
+    assert_eq!(c1.eps_hat.to_bits(), c8.eps_hat.to_bits());
+    assert_eq!(c1.unobfuscated, c8.unobfuscated);
+    let t1 = anonymity_check_tolerant_threads(&g, &knowledge, 12, 1, 1);
+    let t8 = anonymity_check_tolerant_threads(&g, &knowledge, 12, 1, 8);
+    assert_eq!(t1.eps_hat.to_bits(), t8.eps_hat.to_bits());
+    assert_eq!(t1.unobfuscated, t8.unobfuscated);
+}
+
+#[test]
+fn full_anonymization_is_thread_count_invariant() {
+    // Site 4 (parallel GenObf trials) plus everything upstream: the whole
+    // pipeline must publish the same graph at every thread count.
+    let g = brightkite_like(160, 4);
+    let run = |threads: usize| {
+        let cfg = ChameleonConfig::builder()
+            .k(12)
+            .epsilon(0.05)
+            .trials(3)
+            .num_world_samples(120)
+            .sigma_tolerance(0.2)
+            .num_threads(threads)
+            .build();
+        Chameleon::new(cfg).anonymize(&g, Method::Rsme, 7).unwrap()
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert!(graphs_identical(&serial.graph, &parallel.graph));
+    assert_eq!(serial.sigma.to_bits(), parallel.sigma.to_bits());
+    assert_eq!(serial.eps_hat.to_bits(), parallel.eps_hat.to_bits());
+    assert_eq!(serial.genobf_calls, parallel.genobf_calls);
+}
+
+#[test]
 fn seed_sequence_isolates_components() {
     // Adding a new labelled consumer must not perturb existing streams —
     // the property that keeps experiment extensions from invalidating

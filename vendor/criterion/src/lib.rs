@@ -1,0 +1,357 @@
+//! Offline vendored stand-in for the parts of `criterion` 0.5 this
+//! workspace's benches use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! compiles this drop-in instead of the real crate. It is a plain
+//! wall-clock harness: each benchmark warms up briefly, then runs batches
+//! of iterations until a time budget is spent, and reports the mean and
+//! min per-iteration time. There are no statistical models, plots, or
+//! saved baselines — the numbers are honest but simple.
+//!
+//! Supported surface: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId::new`] / [`BenchmarkId::from_parameter`],
+//! [`Bencher::iter`], [`black_box`], and the plain
+//! `criterion_group!(name, fn, ...)` / `criterion_main!(name, ...)` forms.
+//!
+//! CLI behavior matches what cargo expects of a `harness = false` bench:
+//! `--test` (passed by `cargo test --benches`) runs every benchmark for a
+//! single iteration as a smoke test, and a free argument acts as a
+//! substring filter on benchmark names, like `cargo bench -- <filter>`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark, optionally parameterized
+/// (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id carrying only a parameter; the group name provides context.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by `bench_function`: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: &'a RunMode,
+    report: Option<Measurement>,
+}
+
+/// How the harness was invoked.
+#[derive(Debug, Clone)]
+enum RunMode {
+    /// `cargo test --benches`: one iteration per benchmark, no timing.
+    Smoke,
+    /// `cargo bench`: measure for roughly this long per benchmark.
+    Measure { budget: Duration, min_samples: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Calls `routine` repeatedly and records per-iteration timing.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match *self.mode {
+            RunMode::Smoke => {
+                black_box(routine());
+            }
+            RunMode::Measure {
+                budget,
+                min_samples,
+            } => {
+                // Warm-up: a few unrecorded iterations (caches, allocator).
+                let warmup_start = Instant::now();
+                let mut warmed = 0u64;
+                while warmed < 3 || (warmup_start.elapsed() < budget / 10 && warmed < min_samples) {
+                    black_box(routine());
+                    warmed += 1;
+                }
+
+                let mut total = Duration::ZERO;
+                let mut min = Duration::MAX;
+                let mut iters = 0u64;
+                let started = Instant::now();
+                while iters < min_samples || started.elapsed() < budget {
+                    let t0 = Instant::now();
+                    black_box(routine());
+                    let dt = t0.elapsed();
+                    total += dt;
+                    if dt < min {
+                        min = dt;
+                    }
+                    iters += 1;
+                    // Hard cap so sub-microsecond bodies don't spin for
+                    // millions of iterations inside one budget window.
+                    if iters >= 1_000_000 {
+                        break;
+                    }
+                }
+                self.report = Some(Measurement {
+                    mean: total / u32::try_from(iters).unwrap_or(u32::MAX).max(1),
+                    min,
+                    iters,
+                });
+            }
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    mode: RunMode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut smoke = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                // Flags cargo/criterion conventionally pass; ignored here.
+                "--bench" | "--noplot" | "--quiet" | "-q" | "--exact" | "--nocapture" => {}
+                other => {
+                    if !other.starts_with('-') && filter.is_none() {
+                        filter = Some(other.to_string());
+                    }
+                }
+            }
+        }
+        let mode = if smoke {
+            RunMode::Smoke
+        } else {
+            RunMode::Measure {
+                budget: Duration::from_millis(500),
+                min_samples: 10,
+            }
+        };
+        Self { filter, mode }
+    }
+}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let name = id.into_name();
+        self.run_one(&name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: &self.mode,
+            report: None,
+        };
+        f(&mut bencher);
+        match (&self.mode, bencher.report) {
+            (RunMode::Smoke, _) => println!("{name}: ok (smoke test, 1 iteration)"),
+            (_, Some(m)) => println!(
+                "{name}: mean {:>12?}  min {:>12?}  ({} iterations)",
+                m.mean, m.min, m.iters
+            ),
+            (_, None) => println!("{name}: no measurement (b.iter was never called)"),
+        }
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes runs by wall
+    /// clock, so the value only raises the minimum iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if let RunMode::Measure { min_samples, .. } = &mut self.criterion.mode {
+            *min_samples = (*min_samples).max(n as u64);
+        }
+        self
+    }
+
+    /// Runs one benchmark inside the group (`group/name`).
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_name());
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.name);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (No-op here; the real crate finalizes reports.)
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group runner: `criterion_group!(name, fn, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 42).name, "f/42");
+        assert_eq!(BenchmarkId::from_parameter(7).name, "7");
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_body_once() {
+        let mut c = Criterion {
+            filter: None,
+            mode: RunMode::Smoke,
+        };
+        let mut runs = 0;
+        c.bench_function("counted", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("keep".to_string()),
+            mode: RunMode::Smoke,
+        };
+        let mut kept = 0;
+        let mut skipped = 0;
+        c.bench_function("keep_this", |b| b.iter(|| kept += 1));
+        c.bench_function("drop_this", |b| b.iter(|| skipped += 1));
+        assert_eq!((kept, skipped), (1, 0));
+    }
+
+    #[test]
+    fn measure_mode_reports_iterations() {
+        let mode = RunMode::Measure {
+            budget: Duration::from_millis(1),
+            min_samples: 5,
+        };
+        let mut b = Bencher {
+            mode: &mode,
+            report: None,
+        };
+        b.iter(|| black_box(1 + 1));
+        let m = b.report.expect("measurement recorded");
+        assert!(m.iters >= 5);
+        assert!(m.min <= m.mean);
+    }
+
+    #[test]
+    fn group_names_prefix_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("grp/inner".to_string()),
+            mode: RunMode::Smoke,
+        };
+        let mut runs = 0;
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("inner", |b| b.iter(|| runs += 1));
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &n| {
+            b.iter(|| runs += n)
+        });
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+}

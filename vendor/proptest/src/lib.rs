@@ -1,0 +1,289 @@
+//! Offline vendored stand-in for the parts of `proptest` 1.x this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! compiles this drop-in instead of the real crate. It covers the API
+//! subset the repo's property tests call:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(...)]` header),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * range strategies (`0u32..16`, `0.0f64..=1.0`, …), tuple strategies,
+//!   [`prelude::any`], [`collection::vec`],
+//!   [`Strategy::prop_map`] and [`Strategy::prop_filter`],
+//! * [`test_runner::TestCaseError`] and
+//!   [`test_runner::ProptestConfig`] (the `cases` field).
+//!
+//! Semantics: each test runs `cases` deterministic cases (seeded from the
+//! test's module path and the case index, so failures are reproducible).
+//! **No shrinking** is performed — a failing case reports its case index
+//! and panics. That loses minimization but preserves the contract the
+//! repo's tests rely on: properties hold over many generated inputs.
+//! `PROPTEST_CASES` in the environment overrides the case count, like the
+//! real crate.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections (`vec`).
+
+    use crate::strategy::Strategy;
+    use rand::RngCore;
+
+    /// Size specification for [`vec`]: a fixed length or a length range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` values with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value {
+            use rand::Rng;
+            let len = (*rng).gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// aborting the process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Declares property tests: `fn name(arg in strategy, ...) { body }`.
+///
+/// Accepts an optional `#![proptest_config(expr)]` header applying to every
+/// test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = $crate::test_runner::resolved_cases(&config);
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                    )+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}\n\
+                             (cases are deterministic; rerun reproduces this failure)",
+                            stringify!($name),
+                            case,
+                            cases,
+                            err,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..10, y in -1.0f64..=1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs(pairs in crate::collection::vec((0u8..4, any::<bool>()), 0..20)) {
+            prop_assert!(pairs.len() < 20);
+            for (v, _flag) in pairs {
+                prop_assert!(v < 4);
+            }
+        }
+
+        #[test]
+        fn map_and_filter(n in (0usize..100).prop_map(|x| x * 2)
+                                 .prop_filter("nonzero", |&x| x != 0)) {
+            prop_assert!(n % 2 == 0);
+            prop_assert_ne!(n, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_header_accepted(x in 0u64..9) {
+            prop_assert!(x < 9);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..5)
+            .map(|case| {
+                use rand::Rng;
+                let mut rng = crate::test_runner::case_rng("fixed-label", case);
+                rng.gen::<u64>()
+            })
+            .collect();
+        let b: Vec<u64> = (0..5)
+            .map(|case| {
+                use rand::Rng;
+                let mut rng = crate::test_runner::case_rng("fixed-label", case);
+                rng.gen::<u64>()
+            })
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed at case 0")]
+    fn failures_panic_with_case_index() {
+        proptest! {
+            #[allow(dead_code)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    proptest! {
+        #[test]
+        fn just_yields_constant(v in Just(41usize)) {
+            prop_assert_eq!(v, 41);
+        }
+    }
+}

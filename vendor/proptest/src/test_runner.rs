@@ -1,0 +1,98 @@
+//! Test-case execution support: configuration, failure values, and the
+//! deterministic per-case RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The input was rejected (filters); not a property violation.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+impl From<String> for TestCaseError {
+    fn from(reason: String) -> Self {
+        TestCaseError::Fail(reason)
+    }
+}
+
+/// Per-block configuration, accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            // The real crate defaults to 256; 64 keeps the repo's heavier
+            // whole-pipeline properties fast on small CI machines while
+            // still exercising a meaningful input spread. Override with
+            // PROPTEST_CASES, exactly like upstream.
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Convenience constructor fixing the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// The case count to run: `PROPTEST_CASES` from the environment, else the
+/// configured value.
+pub fn resolved_cases(config: &ProptestConfig) -> u64 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(u64::from(config.cases)),
+        Err(_) => u64::from(config.cases),
+    }
+}
+
+/// Deterministic RNG for one test case, keyed by the test's identity and
+/// the case index. Stable across runs so failures are reproducible.
+pub fn case_rng(test_label: &str, case: u64) -> StdRng {
+    // FNV-1a over the label...
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // ...mixed with the case index (SplitMix64 finalizer).
+    let mut z = h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
