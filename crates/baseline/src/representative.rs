@@ -211,7 +211,9 @@ mod tests {
         let g = uncertain_test_graph(2);
         let rep = extract_representative(&g, RepresentativeStrategy::ExpectedDegree);
         let expected_total: f64 = g.expected_degrees().iter().sum();
-        let rep_total: f64 = (0..g.num_nodes() as u32).map(|v| rep.degree(v) as f64).sum();
+        let rep_total: f64 = (0..g.num_nodes() as u32)
+            .map(|v| rep.degree(v) as f64)
+            .sum();
         assert!(
             (rep_total - expected_total).abs() / expected_total < 0.15,
             "rep_total={rep_total}, expected_total={expected_total}"
@@ -223,7 +225,12 @@ mod tests {
         let g = uncertain_test_graph(3);
         let rep = extract_representative(&g, RepresentativeStrategy::ExpectedDegree);
         for e in rep.edges() {
-            assert!(g.has_edge(e.u, e.v), "edge ({},{}) not in original", e.u, e.v);
+            assert!(
+                g.has_edge(e.u, e.v),
+                "edge ({},{}) not in original",
+                e.u,
+                e.v
+            );
         }
     }
 

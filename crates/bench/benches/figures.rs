@@ -32,7 +32,11 @@ fn bench_table1(c: &mut Criterion) {
         b.iter(|| {
             for kind in DatasetKind::ALL {
                 let g = build_dataset(kind, &cfg);
-                black_box((g.num_edges(), g.mean_edge_prob(), g.expected_average_degree()));
+                black_box((
+                    g.num_edges(),
+                    g.mean_edge_prob(),
+                    g.expected_average_degree(),
+                ));
             }
         })
     });
@@ -58,7 +62,12 @@ fn bench_fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4");
     group.sample_size(10);
     group.bench_function("representative_extraction", |b| {
-        b.iter(|| black_box(extract_representative(&g, RepresentativeStrategy::ExpectedDegree)))
+        b.iter(|| {
+            black_box(extract_representative(
+                &g,
+                RepresentativeStrategy::ExpectedDegree,
+            ))
+        })
     });
     group.bench_function("repan_vs_rsme_cell", |b| {
         b.iter(|| {

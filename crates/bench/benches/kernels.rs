@@ -123,7 +123,9 @@ fn bench_traversal_kernels(c: &mut Criterion) {
     group.bench_function("dcr_one_query_200_worlds", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(8);
-            black_box(distance_constrained_reliability(&g, 0, 100, 4, 200, &mut rng))
+            black_box(distance_constrained_reliability(
+                &g, 0, 100, 4, 200, &mut rng,
+            ))
         })
     });
     let mut full = World::empty(g.num_edges());

@@ -3,7 +3,9 @@
 //! mining-utility experiment compares across releases.
 
 use chameleon_datasets::brightkite_like;
-use chameleon_mining::{greedy_seed_selection, influence_spread, reliability_knn, reliable_clusters};
+use chameleon_mining::{
+    greedy_seed_selection, influence_spread, reliability_knn, reliable_clusters,
+};
 use chameleon_reliability::WorldEnsemble;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;

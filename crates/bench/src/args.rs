@@ -62,9 +62,9 @@ impl Args {
             Some(raw) => raw
                 .split(',')
                 .map(|tok| {
-                    tok.trim().parse().unwrap_or_else(|_| {
-                        panic!("invalid list element {tok:?} for --{name}")
-                    })
+                    tok.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("invalid list element {tok:?} for --{name}"))
                 })
                 .collect(),
         }

@@ -243,7 +243,9 @@ fn main() {
             "candidates" => study_candidates(&cfg, k),
             "whitenoise" => study_whitenoise(&cfg, k),
             "errsamples" => study_errsamples(&cfg),
-            other => eprintln!("unknown study {other:?} (perturb|bandwidth|candidates|whitenoise|errsamples)"),
+            other => eprintln!(
+                "unknown study {other:?} (perturb|bandwidth|candidates|whitenoise|errsamples)"
+            ),
         }
     }
 }

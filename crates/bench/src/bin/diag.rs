@@ -20,7 +20,11 @@ use std::collections::HashSet;
 fn main() {
     let args = Args::from_env();
     let cfg = ExperimentConfig::from_args(&args);
-    let dataset = match args.get("dataset", "PPI".to_string()).to_uppercase().as_str() {
+    let dataset = match args
+        .get("dataset", "PPI".to_string())
+        .to_uppercase()
+        .as_str()
+    {
         "DBLP" => DatasetKind::Dblp,
         "BRIGHTKITE" => DatasetKind::Brightkite,
         _ => DatasetKind::Ppi,
@@ -43,7 +47,10 @@ fn main() {
     };
     let vrr_norm = min_max_normalize(&vrr);
     let selection: Vec<f64> = if method.reliability_oriented() {
-        uniq.iter().zip(&vrr_norm).map(|(u, r)| u * (1.0 - r)).collect()
+        uniq.iter()
+            .zip(&vrr_norm)
+            .map(|(u, r)| u * (1.0 - r))
+            .collect()
     } else {
         uniq.clone()
     };
@@ -57,7 +64,10 @@ fn main() {
     };
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| excl_score[b].partial_cmp(&excl_score[a]).unwrap());
-    let excluded: HashSet<u32> = order[..h_size.min(n - 2)].iter().map(|&v| v as u32).collect();
+    let excluded: HashSet<u32> = order[..h_size.min(n - 2)]
+        .iter()
+        .map(|&v| v as u32)
+        .collect();
 
     let raw = anonymity_check(&g, &knowledge, k);
     println!(
@@ -97,7 +107,9 @@ fn main() {
     println!("\nexposed nodes (top 25 by expected degree):");
     let mut exposed: Vec<u32> = rep.unobfuscated.clone();
     exposed.sort_by(|&a, &b| {
-        g.expected_degree(b).partial_cmp(&g.expected_degree(a)).unwrap()
+        g.expected_degree(b)
+            .partial_cmp(&g.expected_degree(a))
+            .unwrap()
     });
     println!(
         "{:>6} {:>8} {:>8} {:>8} {:>10} {:>10} {:>10} {:>6}",

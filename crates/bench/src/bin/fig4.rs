@@ -22,11 +22,7 @@ fn reliability_error(
     cfg: &ExperimentConfig,
 ) -> f64 {
     let seq = SeedSequence::new(cfg.seed);
-    let pairs = sample_distinct_pairs(
-        original.num_nodes(),
-        cfg.pairs,
-        &mut seq.rng("fig4-pairs"),
-    );
+    let pairs = sample_distinct_pairs(original.num_nodes(), cfg.pairs, &mut seq.rng("fig4-pairs"));
     let uniforms = chameleon_reliability::ensemble::crn_uniforms(
         cfg.worlds,
         original.num_edges().max(published.num_edges()),
@@ -52,11 +48,7 @@ fn main() {
     let mut table = TablePrinter::new(["dataset", "k", "series", "avg_reliability_discrepancy"]);
     for kind in DatasetKind::ALL {
         let g = build_dataset(kind, &cfg);
-        eprintln!(
-            "[fig4] {kind}: n={}, m={}",
-            g.num_nodes(),
-            g.num_edges()
-        );
+        eprintln!("[fig4] {kind}: n={}, m={}", g.num_nodes(), g.num_edges());
         // Representative-extraction-only distortion (k-independent): the
         // paper attributes much of Rep-An's error to this stage alone.
         let rep = extract_representative(&g, RepresentativeStrategy::ExpectedDegree);

@@ -10,8 +10,7 @@
 use chameleon_bench::{anonymize, build_dataset, AnyMethod, Args, ExperimentConfig, TablePrinter};
 use chameleon_datasets::DatasetKind;
 use chameleon_mining::{
-    cluster_agreement, greedy_seed_selection, rank_overlap_at_k, reliability_knn,
-    reliable_clusters,
+    cluster_agreement, greedy_seed_selection, rank_overlap_at_k, reliability_knn, reliable_clusters,
 };
 use chameleon_reliability::WorldEnsemble;
 use chameleon_stats::{SeedSequence, Summary};
@@ -23,12 +22,7 @@ struct TaskAnswers {
     seeds: Vec<NodeId>,
 }
 
-fn run_tasks(
-    graph: &UncertainGraph,
-    sources: &[NodeId],
-    worlds: usize,
-    seed: u64,
-) -> TaskAnswers {
+fn run_tasks(graph: &UncertainGraph, sources: &[NodeId], worlds: usize, seed: u64) -> TaskAnswers {
     let mut rng = SeedSequence::new(seed).rng("mining-ensemble");
     let ens = WorldEnsemble::sample(graph, worlds, &mut rng);
     let knn_by_source = sources
@@ -58,7 +52,10 @@ fn main() {
     let k: usize = args.get("k", (cfg.scale / 10).max(2));
     let worlds = cfg.worlds.min(400);
 
-    println!("== mining-task utility at ({k}, {})-obfuscation ==", cfg.epsilon);
+    println!(
+        "== mining-task utility at ({k}, {})-obfuscation ==",
+        cfg.epsilon
+    );
     let mut table = TablePrinter::new([
         "dataset",
         "method",
@@ -77,8 +74,7 @@ fn main() {
             eprint!("[mining] {kind} {method} ... ");
             match anonymize(&g, method, k, &cfg) {
                 Ok(published) => {
-                    let answers =
-                        run_tasks(&published, &sources, worlds, seq.derive("tasks-pub"));
+                    let answers = run_tasks(&published, &sources, worlds, seq.derive("tasks-pub"));
                     let mut knn = Summary::new();
                     for (a, b) in reference.knn_by_source.iter().zip(&answers.knn_by_source) {
                         knn.push(rank_overlap_at_k(a, b, 10));

@@ -4,6 +4,12 @@
 //! threads on a fixed synthetic graph, and writes the numbers to
 //! `BENCH_PR1.json` so later PRs can track the perf trajectory.
 //!
+//! Timing runs through `chameleon_obs` spans — the same instrumentation
+//! the pipeline itself records with — so there is exactly one timing
+//! implementation in the workspace. Each site is wrapped in a dedicated
+//! span and the reported figure is the fastest rep (`min_ns` of the span),
+//! which is the most repeatable statistic on a noisy CI host.
+//!
 //! The same chunked algorithms run at every thread count, so the two
 //! configurations produce bit-identical results — this binary asserts
 //! that before reporting timings.
@@ -11,25 +17,32 @@
 //! Usage: `perf_pr1 [--scale N] [--worlds W] [--reps R] [--out PATH]`
 
 use chameleon_bench::{Args, ExperimentConfig};
-use chameleon_core::{anonymity_check_threads, edge_reliability_relevance_threads};
 use chameleon_core::AdversaryKnowledge;
+use chameleon_core::{anonymity_check_threads, edge_reliability_relevance_threads};
 use chameleon_datasets::DatasetKind;
+use chameleon_obs::site::{SpanGuard, SpanSite};
 use chameleon_reliability::WorldEnsemble;
 use chameleon_stats::parallel;
 use std::fmt::Write as _;
-use std::time::Instant;
 
-/// Median-of-`reps` wall-clock seconds for `f`.
-fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    let mut samples: Vec<f64> = (0..reps.max(1))
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64()
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+static SPAN_SAMPLING_SERIAL: SpanSite = SpanSite::new("perf.world_sampling.serial");
+static SPAN_SAMPLING_PARALLEL: SpanSite = SpanSite::new("perf.world_sampling.parallel");
+static SPAN_ERR_SERIAL: SpanSite = SpanSite::new("perf.edge_reliability_relevance.serial");
+static SPAN_ERR_PARALLEL: SpanSite = SpanSite::new("perf.edge_reliability_relevance.parallel");
+static SPAN_CHECK_SERIAL: SpanSite = SpanSite::new("perf.anonymity_check.serial");
+static SPAN_CHECK_PARALLEL: SpanSite = SpanSite::new("perf.anonymity_check.parallel");
+
+/// Runs `f` `reps` times inside `site` and returns the fastest rep in
+/// seconds (the span keeps the full distribution for the JSON report).
+fn time_reps<F: FnMut()>(site: &'static SpanSite, reps: usize, mut f: F) -> f64 {
+    for _ in 0..reps.max(1) {
+        let _g = SpanGuard::enter(site);
+        f();
+    }
+    chameleon_obs::snapshot()
+        .span(site.name())
+        .map(|s| s.min_s())
+        .unwrap_or(0.0)
 }
 
 struct Site {
@@ -49,6 +62,10 @@ impl Site {
 }
 
 fn main() {
+    assert!(
+        chameleon_obs::is_enabled(),
+        "perf_pr1 times via obs spans; rebuild with the default `obs` feature"
+    );
     let args = Args::from_env();
     let mut cfg = ExperimentConfig::from_args(&args);
     cfg.scale = args.get("scale", 800usize);
@@ -85,35 +102,39 @@ fn main() {
     );
     drop(ens_p);
 
+    // Drop the warm-up contributions so the perf spans and the embedded
+    // pipeline metrics cover only the timed region.
+    chameleon_obs::reset();
+
     let sampling = Site {
         name: "world_sampling",
-        serial_s: time_median(reps, || {
+        serial_s: time_reps(&SPAN_SAMPLING_SERIAL, reps, || {
             let e = WorldEnsemble::sample_seeded(&g, cfg.worlds, cfg.seed, 1);
             assert_eq!(e.len(), cfg.worlds);
         }),
-        parallel_s: time_median(reps, || {
+        parallel_s: time_reps(&SPAN_SAMPLING_PARALLEL, reps, || {
             let e = WorldEnsemble::sample_seeded(&g, cfg.worlds, cfg.seed, all_threads);
             assert_eq!(e.len(), cfg.worlds);
         }),
     };
     let err = Site {
         name: "edge_reliability_relevance",
-        serial_s: time_median(reps, || {
+        serial_s: time_reps(&SPAN_ERR_SERIAL, reps, || {
             let e = edge_reliability_relevance_threads(&g, &ens_1, 1);
             assert_eq!(e.len(), g.num_edges());
         }),
-        parallel_s: time_median(reps, || {
+        parallel_s: time_reps(&SPAN_ERR_PARALLEL, reps, || {
             let e = edge_reliability_relevance_threads(&g, &ens_1, all_threads);
             assert_eq!(e.len(), g.num_edges());
         }),
     };
     let check = Site {
         name: "anonymity_check",
-        serial_s: time_median(reps, || {
+        serial_s: time_reps(&SPAN_CHECK_SERIAL, reps, || {
             let r = anonymity_check_threads(&g, &knowledge, k, 1);
             assert!(r.eps_hat.is_finite());
         }),
-        parallel_s: time_median(reps, || {
+        parallel_s: time_reps(&SPAN_CHECK_PARALLEL, reps, || {
             let r = anonymity_check_threads(&g, &knowledge, k, all_threads);
             assert!(r.eps_hat.is_finite());
         }),
@@ -138,7 +159,11 @@ fn main() {
 
     // Hand-rolled JSON — the workspace carries no serialization dependency.
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"bench\": \"PR1 deterministic parallel hot path\",");
+    let _ = writeln!(
+        json,
+        "  \"bench\": \"PR1 deterministic parallel hot path\","
+    );
+    let _ = writeln!(json, "  \"timer\": \"obs span, min of reps\",");
     let _ = writeln!(json, "  \"hardware_threads\": {all_threads},");
     let _ = writeln!(json, "  \"scale\": {},", cfg.scale);
     let _ = writeln!(json, "  \"edges\": {},", g.num_edges());
@@ -148,18 +173,24 @@ fn main() {
         json,
         "  \"worlds_sampled_per_sec\": {{ \"serial\": {worlds_per_sec_serial:.2}, \"parallel\": {worlds_per_sec_parallel:.2} }},"
     );
-    for (i, site) in [&sampling, &err, &check].into_iter().enumerate() {
+    for site in [&sampling, &err, &check] {
         let _ = writeln!(
             json,
-            "  \"{}\": {{ \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \"threads\": {}, \"speedup\": {:.3} }}{}",
+            "  \"{}\": {{ \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \"threads\": {}, \"speedup\": {:.3} }},",
             site.name,
             site.serial_s,
             site.parallel_s,
             all_threads,
             site.speedup(),
-            if i < 2 { "," } else { "" }
         );
     }
+    // Full registry snapshot: the perf.* spans plus everything the
+    // pipeline recorded underneath them (chunk timings, counters, ...).
+    let _ = writeln!(
+        json,
+        "  \"metrics\": {}",
+        indent_json(&chameleon_obs::metrics_json())
+    );
     json.push_str("}\n");
 
     match std::fs::write(&out, &json) {
@@ -172,4 +203,9 @@ fn main() {
              count do not reflect the parallel layer's headroom"
         );
     }
+}
+
+/// Re-indents a JSON document for embedding as a nested object value.
+fn indent_json(doc: &str) -> String {
+    doc.trim_end().replace('\n', "\n  ")
 }

@@ -1,0 +1,267 @@
+//! CI perf-smoke gate: runs the tier-1 Monte-Carlo hot paths at a fixed
+//! small size, times them through `chameleon_obs` spans, and fails (exit 1)
+//! when any hot path regresses more than `--tolerance` (default 25%)
+//! against the committed baseline `ci/perf_baseline.json`.
+//!
+//! Raw wall-clock is useless as a cross-machine gate, so every measurement
+//! is normalized by a calibration score: the time a fixed xorshift
+//! arithmetic loop takes on the same host, measured through the same span
+//! machinery. The baseline stores `site_seconds / calibration_seconds`
+//! ratios — dimensionless work units that transfer across CPU generations
+//! far better than seconds do.
+//!
+//! Usage:
+//!   perf_smoke [--out BENCH_PR2.json] [--baseline ci/perf_baseline.json]
+//!              [--tolerance 0.25] [--reps 5] [--write-baseline]
+//!
+//! `--write-baseline` re-measures and rewrites the baseline file instead of
+//! gating (exit 0); commit the result when the hot paths change on purpose.
+
+use chameleon_bench::{Args, ExperimentConfig};
+use chameleon_core::AdversaryKnowledge;
+use chameleon_core::{anonymity_check_threads, edge_reliability_relevance_threads};
+use chameleon_datasets::DatasetKind;
+use chameleon_obs::site::{SpanGuard, SpanSite};
+use chameleon_reliability::WorldEnsemble;
+use std::fmt::Write as _;
+
+/// Fixed workload: small enough for a sub-minute CI job, large enough that
+/// each site runs well above timer resolution.
+const SCALE: usize = 400;
+const WORLDS: usize = 300;
+const SEED: u64 = 42;
+
+/// Iterations of the calibration loop (~10–40 ms per rep on 2020s x86).
+const CALIBRATION_ITERS: u64 = 1 << 24;
+
+static SPAN_CALIBRATION: SpanSite = SpanSite::new("perf.calibration");
+static SPAN_SAMPLING: SpanSite = SpanSite::new("perf.smoke.world_sampling");
+static SPAN_ERR: SpanSite = SpanSite::new("perf.smoke.err_coupled");
+static SPAN_CHECK: SpanSite = SpanSite::new("perf.smoke.anonymity_check");
+
+/// Runs `f` `reps` times inside `site`, returns the fastest rep in seconds.
+fn time_reps<F: FnMut()>(site: &'static SpanSite, reps: usize, mut f: F) -> f64 {
+    for _ in 0..reps.max(1) {
+        let _g = SpanGuard::enter(site);
+        f();
+    }
+    chameleon_obs::snapshot()
+        .span(site.name())
+        .map(|s| s.min_s())
+        .unwrap_or(0.0)
+}
+
+/// Fixed arithmetic workload whose wall time defines one "work unit" on
+/// this host. Pure integer xorshift: no memory traffic, no allocator, so
+/// it tracks core speed rather than cache or RAM configuration.
+fn calibration_workload() {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    for _ in 0..CALIBRATION_ITERS {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    std::hint::black_box(x);
+}
+
+/// Pulls `"key": <number>` out of a flat JSON document (the baseline file
+/// is written by this binary, so the format is under our control and a
+/// full parser is unnecessary).
+fn extract_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+struct Measurement {
+    name: &'static str,
+    seconds: f64,
+    normalized: f64,
+}
+
+fn main() {
+    assert!(
+        chameleon_obs::is_enabled(),
+        "perf_smoke times via obs spans; rebuild with the default `obs` feature"
+    );
+    let args = Args::from_env();
+    let out: String = args.get("out", "BENCH_PR2.json".to_string());
+    let baseline_path: String = args.get("baseline", "ci/perf_baseline.json".to_string());
+    let tolerance: f64 = args.get("tolerance", 0.25f64);
+    let reps: usize = args.get("reps", 5usize);
+    let write_baseline = args.has("write-baseline");
+
+    let mut cfg = ExperimentConfig::from_args(&args);
+    cfg.scale = SCALE;
+    cfg.worlds = WORLDS;
+    cfg.seed = SEED;
+    let g = chameleon_bench::build_dataset(DatasetKind::Brightkite, &cfg);
+    let knowledge = AdversaryKnowledge::expected_degrees(&g);
+    let k = (SCALE / 10).max(2);
+    println!(
+        "== perf_smoke: n={} m={} worlds={WORLDS} reps={reps} tolerance={tolerance} ==",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    // Warm-up pass (build caches, fault in the binary), then clear the
+    // registry so spans cover only the timed region.
+    let warm = WorldEnsemble::sample_seeded(&g, WORLDS, SEED, 1);
+    let _ = edge_reliability_relevance_threads(&g, &warm, 1);
+    drop(warm);
+    chameleon_obs::reset();
+
+    let calibration_s = time_reps(&SPAN_CALIBRATION, reps, calibration_workload);
+    assert!(calibration_s > 0.0, "calibration loop measured zero time");
+    println!("calibration: {calibration_s:.4}s per {CALIBRATION_ITERS} xorshift rounds");
+
+    let ens = WorldEnsemble::sample_seeded(&g, WORLDS, SEED, 1);
+    let sites = [
+        Measurement {
+            name: "world_sampling",
+            seconds: time_reps(&SPAN_SAMPLING, reps, || {
+                let e = WorldEnsemble::sample_seeded(&g, WORLDS, SEED, 1);
+                assert_eq!(e.len(), WORLDS);
+            }),
+            normalized: 0.0,
+        },
+        Measurement {
+            name: "err_coupled",
+            seconds: time_reps(&SPAN_ERR, reps, || {
+                let e = edge_reliability_relevance_threads(&g, &ens, 1);
+                assert_eq!(e.len(), g.num_edges());
+            }),
+            normalized: 0.0,
+        },
+        Measurement {
+            name: "anonymity_check",
+            seconds: time_reps(&SPAN_CHECK, reps, || {
+                let r = anonymity_check_threads(&g, &knowledge, k, 1);
+                assert!(r.eps_hat.is_finite());
+            }),
+            normalized: 0.0,
+        },
+    ];
+    let sites: Vec<Measurement> = sites
+        .into_iter()
+        .map(|m| Measurement {
+            normalized: m.seconds / calibration_s,
+            ..m
+        })
+        .collect();
+
+    let baseline = if write_baseline {
+        None
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(doc) => Some(doc),
+            Err(e) => {
+                eprintln!(
+                    "error: cannot read baseline {baseline_path}: {e}\n\
+                     (run `perf_smoke --write-baseline` and commit the file)"
+                );
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let mut regressions = Vec::new();
+    for m in &sites {
+        let base = baseline
+            .as_deref()
+            .and_then(|doc| extract_number(doc, m.name));
+        let verdict = match base {
+            Some(b) if b > 0.0 => {
+                let ratio = m.normalized / b;
+                if ratio > 1.0 + tolerance {
+                    regressions.push((m.name, ratio));
+                    format!("REGRESSED {:.2}x vs baseline {b:.3}", ratio)
+                } else {
+                    format!("ok {:.2}x vs baseline {b:.3}", ratio)
+                }
+            }
+            Some(_) | None if write_baseline => "baseline".to_string(),
+            _ => {
+                regressions.push((m.name, f64::NAN));
+                "MISSING from baseline".to_string()
+            }
+        };
+        println!(
+            "{:<16} {:.4}s  normalized {:.3}  {verdict}",
+            m.name, m.seconds, m.normalized
+        );
+    }
+
+    if write_baseline {
+        let mut doc = String::from("{\n");
+        let _ = writeln!(doc, "  \"comment\": \"normalized hot-path costs: site_s / calibration_s; regenerate with perf_smoke --write-baseline\",");
+        let _ = writeln!(doc, "  \"calibration_iters\": {CALIBRATION_ITERS},");
+        let _ = writeln!(doc, "  \"scale\": {SCALE},");
+        let _ = writeln!(doc, "  \"worlds\": {WORLDS},");
+        for (i, m) in sites.iter().enumerate() {
+            let sep = if i + 1 < sites.len() { "," } else { "" };
+            let _ = writeln!(doc, "  \"{}\": {:.4}{sep}", m.name, m.normalized);
+        }
+        doc.push_str("}\n");
+        if let Err(e) = std::fs::write(&baseline_path, &doc) {
+            eprintln!("error: cannot write {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("(baseline written to {baseline_path})");
+    }
+
+    // BENCH_PR2.json: measurements + the full metrics snapshot (spans of
+    // this run, pipeline counters, chunk histograms) for the CI artifact.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"PR2 perf smoke gate\",");
+    let _ = writeln!(json, "  \"timer\": \"obs span, min of reps\",");
+    let _ = writeln!(json, "  \"scale\": {SCALE},");
+    let _ = writeln!(json, "  \"worlds\": {WORLDS},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"tolerance\": {tolerance},");
+    let _ = writeln!(json, "  \"calibration_s\": {calibration_s:.6},");
+    for m in &sites {
+        let _ = writeln!(
+            json,
+            "  \"{}\": {{ \"seconds\": {:.6}, \"normalized\": {:.4} }},",
+            m.name, m.seconds, m.normalized
+        );
+    }
+    let _ = writeln!(json, "  \"regressions\": {},", regressions.len());
+    let _ = writeln!(
+        json,
+        "  \"metrics\": {}",
+        indent_json(&chameleon_obs::metrics_json())
+    );
+    json.push_str("}\n");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("(json written to {out})"),
+        Err(e) => eprintln!("warning: could not write {out}: {e}"),
+    }
+
+    if !regressions.is_empty() {
+        eprintln!(
+            "perf_smoke FAILED: {} hot path(s) regressed beyond {:.0}%: {}",
+            regressions.len(),
+            tolerance * 100.0,
+            regressions
+                .iter()
+                .map(|(n, r)| format!("{n} ({r:.2}x)"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    }
+    println!("perf_smoke passed");
+}
+
+/// Re-indents a JSON document for embedding as a nested object value.
+fn indent_json(doc: &str) -> String {
+    doc.trim_end().replace('\n', "\n  ")
+}

@@ -12,8 +12,16 @@ fn main() {
     let mut forwarded: Vec<String> = args.iter().filter(|a| *a != "--quick").cloned().collect();
     if quick {
         for flag in [
-            "--scale", "300", "--worlds", "150", "--pairs", "500", "--metric-worlds", "10",
-            "--trials", "3",
+            "--scale",
+            "300",
+            "--worlds",
+            "150",
+            "--pairs",
+            "500",
+            "--metric-worlds",
+            "10",
+            "--trials",
+            "3",
         ] {
             forwarded.push(flag.to_string());
         }
@@ -44,10 +52,7 @@ fn main() {
             .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
         std::fs::write(&out_path, &output.stdout).expect("write results");
         if !output.status.success() {
-            eprintln!(
-                "{exp} FAILED:\n{}",
-                String::from_utf8_lossy(&output.stderr)
-            );
+            eprintln!("{exp} FAILED:\n{}", String::from_utf8_lossy(&output.stderr));
             failures.push(exp);
         } else {
             println!("  -> {out_path}");

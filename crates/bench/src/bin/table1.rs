@@ -27,7 +27,10 @@ fn main() {
     }
     print!("{}", paper.render());
 
-    println!("\n-- Reproduction scale (synthetic stand-ins, scale={}) --", cfg.scale);
+    println!(
+        "\n-- Reproduction scale (synthetic stand-ins, scale={}) --",
+        cfg.scale
+    );
     let mut scaled = TablePrinter::new([
         "Graph",
         "Nodes",
@@ -39,7 +42,10 @@ fn main() {
     ]);
     for kind in DatasetKind::ALL {
         let g = build_dataset(kind, &cfg);
-        let max_deg = (0..g.num_nodes() as u32).map(|v| g.degree(v)).max().unwrap_or(0);
+        let max_deg = (0..g.num_nodes() as u32)
+            .map(|v| g.degree(v))
+            .max()
+            .unwrap_or(0);
         scaled.row([
             kind.name().to_string(),
             g.num_nodes().to_string(),

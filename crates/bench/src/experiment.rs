@@ -27,8 +27,12 @@ pub enum AnyMethod {
 
 impl AnyMethod {
     /// All four, in reporting order.
-    pub const ALL: [AnyMethod; 4] =
-        [AnyMethod::Rsme, AnyMethod::Rs, AnyMethod::Me, AnyMethod::RepAn];
+    pub const ALL: [AnyMethod; 4] = [
+        AnyMethod::Rsme,
+        AnyMethod::Rs,
+        AnyMethod::Me,
+        AnyMethod::RepAn,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -238,10 +242,7 @@ pub fn utility_errors(
     // Clustering coefficient.
     let c_orig = expected_clustering(original, &m_orig);
     let c_pub = expected_clustering(published, &m_pub);
-    let clustering = relative_error(
-        c_orig.clustering_coefficient,
-        c_pub.clustering_coefficient,
-    );
+    let clustering = relative_error(c_orig.clustering_coefficient, c_pub.clustering_coefficient);
 
     UtilityErrors {
         reliability,
@@ -307,9 +308,7 @@ mod tests {
 
     #[test]
     fn config_from_args_defaults_scale_k() {
-        let args = crate::args::Args::parse(
-            ["--scale", "400"].iter().map(|s| s.to_string()),
-        );
+        let args = crate::args::Args::parse(["--scale", "400"].iter().map(|s| s.to_string()));
         let cfg = ExperimentConfig::from_args(&args);
         assert_eq!(cfg.scale, 400);
         assert_eq!(cfg.k_values, vec![20, 40, 50]);
@@ -317,9 +316,7 @@ mod tests {
 
     #[test]
     fn config_from_args_explicit_k() {
-        let args = crate::args::Args::parse(
-            ["--k", "7,9"].iter().map(|s| s.to_string()),
-        );
+        let args = crate::args::Args::parse(["--k", "7,9"].iter().map(|s| s.to_string()));
         let cfg = ExperimentConfig::from_args(&args);
         assert_eq!(cfg.k_values, vec![7, 9]);
     }

@@ -103,7 +103,11 @@ pub fn write_csv<P: AsRef<Path>>(
     writeln!(
         file,
         "{}",
-        header.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        header
+            .iter()
+            .map(|c| quote(c))
+            .collect::<Vec<_>>()
+            .join(",")
     )?;
     for row in rows {
         writeln!(

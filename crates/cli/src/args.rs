@@ -101,7 +101,10 @@ mod tests {
     fn subcommand_and_operands() {
         let c = parse(&["anonymize", "in.txt", "out.txt", "--k", "20"]);
         assert_eq!(c.command(), Some("anonymize"));
-        assert_eq!(c.positional(), &["in.txt".to_string(), "out.txt".to_string()]);
+        assert_eq!(
+            c.positional(),
+            &["in.txt".to_string(), "out.txt".to_string()]
+        );
         assert_eq!(c.get("k", 0usize).unwrap(), 20);
     }
 

@@ -22,6 +22,11 @@
 //! Graphs use the text edge-list format of `chameleon_ugraph::io`. When
 //! `--original` is omitted for check/attack/profile, the graph audits
 //! itself (adversary knowledge = its own expected degrees).
+//!
+//! Every subcommand also accepts `--metrics <path>`: on exit (success,
+//! failure, or a `check` violation) the process writes the observability
+//! snapshot — timing spans, counters and latency histograms from
+//! `chameleon_obs` — to the path as deterministic JSON.
 
 mod args;
 
@@ -52,13 +57,30 @@ fn main() {
         Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
         None => Err(USAGE.to_string()),
     };
-    if let Err(msg) = outcome {
+    // `--metrics` applies to every subcommand, including failed ones (a
+    // run that errors out mid-pipeline still leaves a usable snapshot).
+    let metrics = write_metrics(&cli);
+    if let Err(msg) = outcome.and(metrics) {
         eprintln!("error: {msg}");
         std::process::exit(1);
     }
 }
 
-const USAGE: &str = "usage: chameleon <generate|stats|check|anonymize|attack|profile|compare|mine|synth> ...
+/// Writes the observability snapshot to the path given by `--metrics`
+/// (no-op when the flag is absent). Must be invoked on every exit path —
+/// `cmd_check` calls it directly because its violation branch bypasses
+/// `main`'s epilogue via `process::exit(2)`.
+fn write_metrics(cli: &Cli) -> Result<(), String> {
+    let path: String = cli.get("metrics", String::new())?;
+    if path.is_empty() {
+        return Ok(());
+    }
+    std::fs::write(&path, chameleon_obs::metrics_json())
+        .map_err(|e| format!("{path}: cannot write metrics: {e}"))
+}
+
+const USAGE: &str =
+    "usage: chameleon <generate|stats|check|anonymize|attack|profile|compare|mine|synth> ...
 run with a command and --help-style flags documented in the crate docs";
 
 fn operand(cli: &Cli, index: usize, what: &str) -> Result<String, String> {
@@ -126,7 +148,11 @@ fn cmd_check(cli: &Cli) -> Result<(), String> {
     };
     println!(
         "({k}, {epsilon})-obfuscation: {}",
-        if report.satisfies(epsilon) { "SATISFIED" } else { "VIOLATED" }
+        if report.satisfies(epsilon) {
+            "SATISFIED"
+        } else {
+            "VIOLATED"
+        }
     );
     println!(
         "unobfuscated: {} of {} vertices (eps-hat = {:.5})",
@@ -146,6 +172,9 @@ fn cmd_check(cli: &Cli) -> Result<(), String> {
     if report.satisfies(epsilon) {
         Ok(())
     } else {
+        if let Err(msg) = write_metrics(cli) {
+            eprintln!("error: {msg}");
+        }
         std::process::exit(2);
     }
 }
@@ -169,7 +198,9 @@ fn cmd_anonymize(cli: &Cli) -> Result<(), String> {
         .num_threads(threads)
         .build();
     let (published, sigma, eps_hat) = if method.eq_ignore_ascii_case("repan") {
-        let r = RepAn::new(config).anonymize(&graph, seed).map_err(|e| e.to_string())?;
+        let r = RepAn::new(config)
+            .anonymize(&graph, seed)
+            .map_err(|e| e.to_string())?;
         (r.graph, r.sigma, r.eps_hat)
     } else {
         let m: Method = method.parse()?;
@@ -199,14 +230,23 @@ fn cmd_attack(cli: &Cli) -> Result<(), String> {
         "degree-informed Bayesian adversary vs {} vertices:",
         graph.num_nodes()
     );
-    println!("  top-1 re-identification rate: {:.4}", report.top1_success_rate);
+    println!(
+        "  top-1 re-identification rate: {:.4}",
+        report.top1_success_rate
+    );
     println!(
         "  top-{} candidate-set hit rate:  {:.4}",
         candidates, report.topc_success_rate
     );
-    println!("  mean posterior on true id:    {:.4}", report.mean_posterior());
+    println!(
+        "  mean posterior on true id:    {:.4}",
+        report.mean_posterior()
+    );
     let disclosed = report.disclosed(0.5);
-    println!("  practically disclosed (>50% confidence): {} vertices", disclosed.len());
+    println!(
+        "  practically disclosed (>50% confidence): {} vertices",
+        disclosed.len()
+    );
     Ok(())
 }
 
@@ -260,7 +300,12 @@ fn cmd_mine(cli: &Cli) -> Result<(), String> {
             for (i, c) in cs.clusters.iter().enumerate().take(20) {
                 let preview: Vec<String> = c.iter().take(8).map(|v| v.to_string()).collect();
                 let ellipsis = if c.len() > 8 { ", ..." } else { "" };
-                println!("  #{i}: {} nodes [{}{}]", c.len(), preview.join(", "), ellipsis);
+                println!(
+                    "  #{i}: {} nodes [{}{}]",
+                    c.len(),
+                    preview.join(", "),
+                    ellipsis
+                );
             }
         }
         "influence" => {
@@ -273,7 +318,10 @@ fn cmd_mine(cli: &Cli) -> Result<(), String> {
                 .into_iter()
                 .enumerate()
             {
-                println!("  pick {:>2}: node {v:>6}  cumulative spread {spread:.2}", i + 1);
+                println!(
+                    "  pick {:>2}: node {v:>6}  cumulative spread {spread:.2}",
+                    i + 1
+                );
             }
         }
         other => return Err(format!("unknown task {other:?} (knn|clusters|influence)")),
@@ -292,7 +340,9 @@ fn cmd_synth(cli: &Cli) -> Result<(), String> {
     let dp_epsilon: f64 = cli.get("dp-epsilon", 0.0f64)?;
     let twin = if dp_epsilon > 0.0 {
         if nodes != graph.num_nodes() {
-            return Err("--nodes cannot be combined with --dp-epsilon (node count is public)".into());
+            return Err(
+                "--nodes cannot be combined with --dp-epsilon (node count is public)".into(),
+            );
         }
         chameleon_dp::DpPublisher::new(dp_epsilon).publish(&graph, seed)
     } else {
@@ -328,7 +378,10 @@ fn cmd_compare(cli: &Cli) -> Result<(), String> {
     let ens_a = WorldEnsemble::sample(&a, worlds, &mut seq.rng("a"));
     let ens_b = WorldEnsemble::sample(&b, worlds, &mut seq.rng("b"));
     let rep = avg_reliability_discrepancy(&ens_a, &ens_b, &pair_set);
-    println!("avg reliability discrepancy: {:.5} (± {:.5} s.e., max {:.4})", rep.avg, rep.std_error, rep.max);
+    println!(
+        "avg reliability discrepancy: {:.5} (± {:.5} s.e., max {:.4})",
+        rep.avg, rep.std_error, rep.max
+    );
     println!(
         "expected average degree: {:.4} vs {:.4}",
         a.expected_average_degree(),

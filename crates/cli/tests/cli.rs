@@ -31,7 +31,14 @@ fn full_pipeline_via_binary() {
 
     // generate
     let out = chameleon(&[
-        "generate", graph_s, "--dataset", "brightkite", "--nodes", "200", "--seed", "3",
+        "generate",
+        graph_s,
+        "--dataset",
+        "brightkite",
+        "--nodes",
+        "200",
+        "--seed",
+        "3",
     ]);
     assert!(out.status.success(), "{out:?}");
     assert!(graph.exists());
@@ -43,15 +50,37 @@ fn full_pipeline_via_binary() {
 
     // anonymize (small budget for test speed)
     let out = chameleon(&[
-        "anonymize", graph_s, anon_s, "--k", "15", "--epsilon", "0.05", "--worlds", "80",
-        "--trials", "2", "--seed", "1",
+        "anonymize",
+        graph_s,
+        anon_s,
+        "--k",
+        "15",
+        "--epsilon",
+        "0.05",
+        "--worlds",
+        "80",
+        "--trials",
+        "2",
+        "--seed",
+        "1",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(anon.exists());
 
     // check against the original: must pass with exit code 0
     let out = chameleon(&[
-        "check", anon_s, "--k", "15", "--epsilon", "0.05", "--original", graph_s,
+        "check",
+        anon_s,
+        "--k",
+        "15",
+        "--epsilon",
+        "0.05",
+        "--original",
+        graph_s,
     ]);
     assert!(out.status.success());
     assert!(stdout(&out).contains("SATISFIED"));
@@ -82,7 +111,14 @@ fn check_violation_exits_nonzero() {
     let graph = dir.join("g.txt");
     let graph_s = graph.to_str().unwrap();
     chameleon(&[
-        "generate", graph_s, "--dataset", "dblp", "--nodes", "150", "--seed", "5",
+        "generate",
+        graph_s,
+        "--dataset",
+        "dblp",
+        "--nodes",
+        "150",
+        "--seed",
+        "5",
     ]);
     // k close to n cannot hold without tolerance.
     let out = chameleon(&["check", graph_s, "--k", "149", "--epsilon", "0"]);
@@ -113,22 +149,46 @@ fn synth_twin_and_dp() {
     let twin = dir.join("twin.txt");
     let dp = dir.join("dp.txt");
     chameleon(&[
-        "generate", graph.to_str().unwrap(), "--dataset", "ppi", "--nodes", "120", "--seed", "2",
+        "generate",
+        graph.to_str().unwrap(),
+        "--dataset",
+        "ppi",
+        "--nodes",
+        "120",
+        "--seed",
+        "2",
     ]);
     let out = chameleon(&[
-        "synth", graph.to_str().unwrap(), twin.to_str().unwrap(), "--nodes", "80",
+        "synth",
+        graph.to_str().unwrap(),
+        twin.to_str().unwrap(),
+        "--nodes",
+        "80",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout(&out).contains("n=80"));
     let out = chameleon(&[
-        "synth", graph.to_str().unwrap(), dp.to_str().unwrap(), "--dp-epsilon", "1.0",
+        "synth",
+        graph.to_str().unwrap(),
+        dp.to_str().unwrap(),
+        "--dp-epsilon",
+        "1.0",
     ]);
     assert!(out.status.success());
     assert!(stdout(&out).contains("1-DP"));
     // --nodes + --dp-epsilon is rejected.
     let out = chameleon(&[
-        "synth", graph.to_str().unwrap(), dp.to_str().unwrap(), "--dp-epsilon", "1.0",
-        "--nodes", "50",
+        "synth",
+        graph.to_str().unwrap(),
+        dp.to_str().unwrap(),
+        "--dp-epsilon",
+        "1.0",
+        "--nodes",
+        "50",
     ]);
     assert!(!out.status.success());
     std::fs::remove_dir_all(&dir).ok();
@@ -140,15 +200,33 @@ fn mine_tasks_run() {
     let graph = dir.join("g.txt");
     let g = graph.to_str().unwrap();
     chameleon(&[
-        "generate", g, "--dataset", "brightkite", "--nodes", "150", "--seed", "8",
+        "generate",
+        g,
+        "--dataset",
+        "brightkite",
+        "--nodes",
+        "150",
+        "--seed",
+        "8",
     ]);
-    let out = chameleon(&["mine", g, "--task", "knn", "--source", "0", "--top", "5", "--worlds", "100"]);
+    let out = chameleon(&[
+        "mine", g, "--task", "knn", "--source", "0", "--top", "5", "--worlds", "100",
+    ]);
     assert!(out.status.success());
     assert!(stdout(&out).contains("reliability"));
     let out = chameleon(&["mine", g, "--task", "clusters", "--worlds", "100"]);
     assert!(out.status.success());
     assert!(stdout(&out).contains("reliable clusters"));
-    let out = chameleon(&["mine", g, "--task", "influence", "--seeds", "3", "--worlds", "100"]);
+    let out = chameleon(&[
+        "mine",
+        g,
+        "--task",
+        "influence",
+        "--seeds",
+        "3",
+        "--worlds",
+        "100",
+    ]);
     assert!(out.status.success());
     assert!(stdout(&out).contains("pick"));
     let out = chameleon(&["mine", g, "--task", "bogus"]);
@@ -162,13 +240,35 @@ fn repan_method_available() {
     let graph = dir.join("g.txt");
     let anon = dir.join("anon.txt");
     chameleon(&[
-        "generate", graph.to_str().unwrap(), "--dataset", "dblp", "--nodes", "150", "--seed", "7",
+        "generate",
+        graph.to_str().unwrap(),
+        "--dataset",
+        "dblp",
+        "--nodes",
+        "150",
+        "--seed",
+        "7",
     ]);
     let out = chameleon(&[
-        "anonymize", graph.to_str().unwrap(), anon.to_str().unwrap(), "--k", "5",
-        "--epsilon", "0.08", "--method", "repan", "--worlds", "60", "--trials", "2",
+        "anonymize",
+        graph.to_str().unwrap(),
+        anon.to_str().unwrap(),
+        "--k",
+        "5",
+        "--epsilon",
+        "0.08",
+        "--method",
+        "repan",
+        "--worlds",
+        "60",
+        "--trials",
+        "2",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout(&out).contains("repan"));
     std::fs::remove_dir_all(&dir).ok();
 }

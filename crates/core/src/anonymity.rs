@@ -30,6 +30,8 @@ use std::collections::HashMap;
 /// is a pure function of its incident probabilities, so the output is
 /// identical for every thread count.
 fn degree_pmfs(published: &UncertainGraph, omega_max: usize, threads: usize) -> Vec<Vec<f64>> {
+    let _span = chameleon_obs::span!("anonymity.degree_pmfs");
+    chameleon_obs::counter!("anonymity.pmfs_built").add(published.num_nodes() as u64);
     parallel::map_items(published.num_nodes(), threads, |v| {
         pmf_truncated(&published.incident_probs(v as u32), omega_max)
     })
@@ -151,6 +153,8 @@ pub fn anonymity_check_tolerant_threads(
     tolerance: u32,
     threads: usize,
 ) -> AnonymityReport {
+    let _span = chameleon_obs::span!("anonymity.check.tolerant");
+    chameleon_obs::counter!("anonymity.checks").add(1);
     assert!(k >= 1, "k must be at least 1");
     let n = published.num_nodes();
     assert_eq!(
@@ -179,9 +183,7 @@ pub fn anonymity_check_tolerant_threads(
         let lo = omega.saturating_sub(tolerance) as usize;
         let hi = (omega + tolerance) as usize;
         for (u, pmf) in pmfs.iter().enumerate() {
-            weights[u] = (lo..=hi)
-                .map(|w| pmf.get(w).copied().unwrap_or(0.0))
-                .sum();
+            weights[u] = (lo..=hi).map(|w| pmf.get(w).copied().unwrap_or(0.0)).sum();
         }
         *slot = shannon_entropy_bits(&weights);
     }
@@ -230,6 +232,8 @@ pub fn anonymity_check_threads(
     k: usize,
     threads: usize,
 ) -> AnonymityReport {
+    let _span = chameleon_obs::span!("anonymity.check");
+    chameleon_obs::counter!("anonymity.checks").add(1);
     assert!(k >= 1, "k must be at least 1");
     let n = published.num_nodes();
     assert_eq!(

@@ -129,7 +129,10 @@ pub fn simulate_degree_attack(
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| posterior[b].partial_cmp(&posterior[a]).unwrap());
         let top_value = posterior[order[0]];
-        let num_top_ties = posterior.iter().filter(|&&p| p >= top_value - 1e-15).count();
+        let num_top_ties = posterior
+            .iter()
+            .filter(|&&p| p >= top_value - 1e-15)
+            .count();
         // Value at the c-th rank — members above are certainly in the top-c
         // set, members equal to it share the remaining slots.
         let c = candidate_set_size.min(n);

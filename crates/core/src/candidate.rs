@@ -138,6 +138,7 @@ pub fn select_candidates<R: Rng + ?Sized>(
             added.push(key);
         }
     }
+    chameleon_obs::counter!("genobf.candidate_attempts").add(attempts as u64);
     // Deterministic output order: original edges first (by id), then added
     // pairs in insertion order.
     let mut out = Vec::with_capacity(members.len());
@@ -306,10 +307,7 @@ mod tests {
         let cands = select_candidates(&g, &s, 2.0, &mut rng);
         let injected: Vec<_> = cands.iter().filter(|c| c.existing.is_none()).collect();
         assert!(!injected.is_empty());
-        let touching = injected
-            .iter()
-            .filter(|c| c.u <= 1 || c.v <= 1)
-            .count();
+        let touching = injected.iter().filter(|c| c.u <= 1 || c.v <= 1).count();
         assert!(
             touching as f64 > 0.9 * injected.len() as f64,
             "{touching}/{}",

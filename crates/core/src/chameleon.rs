@@ -132,6 +132,7 @@ impl Chameleon {
         method: Method,
         seed: u64,
     ) -> Result<ObfuscationResult, ChameleonError> {
+        let _span = chameleon_obs::span!("anonymize.run");
         self.config.validate().map_err(ChameleonError::Config)?;
         if graph.num_nodes() == 0 {
             return Err(ChameleonError::DegenerateInput("graph has no nodes".into()));
@@ -178,14 +179,7 @@ impl Chameleon {
         let mut best: Option<(UncertainGraph, AnonymityReport, f64, f64)> = None;
         for _ in 0..=self.config.max_doublings {
             let outcome = self.gen_obf(
-                graph,
-                &knowledge,
-                method,
-                sigma_u,
-                &selection,
-                &excluded,
-                &seq,
-                &mut calls,
+                graph, &knowledge, method, sigma_u, &selection, &excluded, &seq, &mut calls,
             );
             best_eps_seen = best_eps_seen.min(outcome.eps_nearest);
             sigma_trace.push((sigma_u, outcome.eps_nearest));
@@ -203,14 +197,7 @@ impl Chameleon {
             let mut sigma = self.config.sigma_init / 2.0;
             for _ in 0..MAX_HALVINGS {
                 let outcome = self.gen_obf(
-                    graph,
-                    &knowledge,
-                    method,
-                    sigma,
-                    &selection,
-                    &excluded,
-                    &seq,
-                    &mut calls,
+                    graph, &knowledge, method, sigma, &selection, &excluded, &seq, &mut calls,
                 );
                 best_eps_seen = best_eps_seen.min(outcome.eps_nearest);
                 sigma_trace.push((sigma, outcome.eps_nearest));
@@ -235,14 +222,7 @@ impl Chameleon {
         while sigma_u - sigma_l > self.config.sigma_tolerance * sigma_u.max(1e-12) {
             let sigma = 0.5 * (sigma_u + sigma_l);
             let outcome = self.gen_obf(
-                graph,
-                &knowledge,
-                method,
-                sigma,
-                &selection,
-                &excluded,
-                &seq,
-                &mut calls,
+                graph, &knowledge, method, sigma, &selection, &excluded, &seq, &mut calls,
             );
             best_eps_seen = best_eps_seen.min(outcome.eps_nearest);
             sigma_trace.push((sigma, outcome.eps_nearest));
@@ -285,6 +265,7 @@ impl Chameleon {
         seq: &SeedSequence,
         calls: &mut usize,
     ) -> GenObfOutcome {
+        let _span = chameleon_obs::span!("genobf.call");
         let call_idx = *calls as u64;
         *calls += 1;
         let cfg = &self.config;
@@ -295,7 +276,11 @@ impl Chameleon {
         // single-threaded (nested fan-out would oversubscribe the pool);
         // with a single trial the check gets the whole budget instead. The
         // report is thread-count-invariant either way.
-        let check_threads = if threads.min(cfg.trials) > 1 { 1 } else { threads };
+        let check_threads = if threads.min(cfg.trials) > 1 {
+            1
+        } else {
+            threads
+        };
         // Trials are independent: each owns the RNG stream
         // (seed, "genobf-trial", call_idx, trial), so they can run in any
         // order on any number of threads and still reproduce the serial
@@ -304,13 +289,15 @@ impl Chameleon {
         // previously collides once a config asks for ≥ 1000 trials.
         let outcomes: Vec<(f64, Option<(UncertainGraph, AnonymityReport)>)> =
             parallel::map_items(cfg.trials, threads, |trial| {
+                let _trial_span = chameleon_obs::span!("genobf.trial");
+                chameleon_obs::counter!("genobf.trials").add(1);
                 let mut rng = seq.rng_indexed2("genobf-trial", call_idx, trial as u64);
                 // Edge selection (lines 9–16).
-                let candidates =
-                    select_candidates(graph, &sampler, cfg.size_multiplier, &mut rng);
+                let candidates = select_candidates(graph, &sampler, cfg.size_multiplier, &mut rng);
                 if candidates.is_empty() {
                     return (1.0, None);
                 }
+                chameleon_obs::counter!("genobf.edges_perturbed").add(candidates.len() as u64);
                 // Noise budgets (σ(e) ∝ Q^e, mean σ(e) = σ; §V-E).
                 let q_edge: Vec<f64> = candidates
                     .iter()
@@ -466,11 +453,7 @@ mod tests {
         let cham = Chameleon::new(quick_config(8));
         for method in Method::ALL {
             let res = cham.anonymize(&g, method, 99).unwrap();
-            assert!(
-                res.eps_hat <= 0.1,
-                "{method}: eps_hat = {}",
-                res.eps_hat
-            );
+            assert!(res.eps_hat <= 0.1, "{method}: eps_hat = {}", res.eps_hat);
             assert_eq!(res.graph.num_nodes(), g.num_nodes());
             assert!(res.graph.num_edges() >= g.num_edges());
             assert!(res.sigma > 0.0);

@@ -80,7 +80,10 @@ impl ChameleonConfig {
             return Err("size multiplier must be positive".into());
         }
         if !(0.0..=1.0).contains(&self.white_noise) {
-            return Err(format!("white-noise level {} must lie in [0, 1]", self.white_noise));
+            return Err(format!(
+                "white-noise level {} must lie in [0, 1]",
+                self.white_noise
+            ));
         }
         if self.trials == 0 {
             return Err("need at least one trial".into());

@@ -78,7 +78,9 @@ impl std::str::FromStr for Method {
             "RSME" => Ok(Method::Rsme),
             "RS" => Ok(Method::Rs),
             "ME" => Ok(Method::Me),
-            other => Err(format!("unknown method {other:?} (expected RSME, RS or ME)")),
+            other => Err(format!(
+                "unknown method {other:?} (expected RSME, RS or ME)"
+            )),
         }
     }
 }

@@ -133,8 +133,10 @@ mod tests {
     #[test]
     fn white_noise_level_one_is_uniform() {
         let mut rng = StdRng::seed_from_u64(7);
-        let mean: f64 =
-            (0..3000).map(|_| draw_noise(0.01, 1.0, &mut rng)).sum::<f64>() / 3000.0;
+        let mean: f64 = (0..3000)
+            .map(|_| draw_noise(0.01, 1.0, &mut rng))
+            .sum::<f64>()
+            / 3000.0;
         // Pure U(0,1) regardless of tiny sigma.
         assert!((mean - 0.5).abs() < 0.03, "mean={mean}");
     }
@@ -142,8 +144,10 @@ mod tests {
     #[test]
     fn small_sigma_yields_small_noise() {
         let mut rng = StdRng::seed_from_u64(8);
-        let mean: f64 =
-            (0..3000).map(|_| draw_noise(0.02, 0.0, &mut rng)).sum::<f64>() / 3000.0;
+        let mean: f64 = (0..3000)
+            .map(|_| draw_noise(0.02, 0.0, &mut rng))
+            .sum::<f64>()
+            / 3000.0;
         assert!(mean < 0.05, "mean={mean}");
     }
 
@@ -163,7 +167,9 @@ mod tests {
         for _ in 0..reps {
             let me: Vec<f64> = probs
                 .iter()
-                .map(|&p| PerturbStrategy::MaxEntropy.apply(p, r_budget * rng.gen::<f64>(), &mut rng))
+                .map(|&p| {
+                    PerturbStrategy::MaxEntropy.apply(p, r_budget * rng.gen::<f64>(), &mut rng)
+                })
                 .collect();
             let un: Vec<f64> = probs
                 .iter()

@@ -69,8 +69,10 @@ pub fn edge_reliability_relevance_alg2_threads(
     ensemble: &WorldEnsemble,
     threads: usize,
 ) -> Vec<f64> {
+    let _span = chameleon_obs::span!("relevance.err_alg2");
     let m = graph.num_edges();
     let n_worlds = ensemble.len();
+    chameleon_obs::counter!("relevance.worlds_scanned").add(n_worlds as u64);
     let partials = parallel::map_chunks(n_worlds, ERR_WORLD_CHUNK, threads, |_, range| {
         let mut cc_with = vec![0.0f64; m];
         let mut count_with = vec![0u32; m];
@@ -151,7 +153,9 @@ pub fn edge_reliability_relevance_threads(
     ensemble: &WorldEnsemble,
     threads: usize,
 ) -> Vec<f64> {
+    let _span = chameleon_obs::span!("relevance.err_coupled");
     let m = graph.num_edges();
+    chameleon_obs::counter!("relevance.worlds_scanned").add(ensemble.len() as u64);
     let partials = parallel::map_chunks(ensemble.len(), ERR_WORLD_CHUNK, threads, |_, range| {
         let mut sum = vec![0.0f64; m];
         let mut count = vec![0u32; m];
@@ -181,7 +185,13 @@ pub fn edge_reliability_relevance_threads(
         }
     }
     (0..m)
-        .map(|e| if count[e] == 0 { 0.0 } else { sum[e] / count[e] as f64 })
+        .map(|e| {
+            if count[e] == 0 {
+                0.0
+            } else {
+                sum[e] / count[e] as f64
+            }
+        })
         .collect()
 }
 
@@ -358,10 +368,7 @@ mod tests {
         let fast = edge_reliability_relevance_sampled(&g, 4000, &mut rng);
         let naive = edge_reliability_relevance_naive(&g, 1500, &mut rng);
         for (e, (f, n)) in fast.iter().zip(&naive).enumerate() {
-            assert!(
-                (f - n).abs() < 1.2,
-                "edge {e}: fast={f}, naive={n}"
-            );
+            assert!((f - n).abs() < 1.2, "edge {e}: fast={f}, naive={n}");
         }
     }
 

@@ -26,7 +26,10 @@ pub fn uniqueness_scores(graph: &UncertainGraph) -> Vec<f64> {
 /// # Panics
 /// Panics if `scale` is not strictly positive and finite.
 pub fn uniqueness_scores_scaled(graph: &UncertainGraph, scale: f64) -> Vec<f64> {
-    assert!(scale.is_finite() && scale > 0.0, "invalid bandwidth scale {scale}");
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "invalid bandwidth scale {scale}"
+    );
     let values = graph.expected_degrees();
     if values.is_empty() {
         return Vec::new();

@@ -95,11 +95,7 @@ impl ProbModel {
         match self {
             ProbModel::Discrete { levels, weights } => {
                 let total: f64 = weights.iter().sum();
-                levels
-                    .iter()
-                    .zip(weights)
-                    .map(|(l, w)| l * w / total)
-                    .sum()
+                levels.iter().zip(weights).map(|(l, w)| l * w / total).sum()
             }
             ProbModel::TruncatedExponential { rate } => {
                 let z = 1.0 - (-rate).exp();
@@ -183,7 +179,10 @@ mod tests {
 
     #[test]
     fn beta_model_moments_and_validity() {
-        let m = ProbModel::Beta { alpha: 2.0, beta: 5.0 };
+        let m = ProbModel::Beta {
+            alpha: 2.0,
+            beta: 5.0,
+        };
         assert!((m.mean() - 2.0 / 7.0).abs() < 1e-12);
         assert!((sample_mean(&m, 20_000, 9) - m.mean()).abs() < 0.01);
         let mut rng = StdRng::seed_from_u64(10);

@@ -14,7 +14,8 @@ pub enum DatasetKind {
 
 impl DatasetKind {
     /// All three, in the paper's order.
-    pub const ALL: [DatasetKind; 3] = [DatasetKind::Dblp, DatasetKind::Brightkite, DatasetKind::Ppi];
+    pub const ALL: [DatasetKind; 3] =
+        [DatasetKind::Dblp, DatasetKind::Brightkite, DatasetKind::Ppi];
 
     /// Display name matching the paper.
     pub fn name(&self) -> &'static str {

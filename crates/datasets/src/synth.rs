@@ -17,13 +17,11 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> UncertainGraph {
     let seq = SeedSequence::new(seed);
     let mut topo_rng = seq.rng("topology");
     let mean_degree = spec.mean_degree().max(0.1);
-    let max_weight = (mean_degree * spec.nodes as f64).sqrt().max(mean_degree + 1.0);
-    let weights = generators::power_law_weights(
-        spec.nodes,
-        spec.power_law_gamma,
-        mean_degree,
-        max_weight,
-    );
+    let max_weight = (mean_degree * spec.nodes as f64)
+        .sqrt()
+        .max(mean_degree + 1.0);
+    let weights =
+        generators::power_law_weights(spec.nodes, spec.power_law_gamma, mean_degree, max_weight);
     let mut graph = generators::chung_lu(&weights, &mut topo_rng);
     let model = match spec.kind {
         DatasetKind::Dblp => ProbModel::dblp(),
@@ -36,14 +34,12 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> UncertainGraph {
 }
 
 /// Overwrites every edge probability with a draw from `model`.
-pub fn assign_probs<R: Rng + ?Sized>(
-    graph: &mut UncertainGraph,
-    model: &ProbModel,
-    rng: &mut R,
-) {
+pub fn assign_probs<R: Rng + ?Sized>(graph: &mut UncertainGraph, model: &ProbModel, rng: &mut R) {
     for e in 0..graph.num_edges() as u32 {
         let p = model.sample(rng);
-        graph.set_prob(e, p).expect("model yields valid probabilities");
+        graph
+            .set_prob(e, p)
+            .expect("model yields valid probabilities");
     }
 }
 
@@ -102,7 +98,9 @@ mod tests {
     #[test]
     fn heavy_tail_present() {
         let g = dblp_like(1500, 3);
-        let degrees: Vec<f64> = (0..g.num_nodes() as u32).map(|v| g.degree(v) as f64).collect();
+        let degrees: Vec<f64> = (0..g.num_nodes() as u32)
+            .map(|v| g.degree(v) as f64)
+            .collect();
         let s = Summary::from_slice(&degrees);
         assert!(
             s.max() > 4.0 * s.mean(),
@@ -138,10 +136,7 @@ mod tests {
     #[test]
     fn all_probabilities_valid() {
         for g in [dblp_like(300, 4), brightkite_like(300, 5), ppi_like(300, 6)] {
-            assert!(g
-                .edges()
-                .iter()
-                .all(|e| e.p > 0.0 && e.p <= 1.0));
+            assert!(g.edges().iter().all(|e| e.p > 0.0 && e.p <= 1.0));
         }
     }
 

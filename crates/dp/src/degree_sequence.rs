@@ -19,7 +19,10 @@ pub fn isotonic_regression(values: &[f64]) -> Vec<f64> {
         means.push(v);
         counts.push(1);
         while means.len() > 1 && means[means.len() - 2] > means[means.len() - 1] {
-            let (m2, c2) = (means.pop().expect("nonempty"), counts.pop().expect("nonempty"));
+            let (m2, c2) = (
+                means.pop().expect("nonempty"),
+                counts.pop().expect("nonempty"),
+            );
             let last = means.len() - 1;
             let c1 = counts[last];
             means[last] = (means[last] * c1 as f64 + m2 * c2 as f64) / (c1 + c2) as f64;

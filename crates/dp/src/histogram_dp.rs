@@ -25,11 +25,7 @@ impl std::error::Error for HistogramError {}
 /// non-negative integers (rounding, clamping at zero). Post-processing is
 /// privacy-free; the privacy guarantee comes from `scale` =
 /// sensitivity / ε chosen by the caller.
-pub fn dp_integer_histogram<R: Rng + ?Sized>(
-    counts: &[u64],
-    scale: f64,
-    rng: &mut R,
-) -> Vec<u64> {
+pub fn dp_integer_histogram<R: Rng + ?Sized>(counts: &[u64], scale: f64, rng: &mut R) -> Vec<u64> {
     counts
         .iter()
         .map(|&c| {

@@ -95,8 +95,7 @@ impl DpPublisher {
             .map(|v| graph.degree(v))
             .collect();
         let mut rng = seq.rng("dp-degree");
-        let noisy_sequence =
-            dp_degree_sequence(&degrees, eps_half, self.max_degree_bin, &mut rng);
+        let noisy_sequence = dp_degree_sequence(&degrees, eps_half, self.max_degree_bin, &mut rng);
 
         // ---- 2. Private probability histogram (sensitivity 1) + count.
         let mut prob_hist = vec![0u64; self.prob_bins];
@@ -151,10 +150,7 @@ mod tests {
         let release = DpPublisher::new(2.0).publish(&g, 7);
         assert_eq!(release.num_nodes(), 200);
         assert!(release.num_edges() > 0);
-        assert!(release
-            .edges()
-            .iter()
-            .all(|e| e.p > 0.0 && e.p <= 1.0));
+        assert!(release.edges().iter().all(|e| e.p > 0.0 && e.p <= 1.0));
     }
 
     #[test]

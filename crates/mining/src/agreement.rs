@@ -41,10 +41,7 @@ pub fn cluster_agreement(a: &[Vec<NodeId>], b: &[Vec<NodeId>]) -> f64 {
     let mut weighted = 0.0;
     let mut total = 0.0;
     for ca in a {
-        let best = b
-            .iter()
-            .map(|cb| jaccard(ca, cb))
-            .fold(0.0f64, f64::max);
+        let best = b.iter().map(|cb| jaccard(ca, cb)).fold(0.0f64, f64::max);
         weighted += best * ca.len() as f64;
         total += ca.len() as f64;
     }

@@ -1,0 +1,119 @@
+//! Zero-dependency observability for the Chameleon pipeline: hierarchical
+//! timing spans, atomic counters and log₂ histograms, aggregated in a
+//! process-wide registry and exportable as deterministic JSON.
+//!
+//! # Design
+//!
+//! * **Cheap.** Every recording call is a handful of relaxed atomic RMWs
+//!   on a `static` site minted by the macro at the call site; no locks, no
+//!   allocation, no syscalls. A runtime kill-switch ([`set_enabled`]) and
+//!   a compile-time feature (`enabled`, on by default; build with
+//!   `--no-default-features` for a `no-obs` binary) turn recording off.
+//! * **Deterministic-by-construction.** Recording only reads clocks and
+//!   bumps atomics — it never draws randomness, never reorders work and
+//!   never feeds back into control flow, so instrumented pipelines remain
+//!   bit-identical to uninstrumented ones at every thread count (enforced
+//!   by `tests/metrics.rs` and `tests/reproducibility.rs` at the
+//!   workspace root).
+//! * **Hierarchical by naming convention.** Span and counter names are
+//!   dot-separated paths, `component.operation[.detail]` — e.g.
+//!   `genobf.trial`, `ensemble.sample`, `anonymity.degree_pmfs` — so
+//!   consumers can aggregate by prefix without a nesting protocol.
+//!
+//! # Usage
+//!
+//! ```
+//! // Time a region (guard records on drop):
+//! {
+//!     let _span = chameleon_obs::span!("doc.example.region");
+//!     chameleon_obs::counter!("doc.example.items").add(3);
+//!     chameleon_obs::record_value!("doc.example.bytes", 4096);
+//! }
+//! let snap = chameleon_obs::snapshot();
+//! if chameleon_obs::is_enabled() {
+//!     assert_eq!(snap.counter("doc.example.items"), 3);
+//!     assert_eq!(snap.span("doc.example.region").unwrap().count, 1);
+//! }
+//! println!("{}", snap.to_json());
+//! ```
+//!
+//! The scheduler of `chameleon_stats::parallel` is observed automatically
+//! (per-chunk busy time → thread-utilization histograms) as soon as any
+//! metric records; see [`bridge`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bridge;
+pub mod registry;
+pub mod site;
+pub mod snapshot;
+
+pub use registry::Registry;
+pub use site::{CounterSite, HistogramSite, SpanGuard, SpanSite};
+pub use snapshot::{Snapshot, SpanStats};
+
+/// Starts a timing span named by the string literal; returns a guard that
+/// records the elapsed wall time into the global registry when dropped.
+///
+/// Each macro expansion mints one `static` recording site, so the hot path
+/// costs two clock reads plus a few relaxed atomic updates. Sites sharing
+/// a name (e.g. the same literal in two functions) are merged at snapshot
+/// time.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static __OBS_SPAN_SITE: $crate::site::SpanSite = $crate::site::SpanSite::new($name);
+        $crate::site::SpanGuard::enter(&__OBS_SPAN_SITE)
+    }};
+}
+
+/// A named monotone counter handle: `counter!("worlds.sampled").add(n)`.
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static __OBS_COUNTER_SITE: $crate::site::CounterSite =
+            $crate::site::CounterSite::new($name);
+        &__OBS_COUNTER_SITE
+    }};
+}
+
+/// Records one observation into a named log₂ value histogram:
+/// `record_value!("parallel.chunk_busy_ns", ns)`.
+#[macro_export]
+macro_rules! record_value {
+    ($name:literal, $value:expr) => {{
+        static __OBS_HIST_SITE: $crate::site::HistogramSite =
+            $crate::site::HistogramSite::new($name);
+        __OBS_HIST_SITE.record($value)
+    }};
+}
+
+/// True when recording is live (compiled in and not runtime-disabled).
+pub fn is_enabled() -> bool {
+    Registry::global().recording()
+}
+
+/// Runtime kill-switch for all recording; returns the previous state.
+/// Disabling never discards accumulated values and — by design — never
+/// changes any pipeline output, only whether the registry sees it.
+pub fn set_enabled(on: bool) -> bool {
+    Registry::global().set_enabled(on)
+}
+
+/// Zeroes every registered metric (sites stay registered).
+pub fn reset() {
+    Registry::global().reset()
+}
+
+/// A point-in-time copy of all metrics, merged by name.
+pub fn snapshot() -> Snapshot {
+    Registry::global().snapshot()
+}
+
+/// The current metrics as a deterministic JSON document — the payload of
+/// the CLI's `--metrics <path>` flag and of the bench bins' `"metrics"`
+/// field.
+pub fn metrics_json() -> String {
+    snapshot().to_json()
+}

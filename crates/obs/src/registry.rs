@@ -1,0 +1,104 @@
+//! The process-wide metrics registry.
+//!
+//! Sites ([`CounterSite`], [`SpanSite`], [`HistogramSite`]) are `static`s
+//! minted by the recording macros at each call site; on first use a site
+//! adds itself to the global registry, which is the only place holding the
+//! full list. Recording therefore never takes a lock — the registry mutexes
+//! are touched once per site (registration) and by snapshot/reset readers.
+
+use crate::site::{CounterSite, HistogramSite, SpanSite};
+use crate::snapshot::Snapshot;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Compile-time switch: a `no-obs` build (`--no-default-features`)
+/// constant-folds every recording call away.
+pub(crate) const COMPILED_IN: bool = cfg!(feature = "enabled");
+
+/// The global metrics registry. Obtain it with [`Registry::global`].
+pub struct Registry {
+    counters: Mutex<Vec<&'static CounterSite>>,
+    spans: Mutex<Vec<&'static SpanSite>>,
+    histograms: Mutex<Vec<&'static HistogramSite>>,
+    enabled: AtomicBool,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+impl Registry {
+    /// The process-wide registry. First access also installs the parallel
+    /// scheduler observer (see [`crate::bridge`]), so any program that
+    /// records one metric automatically observes `chameleon_stats`'s
+    /// fan-outs too.
+    pub fn global() -> &'static Registry {
+        GLOBAL.get_or_init(|| {
+            if COMPILED_IN {
+                crate::bridge::install_scheduler_observer();
+            }
+            Registry {
+                counters: Mutex::new(Vec::new()),
+                spans: Mutex::new(Vec::new()),
+                histograms: Mutex::new(Vec::new()),
+                enabled: AtomicBool::new(true),
+            }
+        })
+    }
+
+    /// True when recording is live: compiled in AND not runtime-disabled.
+    /// One relaxed load — cheap enough for every recording call.
+    #[inline]
+    pub fn recording(&self) -> bool {
+        COMPILED_IN && self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Runtime kill-switch (recording starts enabled). Disabling stops new
+    /// records but keeps accumulated values readable. Returns the previous
+    /// state.
+    pub fn set_enabled(&self, on: bool) -> bool {
+        self.enabled.swap(on, Ordering::Relaxed)
+    }
+
+    fn poisoned<'a, T>(
+        guard: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
+    ) -> MutexGuard<'a, T> {
+        // Registration lists hold only `&'static` pointers; a panic while
+        // appending cannot leave them in a broken state.
+        guard.unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn register_counter(&self, site: &'static CounterSite) {
+        Self::poisoned(self.counters.lock()).push(site);
+    }
+
+    pub(crate) fn register_span(&self, site: &'static SpanSite) {
+        Self::poisoned(self.spans.lock()).push(site);
+    }
+
+    pub(crate) fn register_histogram(&self, site: &'static HistogramSite) {
+        Self::poisoned(self.histograms.lock()).push(site);
+    }
+
+    /// A point-in-time copy of every registered site, merged by name.
+    /// Concurrent recorders may land between the individual atomic reads —
+    /// the snapshot is consistent per field, not across fields.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters: Vec<_> = Self::poisoned(self.counters.lock()).to_vec();
+        let spans: Vec<_> = Self::poisoned(self.spans.lock()).to_vec();
+        let histograms: Vec<_> = Self::poisoned(self.histograms.lock()).to_vec();
+        Snapshot::collect(&counters, &spans, &histograms)
+    }
+
+    /// Zeroes every registered site (sites stay registered). Meant for
+    /// tests and for long-running processes that publish deltas.
+    pub fn reset(&self) {
+        for c in Self::poisoned(self.counters.lock()).iter() {
+            c.reset();
+        }
+        for s in Self::poisoned(self.spans.lock()).iter() {
+            s.reset();
+        }
+        for h in Self::poisoned(self.histograms.lock()).iter() {
+            h.reset();
+        }
+    }
+}

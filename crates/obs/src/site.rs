@@ -1,0 +1,250 @@
+//! Recording sites: the `static` atoms behind the `counter!`, `span!` and
+//! `record_value!` macros.
+//!
+//! Every site is a `static` with interior mutability only through relaxed
+//! atomics, so recording from any number of threads is free of locks and
+//! free of ordering constraints — metrics are monotone accumulators whose
+//! exact interleaving is irrelevant. A site lazily adds itself to the
+//! [`Registry`](crate::Registry) the first time it records (a single
+//! compare-exchange decides the one registering thread).
+
+use crate::registry::Registry;
+use chameleon_stats::histogram::LOG2_BUCKETS;
+use chameleon_stats::Log2Histogram;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Relaxed-atomic mirror of a [`Log2Histogram`]'s buckets (the bucket
+/// geometry — index math and bounds — is `chameleon_stats`'s; only the
+/// storage is atomic here).
+pub(crate) struct AtomicLog2 {
+    buckets: [AtomicU64; LOG2_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl AtomicLog2 {
+    pub(crate) const fn new() -> Self {
+        // Pre-inline-const array init: a const item may be repeated.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            buckets: [ZERO; LOG2_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&self, x: u64) {
+        self.buckets[Log2Histogram::bucket_index(x)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(x, Ordering::Relaxed);
+    }
+
+    pub(crate) fn materialize(&self) -> Log2Histogram {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        Log2Histogram::from_counts(&counts, self.sum.load(Ordering::Relaxed) as u128)
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Lazily registers `site` exactly once (winner of the compare-exchange).
+macro_rules! ensure_registered {
+    ($self:ident, $register:ident) => {
+        if !$self.registered.load(Ordering::Relaxed)
+            && $self
+                .registered
+                .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            Registry::global().$register($self);
+        }
+    };
+}
+
+/// A named monotone counter. Create via the [`counter!`](crate::counter)
+/// macro, which mints one `static` site per call site.
+pub struct CounterSite {
+    name: &'static str,
+    registered: AtomicBool,
+    value: AtomicU64,
+}
+
+impl CounterSite {
+    /// A zeroed site (const, so it can be a `static` initializer).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            registered: AtomicBool::new(false),
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The site's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` (no-op when recording is off).
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !Registry::global().recording() {
+            return;
+        }
+        ensure_registered!(self, register_counter);
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A named wall-time span aggregate: call count, total/min/max nanoseconds
+/// and a log₂ latency histogram. Create via the [`span!`](crate::span)
+/// macro and hold the returned guard for the duration of the region.
+pub struct SpanSite {
+    name: &'static str,
+    registered: AtomicBool,
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    hist: AtomicLog2,
+}
+
+impl SpanSite {
+    /// A zeroed site (const, so it can be a `static` initializer).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            registered: AtomicBool::new(false),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            hist: AtomicLog2::new(),
+        }
+    }
+
+    /// The site's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one completed pass of `elapsed_ns` nanoseconds.
+    #[inline]
+    pub fn record(&'static self, elapsed_ns: u64) {
+        if !Registry::global().recording() {
+            return;
+        }
+        ensure_registered!(self, register_span);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(elapsed_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(elapsed_ns, Ordering::Relaxed);
+        self.hist.record(elapsed_ns);
+    }
+
+    pub(crate) fn load(&self) -> (u64, u64, u64, u64, Log2Histogram) {
+        (
+            self.count.load(Ordering::Relaxed),
+            self.total_ns.load(Ordering::Relaxed),
+            self.min_ns.load(Ordering::Relaxed),
+            self.max_ns.load(Ordering::Relaxed),
+            self.hist.materialize(),
+        )
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+        self.hist.reset();
+    }
+}
+
+/// RAII timer for a [`SpanSite`]: reads the clock on creation, records the
+/// elapsed time into the site on drop. When recording is off the guard
+/// holds no timestamp and drop is free.
+#[must_use = "a span guard records on drop; binding it to _ discards the measurement immediately"]
+pub struct SpanGuard {
+    started: Option<(&'static SpanSite, Instant)>,
+}
+
+impl SpanGuard {
+    /// Starts timing `site` (or an inert guard when recording is off).
+    #[inline]
+    pub fn enter(site: &'static SpanSite) -> Self {
+        Self {
+            started: Registry::global()
+                .recording()
+                .then(|| (site, Instant::now())),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((site, start)) = self.started.take() {
+            site.record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+}
+
+/// A named log₂ value histogram for arbitrary non-negative magnitudes
+/// (chunk sizes, utilization percentages, byte counts). Create via the
+/// [`record_value!`](crate::record_value) macro.
+pub struct HistogramSite {
+    name: &'static str,
+    registered: AtomicBool,
+    hist: AtomicLog2,
+}
+
+impl HistogramSite {
+    /// A zeroed site (const, so it can be a `static` initializer).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            registered: AtomicBool::new(false),
+            hist: AtomicLog2::new(),
+        }
+    }
+
+    /// The site's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one observation (no-op when recording is off).
+    #[inline]
+    pub fn record(&'static self, x: u64) {
+        if !Registry::global().recording() {
+            return;
+        }
+        ensure_registered!(self, register_histogram);
+        self.hist.record(x);
+    }
+
+    pub(crate) fn materialize(&self) -> Log2Histogram {
+        self.hist.materialize()
+    }
+
+    pub(crate) fn reset(&self) {
+        self.hist.reset();
+    }
+}

@@ -160,7 +160,11 @@ mod tests {
         g.add_edge(2, 3, 1.0).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let hop1 = distance_constrained_reliability(&g, 0, 3, 1, 6000, &mut rng);
-        assert!((hop1.probability - 0.3).abs() < 0.02, "{}", hop1.probability);
+        assert!(
+            (hop1.probability - 0.3).abs() < 0.02,
+            "{}",
+            hop1.probability
+        );
         let hop3 = distance_constrained_reliability(&g, 0, 3, 3, 500, &mut rng);
         assert_eq!(hop3.probability, 1.0); // safe route always there
     }

@@ -63,7 +63,11 @@ pub fn avg_reliability_discrepancy(
     DiscrepancyReport {
         avg: summary.mean(),
         sum: summary.sum(),
-        max: if summary.count() == 0 { 0.0 } else { summary.max() },
+        max: if summary.count() == 0 {
+            0.0
+        } else {
+            summary.max()
+        },
         pairs: pairs.len(),
         std_error: summary.std_error(),
     }

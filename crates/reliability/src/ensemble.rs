@@ -48,6 +48,8 @@ impl WorldEnsemble {
     /// differs from feeding one sequential RNG through
     /// [`WorldEnsemble::sample`]; both are deterministic per seed.)
     pub fn sample_seeded(graph: &UncertainGraph, n: usize, seed: u64, threads: usize) -> Self {
+        let _span = chameleon_obs::span!("ensemble.sample_seeded");
+        chameleon_obs::counter!("ensemble.worlds_sampled").add(n as u64);
         let seq = SeedSequence::new(seed);
         let world_chunks = parallel::map_chunks(n, WORLD_CHUNK, threads, |c, range| {
             let mut rng = seq.rng_indexed("world-chunk", c as u64);
@@ -86,9 +88,15 @@ impl WorldEnsemble {
     /// threads). Each world's analysis is a pure function of that world,
     /// so the result is identical for every thread count.
     pub fn from_worlds_threads(graph: &UncertainGraph, worlds: Vec<World>, threads: usize) -> Self {
+        let _span = chameleon_obs::span!("ensemble.analyze_worlds");
         let analyzed = parallel::map_chunks(worlds.len(), WORLD_CHUNK, threads, |_, range| {
-            range
+            // Union–find work per world: one makeset per node plus one
+            // union per present edge; counted once per chunk to keep the
+            // recording cost off the per-world path.
+            let mut uf_ops = 0u64;
+            let out = range
                 .map(|i| {
+                    uf_ops += graph.num_nodes() as u64 + worlds[i].num_present() as u64;
                     let mut uf = worlds[i].components(graph);
                     let cc = uf.connected_pairs();
                     let l = uf.component_labels();
@@ -98,7 +106,9 @@ impl WorldEnsemble {
                     }
                     (l, sizes, cc)
                 })
-                .collect::<Vec<_>>()
+                .collect::<Vec<_>>();
+            chameleon_obs::counter!("ensemble.union_find_ops").add(uf_ops);
+            out
         });
         let mut labels = Vec::with_capacity(worlds.len());
         let mut component_sizes = Vec::with_capacity(worlds.len());
@@ -236,7 +246,11 @@ impl WorldEnsemble {
 /// Generates a CRN uniforms matrix: `n_worlds` rows of `n_edges` uniforms.
 /// Rows are the "randomness" of each world, reusable across graph variants
 /// whose edge arrays align.
-pub fn crn_uniforms<R: Rng + ?Sized>(n_worlds: usize, n_edges: usize, rng: &mut R) -> Vec<Vec<f64>> {
+pub fn crn_uniforms<R: Rng + ?Sized>(
+    n_worlds: usize,
+    n_edges: usize,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
     (0..n_worlds)
         .map(|_| (0..n_edges).map(|_| rng.gen::<f64>()).collect())
         .collect()
@@ -410,9 +424,7 @@ mod tests {
             ens.two_terminal_reliability(0, 5)
         );
         // Supersets can only help: R({0,1,2} → {5}) ≥ R({0} → {5}).
-        assert!(
-            ens.set_reliability(&[0, 1, 2], &[5]) >= ens.set_reliability(&[0], &[5])
-        );
+        assert!(ens.set_reliability(&[0, 1, 2], &[5]) >= ens.set_reliability(&[0], &[5]));
         // Overlapping sets are trivially connected.
         assert_eq!(ens.set_reliability(&[0, 3], &[3]), 1.0);
     }
@@ -443,8 +455,6 @@ mod tests {
         let bridge = g.find_edge(2, 3).unwrap();
         g.set_prob(bridge, 0.95).unwrap();
         let high = WorldEnsemble::from_uniforms(&g, &uniforms);
-        assert!(
-            high.two_terminal_reliability(0, 5) > low.two_terminal_reliability(0, 5)
-        );
+        assert!(high.two_terminal_reliability(0, 5) > low.two_terminal_reliability(0, 5));
     }
 }

@@ -108,9 +108,7 @@ pub fn anf<R: Rng + ?Sized>(
         })
         .collect();
     let mut nf = Vec::with_capacity(max_hops + 1);
-    let total_at = |sk: &Vec<Vec<u64>>| -> f64 {
-        sk.iter().map(|s| fm_estimate(s)).sum()
-    };
+    let total_at = |sk: &Vec<Vec<u64>>| -> f64 { sk.iter().map(|s| fm_estimate(s)).sum() };
     nf.push(total_at(&cur));
     let mut next = cur.clone();
     for _ in 0..max_hops {

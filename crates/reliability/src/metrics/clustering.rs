@@ -32,7 +32,11 @@ pub fn expected_clustering(graph: &UncertainGraph, ensemble: &WorldEnsemble) -> 
         let (t, wd) = triangles_and_wedges(&view);
         tri.push(t as f64);
         wed.push(wd as f64);
-        cc.push(if wd == 0 { 0.0 } else { 3.0 * t as f64 / wd as f64 });
+        cc.push(if wd == 0 {
+            0.0
+        } else {
+            3.0 * t as f64 / wd as f64
+        });
     }
     ExpectedClustering {
         clustering_coefficient: cc.mean(),

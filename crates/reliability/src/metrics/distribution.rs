@@ -39,11 +39,7 @@ fn dense_pmf(h: &IntHistogram, max: u64) -> Vec<f64> {
 pub fn total_variation(a: &IntHistogram, b: &IntHistogram) -> f64 {
     let max = a.max_value().unwrap_or(0).max(b.max_value().unwrap_or(0));
     let (pa, pb) = (dense_pmf(a, max), dense_pmf(b, max));
-    0.5 * pa
-        .iter()
-        .zip(&pb)
-        .map(|(x, y)| (x - y).abs())
-        .sum::<f64>()
+    0.5 * pa.iter().zip(&pb).map(|(x, y)| (x - y).abs()).sum::<f64>()
 }
 
 /// Earth mover's distance (1-Wasserstein) between two integer histograms,

@@ -62,11 +62,7 @@ impl HllCounter {
             64 => 0.709,
             _ => 0.7213 / (1.0 + 1.079 / m),
         };
-        let sum: f64 = self
-            .registers
-            .iter()
-            .map(|&r| 2f64.powi(-(r as i32)))
-            .sum();
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
         let raw = alpha * m * m / sum;
         if raw <= 2.5 * m {
             let zeros = self.registers.iter().filter(|&&r| r == 0).count();
@@ -193,10 +189,7 @@ mod tests {
         let hll = hyperanf(&view, 8, n, &mut rng);
         let fm = crate::metrics::anf::anf(&view, 64, n, &mut rng);
         let (mh, mf) = (hll.mean_distance(), fm.mean_distance());
-        assert!(
-            (mh - mf).abs() / mf < 0.35,
-            "hyperanf {mh} vs fm-anf {mf}"
-        );
+        assert!((mh - mf).abs() / mf < 0.35, "hyperanf {mh} vs fm-anf {mf}");
         // Terminal neighbourhood ≈ n² ordered pairs.
         let last = *hll.nf.last().unwrap();
         let expect = (n * n) as f64;

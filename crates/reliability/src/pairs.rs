@@ -69,7 +69,12 @@ pub fn sample_stratified_pairs<R: Rng + ?Sized>(
     assert!(n >= 2, "need at least two nodes");
     assert!((0.0..=1.0).contains(&within_frac), "invalid fraction");
     // Group members per label.
-    let num_labels = labels.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+    let num_labels = labels
+        .iter()
+        .copied()
+        .max()
+        .map(|m| m as usize + 1)
+        .unwrap_or(0);
     let mut groups: Vec<Vec<u32>> = vec![Vec::new(); num_labels];
     for (v, &l) in labels.iter().enumerate() {
         groups[l as usize].push(v as u32);

@@ -104,7 +104,9 @@ mod tests {
     fn beta_uniform_special_case() {
         // Beta(1,1) = U(0,1).
         let mut rng = StdRng::seed_from_u64(3);
-        let samples: Vec<f64> = (0..30_000).map(|_| sample_beta(1.0, 1.0, &mut rng)).collect();
+        let samples: Vec<f64> = (0..30_000)
+            .map(|_| sample_beta(1.0, 1.0, &mut rng))
+            .collect();
         let (mean, var) = moments(&samples);
         assert!((mean - 0.5).abs() < 0.01);
         assert!((var - 1.0 / 12.0).abs() < 0.005);
@@ -114,8 +116,9 @@ mod tests {
     fn beta_skewed_shapes() {
         let mut rng = StdRng::seed_from_u64(4);
         // Beta(0.5, 3): mass near 0.
-        let samples: Vec<f64> =
-            (0..20_000).map(|_| sample_beta(0.5, 3.0, &mut rng)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| sample_beta(0.5, 3.0, &mut rng))
+            .collect();
         let below = samples.iter().filter(|&&x| x < 0.1).count();
         assert!(below as f64 > 0.4 * samples.len() as f64);
     }

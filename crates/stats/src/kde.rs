@@ -28,7 +28,11 @@ impl GaussianKde {
             "bandwidth must be positive, got {theta}"
         );
         let norm = 1.0 / (theta * (2.0 * std::f64::consts::PI).sqrt());
-        Self { points, theta, norm }
+        Self {
+            points,
+            theta,
+            norm,
+        }
     }
 
     /// Builds the estimator with the paper's bandwidth choice θ = σ_G, the

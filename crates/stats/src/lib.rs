@@ -40,7 +40,7 @@ pub mod trunc_normal;
 
 pub use entropy::{shannon_entropy_bits, shannon_entropy_nats};
 pub use gamma::{sample_beta, sample_gamma};
-pub use histogram::Histogram;
+pub use histogram::{Histogram, Log2Histogram};
 pub use kde::GaussianKde;
 pub use poisson_binomial::PoissonBinomial;
 pub use rng::SeedSequence;

@@ -19,10 +19,52 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// What one worker thread hands back: its `(chunk_index, result)` pairs,
 /// or the payload of the panic that killed it.
 type WorkerOutcome<T> = Result<Vec<(usize, T)>, Box<dyn std::any::Any + Send>>;
+
+/// Receiver for scheduler telemetry: per-chunk busy time and per-scope
+/// utilization totals.
+///
+/// This crate sits at the bottom of the workspace, so the observability
+/// layer (`chameleon_obs`, which depends on this crate) cannot be called
+/// directly from here; instead it installs itself through this hook
+/// (dependency inversion). When no observer is installed — the default —
+/// [`map_chunks`] takes no timestamps at all, so the uninstrumented cost
+/// is one atomic load per call.
+///
+/// Implementations must tolerate concurrent calls from many worker
+/// threads; none of the callbacks may influence scheduling (they receive
+/// copies of already-final values), so observation can never perturb the
+/// deterministic chunk semantics.
+pub trait ParallelObserver: Sync {
+    /// One chunk finished: which worker ran it, its chunk index, and the
+    /// wall-clock nanoseconds the closure took.
+    fn chunk_completed(&self, worker: usize, chunk: usize, busy_ns: u64);
+    /// One whole [`map_chunks`] call finished: resolved worker count,
+    /// number of chunks, summed per-chunk busy nanoseconds and the
+    /// end-to-end wall nanoseconds of the scope (busy/(threads·wall) is
+    /// the thread-utilization of the fan-out).
+    fn scope_completed(&self, threads: usize, chunks: usize, busy_ns: u64, wall_ns: u64);
+}
+
+static PARALLEL_OBSERVER: OnceLock<&'static dyn ParallelObserver> = OnceLock::new();
+
+/// Installs the process-wide scheduler observer (first caller wins;
+/// returns `false` when an observer was already installed). The observer
+/// must live for the rest of the process — a `&'static` borrow enforces
+/// that without allocation.
+pub fn set_parallel_observer(observer: &'static dyn ParallelObserver) -> bool {
+    PARALLEL_OBSERVER.set(observer).is_ok()
+}
+
+/// The installed observer, if any (one atomic load).
+fn observer() -> Option<&'static dyn ParallelObserver> {
+    PARALLEL_OBSERVER.get().copied()
+}
 
 /// Number of hardware threads, as reported by the OS (≥ 1).
 pub fn available_threads() -> usize {
@@ -73,24 +115,56 @@ where
 {
     let n_chunks = chunk_count(num_items, chunk_size);
     let threads = resolve_threads(threads).min(n_chunks.max(1));
+    // Telemetry is observational only: timestamps are taken around the
+    // already-scheduled closure calls, so the chunk → result mapping (and
+    // with it the bit-exact output) is identical with and without an
+    // observer installed.
+    let obs = observer();
+    let scope_start = obs.map(|_| Instant::now());
+    let total_busy_ns = AtomicUsize::new(0);
+    let run_chunk = |worker: usize, c: usize| -> T {
+        match obs {
+            None => f(c, chunk_range(c, chunk_size, num_items)),
+            Some(o) => {
+                let t = Instant::now();
+                let out = f(c, chunk_range(c, chunk_size, num_items));
+                let busy = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                total_busy_ns.fetch_add(busy as usize, Ordering::Relaxed);
+                o.chunk_completed(worker, c, busy);
+                out
+            }
+        }
+    };
+    let report_scope = |threads: usize| {
+        if let (Some(o), Some(start)) = (obs, scope_start) {
+            o.scope_completed(
+                threads,
+                n_chunks,
+                total_busy_ns.load(Ordering::Relaxed) as u64,
+                start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            );
+        }
+    };
     if threads <= 1 {
-        return (0..n_chunks)
-            .map(|c| f(c, chunk_range(c, chunk_size, num_items)))
-            .collect();
+        let out = (0..n_chunks).map(|c| run_chunk(0, c)).collect();
+        report_scope(1);
+        return out;
     }
 
     let next = AtomicUsize::new(0);
     let worker_results: Vec<WorkerOutcome<T>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|worker| {
+                let run_chunk = &run_chunk;
+                let next = &next;
+                scope.spawn(move || {
                     let mut out = Vec::new();
                     loop {
                         let c = next.fetch_add(1, Ordering::Relaxed);
                         if c >= n_chunks {
                             break;
                         }
-                        out.push((c, f(c, chunk_range(c, chunk_size, num_items))));
+                        out.push((c, run_chunk(worker, c)));
                     }
                     out
                 })
@@ -98,6 +172,7 @@ where
             .collect();
         handles.into_iter().map(|h| h.join()).collect()
     });
+    report_scope(threads);
 
     let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n_chunks).collect();
     let mut panic_payload = None;
@@ -201,6 +276,41 @@ mod tests {
     #[test]
     fn empty_input_yields_empty_output() {
         assert!(map_chunks(0, 4, 8, |c, _| c).is_empty());
+    }
+
+    #[test]
+    fn observer_sees_every_chunk_and_scope() {
+        use std::sync::atomic::AtomicU64;
+        static CHUNKS: AtomicU64 = AtomicU64::new(0);
+        static SCOPES: AtomicU64 = AtomicU64::new(0);
+        static BUSY: AtomicU64 = AtomicU64::new(0);
+        struct Probe;
+        impl ParallelObserver for Probe {
+            fn chunk_completed(&self, _worker: usize, _chunk: usize, busy_ns: u64) {
+                CHUNKS.fetch_add(1, Ordering::Relaxed);
+                BUSY.fetch_add(busy_ns, Ordering::Relaxed);
+            }
+            fn scope_completed(&self, threads: usize, chunks: usize, busy: u64, wall: u64) {
+                assert!(threads >= 1);
+                assert!(chunks >= 1);
+                assert!(wall >= 1, "wall clock must advance");
+                let _ = busy;
+                SCOPES.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        static PROBE: Probe = Probe;
+        // First caller wins; other tests may already have installed PROBE.
+        set_parallel_observer(&PROBE);
+        let chunks_before = CHUNKS.load(Ordering::Relaxed);
+        let scopes_before = SCOPES.load(Ordering::Relaxed);
+        // Serial and threaded paths must both report; results unchanged.
+        for threads in [1, 4] {
+            let out = map_chunks(20, 3, threads, |_, r| r.map(|i| i as u64).sum::<u64>());
+            assert_eq!(out.iter().sum::<u64>(), (0..20).sum::<u64>());
+        }
+        // 7 chunks per call × 2 calls; concurrent tests may add more.
+        assert!(CHUNKS.load(Ordering::Relaxed) >= chunks_before + 14);
+        assert!(SCOPES.load(Ordering::Relaxed) >= scopes_before + 2);
     }
 
     #[test]

@@ -54,7 +54,11 @@ impl PoissonBinomial {
                 *x /= total;
             }
         }
-        Self { pmf, mean, variance }
+        Self {
+            pmf,
+            mean,
+            variance,
+        }
     }
 
     /// `Pr[X = k]`, zero outside the support.
@@ -197,7 +201,12 @@ mod tests {
         assert!((d.mean() - m).abs() < 1e-15);
         assert!((d.variance() - v).abs() < 1e-15);
         // Mean read off the pmf agrees too.
-        let m2: f64 = d.pmf_slice().iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+        let m2: f64 = d
+            .pmf_slice()
+            .iter()
+            .enumerate()
+            .map(|(k, p)| k as f64 * p)
+            .sum();
         assert!((m2 - m).abs() < 1e-12);
     }
 

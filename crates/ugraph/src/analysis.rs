@@ -44,10 +44,7 @@ pub fn largest_component(graph: &UncertainGraph, min_prob: f64) -> Vec<NodeId> {
 /// The subgraph induced on `nodes` (edges with both endpoints inside),
 /// with nodes relabeled densely in the order given. Returns the new graph
 /// and the mapping `new_id -> old_id`.
-pub fn induced_subgraph(
-    graph: &UncertainGraph,
-    nodes: &[NodeId],
-) -> (UncertainGraph, Vec<NodeId>) {
+pub fn induced_subgraph(graph: &UncertainGraph, nodes: &[NodeId]) -> (UncertainGraph, Vec<NodeId>) {
     let mut old_to_new: std::collections::HashMap<NodeId, NodeId> =
         std::collections::HashMap::with_capacity(nodes.len());
     for (new, &old) in nodes.iter().enumerate() {

@@ -172,7 +172,10 @@ mod tests {
     #[test]
     fn rejects_invalid_input() {
         let mut b = GraphBuilder::new(2);
-        assert!(matches!(b.add_edge(1, 1, 0.5), Err(GraphError::SelfLoop(1))));
+        assert!(matches!(
+            b.add_edge(1, 1, 0.5),
+            Err(GraphError::SelfLoop(1))
+        ));
         assert!(matches!(
             b.add_edge(0, 1, 7.0),
             Err(GraphError::InvalidProbability(_))

@@ -44,13 +44,19 @@ impl fmt::Display for GraphError {
             }
             GraphError::SelfLoop(v) => write!(f, "self-loop at node {v} is not allowed"),
             GraphError::DuplicateEdge(u, v) => {
-                write!(f, "edge ({u}, {v}) already exists; multi-edges are not allowed")
+                write!(
+                    f,
+                    "edge ({u}, {v}) already exists; multi-edges are not allowed"
+                )
             }
             GraphError::InvalidProbability(p) => {
                 write!(f, "probability {p} is not in [0, 1]")
             }
             GraphError::EdgeOutOfRange { edge, num_edges } => {
-                write!(f, "edge index {edge} out of range (graph has {num_edges} edges)")
+                write!(
+                    f,
+                    "edge index {edge} out of range (graph has {num_edges} edges)"
+                )
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
@@ -75,23 +81,35 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(GraphError::SelfLoop(3).to_string().contains("self-loop"));
-        assert!(GraphError::DuplicateEdge(1, 2).to_string().contains("(1, 2)"));
-        assert!(GraphError::InvalidProbability(1.5).to_string().contains("1.5"));
-        assert!(GraphError::NodeOutOfRange { node: 9, num_nodes: 4 }
+        assert!(GraphError::DuplicateEdge(1, 2)
             .to_string()
-            .contains("9"));
-        assert!(GraphError::EdgeOutOfRange { edge: 7, num_edges: 2 }
+            .contains("(1, 2)"));
+        assert!(GraphError::InvalidProbability(1.5)
             .to_string()
-            .contains("7"));
-        assert!(GraphError::Parse { line: 3, message: "bad".into() }
-            .to_string()
-            .contains("line 3"));
+            .contains("1.5"));
+        assert!(GraphError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 4
+        }
+        .to_string()
+        .contains("9"));
+        assert!(GraphError::EdgeOutOfRange {
+            edge: 7,
+            num_edges: 2
+        }
+        .to_string()
+        .contains("7"));
+        assert!(GraphError::Parse {
+            line: 3,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("line 3"));
     }
 
     #[test]
     fn io_error_converts() {
-        let e: GraphError =
-            std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into();
+        let e: GraphError = std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into();
         assert!(e.to_string().contains("missing"));
     }
 }

@@ -16,7 +16,10 @@ use rand::Rng;
 /// Panics if `m` exceeds the number of possible edges `n·(n−1)/2`.
 pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> UncertainGraph {
     let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= max_edges, "m={m} exceeds max edges {max_edges} for n={n}");
+    assert!(
+        m <= max_edges,
+        "m={m} exceeds max edges {max_edges} for n={n}"
+    );
     let mut g = UncertainGraph::with_nodes(n);
     // Rejection sampling; fine for m well below max_edges, and still
     // terminating (slowly) close to it thanks to the density guard below.
@@ -92,11 +95,7 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p_edge: f64, rng: &mut R) -> UncertainGrap
 ///
 /// # Panics
 /// Panics if `n < m_attach + 1` or `m_attach == 0`.
-pub fn barabasi_albert<R: Rng + ?Sized>(
-    n: usize,
-    m_attach: usize,
-    rng: &mut R,
-) -> UncertainGraph {
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m_attach: usize, rng: &mut R) -> UncertainGraph {
     assert!(m_attach >= 1, "attachment count must be positive");
     assert!(n > m_attach, "need n > m_attach");
     let mut g = UncertainGraph::with_nodes(n);
@@ -285,10 +284,8 @@ mod tests {
         }
         let g = chung_lu(&weights, &mut rng);
         assert!(g.num_edges() > 0);
-        let hub_mean: f64 =
-            (0..10u32).map(|v| g.degree(v) as f64).sum::<f64>() / 10.0;
-        let tail_mean: f64 =
-            (10..200u32).map(|v| g.degree(v) as f64).sum::<f64>() / 190.0;
+        let hub_mean: f64 = (0..10u32).map(|v| g.degree(v) as f64).sum::<f64>() / 10.0;
+        let tail_mean: f64 = (10..200u32).map(|v| g.degree(v) as f64).sum::<f64>() / 190.0;
         assert!(
             hub_mean > 4.0 * tail_mean,
             "hub_mean={hub_mean}, tail_mean={tail_mean}"

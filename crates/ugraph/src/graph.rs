@@ -33,7 +33,10 @@ impl Edge {
         } else if w == self.v {
             self.u
         } else {
-            panic!("node {w} is not an endpoint of edge ({}, {})", self.u, self.v)
+            panic!(
+                "node {w} is not an endpoint of edge ({}, {})",
+                self.u, self.v
+            )
         }
     }
 }
@@ -129,7 +132,10 @@ impl UncertainGraph {
         let n = self.adj.len() as u32;
         for w in [u, v] {
             if w >= n {
-                return Err(GraphError::NodeOutOfRange { node: w, num_nodes: n });
+                return Err(GraphError::NodeOutOfRange {
+                    node: w,
+                    num_nodes: n,
+                });
             }
         }
         if u == v {
@@ -143,7 +149,11 @@ impl UncertainGraph {
             return Err(GraphError::DuplicateEdge(key.0, key.1));
         }
         let id = self.edges.len() as EdgeId;
-        self.edges.push(Edge { u: key.0, v: key.1, p });
+        self.edges.push(Edge {
+            u: key.0,
+            v: key.1,
+            p,
+        });
         self.adj[u as usize].push((v, id));
         self.adj[v as usize].push((u, id));
         self.index.insert(key, id);

@@ -20,7 +20,12 @@ use std::path::Path;
 
 /// Writes a graph in the text format.
 pub fn write_text<W: Write>(graph: &UncertainGraph, mut out: W) -> Result<(), GraphError> {
-    writeln!(out, "# uncertain graph: {} nodes, {} edges", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        out,
+        "# uncertain graph: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     writeln!(out, "nodes {}", graph.num_nodes())?;
     for e in graph.edges() {
         writeln!(out, "{} {} {}", e.u, e.v, e.p)?;
@@ -92,7 +97,10 @@ pub fn read_text<R: BufRead>(input: R, policy: DedupPolicy) -> Result<UncertainG
 }
 
 /// Reads a graph from a file.
-pub fn read_file<P: AsRef<Path>>(path: P, policy: DedupPolicy) -> Result<UncertainGraph, GraphError> {
+pub fn read_file<P: AsRef<Path>>(
+    path: P,
+    policy: DedupPolicy,
+) -> Result<UncertainGraph, GraphError> {
     let file = std::fs::File::open(path)?;
     read_text(std::io::BufReader::new(file), policy)
 }

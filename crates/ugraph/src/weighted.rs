@@ -31,11 +31,7 @@ impl WeightedUncertainGraph {
     /// Panics if `weights.len() != graph.num_edges()` or any weight is
     /// negative/non-finite.
     pub fn new(graph: UncertainGraph, weights: Vec<f64>) -> Self {
-        assert_eq!(
-            weights.len(),
-            graph.num_edges(),
-            "need one weight per edge"
-        );
+        assert_eq!(weights.len(), graph.num_edges(), "need one weight per edge");
         assert!(
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "weights must be non-negative and finite"
@@ -139,7 +135,10 @@ pub fn dijkstra(
             let nd = d + weighted.weight(e);
             if nd < dist[nbr as usize] {
                 dist[nbr as usize] = nd;
-                heap.push(HeapEntry { dist: nd, node: nbr });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: nbr,
+                });
             }
         }
     }
@@ -272,8 +271,8 @@ mod tests {
         let mut published = wg.graph().clone();
         published.set_prob(0, 0.6).unwrap();
         published.add_edge(1, 0, 0.3).unwrap_err(); // duplicate rejected
-        // Add a genuinely new edge pair? Graph is complete on 3 nodes, so
-        // rebuild with 4 nodes instead.
+                                                    // Add a genuinely new edge pair? Graph is complete on 3 nodes, so
+                                                    // rebuild with 4 nodes instead.
         let mut g4 = UncertainGraph::with_nodes(4);
         g4.add_edge(0, 1, 0.8).unwrap();
         g4.add_edge(1, 2, 0.8).unwrap();

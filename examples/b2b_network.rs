@@ -74,9 +74,9 @@ fn main() {
                 graph: repan.graph,
             });
         }
-        Err(e) => println!(
-            "\nnote: Rep-An baseline could not reach ({K}, {EPSILON})-obfuscation: {e}"
-        ),
+        Err(e) => {
+            println!("\nnote: Rep-An baseline could not reach ({K}, {EPSILON})-obfuscation: {e}")
+        }
     }
 
     println!("\nmethod comparison at ({K}, {EPSILON})-obfuscation:");

@@ -50,8 +50,7 @@ fn main() {
         "expected clustering coefficient: {:.4} -> {:.4} (relative error {:.2}%)",
         cc_orig.clustering_coefficient,
         cc_pub.clustering_coefficient,
-        100.0
-            * (cc_orig.clustering_coefficient - cc_pub.clustering_coefficient).abs()
+        100.0 * (cc_orig.clustering_coefficient - cc_pub.clustering_coefficient).abs()
             / cc_orig.clustering_coefficient.max(1e-12)
     );
 
@@ -59,14 +58,14 @@ fn main() {
     //      still find the same reliable partners?
     let big_orig = WorldEnsemble::sample(&graph, 500, &mut seq.rng("rel-orig"));
     let big_pub = WorldEnsemble::sample(&result.graph, 500, &mut seq.rng("rel-pub"));
-    let mut strongest: Vec<(u32, u32, f64)> = graph
-        .edges()
-        .iter()
-        .map(|e| (e.u, e.v, e.p))
-        .collect();
+    let mut strongest: Vec<(u32, u32, f64)> =
+        graph.edges().iter().map(|e| (e.u, e.v, e.p)).collect();
     strongest.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
     println!("\nreliability of the 8 highest-confidence interactions:");
-    println!("{:>6} {:>6} {:>8} {:>10} {:>10}", "u", "v", "p(e)", "R orig", "R publ");
+    println!(
+        "{:>6} {:>6} {:>8} {:>10} {:>10}",
+        "u", "v", "p(e)", "R orig", "R publ"
+    );
     let mut worst_gap = 0.0f64;
     for &(u, v, p) in strongest.iter().take(8) {
         let r_orig = big_orig.two_terminal_reliability(u, v);

@@ -84,5 +84,8 @@ fn main() {
         after.avg_reachable_pairs / 120.0
     );
     let rel_err = (after.mean_distance - before.mean_distance).abs() / before.mean_distance;
-    println!("expected travel-time relative error: {:.1}%", 100.0 * rel_err);
+    println!(
+        "expected travel-time relative error: {:.1}%",
+        100.0 * rel_err
+    );
 }

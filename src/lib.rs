@@ -19,6 +19,8 @@
 //!   clusters, influence spread) for task-level utility evaluation.
 //! * [`dp`] — the differentially-private dK-1 publication baseline from
 //!   the paper's related-work comparison.
+//! * [`obs`] — lightweight observability: timing spans, counters and
+//!   log-scaled histograms over the Monte-Carlo hot paths.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +30,7 @@ pub use chameleon_core as core;
 pub use chameleon_datasets as datasets;
 pub use chameleon_dp as dp;
 pub use chameleon_mining as mining;
+pub use chameleon_obs as obs;
 pub use chameleon_reliability as reliability;
 pub use chameleon_stats as stats;
 pub use chameleon_ugraph as ugraph;

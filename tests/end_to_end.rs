@@ -45,7 +45,9 @@ fn chameleon_pipeline_all_methods() {
 fn repan_pipeline_and_release_roundtrip() {
     let graph = dblp_like(220, 3);
     let repan = RepAn::new(test_cfg(10, 0.06));
-    let result = repan.anonymize(&graph, 9).expect("rep-an should succeed at k=10");
+    let result = repan
+        .anonymize(&graph, 9)
+        .expect("rep-an should succeed at k=10");
     assert!(result.eps_hat <= 0.06);
     // Published graph survives serialization.
     let mut buf = Vec::new();
@@ -74,7 +76,10 @@ fn utility_is_measurable_and_bounded() {
     // Average degree should stay within a factor of 3 (sanity, not paper).
     let d0 = graph.expected_average_degree();
     let d1 = result.graph.expected_average_degree();
-    assert!(d1 < 3.0 * d0 && d1 > d0 / 3.0, "degree blew up: {d0} -> {d1}");
+    assert!(
+        d1 < 3.0 * d0 && d1 > d0 / 3.0,
+        "degree blew up: {d0} -> {d1}"
+    );
 }
 
 #[test]

@@ -39,7 +39,9 @@ fn repan_loses_more_reliability_than_chameleon() {
     let chameleon = Chameleon::new(cfg(k, eps))
         .anonymize(&g, Method::Rsme, 3)
         .expect("rsme succeeds");
-    let repan = RepAn::new(cfg(k, eps)).anonymize(&g, 3).expect("rep-an succeeds");
+    let repan = RepAn::new(cfg(k, eps))
+        .anonymize(&g, 3)
+        .expect("rep-an succeeds");
     let err_chameleon = reliability_error(&g, &chameleon.graph, 1);
     let err_repan = reliability_error(&g, &repan.graph, 1);
     assert!(
@@ -113,8 +115,12 @@ fn reliability_sensitive_selection_protects_bridges() {
 #[test]
 fn stronger_privacy_costs_no_less_noise() {
     let g = dblp_like(250, 31);
-    let weak = Chameleon::new(cfg(5, 0.05)).anonymize(&g, Method::Rsme, 9).unwrap();
-    let strong = Chameleon::new(cfg(30, 0.05)).anonymize(&g, Method::Rsme, 9).unwrap();
+    let weak = Chameleon::new(cfg(5, 0.05))
+        .anonymize(&g, Method::Rsme, 9)
+        .unwrap();
+    let strong = Chameleon::new(cfg(30, 0.05))
+        .anonymize(&g, Method::Rsme, 9)
+        .unwrap();
     assert!(
         strong.sigma >= weak.sigma,
         "k=30 sigma {} should be at least k=5 sigma {}",
@@ -132,7 +138,9 @@ fn all_methods_enforce_k_obfuscation() {
     let eps = 0.05;
     let knowledge = AdversaryKnowledge::expected_degrees(&g);
     for method in [Method::Rsme, Method::Rs, Method::Me] {
-        let out = Chameleon::new(cfg(k, eps)).anonymize(&g, method, 21).unwrap();
+        let out = Chameleon::new(cfg(k, eps))
+            .anonymize(&g, method, 21)
+            .unwrap();
         let verify = anonymity_check(&out.graph, &knowledge, k);
         assert!(verify.eps_hat <= eps, "{method}: {}", verify.eps_hat);
     }

@@ -2,8 +2,8 @@
 //! on graph structure, never on node numbering. A permuted copy of a graph
 //! must produce permuted-identical analyses.
 
-use chameleon::prelude::*;
 use chameleon::core::PrivacyProfile;
+use chameleon::prelude::*;
 
 /// Builds a relabeled copy of `g` under `perm` (new_id = perm[old_id]).
 fn relabel(g: &UncertainGraph, perm: &[u32]) -> UncertainGraph {
@@ -37,11 +37,7 @@ fn anonymity_check_is_relabel_invariant() {
         assert_eq!(rg.unobfuscated.len(), rh.unobfuscated.len(), "k={k}");
         assert_eq!(rg.eps_hat, rh.eps_hat);
         // The same vertices (under the permutation) are exposed.
-        let mut mapped: Vec<u32> = rg
-            .unobfuscated
-            .iter()
-            .map(|&v| perm[v as usize])
-            .collect();
+        let mut mapped: Vec<u32> = rg.unobfuscated.iter().map(|&v| perm[v as usize]).collect();
         mapped.sort_unstable();
         assert_eq!(mapped, rh.unobfuscated);
     }

@@ -35,9 +35,16 @@ fn anonymization_is_deterministic_per_seed() {
         .sigma_tolerance(0.2)
         .build();
     for method in [Method::Rsme, Method::Rs, Method::Me] {
-        let a = Chameleon::new(cfg.clone()).anonymize(&g, method, 33).unwrap();
-        let b = Chameleon::new(cfg.clone()).anonymize(&g, method, 33).unwrap();
-        assert!(graphs_identical(&a.graph, &b.graph), "{method} not deterministic");
+        let a = Chameleon::new(cfg.clone())
+            .anonymize(&g, method, 33)
+            .unwrap();
+        let b = Chameleon::new(cfg.clone())
+            .anonymize(&g, method, 33)
+            .unwrap();
+        assert!(
+            graphs_identical(&a.graph, &b.graph),
+            "{method} not deterministic"
+        );
         assert_eq!(a.sigma, b.sigma);
         assert_eq!(a.eps_hat, b.eps_hat);
         assert_eq!(a.genobf_calls, b.genobf_calls);
