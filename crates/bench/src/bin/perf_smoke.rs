@@ -38,6 +38,11 @@ static SPAN_CALIBRATION: SpanSite = SpanSite::new("perf.calibration");
 static SPAN_SAMPLING: SpanSite = SpanSite::new("perf.smoke.world_sampling");
 static SPAN_ERR: SpanSite = SpanSite::new("perf.smoke.err_coupled");
 static SPAN_CHECK: SpanSite = SpanSite::new("perf.smoke.anonymity_check");
+static SPAN_DISPATCH: SpanSite = SpanSite::new("perf.smoke.server_dispatch");
+
+/// Round-trips per dispatch rep; enough that a rep runs well above timer
+/// resolution while staying loopback-bound, not compute-bound.
+const DISPATCH_ROUNDTRIPS: usize = 200;
 
 /// Runs `f` `reps` times inside `site`, returns the fastest rep in seconds.
 fn time_reps<F: FnMut()>(site: &'static SpanSite, reps: usize, mut f: F) -> f64 {
@@ -148,8 +153,54 @@ fn main() {
             normalized: 0.0,
         },
     ];
+    // Daemon dispatch overhead: cached `status`-free round-trips through a
+    // live loopback chameleond. The job (a tiny check) is primed into the
+    // result cache first, so the measurement isolates the service stack —
+    // socket, NDJSON parse, queue hand-off, cache hit, response render —
+    // from the anonymization math gated by the sites above.
+    let dispatch_seconds = {
+        let handle = chameleon_server::Server::spawn(chameleon_server::ServerConfig {
+            workers: 1,
+            ..chameleon_server::ServerConfig::default()
+        })
+        .expect("spawn loopback chameleond");
+        let addr = handle.addr().to_string();
+        let small = chameleon_bench::build_dataset(
+            DatasetKind::Brightkite,
+            &ExperimentConfig {
+                scale: 60,
+                ..cfg.clone()
+            },
+        );
+        let mut text = Vec::new();
+        chameleon_ugraph::io::write_text(&small, &mut text).unwrap();
+        let req = format!(
+            "{{\"op\":\"check\",\"graph\":{},\"k\":4}}",
+            chameleon_obs::json::string(&String::from_utf8(text).unwrap()),
+        );
+        let prime = chameleon_server::request_once(&addr, &req).expect("prime dispatch job");
+        assert!(prime.contains("\"status\":\"ok\""), "prime failed: {prime}");
+        let mut conn = std::net::TcpStream::connect(&addr).expect("connect");
+        conn.set_nodelay(true).expect("nodelay");
+        let seconds = time_reps(&SPAN_DISPATCH, reps, || {
+            for _ in 0..DISPATCH_ROUNDTRIPS {
+                let resp = chameleon_server::roundtrip(&mut conn, &req).expect("roundtrip");
+                assert!(resp.contains("\"cached\":true"), "expected a cache hit");
+            }
+        });
+        drop(conn);
+        let _ = chameleon_server::request_once(&addr, "{\"op\":\"shutdown\"}");
+        let _ = handle.join();
+        seconds
+    };
+
     let sites: Vec<Measurement> = sites
         .into_iter()
+        .chain(std::iter::once(Measurement {
+            name: "server_dispatch",
+            seconds: dispatch_seconds,
+            normalized: 0.0,
+        }))
         .map(|m| Measurement {
             normalized: m.seconds / calibration_s,
             ..m

@@ -1,4 +1,9 @@
 //! Flag parsing for the `chameleon` CLI (dependency-free).
+//!
+//! Strictness contract: a flag given twice is a parse error, and every
+//! subcommand declares the flags it accepts ([`Cli::expect_flags`]) so a
+//! misspelled or misplaced `--flag` fails with a message listing the valid
+//! ones instead of being silently ignored.
 
 use std::collections::HashMap;
 
@@ -14,28 +19,44 @@ pub struct Cli {
 
 impl Cli {
     /// Parses process arguments (program name skipped).
-    pub fn from_env() -> Self {
+    ///
+    /// # Errors
+    /// Returns a message on duplicated flags.
+    pub fn from_env() -> Result<Self, String> {
         Self::parse(std::env::args().skip(1))
     }
 
     /// Parses an explicit argument iterator. The first non-flag token is
     /// the subcommand.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+    ///
+    /// # Errors
+    /// Returns a message when the same `--flag` appears more than once
+    /// (in either value or switch form).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut out = Cli::default();
         let mut iter = args.into_iter().peekable();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                if let Some((k, v)) = name.split_once('=') {
-                    out.flags.insert(k.to_string(), v.to_string());
+                let (key, value) = if let Some((k, v)) = name.split_once('=') {
+                    (k.to_string(), Some(v.to_string()))
                 } else if iter
                     .peek()
                     .map(|next| !next.starts_with("--"))
                     .unwrap_or(false)
                 {
-                    let value = iter.next().expect("peeked");
-                    out.flags.insert(name.to_string(), value);
+                    (name.to_string(), Some(iter.next().expect("peeked")))
                 } else {
-                    out.switches.push(name.to_string());
+                    (name.to_string(), None)
+                };
+                let seen = out.flags.contains_key(&key) || out.switches.iter().any(|s| s == &key);
+                if seen {
+                    return Err(format!("duplicate flag --{key}"));
+                }
+                match value {
+                    Some(v) => {
+                        out.flags.insert(key, v);
+                    }
+                    None => out.switches.push(key),
                 }
             } else if out.command.is_none() {
                 out.command = Some(arg);
@@ -43,7 +64,7 @@ impl Cli {
                 out.positional.push(arg);
             }
         }
-        out
+        Ok(out)
     }
 
     /// The subcommand, if any.
@@ -54,6 +75,47 @@ impl Cli {
     /// Positional operands after the subcommand.
     pub fn positional(&self) -> &[String] {
         &self.positional
+    }
+
+    /// Rejects any flag or switch not in `allowed`. The global `--metrics`
+    /// flag is always accepted; call this once per subcommand before
+    /// reading flags so typos fail loudly instead of falling back to
+    /// defaults.
+    ///
+    /// # Errors
+    /// Returns a message naming the unknown flag and listing the valid
+    /// ones.
+    pub fn expect_flags(&self, allowed: &[&str]) -> Result<(), String> {
+        let known = |name: &str| name == "metrics" || allowed.contains(&name);
+        let unknown = self
+            .flags
+            .keys()
+            .map(String::as_str)
+            .chain(self.switches.iter().map(String::as_str))
+            .find(|name| !known(name));
+        match unknown {
+            None => Ok(()),
+            Some(name) => {
+                let mut expected: Vec<&str> = allowed.to_vec();
+                expected.sort_unstable();
+                let listing = if expected.is_empty() {
+                    "only the global --metrics".to_string()
+                } else {
+                    format!(
+                        "--metrics and {}",
+                        expected
+                            .iter()
+                            .map(|f| format!("--{f}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                };
+                Err(format!(
+                    "unknown flag --{name} for {:?} (valid flags: {listing})",
+                    self.command.as_deref().unwrap_or("")
+                ))
+            }
+        }
     }
 
     /// Typed flag with default.
@@ -94,7 +156,7 @@ mod tests {
     use super::*;
 
     fn parse(tokens: &[&str]) -> Cli {
-        Cli::parse(tokens.iter().map(|s| s.to_string()))
+        Cli::parse(tokens.iter().map(|s| s.to_string())).unwrap()
     }
 
     #[test]
@@ -132,5 +194,45 @@ mod tests {
         let c = parse(&["stats", "g.txt", "--verbose"]);
         assert!(c.has("verbose"));
         assert!(!c.has("quiet"));
+    }
+
+    #[test]
+    fn duplicate_flag_is_an_error() {
+        let err = Cli::parse(
+            ["check", "--k", "2", "--k", "3"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap_err();
+        assert!(err.contains("duplicate flag --k"), "{err}");
+        // Equals form and switch form collide with value form too.
+        assert!(Cli::parse(["check", "--k=2", "--k", "3"].iter().map(|s| s.to_string())).is_err());
+        assert!(Cli::parse(
+            ["stats", "--verbose", "--verbose"]
+                .iter()
+                .map(|s| s.to_string())
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_with_the_valid_list() {
+        let c = parse(&["check", "g.txt", "--kk", "2"]);
+        let err = c.expect_flags(&["k", "epsilon"]).unwrap_err();
+        assert!(err.contains("--kk"), "{err}");
+        assert!(err.contains("--epsilon"), "{err}");
+        assert!(err.contains("--metrics"), "{err}");
+    }
+
+    #[test]
+    fn expect_flags_accepts_known_and_global_metrics() {
+        let c = parse(&["check", "g.txt", "--k", "2", "--metrics", "m.json"]);
+        assert!(c.expect_flags(&["k", "epsilon"]).is_ok());
+    }
+
+    #[test]
+    fn unknown_switch_is_rejected_too() {
+        let c = parse(&["stats", "g.txt", "--fast"]);
+        assert!(c.expect_flags(&[]).unwrap_err().contains("--fast"));
     }
 }

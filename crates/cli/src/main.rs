@@ -17,6 +17,17 @@
 //!                     [--source V] [--top K] [--threshold T] [--seeds K]
 //!                     [--worlds N] [--seed S]
 //! chameleon synth     <in.txt> <out.txt> [--nodes N] [--seed S] [--dp-epsilon E]
+//! chameleon serve     [--host H] [--port P] [--workers N] [--queue-depth N]
+//!                     [--cache N] [--timeout-ms MS]
+//!                     # run the chameleond job service (see DESIGN.md §7);
+//!                     # with --metrics, the final snapshot is written on
+//!                     # graceful shutdown
+//! chameleon submit    [in.txt] [out.txt] --job obfuscate|check|reliability|status|shutdown
+//!                     [--host H] [--port P] [--id ID] [--timeout-ms MS]
+//!                     [job flags as for the matching subcommand]
+//!                     # send one job to a running chameleond; for
+//!                     # obfuscate, the returned graph is written to out.txt
+//!                     # byte-identical to `chameleon anonymize` output
 //! ```
 //!
 //! Graphs use the text edge-list format of `chameleon_ugraph::io`. When
@@ -42,19 +53,95 @@ use chameleon_ugraph::analysis::GraphSummary;
 use chameleon_ugraph::builder::DedupPolicy;
 use chameleon_ugraph::{io, UncertainGraph};
 
+/// Subcommand entry: name, flag whitelist, handler.
+type Command = (
+    &'static str,
+    &'static [&'static str],
+    fn(&Cli) -> Result<(), String>,
+);
+
+/// Per-subcommand flag whitelist (the global `--metrics` is implied);
+/// `Cli::expect_flags` turns typos into errors instead of silent defaults.
+const COMMANDS: &[Command] = &[
+    ("generate", &["dataset", "nodes", "seed"], cmd_generate),
+    ("stats", &[], cmd_stats),
+    (
+        "check",
+        &["k", "epsilon", "tolerance", "original"],
+        cmd_check,
+    ),
+    (
+        "anonymize",
+        &[
+            "k", "epsilon", "method", "seed", "worlds", "trials", "threads",
+        ],
+        cmd_anonymize,
+    ),
+    ("attack", &["original", "candidates"], cmd_attack),
+    ("profile", &["original", "top"], cmd_profile),
+    ("compare", &["worlds", "pairs", "seed"], cmd_compare),
+    (
+        "mine",
+        &[
+            "task",
+            "source",
+            "top",
+            "threshold",
+            "min-size",
+            "seeds",
+            "worlds",
+            "seed",
+        ],
+        cmd_mine,
+    ),
+    ("synth", &["nodes", "seed", "dp-epsilon"], cmd_synth),
+    (
+        "serve",
+        &[
+            "host",
+            "port",
+            "workers",
+            "queue-depth",
+            "cache",
+            "timeout-ms",
+        ],
+        cmd_serve,
+    ),
+    (
+        "submit",
+        &[
+            "host",
+            "port",
+            "job",
+            "id",
+            "timeout-ms",
+            "k",
+            "epsilon",
+            "method",
+            "seed",
+            "worlds",
+            "trials",
+            "threads",
+            "tolerance",
+            "pairs",
+        ],
+        cmd_submit,
+    ),
+];
+
 fn main() {
-    let cli = Cli::from_env();
+    let cli = match Cli::from_env() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    };
     let outcome = match cli.command() {
-        Some("generate") => cmd_generate(&cli),
-        Some("stats") => cmd_stats(&cli),
-        Some("check") => cmd_check(&cli),
-        Some("anonymize") => cmd_anonymize(&cli),
-        Some("attack") => cmd_attack(&cli),
-        Some("profile") => cmd_profile(&cli),
-        Some("compare") => cmd_compare(&cli),
-        Some("mine") => cmd_mine(&cli),
-        Some("synth") => cmd_synth(&cli),
-        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        Some(name) => match COMMANDS.iter().find(|(cmd, _, _)| *cmd == name) {
+            Some((_, allowed, run)) => cli.expect_flags(allowed).and_then(|()| run(&cli)),
+            None => Err(format!("unknown command {name:?}\n\n{USAGE}")),
+        },
         None => Err(USAGE.to_string()),
     };
     // `--metrics` applies to every subcommand, including failed ones (a
@@ -80,7 +167,7 @@ fn write_metrics(cli: &Cli) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: chameleon <generate|stats|check|anonymize|attack|profile|compare|mine|synth> ...
+    "usage: chameleon <generate|stats|check|anonymize|attack|profile|compare|mine|synth|serve|submit> ...
 run with a command and --help-style flags documented in the crate docs";
 
 fn operand(cli: &Cli, index: usize, what: &str) -> Result<String, String> {
@@ -359,6 +446,153 @@ fn cmd_synth(cli: &Cli) -> Result<(), String> {
             String::new()
         }
     );
+    Ok(())
+}
+
+/// Run the `chameleond` job service in the foreground until a client
+/// sends `{"op":"shutdown"}` (graceful drain). `--metrics` doubles as the
+/// final-snapshot path written during shutdown.
+fn cmd_serve(cli: &Cli) -> Result<(), String> {
+    let host: String = cli.get("host", "127.0.0.1".to_string())?;
+    let port: u16 = cli.get("port", 7788u16)?;
+    let config = chameleon_server::ServerConfig {
+        addr: format!("{host}:{port}"),
+        workers: cli.get("workers", 0usize)?,
+        queue_depth: cli.get("queue-depth", 64usize)?,
+        cache_capacity: cli.get("cache", 256usize)?,
+        default_timeout_ms: cli.get("timeout-ms", 300_000u64)?,
+        metrics_path: match cli.get("metrics", String::new())? {
+            s if s.is_empty() => None,
+            s => Some(s),
+        },
+    };
+    let server = chameleon_server::Server::bind(config).map_err(|e| format!("bind: {e}"))?;
+    eprintln!("chameleond listening on {}", server.local_addr());
+    let report = server.run().map_err(|e| format!("serve: {e}"))?;
+    println!(
+        "served {} jobs ({} failed, {} rejected, {} timed out)",
+        report.jobs_completed, report.jobs_failed, report.jobs_rejected, report.jobs_timed_out
+    );
+    Ok(())
+}
+
+/// Send one job to a running daemon and render the reply. An `obfuscate`
+/// result graph is written to the output operand with exactly the bytes
+/// `chameleon anonymize` would have produced locally.
+fn cmd_submit(cli: &Cli) -> Result<(), String> {
+    use chameleon_obs::json::{self, Json};
+    let host: String = cli.get("host", "127.0.0.1".to_string())?;
+    let port: u16 = cli.get("port", 7788u16)?;
+    let addr = format!("{host}:{port}");
+    let job: String = cli.get("job", "obfuscate".to_string())?;
+
+    let mut req = String::from("{");
+    let push_field = |req: &mut String, key: &str, value: String| {
+        if req.len() > 1 {
+            req.push(',');
+        }
+        req.push_str(&format!("\"{key}\":{value}"));
+    };
+    push_field(&mut req, "op", json::string(&job));
+    let id: String = cli.get("id", String::new())?;
+    if !id.is_empty() {
+        push_field(&mut req, "id", json::string(&id));
+    }
+    let timeout_ms: u64 = cli.get("timeout-ms", 0u64)?;
+    if timeout_ms > 0 {
+        push_field(&mut req, "timeout_ms", timeout_ms.to_string());
+    }
+    let needs_graph = matches!(job.as_str(), "obfuscate" | "check" | "reliability");
+    if needs_graph {
+        let input = operand(cli, 0, "input path")?;
+        let text = std::fs::read_to_string(&input).map_err(|e| format!("{input}: {e}"))?;
+        push_field(&mut req, "graph", json::string(&text));
+        push_field(&mut req, "seed", cli.get("seed", 42u64)?.to_string());
+    }
+    match job.as_str() {
+        "obfuscate" => {
+            push_field(&mut req, "k", cli.require::<usize>("k")?.to_string());
+            push_field(
+                &mut req,
+                "epsilon",
+                json::number(cli.get("epsilon", 0.01f64)?),
+            );
+            push_field(
+                &mut req,
+                "method",
+                json::string(&cli.get("method", "RSME".to_string())?),
+            );
+            push_field(&mut req, "worlds", cli.get("worlds", 500usize)?.to_string());
+            push_field(&mut req, "trials", cli.get("trials", 5usize)?.to_string());
+            push_field(&mut req, "threads", cli.get("threads", 0usize)?.to_string());
+        }
+        "check" => {
+            push_field(&mut req, "k", cli.require::<usize>("k")?.to_string());
+            push_field(
+                &mut req,
+                "epsilon",
+                json::number(cli.get("epsilon", 0.0f64)?),
+            );
+            push_field(
+                &mut req,
+                "tolerance",
+                cli.get("tolerance", 0u32)?.to_string(),
+            );
+        }
+        "reliability" => {
+            push_field(&mut req, "worlds", cli.get("worlds", 500usize)?.to_string());
+            push_field(&mut req, "pairs", cli.get("pairs", 2000usize)?.to_string());
+            push_field(&mut req, "threads", cli.get("threads", 0usize)?.to_string());
+        }
+        "status" | "shutdown" => {}
+        other => {
+            return Err(format!(
+                "unknown job {other:?} (obfuscate|check|reliability|status|shutdown)"
+            ))
+        }
+    }
+    req.push('}');
+
+    let line = chameleon_server::request_once(&addr, &req).map_err(|e| format!("{addr}: {e}"))?;
+    let v = Json::parse(&line).map_err(|e| format!("bad response from server: {e}"))?;
+    let status = v.get("status").and_then(Json::as_str).unwrap_or("?");
+    if status != "ok" {
+        let msg = v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("malformed error response");
+        return Err(match v.get("retry_after_ms").and_then(Json::as_u64) {
+            Some(ms) => format!("server rejected the job: {msg} (retry after {ms} ms)"),
+            None => format!("server rejected the job: {msg}"),
+        });
+    }
+    let cached = v.get("cached").and_then(Json::as_bool).unwrap_or(false);
+    let result = v.get("result").ok_or("response missing result")?;
+    if job == "obfuscate" {
+        let output = operand(cli, 1, "output path")?;
+        let graph = result
+            .get("graph")
+            .and_then(Json::as_str)
+            .ok_or("result missing graph")?;
+        std::fs::write(&output, graph).map_err(|e| format!("{output}: {e}"))?;
+        let num = |key: &str| result.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        println!(
+            "wrote {output} — sigma = {:.4e}, eps-hat = {:.5}, {} GenObf calls{}",
+            num("sigma"),
+            num("eps_hat"),
+            result
+                .get("genobf_calls")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            if cached { " (cache hit)" } else { "" },
+        );
+    } else {
+        println!(
+            "{}{}",
+            result.render(),
+            if cached { " (cache hit)" } else { "" }
+        );
+    }
     Ok(())
 }
 

@@ -1,0 +1,100 @@
+//! Cooperative cancellation for long-running anonymization jobs.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle combining an explicit
+//! cancel flag with an optional wall-clock deadline. The Chameleon σ
+//! search polls it at phase boundaries (between GenObf invocations), so a
+//! cancelled run stops within one GenObf call's worth of work and returns
+//! [`crate::ChameleonError::Cancelled`] instead of a result.
+//!
+//! Polling only reads a clock and an atomic — it never feeds back into
+//! any random draw or ordering decision, so a run that is *not* cancelled
+//! is bit-identical to one executed without a token. This is what lets
+//! `chameleond` enforce per-job timeouts without perturbing determinism.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared cancellation state: explicit flag plus optional deadline.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never fires unless [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally fires once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Requests cancellation; all clones observe it.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] was called or the deadline (if
+    /// any) has passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                // Latch, so later polls skip the clock read.
+                self.inner.cancelled.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fresh_token_is_live() {
+        assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_shared() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_in_past_fires_immediately() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire_early() {
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+}

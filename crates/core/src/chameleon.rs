@@ -2,6 +2,7 @@
 //! in the σ binary-search skeleton (paper Algorithm 1).
 
 use crate::anonymity::{anonymity_check_threads, AdversaryKnowledge, AnonymityReport};
+use crate::cancel::CancelToken;
 use crate::candidate::{select_candidates, VertexSampler};
 use crate::config::ChameleonConfig;
 use crate::method::Method;
@@ -36,6 +37,9 @@ pub enum ChameleonError {
     },
     /// The input graph is degenerate (no nodes or no edges to perturb).
     DegenerateInput(String),
+    /// The run was cancelled cooperatively (explicit cancel or deadline)
+    /// before a result was found; see [`crate::cancel::CancelToken`].
+    Cancelled,
 }
 
 impl std::fmt::Display for ChameleonError {
@@ -51,6 +55,7 @@ impl std::fmt::Display for ChameleonError {
                  (best eps-hat = {best_eps_hat})"
             ),
             ChameleonError::DegenerateInput(msg) => write!(f, "degenerate input: {msg}"),
+            ChameleonError::Cancelled => write!(f, "run cancelled before completion"),
         }
     }
 }
@@ -132,8 +137,29 @@ impl Chameleon {
         method: Method,
         seed: u64,
     ) -> Result<ObfuscationResult, ChameleonError> {
+        self.anonymize_cancellable(graph, method, seed, &CancelToken::new())
+    }
+
+    /// [`Chameleon::anonymize`] with cooperative cancellation: the token is
+    /// polled between GenObf invocations (each σ probe), and a fired token
+    /// aborts the search with [`ChameleonError::Cancelled`]. A run whose
+    /// token never fires is bit-identical to a plain `anonymize` call —
+    /// polling reads a flag and a clock, nothing that feeds the pipeline.
+    ///
+    /// # Errors
+    /// As [`Chameleon::anonymize`], plus [`ChameleonError::Cancelled`].
+    pub fn anonymize_cancellable(
+        &self,
+        graph: &UncertainGraph,
+        method: Method,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> Result<ObfuscationResult, ChameleonError> {
         let _span = chameleon_obs::span!("anonymize.run");
         self.config.validate().map_err(ChameleonError::Config)?;
+        if cancel.is_cancelled() {
+            return Err(ChameleonError::Cancelled);
+        }
         if graph.num_nodes() == 0 {
             return Err(ChameleonError::DegenerateInput("graph has no nodes".into()));
         }
@@ -178,6 +204,9 @@ impl Chameleon {
         let mut sigma_u = self.config.sigma_init;
         let mut best: Option<(UncertainGraph, AnonymityReport, f64, f64)> = None;
         for _ in 0..=self.config.max_doublings {
+            if cancel.is_cancelled() {
+                return Err(ChameleonError::Cancelled);
+            }
             let outcome = self.gen_obf(
                 graph, &knowledge, method, sigma_u, &selection, &excluded, &seq, &mut calls,
             );
@@ -196,6 +225,9 @@ impl Chameleon {
             // compliant and large noise over-perturbs).
             let mut sigma = self.config.sigma_init / 2.0;
             for _ in 0..MAX_HALVINGS {
+                if cancel.is_cancelled() {
+                    return Err(ChameleonError::Cancelled);
+                }
                 let outcome = self.gen_obf(
                     graph, &knowledge, method, sigma, &selection, &excluded, &seq, &mut calls,
                 );
@@ -220,6 +252,9 @@ impl Chameleon {
         // ---- Algorithm 1: bisection phase (relative tolerance, so tiny
         // feasible edges are located precisely).
         while sigma_u - sigma_l > self.config.sigma_tolerance * sigma_u.max(1e-12) {
+            if cancel.is_cancelled() {
+                return Err(ChameleonError::Cancelled);
+            }
             let sigma = 0.5 * (sigma_u + sigma_l);
             let outcome = self.gen_obf(
                 graph, &knowledge, method, sigma, &selection, &excluded, &seq, &mut calls,
@@ -557,6 +592,48 @@ mod tests {
             cham.anonymize(&edgeless, Method::Rsme, 0),
             Err(ChameleonError::DegenerateInput(_))
         ));
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_immediately() {
+        let g = test_graph(13);
+        let cham = Chameleon::new(quick_config(6));
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(matches!(
+            cham.anonymize_cancellable(&g, Method::Rsme, 7, &token),
+            Err(ChameleonError::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_the_search() {
+        let g = test_graph(13);
+        let cham = Chameleon::new(quick_config(6));
+        let token = CancelToken::with_deadline(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        );
+        assert!(matches!(
+            cham.anonymize_cancellable(&g, Method::Rsme, 7, &token),
+            Err(ChameleonError::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn uncancelled_token_is_bit_identical_to_plain_anonymize() {
+        let g = test_graph(14);
+        let cham = Chameleon::new(quick_config(6));
+        let plain = cham.anonymize(&g, Method::Rsme, 7).unwrap();
+        let tokened = cham
+            .anonymize_cancellable(&g, Method::Rsme, 7, &CancelToken::new())
+            .unwrap();
+        assert_eq!(plain.sigma.to_bits(), tokened.sigma.to_bits());
+        assert_eq!(plain.eps_hat.to_bits(), tokened.eps_hat.to_bits());
+        assert_eq!(plain.graph.num_edges(), tokened.graph.num_edges());
+        for (a, b) in plain.graph.edges().iter().zip(tokened.graph.edges()) {
+            assert_eq!((a.u, a.v), (b.u, b.v));
+            assert_eq!(a.p.to_bits(), b.p.to_bits());
+        }
     }
 
     #[test]

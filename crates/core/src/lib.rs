@@ -53,6 +53,7 @@
 
 pub mod anonymity;
 pub mod attack;
+pub mod cancel;
 pub mod candidate;
 pub mod chameleon;
 pub mod config;
@@ -67,6 +68,7 @@ pub use anonymity::{
     anonymity_check_tolerant_threads, AdversaryKnowledge, AnonymityReport,
 };
 pub use attack::{simulate_degree_attack, AttackReport};
+pub use cancel::CancelToken;
 pub use chameleon::{Chameleon, ChameleonError, ObfuscationResult};
 pub use config::{ChameleonConfig, ChameleonConfigBuilder};
 pub use method::Method;

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bridge;
+pub mod json;
 pub mod registry;
 pub mod site;
 pub mod snapshot;

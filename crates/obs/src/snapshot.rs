@@ -3,7 +3,9 @@
 //! The JSON is hand-rolled (this workspace carries no serialization
 //! dependency) and fully deterministic for fixed metric values: maps are
 //! `BTreeMap`s, so keys are emitted in sorted order, and floating-point
-//! fields are printed with fixed precision.
+//! fields are printed with fixed precision. String escaping is delegated
+//! to [`crate::json`], the shared encoder also used by the `chameleond`
+//! wire protocol.
 
 use crate::site::{CounterSite, HistogramSite, SpanSite};
 use chameleon_stats::Log2Histogram;
@@ -141,7 +143,7 @@ impl Snapshot {
         j.push_str("  \"counters\": {");
         for (i, (name, v)) in self.counters.iter().enumerate() {
             let sep = if i + 1 < self.counters.len() { "," } else { "" };
-            let _ = write!(j, "\n    \"{name}\": {v}{sep}");
+            let _ = write!(j, "\n    {}: {v}{sep}", crate::json::string(name));
         }
         j.push_str(if self.counters.is_empty() {
             "},\n"
@@ -153,7 +155,7 @@ impl Snapshot {
             let sep = if i + 1 < self.spans.len() { "," } else { "" };
             let _ = write!(
                 j,
-                "\n    \"{name}\": {{ \"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \
+                "\n    {name}: {{ \"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \
                  \"max_ns\": {}, \"mean_ns\": {:.1}, \"p50_ns_ub\": {}, \"p99_ns_ub\": {}, \
                  \"buckets\": {} }}{sep}",
                 s.count,
@@ -164,6 +166,7 @@ impl Snapshot {
                 s.hist.quantile_upper_bound(0.5),
                 s.hist.quantile_upper_bound(0.99),
                 buckets_json(&s.hist),
+                name = crate::json::string(name),
             );
         }
         j.push_str(if self.spans.is_empty() {
@@ -180,13 +183,14 @@ impl Snapshot {
             };
             let _ = write!(
                 j,
-                "\n    \"{name}\": {{ \"count\": {}, \"sum\": {}, \"mean\": {:.3}, \
+                "\n    {name}: {{ \"count\": {}, \"sum\": {}, \"mean\": {:.3}, \
                  \"p50_ub\": {}, \"buckets\": {} }}{sep}",
                 h.total(),
                 h.sum(),
                 h.mean(),
                 h.quantile_upper_bound(0.5),
                 buckets_json(h),
+                name = crate::json::string(name),
             );
         }
         j.push_str(if self.histograms.is_empty() {

@@ -1,0 +1,96 @@
+//! Standalone daemon binary. `chameleon serve` (the CLI subcommand) is the
+//! same runtime with the workspace-wide flag conventions; this thin entry
+//! point exists so the service can be deployed without the full CLI.
+
+use chameleon_server::{Server, ServerConfig};
+
+const USAGE: &str = "\
+chameleond - Chameleon anonymization job service
+
+USAGE:
+    chameleond [--host <addr>] [--port <port>] [--workers <n>]
+               [--queue-depth <n>] [--cache <entries>]
+               [--timeout-ms <ms>] [--metrics <path>]
+
+OPTIONS:
+    --host <addr>       Bind address           [default: 127.0.0.1]
+    --port <port>       Bind port (0 = any)    [default: 7788]
+    --workers <n>       Worker threads (0 = all cores)  [default: 0]
+    --queue-depth <n>   Bounded job queue size [default: 64]
+    --cache <entries>   Result cache capacity  [default: 256]
+    --timeout-ms <ms>   Default per-job budget [default: 300000]
+    --metrics <path>    Write final metrics snapshot here on shutdown
+
+The wire protocol is newline-delimited JSON; see DESIGN.md \u{a7}7.
+Send {\"op\":\"shutdown\"} for a graceful drain-and-exit.
+";
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut host = "127.0.0.1".to_string();
+    let mut port = 7788u16;
+    let mut config = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new());
+        }
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("unexpected argument {flag:?}"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} requires a value"))?;
+        let bad = |_| format!("invalid value {value:?} for --{name}");
+        match name {
+            "host" => host = value.clone(),
+            "port" => port = value.parse().map_err(bad)?,
+            "workers" => config.workers = value.parse().map_err(bad)?,
+            "queue-depth" => config.queue_depth = value.parse().map_err(bad)?,
+            "cache" => config.cache_capacity = value.parse().map_err(bad)?,
+            "timeout-ms" => config.default_timeout_ms = value.parse().map_err(bad)?,
+            "metrics" => config.metrics_path = Some(value.clone()),
+            other => return Err(format!("unknown flag --{other}")),
+        }
+    }
+    config.addr = format!("{host}:{port}");
+    Ok(config)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `chameleond --help` for usage");
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: failed to bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("chameleond listening on {}", server.local_addr());
+    match server.run() {
+        Ok(report) => {
+            eprintln!(
+                "chameleond: drained and stopped ({} completed, {} failed, {} rejected, {} timed out)",
+                report.jobs_completed,
+                report.jobs_failed,
+                report.jobs_rejected,
+                report.jobs_timed_out,
+            );
+        }
+        Err(e) => {
+            eprintln!("error: server failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Content-addressed result cache with LRU eviction.
+//!
+//! Keys are derived by [`crate::job::JobSpec::cache_key`]: the FNV-1a
+//! digest of the graph text plus the canonicalized job parameters
+//! (defaults applied, `threads` excluded — results are thread-count
+//! invariant by the PR-1 determinism contract, so a hit may legally serve
+//! a request submitted at a different thread count). Values are the fully
+//! rendered `result` JSON objects, so a hit replays the cold response
+//! byte-for-byte.
+
+use std::collections::HashMap;
+
+/// 64-bit FNV-1a digest; stable, dependency-free content addressing for
+/// graph payloads and canonical parameter strings.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Point-in-time cache statistics (for `status` responses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Live entries.
+    pub entries: usize,
+    /// Maximum entries before eviction.
+    pub capacity: usize,
+    /// Lookups that found a value.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+struct Entry {
+    value: String,
+    last_used: u64,
+}
+
+/// An LRU map from cache key to rendered result JSON.
+///
+/// Capacity 0 disables caching (every lookup misses, nothing is stored).
+/// Eviction scans for the least-recently-used entry; capacities are small
+/// (hundreds), so the linear scan is cheaper than maintaining an intrusive
+/// list and has no pathological cases.
+pub struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<String, Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// Creates a cache bounded at `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<String> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `value` under `key`, evicting the least-recently-used entry
+    /// when at capacity. A no-op when capacity is 0.
+    pub fn insert(&mut self, key: String, value: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.map.len(),
+            capacity: self.capacity,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        // Reference vectors for 64-bit FNV-1a.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(
+            fnv1a64(b"nodes 5\n0 1 0.5\n"),
+            fnv1a64(b"nodes 5\n0 1 0.6\n")
+        );
+    }
+
+    #[test]
+    fn hit_miss_and_replay() {
+        let mut c = ResultCache::new(4);
+        assert_eq!(c.get("k1"), None);
+        c.insert("k1".into(), "v1".into());
+        assert_eq!(c.get("k1").as_deref(), Some("v1"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        let mut c = ResultCache::new(2);
+        c.insert("a".into(), "1".into());
+        c.insert("b".into(), "2".into());
+        assert!(c.get("a").is_some()); // refresh "a"; "b" is now LRU
+        c.insert("c".into(), "3".into());
+        assert!(c.get("b").is_none(), "b should have been evicted");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_without_eviction() {
+        let mut c = ResultCache::new(2);
+        c.insert("a".into(), "1".into());
+        c.insert("b".into(), "2".into());
+        c.insert("a".into(), "1'".into());
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get("a").as_deref(), Some("1'"));
+        assert_eq!(c.get("b").as_deref(), Some("2"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert("a".into(), "1".into());
+        assert_eq!(c.get("a"), None);
+        assert_eq!(c.stats().entries, 0);
+    }
+}

@@ -1,0 +1,458 @@
+//! Job specifications: what a request asks the worker pool to compute,
+//! how the answer is cached, and how it is rendered.
+//!
+//! Every job carries its graph inline as edge-list text (the format of
+//! `chameleon_ugraph::io`), is parameterized exactly like the matching CLI
+//! subcommand (same defaults, applied before cache-key derivation), and
+//! renders its result as a deterministic JSON object with a fixed field
+//! order — the unit of byte-identical replay for cache hits.
+
+use crate::cache::fnv1a64;
+use chameleon_baseline::RepAn;
+use chameleon_core::{
+    anonymity_check, anonymity_check_tolerant, AdversaryKnowledge, CancelToken, Chameleon,
+    ChameleonConfig, ChameleonError, Method,
+};
+use chameleon_obs::json;
+use chameleon_reliability::{sample_distinct_pairs, WorldEnsemble};
+use chameleon_stats::{parallel, SeedSequence};
+use chameleon_ugraph::builder::DedupPolicy;
+use chameleon_ugraph::{io, UncertainGraph};
+use std::fmt::Write as _;
+
+/// Which anonymizer an `obfuscate` job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnonymizeMethod {
+    /// A Chameleon variant (RSME / RS / ME).
+    Chameleon(Method),
+    /// The Rep-An baseline.
+    RepAn,
+}
+
+impl AnonymizeMethod {
+    /// Canonical uppercase name (used in cache keys and results).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnonymizeMethod::Chameleon(m) => m.name(),
+            AnonymizeMethod::RepAn => "REPAN",
+        }
+    }
+
+    /// Parses a method name as the CLI does (`REPAN` or a Method variant).
+    ///
+    /// # Errors
+    /// Returns the parse failure for unknown names.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s.eq_ignore_ascii_case("repan") {
+            Ok(AnonymizeMethod::RepAn)
+        } else {
+            s.parse::<Method>().map(AnonymizeMethod::Chameleon)
+        }
+    }
+}
+
+/// A fully parameterized unit of work for the worker pool.
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// `(k, ε)`-obfuscate a graph — the daemon twin of `chameleon
+    /// anonymize`.
+    Obfuscate {
+        /// Edge-list text of the input graph.
+        graph: String,
+        /// Obfuscation level `k`.
+        k: usize,
+        /// Tolerance ε.
+        epsilon: f64,
+        /// Anonymizer to run.
+        method: AnonymizeMethod,
+        /// Monte-Carlo world count.
+        worlds: usize,
+        /// GenObf trials per σ.
+        trials: usize,
+        /// Worker threads inside the job (0 = all cores). Not part of the
+        /// cache key: results are thread-count invariant.
+        threads: usize,
+        /// Seed driving all randomness.
+        seed: u64,
+    },
+    /// Audit a graph against its own expected degrees — the daemon twin of
+    /// `chameleon check` without `--original`.
+    Check {
+        /// Edge-list text of the graph to audit.
+        graph: String,
+        /// Obfuscation level `k`.
+        k: usize,
+        /// Tolerance ε for the verdict.
+        epsilon: f64,
+        /// Adversary degree tolerance (0 = exact).
+        tolerance: u32,
+    },
+    /// Estimate two-terminal reliability over a sampled pair set.
+    Reliability {
+        /// Edge-list text of the graph.
+        graph: String,
+        /// Monte-Carlo world count.
+        worlds: usize,
+        /// Number of sampled node pairs.
+        pairs: usize,
+        /// Worker threads (0 = all cores); excluded from the cache key.
+        threads: usize,
+        /// Seed for pair sampling and world sampling.
+        seed: u64,
+    },
+}
+
+/// Why a job produced no result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The request was malformed (unparsable graph, invalid parameters).
+    Invalid(String),
+    /// The pipeline ran but failed (e.g. no obfuscation exists).
+    Failed(String),
+    /// The job's cancellation token fired (deadline exceeded).
+    Cancelled,
+}
+
+impl JobSpec {
+    /// Short operation name (metrics labels, logs).
+    pub fn op(&self) -> &'static str {
+        match self {
+            JobSpec::Obfuscate { .. } => "obfuscate",
+            JobSpec::Check { .. } => "check",
+            JobSpec::Reliability { .. } => "reliability",
+        }
+    }
+
+    /// Content-addressed cache key: operation, FNV-1a digest of the graph
+    /// text, and the canonicalized parameters (defaults already applied by
+    /// the protocol layer; `threads` deliberately excluded — the PR-1
+    /// determinism contract makes results identical at every thread
+    /// count, so a hit may serve a request submitted with different
+    /// parallelism).
+    pub fn cache_key(&self) -> String {
+        match self {
+            JobSpec::Obfuscate {
+                graph,
+                k,
+                epsilon,
+                method,
+                worlds,
+                trials,
+                seed,
+                threads: _,
+            } => format!(
+                "obfuscate:{:016x}:k={k}:eps={}:method={}:worlds={worlds}:trials={trials}:seed={seed}",
+                fnv1a64(graph.as_bytes()),
+                json::number(*epsilon),
+                method.name(),
+            ),
+            JobSpec::Check {
+                graph,
+                k,
+                epsilon,
+                tolerance,
+            } => format!(
+                "check:{:016x}:k={k}:eps={}:tol={tolerance}",
+                fnv1a64(graph.as_bytes()),
+                json::number(*epsilon),
+            ),
+            JobSpec::Reliability {
+                graph,
+                worlds,
+                pairs,
+                seed,
+                threads: _,
+            } => format!(
+                "reliability:{:016x}:worlds={worlds}:pairs={pairs}:seed={seed}",
+                fnv1a64(graph.as_bytes()),
+            ),
+        }
+    }
+
+    /// Runs the job, polling `cancel` cooperatively (between GenObf σ
+    /// probes for `obfuscate`; before each heavy stage otherwise).
+    ///
+    /// # Errors
+    /// See [`ExecError`].
+    pub fn execute(&self, cancel: &CancelToken) -> Result<String, ExecError> {
+        if cancel.is_cancelled() {
+            return Err(ExecError::Cancelled);
+        }
+        match self {
+            JobSpec::Obfuscate {
+                graph,
+                k,
+                epsilon,
+                method,
+                worlds,
+                trials,
+                threads,
+                seed,
+            } => {
+                let g = parse_graph(graph)?;
+                let config = ChameleonConfig {
+                    k: *k,
+                    epsilon: *epsilon,
+                    num_world_samples: *worlds,
+                    trials: *trials,
+                    num_threads: *threads,
+                    ..ChameleonConfig::default()
+                };
+                config.validate().map_err(ExecError::Invalid)?;
+                let (out, sigma, eps_hat, calls) = match method {
+                    AnonymizeMethod::RepAn => {
+                        let r = RepAn::new(config)
+                            .anonymize(&g, *seed)
+                            .map_err(|e| ExecError::Failed(e.to_string()))?;
+                        (r.graph, r.sigma, r.eps_hat, 0usize)
+                    }
+                    AnonymizeMethod::Chameleon(m) => {
+                        let r = Chameleon::new(config)
+                            .anonymize_cancellable(&g, *m, *seed, cancel)
+                            .map_err(|e| match e {
+                                ChameleonError::Cancelled => ExecError::Cancelled,
+                                other => ExecError::Failed(other.to_string()),
+                            })?;
+                        (r.graph, r.sigma, r.eps_hat, r.genobf_calls)
+                    }
+                };
+                let text = render_graph(&out)?;
+                let mut res = String::with_capacity(text.len() + 160);
+                let _ = write!(
+                    res,
+                    "{{\"sigma\":{},\"eps_hat\":{},\"method\":\"{}\",\"genobf_calls\":{calls},\
+                     \"nodes\":{},\"edges\":{},\"graph\":{}}}",
+                    json::number(sigma),
+                    json::number(eps_hat),
+                    method.name(),
+                    out.num_nodes(),
+                    out.num_edges(),
+                    json::string(&text),
+                );
+                Ok(res)
+            }
+            JobSpec::Check {
+                graph,
+                k,
+                epsilon,
+                tolerance,
+            } => {
+                let g = parse_graph(graph)?;
+                let knowledge = AdversaryKnowledge::expected_degrees(&g);
+                let report = if *tolerance == 0 {
+                    anonymity_check(&g, &knowledge, *k)
+                } else {
+                    anonymity_check_tolerant(&g, &knowledge, *k, *tolerance)
+                };
+                Ok(format!(
+                    "{{\"satisfied\":{},\"eps_hat\":{},\"k\":{k},\"epsilon\":{},\
+                     \"unobfuscated\":{},\"nodes\":{}}}",
+                    report.satisfies(*epsilon),
+                    json::number(report.eps_hat),
+                    json::number(*epsilon),
+                    report.unobfuscated.len(),
+                    g.num_nodes(),
+                ))
+            }
+            JobSpec::Reliability {
+                graph,
+                worlds,
+                pairs,
+                threads,
+                seed,
+            } => {
+                let g = parse_graph(graph)?;
+                if g.num_nodes() < 2 {
+                    return Err(ExecError::Invalid(
+                        "reliability needs at least 2 nodes".into(),
+                    ));
+                }
+                let threads = parallel::resolve_threads(*threads);
+                let seq = SeedSequence::new(*seed);
+                let pair_set = sample_distinct_pairs(g.num_nodes(), *pairs, &mut seq.rng("pairs"));
+                let ens = WorldEnsemble::sample_seeded(&g, *worlds, seq.derive("worlds"), threads);
+                let rel = ens.reliability_many(&pair_set);
+                let (mut lo, mut hi, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+                for &r in &rel {
+                    lo = lo.min(r);
+                    hi = hi.max(r);
+                    sum += r;
+                }
+                let avg = if rel.is_empty() {
+                    0.0
+                } else {
+                    sum / rel.len() as f64
+                };
+                Ok(format!(
+                    "{{\"avg_reliability\":{},\"min_reliability\":{},\"max_reliability\":{},\
+                     \"pairs\":{},\"worlds\":{worlds}}}",
+                    json::number(avg),
+                    json::number(if rel.is_empty() { 0.0 } else { lo }),
+                    json::number(if rel.is_empty() { 0.0 } else { hi }),
+                    rel.len(),
+                ))
+            }
+        }
+    }
+}
+
+fn parse_graph(text: &str) -> Result<UncertainGraph, ExecError> {
+    io::read_text(text.as_bytes(), DedupPolicy::KeepFirst)
+        .map_err(|e| ExecError::Invalid(format!("graph: {e}")))
+}
+
+/// Renders a graph exactly as `io::write_file` would — the bytes a
+/// `submit` client writes to disk must match the CLI's output file.
+fn render_graph(g: &UncertainGraph) -> Result<String, ExecError> {
+    let mut buf = Vec::new();
+    io::write_text(g, &mut buf).map_err(|e| ExecError::Failed(e.to_string()))?;
+    String::from_utf8(buf).map_err(|e| ExecError::Failed(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_graph() -> String {
+        "nodes 6\n0 1 0.9\n1 2 0.8\n2 3 0.7\n3 4 0.6\n4 5 0.5\n0 5 0.4\n".to_string()
+    }
+
+    #[test]
+    fn cache_key_ignores_threads_but_not_seed() {
+        let base = JobSpec::Obfuscate {
+            graph: tiny_graph(),
+            k: 2,
+            epsilon: 0.1,
+            method: AnonymizeMethod::Chameleon(Method::Me),
+            worlds: 50,
+            trials: 1,
+            threads: 1,
+            seed: 7,
+        };
+        let other_threads = match base.clone() {
+            JobSpec::Obfuscate {
+                graph,
+                k,
+                epsilon,
+                method,
+                worlds,
+                trials,
+                seed,
+                ..
+            } => JobSpec::Obfuscate {
+                graph,
+                k,
+                epsilon,
+                method,
+                worlds,
+                trials,
+                threads: 8,
+                seed,
+            },
+            _ => unreachable!(),
+        };
+        let other_seed = match base.clone() {
+            JobSpec::Obfuscate {
+                graph,
+                k,
+                epsilon,
+                method,
+                worlds,
+                trials,
+                threads,
+                ..
+            } => JobSpec::Obfuscate {
+                graph,
+                k,
+                epsilon,
+                method,
+                worlds,
+                trials,
+                threads,
+                seed: 8,
+            },
+            _ => unreachable!(),
+        };
+        assert_eq!(base.cache_key(), other_threads.cache_key());
+        assert_ne!(base.cache_key(), other_seed.cache_key());
+    }
+
+    #[test]
+    fn cache_key_tracks_graph_content() {
+        let a = JobSpec::Check {
+            graph: tiny_graph(),
+            k: 2,
+            epsilon: 0.0,
+            tolerance: 0,
+        };
+        let b = JobSpec::Check {
+            graph: tiny_graph().replace("0.9", "0.91"),
+            k: 2,
+            epsilon: 0.0,
+            tolerance: 0,
+        };
+        assert_ne!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn check_job_executes() {
+        let spec = JobSpec::Check {
+            graph: tiny_graph(),
+            k: 2,
+            epsilon: 0.5,
+            tolerance: 0,
+        };
+        let out = spec.execute(&CancelToken::new()).unwrap();
+        assert!(out.contains("\"eps_hat\":"));
+        assert!(out.contains("\"nodes\":6"));
+    }
+
+    #[test]
+    fn reliability_job_is_deterministic() {
+        let spec = JobSpec::Reliability {
+            graph: tiny_graph(),
+            worlds: 100,
+            pairs: 10,
+            threads: 1,
+            seed: 3,
+        };
+        let a = spec.execute(&CancelToken::new()).unwrap();
+        let b = spec.execute(&CancelToken::new()).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"avg_reliability\":"));
+    }
+
+    #[test]
+    fn invalid_graph_is_reported_not_panicked() {
+        let spec = JobSpec::Check {
+            graph: "0 1 notaprob\n".into(),
+            k: 2,
+            epsilon: 0.0,
+            tolerance: 0,
+        };
+        assert!(matches!(
+            spec.execute(&CancelToken::new()),
+            Err(ExecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn cancelled_token_short_circuits() {
+        let token = CancelToken::new();
+        token.cancel();
+        let spec = JobSpec::Check {
+            graph: tiny_graph(),
+            k: 2,
+            epsilon: 0.0,
+            tolerance: 0,
+        };
+        assert_eq!(spec.execute(&token), Err(ExecError::Cancelled));
+    }
+
+    #[test]
+    fn method_names_parse_like_the_cli() {
+        assert_eq!(AnonymizeMethod::parse("rsme").unwrap().name(), "RSME");
+        assert_eq!(AnonymizeMethod::parse("RepAn").unwrap().name(), "REPAN");
+        assert!(AnonymizeMethod::parse("nope").is_err());
+    }
+}

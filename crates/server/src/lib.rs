@@ -1,0 +1,44 @@
+//! `chameleond`: a zero-dependency anonymization job service.
+//!
+//! This crate wraps the Chameleon pipeline (`chameleon-core`,
+//! `chameleon-reliability`, `chameleon-baseline`) in a long-lived TCP
+//! daemon speaking newline-delimited JSON, so repeated anonymization runs
+//! against the same graphs amortize process start-up and share a result
+//! cache. Everything is `std`-only, matching the rest of the workspace.
+//!
+//! Architecture (see `DESIGN.md` §7 for the full treatment):
+//!
+//! * [`protocol`] — the NDJSON request/response grammar, parsed and
+//!   rendered with the shared deterministic encoder
+//!   ([`chameleon_obs::json`]).
+//! * [`job`] — executable job specs bridging protocol requests to the
+//!   library entry points, plus canonical cache-key derivation.
+//! * [`queue`] — a bounded MPMC queue with non-blocking rejection
+//!   (backpressure → `retry_after_ms`) and exact drain accounting.
+//! * [`cache`] — a content-addressed LRU cache of rendered results; hits
+//!   replay the cold response byte-for-byte.
+//! * [`server`] — the accept loop, worker pool, per-job deadlines
+//!   (cooperative cancellation via [`chameleon_core::CancelToken`]) and
+//!   the graceful drain-then-flush shutdown sequence.
+//!
+//! Determinism contract: for a fixed request (graph, parameters, seed)
+//! the `result` object is byte-identical across thread counts, cache
+//! state (cold vs. hit) and the CLI subcommand computing the same thing —
+//! enforced by `tests/service.rs`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod job;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{fnv1a64, CacheStats, ResultCache};
+pub use job::{AnonymizeMethod, ExecError, JobSpec};
+pub use protocol::{error_response, ok_response, parse_request, Request};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{
+    request_once, response_field, roundtrip, Server, ServerConfig, ServerHandle, ServerReport,
+};

@@ -1,0 +1,296 @@
+//! The `chameleond` wire protocol: newline-delimited JSON over TCP.
+//!
+//! Grammar (one request object per line, one response object per line):
+//!
+//! ```text
+//! request  = { "op": op, ["id": string], ["timeout_ms": int], params... }
+//! op       = "obfuscate" | "check" | "reliability" | "status" | "shutdown"
+//! response = { ["id": ...], "status": "ok", "cached": bool, "result": {...} }
+//!          | { ["id": ...], "status": "error", "error": string,
+//!              ["retry_after_ms": int] }
+//! ```
+//!
+//! Job parameters are flat fields mirroring the CLI flags of the matching
+//! subcommand, with the same defaults (`seed` 42, `worlds` 500, `trials`
+//! 5, `threads` 0, anonymize `epsilon` 0.01, `method` "RSME"); defaults
+//! are applied *here*, before cache-key derivation, so a request relying
+//! on a default and one spelling it out share a cache entry. Graphs travel
+//! inline as edge-list text in the `"graph"` field.
+//!
+//! Responses are rendered with the shared deterministic encoder
+//! ([`chameleon_obs::json`]); for a fixed request, the `result` object is
+//! byte-stable across runs, machines, thread counts, and cache state.
+
+use crate::job::{AnonymizeMethod, JobSpec};
+use chameleon_obs::json::{self, Json};
+
+/// A parsed client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Work for the queue/worker pool.
+    Job {
+        /// What to compute.
+        spec: JobSpec,
+        /// Client-chosen correlation id, echoed in the response.
+        id: Option<String>,
+        /// Per-job wall-clock budget override (ms).
+        timeout_ms: Option<u64>,
+    },
+    /// Server introspection (answered inline, never queued).
+    Status {
+        /// Correlation id.
+        id: Option<String>,
+    },
+    /// Begin graceful shutdown; the response is sent after the queue
+    /// drains.
+    Shutdown {
+        /// Correlation id.
+        id: Option<String>,
+    },
+}
+
+/// Parse failure: the (possibly recovered) request id plus a message.
+pub type ParseFailure = (Option<String>, String);
+
+fn get_u64(v: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(field) => field
+            .as_u64()
+            .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+fn get_f64(v: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(field) => field
+            .as_f64()
+            .ok_or_else(|| format!("field {key:?} must be a number")),
+    }
+}
+
+fn get_str(v: &Json, key: &str, default: &str) -> Result<String, String> {
+    match v.get(key) {
+        None => Ok(default.to_string()),
+        Some(field) => field
+            .as_str()
+            .map(String::from)
+            .ok_or_else(|| format!("field {key:?} must be a string")),
+    }
+}
+
+fn require_graph(v: &Json) -> Result<String, String> {
+    v.get("graph")
+        .and_then(Json::as_str)
+        .map(String::from)
+        .ok_or_else(|| "missing required string field \"graph\"".to_string())
+}
+
+/// Parses one request line.
+///
+/// # Errors
+/// Returns the request id (when recoverable) and a message suitable for an
+/// error response.
+pub fn parse_request(line: &str) -> Result<Request, ParseFailure> {
+    let v = Json::parse(line).map_err(|e| (None, format!("bad request JSON: {e}")))?;
+    let id = v.get("id").and_then(Json::as_str).map(String::from);
+    let fail = |msg: String| (id.clone(), msg);
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail("missing required string field \"op\"".to_string()))?
+        .to_string();
+    let timeout_ms =
+        match v.get("timeout_ms") {
+            None => None,
+            Some(t) => Some(t.as_u64().ok_or_else(|| {
+                fail("field \"timeout_ms\" must be a non-negative integer".into())
+            })?),
+        };
+    let spec = match op.as_str() {
+        "status" => return Ok(Request::Status { id }),
+        "shutdown" => return Ok(Request::Shutdown { id }),
+        "obfuscate" => {
+            let graph = require_graph(&v).map_err(&fail)?;
+            let k = get_u64(&v, "k", 0).map_err(&fail)?;
+            if k == 0 {
+                return Err(fail("obfuscate requires \"k\" >= 1".into()));
+            }
+            let method = AnonymizeMethod::parse(&get_str(&v, "method", "RSME").map_err(&fail)?)
+                .map_err(&fail)?;
+            JobSpec::Obfuscate {
+                graph,
+                k: k as usize,
+                epsilon: get_f64(&v, "epsilon", 0.01).map_err(&fail)?,
+                method,
+                worlds: get_u64(&v, "worlds", 500).map_err(&fail)? as usize,
+                trials: get_u64(&v, "trials", 5).map_err(&fail)? as usize,
+                threads: get_u64(&v, "threads", 0).map_err(&fail)? as usize,
+                seed: get_u64(&v, "seed", 42).map_err(&fail)?,
+            }
+        }
+        "check" => {
+            let graph = require_graph(&v).map_err(&fail)?;
+            let k = get_u64(&v, "k", 0).map_err(&fail)?;
+            if k == 0 {
+                return Err(fail("check requires \"k\" >= 1".into()));
+            }
+            JobSpec::Check {
+                graph,
+                k: k as usize,
+                epsilon: get_f64(&v, "epsilon", 0.0).map_err(&fail)?,
+                tolerance: get_u64(&v, "tolerance", 0).map_err(&fail)? as u32,
+            }
+        }
+        "reliability" => JobSpec::Reliability {
+            graph: require_graph(&v).map_err(&fail)?,
+            worlds: get_u64(&v, "worlds", 500).map_err(&fail)? as usize,
+            pairs: get_u64(&v, "pairs", 2000).map_err(&fail)? as usize,
+            threads: get_u64(&v, "threads", 0).map_err(&fail)? as usize,
+            seed: get_u64(&v, "seed", 42).map_err(&fail)?,
+        },
+        other => {
+            return Err(fail(format!(
+                "unknown op {other:?} (obfuscate|check|reliability|status|shutdown)"
+            )))
+        }
+    };
+    Ok(Request::Job {
+        spec,
+        id,
+        timeout_ms,
+    })
+}
+
+/// Renders a success response. `result` must already be a rendered JSON
+/// object (the cacheable replay unit); the envelope field order is fixed.
+pub fn ok_response(id: Option<&str>, cached: bool, result: &str) -> String {
+    let mut out = String::with_capacity(result.len() + 64);
+    out.push('{');
+    if let Some(id) = id {
+        out.push_str("\"id\":");
+        out.push_str(&json::string(id));
+        out.push(',');
+    }
+    out.push_str("\"status\":\"ok\",\"cached\":");
+    out.push_str(if cached { "true" } else { "false" });
+    out.push_str(",\"result\":");
+    out.push_str(result);
+    out.push('}');
+    out
+}
+
+/// Renders an error response; `retry_after_ms` marks retryable
+/// backpressure rejections.
+pub fn error_response(id: Option<&str>, error: &str, retry_after_ms: Option<u64>) -> String {
+    let mut out = String::with_capacity(error.len() + 64);
+    out.push('{');
+    if let Some(id) = id {
+        out.push_str("\"id\":");
+        out.push_str(&json::string(id));
+        out.push(',');
+    }
+    out.push_str("\"status\":\"error\",\"error\":");
+    out.push_str(&json::string(error));
+    if let Some(ms) = retry_after_ms {
+        out.push_str(",\"retry_after_ms\":");
+        out.push_str(&ms.to_string());
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_obfuscate_with_defaults() {
+        let line = r#"{"op":"obfuscate","id":"j1","graph":"0 1 0.5\n","k":4}"#;
+        match parse_request(line).unwrap() {
+            Request::Job {
+                spec:
+                    JobSpec::Obfuscate {
+                        k,
+                        epsilon,
+                        worlds,
+                        trials,
+                        threads,
+                        seed,
+                        ..
+                    },
+                id,
+                timeout_ms,
+            } => {
+                assert_eq!(id.as_deref(), Some("j1"));
+                assert_eq!(timeout_ms, None);
+                assert_eq!((k, worlds, trials, threads, seed), (4, 500, 5, 0, 42));
+                assert!((epsilon - 0.01).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_share_a_cache_key_with_explicit_values() {
+        let implicit = r#"{"op":"obfuscate","graph":"0 1 0.5\n","k":4}"#;
+        let explicit = r#"{"op":"obfuscate","graph":"0 1 0.5\n","k":4,"epsilon":0.01,"method":"RSME","worlds":500,"trials":5,"seed":42,"threads":3}"#;
+        let key = |line: &str| match parse_request(line).unwrap() {
+            Request::Job { spec, .. } => spec.cache_key(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(key(implicit), key(explicit));
+    }
+
+    #[test]
+    fn missing_required_fields_are_reported_with_id() {
+        let (id, msg) = parse_request(r#"{"op":"obfuscate","id":"x","graph":"0 1 0.5\n"}"#)
+            .err()
+            .unwrap();
+        assert_eq!(id.as_deref(), Some("x"));
+        assert!(msg.contains("\"k\""));
+        let (_, msg) = parse_request(r#"{"op":"check","k":2}"#).err().unwrap();
+        assert!(msg.contains("graph"));
+    }
+
+    #[test]
+    fn unknown_op_and_bad_json_are_errors() {
+        assert!(parse_request(r#"{"op":"fry"}"#).is_err());
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"graph":"0 1 0.5\n"}"#).is_err());
+    }
+
+    #[test]
+    fn status_and_shutdown_parse() {
+        assert!(matches!(
+            parse_request(r#"{"op":"status"}"#).unwrap(),
+            Request::Status { id: None }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown","id":"bye"}"#).unwrap(),
+            Request::Shutdown { id: Some(_) }
+        ));
+    }
+
+    #[test]
+    fn responses_have_fixed_shape() {
+        assert_eq!(
+            ok_response(Some("a"), true, "{\"x\":1}"),
+            r#"{"id":"a","status":"ok","cached":true,"result":{"x":1}}"#
+        );
+        assert_eq!(
+            ok_response(None, false, "{}"),
+            r#"{"status":"ok","cached":false,"result":{}}"#
+        );
+        assert_eq!(
+            error_response(Some("a"), "queue full", Some(250)),
+            r#"{"id":"a","status":"error","error":"queue full","retry_after_ms":250}"#
+        );
+        // Escaping goes through the shared encoder.
+        assert_eq!(
+            error_response(None, "bad \"k\"\n", None),
+            "{\"status\":\"error\",\"error\":\"bad \\\"k\\\"\\n\"}"
+        );
+    }
+}

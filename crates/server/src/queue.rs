@@ -1,0 +1,185 @@
+//! A bounded MPMC job queue with explicit backpressure and drain
+//! accounting.
+//!
+//! `std::sync::mpsc::sync_channel` almost fits, but the daemon needs three
+//! things it does not offer together: a non-blocking depth-aware reject
+//! (queue-full must answer `retry_after`, not block), a drain predicate
+//! that is atomic with dequeueing (no window where the queue looks empty
+//! while a worker is between `pop` and "I'm busy"), and an inspectable
+//! depth for `status`. Hence this small Mutex + Condvar queue: `pop`
+//! increments the active-worker count under the same lock that removes the
+//! item, and `task_done` decrements it, so `is_drained()` is exact.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue holds `capacity` items; retry later.
+    Full {
+        /// Configured bound that was hit.
+        capacity: usize,
+    },
+    /// The queue no longer accepts work (shutdown in progress).
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    /// Items popped but not yet `task_done`d.
+    active: usize,
+    /// Closed queues reject pushes; pops drain the remainder then `None`.
+    closed: bool,
+}
+
+/// Bounded multi-producer / multi-consumer FIFO.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue bounded at `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                active: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues without blocking; returns the depth after the push.
+    ///
+    /// # Errors
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] once closed.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full {
+                capacity: self.capacity,
+            });
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks for the next item; `None` once the queue is closed *and*
+    /// empty. A returned item counts as active until [`Self::task_done`].
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                state.active += 1;
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Marks one previously popped item as finished.
+    pub fn task_done(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.active = state.active.saturating_sub(1);
+    }
+
+    /// Current number of queued (not yet popped) items.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of popped-but-unfinished items.
+    pub fn active(&self) -> usize {
+        self.state.lock().expect("queue poisoned").active
+    }
+
+    /// True when nothing is queued and nothing is in flight.
+    pub fn is_drained(&self) -> bool {
+        let state = self.state.lock().expect("queue poisoned");
+        state.items.is_empty() && state.active == 0
+    }
+
+    /// Stops accepting pushes; blocked `pop`s drain the backlog, then
+    /// return `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_depth() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.pop(), Some(1));
+        q.task_done();
+        assert_eq!(q.pop(), Some(2));
+        q.task_done();
+        assert!(q.is_drained());
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full { capacity: 2 }));
+    }
+
+    #[test]
+    fn close_drains_backlog_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(9), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        q.task_done();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drained_is_false_while_item_in_flight() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        assert!(!q.is_drained());
+        let _ = q.pop();
+        assert!(!q.is_drained(), "popped item is still active");
+        q.task_done();
+        assert!(q.is_drained());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(t.join().unwrap(), None);
+    }
+}

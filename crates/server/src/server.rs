@@ -1,0 +1,518 @@
+//! The daemon: accept loop → bounded job queue → worker pool, with a
+//! result cache, per-job deadlines, and graceful drain-on-shutdown.
+//!
+//! Job lifecycle: `received → queued → running → (completed | failed |
+//! timed_out)`, or `rejected` straight from `received` when the queue is
+//! full or shutdown has begun. Every transition is visible through
+//! `chameleon_obs` sites (`server.*` counters/spans) *and* through plain
+//! atomics so `status` works even in a no-obs build.
+//!
+//! Shutdown sequence (triggered by a `shutdown` request): set the flag —
+//! the accept loop stops accepting and job submission starts rejecting —
+//! then wait until the queue is drained (queued = in-flight = 0), answer
+//! the shutdown request, close the queue so workers exit, join them, and
+//! flush a final metrics snapshot to the configured path.
+
+use crate::cache::ResultCache;
+use crate::job::ExecError;
+use crate::protocol::{error_response, ok_response, parse_request, Request};
+use crate::queue::{BoundedQueue, PushError};
+use chameleon_core::CancelToken;
+use chameleon_obs::json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads (0 = one per hardware thread).
+    pub workers: usize,
+    /// Bounded queue depth; a full queue rejects with `retry_after_ms`.
+    pub queue_depth: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Default per-job wall-clock budget when the request has no
+    /// `timeout_ms`.
+    pub default_timeout_ms: u64,
+    /// Where the final metrics snapshot is flushed during shutdown.
+    pub metrics_path: Option<String>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_depth: 64,
+            cache_capacity: 256,
+            default_timeout_ms: 300_000,
+            metrics_path: None,
+        }
+    }
+}
+
+/// Lifetime totals returned by [`Server::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Jobs answered successfully (cache hits included).
+    pub jobs_completed: u64,
+    /// Jobs that ran and failed (bad input, pipeline failure).
+    pub jobs_failed: u64,
+    /// Jobs rejected at admission (queue full or shutting down).
+    pub jobs_rejected: u64,
+    /// Jobs cancelled at their deadline.
+    pub jobs_timed_out: u64,
+}
+
+struct Job {
+    spec: crate::job::JobSpec,
+    id: Option<String>,
+    timeout: Duration,
+    respond: mpsc::Sender<String>,
+    enqueued: Instant,
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    cache: Mutex<ResultCache>,
+    shutting_down: AtomicBool,
+    /// Set once a shutdown response has been written and flushed; `run`
+    /// waits on it so the process never exits before the client hears
+    /// back.
+    shutdown_acked: AtomicBool,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_rejected: AtomicU64,
+    jobs_timed_out: AtomicU64,
+    workers: usize,
+    queue_depth: usize,
+    default_timeout: Duration,
+    started: Instant,
+}
+
+impl Shared {
+    fn report(&self) -> ServerReport {
+        ServerReport {
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_timed_out: self.jobs_timed_out.load(Ordering::Relaxed),
+        }
+    }
+
+    /// `status` result object; field order is fixed by construction.
+    fn status_json(&self) -> String {
+        let cache = self.cache.lock().expect("cache poisoned").stats();
+        format!(
+            "{{\"uptime_ms\":{},\"workers\":{},\"queue_depth\":{},\"queue_capacity\":{},\
+             \"in_flight\":{},\"jobs_completed\":{},\"jobs_failed\":{},\"jobs_rejected\":{},\
+             \"jobs_timed_out\":{},\"shutting_down\":{},\"cache\":{{\"entries\":{},\
+             \"capacity\":{},\"hits\":{},\"misses\":{},\"evictions\":{}}}}}",
+            self.started.elapsed().as_millis(),
+            self.workers,
+            self.queue.len(),
+            self.queue_depth,
+            self.queue.active(),
+            self.jobs_completed.load(Ordering::Relaxed),
+            self.jobs_failed.load(Ordering::Relaxed),
+            self.jobs_rejected.load(Ordering::Relaxed),
+            self.jobs_timed_out.load(Ordering::Relaxed),
+            self.shutting_down.load(Ordering::Relaxed),
+            cache.entries,
+            cache.capacity,
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+        )
+    }
+}
+
+/// A bound-but-not-yet-running `chameleond` instance.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    metrics_path: Option<String>,
+}
+
+/// Handle to a server running on a background thread (see
+/// [`Server::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<std::io::Result<ServerReport>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to shut down.
+    ///
+    /// # Errors
+    /// Propagates the run loop's I/O error, if any.
+    pub fn join(self) -> std::io::Result<ServerReport> {
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+impl Server {
+    /// Binds the listener (without accepting yet).
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_depth),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            shutting_down: AtomicBool::new(false),
+            shutdown_acked: AtomicBool::new(false),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            jobs_timed_out: AtomicU64::new(0),
+            workers,
+            queue_depth: config.queue_depth.max(1),
+            default_timeout: Duration::from_millis(config.default_timeout_ms.max(1)),
+            started: Instant::now(),
+        });
+        Ok(Server {
+            listener,
+            shared,
+            metrics_path: config.metrics_path,
+        })
+    }
+
+    /// The bound address.
+    ///
+    /// # Panics
+    /// Never in practice (the listener is bound).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener")
+    }
+
+    /// Binds and runs on a background thread; returns once the port is
+    /// live.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let server = Server::bind(config)?;
+        let addr = server.local_addr();
+        let thread = std::thread::Builder::new()
+            .name("chameleond-accept".into())
+            .spawn(move || server.run())
+            .expect("spawn accept thread");
+        Ok(ServerHandle { addr, thread })
+    }
+
+    /// Serves until a `shutdown` request completes: accepts connections,
+    /// drains the queue on shutdown, joins the workers, and flushes the
+    /// final metrics snapshot.
+    ///
+    /// # Errors
+    /// Propagates accept-loop I/O errors (`WouldBlock` excluded).
+    pub fn run(self) -> std::io::Result<ServerReport> {
+        let Server {
+            listener,
+            shared,
+            metrics_path,
+        } = self;
+        let worker_handles: Vec<_> = (0..shared.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("chameleond-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        // Nonblocking accept + short sleep: the loop must notice the
+        // shutdown flag without a connection arriving to wake it.
+        listener.set_nonblocking(true)?;
+        while !shared.shutting_down.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    chameleon_obs::counter!("server.connections").add(1);
+                    stream.set_nonblocking(false)?;
+                    // Request/response alternation deadlocks with Nagle +
+                    // delayed ACK into ~40 ms stalls per round-trip.
+                    let _ = stream.set_nodelay(true);
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name("chameleond-conn".into())
+                        .spawn(move || handle_connection(stream, &shared))
+                        .expect("spawn connection thread");
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        drop(listener);
+
+        // Drain: queued and in-flight jobs finish; their connection
+        // threads deliver the responses.
+        while !shared.queue.is_drained() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        shared.queue.close();
+        for handle in worker_handles {
+            let _ = handle.join();
+        }
+        // Let the shutdown connection flush its response before the
+        // process (in CLI use) exits; bounded wait so a vanished client
+        // cannot wedge shutdown.
+        let ack_deadline = Instant::now() + Duration::from_secs(2);
+        while !shared.shutdown_acked.load(Ordering::Acquire) && Instant::now() < ack_deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if let Some(path) = &metrics_path {
+            let _ = std::fs::write(path, chameleon_obs::metrics_json());
+        }
+        Ok(shared.report())
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        chameleon_obs::record_value!(
+            "server.job.queue_wait_ns",
+            job.enqueued.elapsed().as_nanos() as u64
+        );
+        let response = process_job(shared, &job);
+        // A disconnected client just discards the response.
+        let _ = job.respond.send(response);
+        shared.queue.task_done();
+    }
+}
+
+fn process_job(shared: &Arc<Shared>, job: &Job) -> String {
+    let key = job.spec.cache_key();
+    let cached = shared.cache.lock().expect("cache poisoned").get(&key);
+    if let Some(hit) = cached {
+        chameleon_obs::counter!("server.cache.hit").add(1);
+        shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        return ok_response(job.id.as_deref(), true, &hit);
+    }
+    chameleon_obs::counter!("server.cache.miss").add(1);
+    let _span = match job.spec {
+        crate::job::JobSpec::Obfuscate { .. } => chameleon_obs::span!("server.job.obfuscate"),
+        crate::job::JobSpec::Check { .. } => chameleon_obs::span!("server.job.check"),
+        crate::job::JobSpec::Reliability { .. } => chameleon_obs::span!("server.job.reliability"),
+    };
+    let cancel = CancelToken::with_deadline(Instant::now() + job.timeout);
+    match job.spec.execute(&cancel) {
+        Ok(result) => {
+            shared
+                .cache
+                .lock()
+                .expect("cache poisoned")
+                .insert(key, result.clone());
+            shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            chameleon_obs::counter!("server.jobs.completed").add(1);
+            ok_response(job.id.as_deref(), false, &result)
+        }
+        Err(ExecError::Cancelled) => {
+            shared.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+            chameleon_obs::counter!("server.jobs.timeout").add(1);
+            error_response(
+                job.id.as_deref(),
+                &format!(
+                    "{} job cancelled after exceeding its {} ms timeout",
+                    job.spec.op(),
+                    job.timeout.as_millis()
+                ),
+                None,
+            )
+        }
+        Err(ExecError::Invalid(msg)) | Err(ExecError::Failed(msg)) => {
+            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            chameleon_obs::counter!("server.jobs.failed").add(1);
+            error_response(job.id.as_deref(), &msg, None)
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, is_shutdown) = dispatch(&line, shared);
+        let ok = writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_ok();
+        if is_shutdown {
+            if ok {
+                shared.shutdown_acked.store(true, Ordering::Release);
+            }
+            return;
+        }
+        if !ok {
+            break;
+        }
+    }
+}
+
+/// Handles one request line; returns the response and whether it was a
+/// shutdown (the connection closes after answering one).
+fn dispatch(line: &str, shared: &Arc<Shared>) -> (String, bool) {
+    let request = match parse_request(line) {
+        Ok(request) => request,
+        Err((id, msg)) => return (error_response(id.as_deref(), &msg, None), false),
+    };
+    match request {
+        Request::Status { id } => (
+            ok_response(id.as_deref(), false, &shared.status_json()),
+            false,
+        ),
+        Request::Shutdown { id } => {
+            chameleon_obs::counter!("server.shutdown_requests").add(1);
+            shared.shutting_down.store(true, Ordering::Release);
+            while !shared.queue.is_drained() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let report = shared.report();
+            let result = format!(
+                "{{\"drained\":true,\"jobs_completed\":{},\"jobs_failed\":{},\
+                 \"jobs_rejected\":{},\"jobs_timed_out\":{}}}",
+                report.jobs_completed,
+                report.jobs_failed,
+                report.jobs_rejected,
+                report.jobs_timed_out,
+            );
+            (ok_response(id.as_deref(), false, &result), true)
+        }
+        Request::Job {
+            spec,
+            id,
+            timeout_ms,
+        } => {
+            if shared.shutting_down.load(Ordering::Acquire) {
+                shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                chameleon_obs::counter!("server.jobs.rejected_shutdown").add(1);
+                return (
+                    error_response(id.as_deref(), "server is shutting down", None),
+                    false,
+                );
+            }
+            let timeout = timeout_ms
+                .map(|ms| Duration::from_millis(ms.max(1)))
+                .unwrap_or(shared.default_timeout);
+            let (tx, rx) = mpsc::channel();
+            let job = Job {
+                spec,
+                id: id.clone(),
+                timeout,
+                respond: tx,
+                enqueued: Instant::now(),
+            };
+            match shared.queue.try_push(job) {
+                Ok(depth) => {
+                    chameleon_obs::counter!("server.jobs.accepted").add(1);
+                    chameleon_obs::record_value!("server.queue.depth", depth as u64);
+                    match rx.recv() {
+                        Ok(response) => (response, false),
+                        Err(_) => (
+                            error_response(id.as_deref(), "worker dropped the job", None),
+                            false,
+                        ),
+                    }
+                }
+                Err(PushError::Full { capacity }) => {
+                    shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                    chameleon_obs::counter!("server.jobs.rejected_full").add(1);
+                    // Suggested backoff grows with the number of busy
+                    // workers: a saturated pool drains no faster than one
+                    // job at a time.
+                    let retry_ms = 100 * (1 + shared.queue.active() as u64).min(50);
+                    (
+                        error_response(
+                            id.as_deref(),
+                            &format!("queue full ({capacity} queued jobs); retry later"),
+                            Some(retry_ms),
+                        ),
+                        false,
+                    )
+                }
+                Err(PushError::Closed) => {
+                    shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                    chameleon_obs::counter!("server.jobs.rejected_shutdown").add(1);
+                    (
+                        error_response(id.as_deref(), "server is shutting down", None),
+                        false,
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// Client-side helper: sends one request line and reads one response line.
+/// Used by the CLI `submit` subcommand, the integration tests and the
+/// bench probes — not part of the daemon itself.
+///
+/// # Errors
+/// Propagates socket I/O failures; a closed connection without a response
+/// is an `UnexpectedEof` error.
+pub fn roundtrip(stream: &mut TcpStream, request: &str) -> std::io::Result<String> {
+    stream.write_all(request.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection without responding",
+        ));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Convenience for one-shot clients: connect, round-trip a single request,
+/// return the response line.
+///
+/// # Errors
+/// Propagates connection and I/O failures.
+pub fn request_once(addr: &str, request: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    roundtrip(&mut stream, request)
+}
+
+/// Extracts a field from a response line, parsed with the shared JSON
+/// module (client-side convenience).
+pub fn response_field(line: &str, key: &str) -> Option<json::Json> {
+    json::Json::parse(line).ok()?.get(key).cloned()
+}

@@ -1,0 +1,327 @@
+//! End-to-end tests against a live `chameleond` on loopback: determinism
+//! (daemon vs. direct library call, cold vs. cache hit, threads 1 vs. 2),
+//! backpressure, per-job timeouts, and graceful shutdown with a final
+//! metrics snapshot.
+
+use chameleon_core::{CancelToken, Chameleon, ChameleonConfig, Method};
+use chameleon_obs::json::Json;
+use chameleon_server::{request_once, Server, ServerConfig, ServerHandle};
+use chameleon_ugraph::builder::DedupPolicy;
+use chameleon_ugraph::io;
+
+fn graph_text(nodes: usize, seed: u64) -> String {
+    let g = chameleon_datasets::dblp_like(nodes, seed);
+    let mut buf = Vec::new();
+    io::write_text(&g, &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+fn start(config: ServerConfig) -> (ServerHandle, String) {
+    let handle = Server::spawn(config).unwrap();
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn parsed(line: &str) -> Json {
+    Json::parse(line).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"))
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> &'a Json {
+    v.get(key)
+        .unwrap_or_else(|| panic!("response missing {key:?}: {v:?}"))
+}
+
+/// Renders the `result` object back out; byte-stable because `Json`
+/// objects render in sorted key order and numbers round-trip exactly.
+fn result_bytes(line: &str) -> String {
+    field(&parsed(line), "result").render()
+}
+
+fn shutdown(addr: &str, handle: ServerHandle) -> chameleon_server::ServerReport {
+    let resp = request_once(addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert_eq!(field(&parsed(&resp), "status").as_str(), Some("ok"));
+    handle.join().unwrap()
+}
+
+#[test]
+fn daemon_matches_direct_call_cold_and_cached_across_thread_counts() {
+    let graph = graph_text(60, 11);
+    let (handle, addr) = start(ServerConfig::default());
+
+    let submit = |threads: usize| {
+        let req = format!(
+            "{{\"op\":\"obfuscate\",\"graph\":{},\"k\":2,\"epsilon\":0.2,\
+             \"method\":\"ME\",\"worlds\":60,\"trials\":1,\"seed\":5,\"threads\":{threads}}}",
+            chameleon_obs::json::string(&graph),
+        );
+        request_once(&addr, &req).unwrap()
+    };
+
+    let cold = submit(1);
+    let cold_v = parsed(&cold);
+    assert_eq!(field(&cold_v, "status").as_str(), Some("ok"));
+    assert_eq!(field(&cold_v, "cached").as_bool(), Some(false));
+
+    // Same request again: a cache hit replaying the identical result.
+    let hit = submit(1);
+    assert_eq!(field(&parsed(&hit), "cached").as_bool(), Some(true));
+    assert_eq!(result_bytes(&cold), result_bytes(&hit));
+
+    // threads=2 hits the same entry (threads excluded from the key) —
+    // legal because results are thread-count invariant.
+    let two = submit(2);
+    assert_eq!(field(&parsed(&two), "cached").as_bool(), Some(true));
+    assert_eq!(result_bytes(&cold), result_bytes(&two));
+
+    // The daemon's answer matches a direct library call, field by field
+    // and graph byte by byte.
+    let g = io::read_text(graph.as_bytes(), DedupPolicy::KeepFirst).unwrap();
+    let config = ChameleonConfig {
+        k: 2,
+        epsilon: 0.2,
+        num_world_samples: 60,
+        trials: 1,
+        num_threads: 1,
+        ..ChameleonConfig::default()
+    };
+    let direct = Chameleon::new(config)
+        .anonymize_cancellable(&g, Method::Me, 5, &CancelToken::new())
+        .unwrap();
+    let result = field(&cold_v, "result");
+    assert_eq!(field(result, "sigma").as_f64(), Some(direct.sigma));
+    assert_eq!(field(result, "eps_hat").as_f64(), Some(direct.eps_hat));
+    let mut direct_text = Vec::new();
+    io::write_text(&direct.graph, &mut direct_text).unwrap();
+    assert_eq!(
+        field(result, "graph").as_str().unwrap().as_bytes(),
+        direct_text.as_slice(),
+    );
+
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn status_and_check_and_reliability_round_trip() {
+    let graph = graph_text(40, 3);
+    let (handle, addr) = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+
+    let status = request_once(&addr, r#"{"op":"status","id":"s1"}"#).unwrap();
+    let v = parsed(&status);
+    assert_eq!(field(&v, "id").as_str(), Some("s1"));
+    let result = field(&v, "result");
+    assert_eq!(field(result, "workers").as_u64(), Some(2));
+    assert_eq!(field(result, "shutting_down").as_bool(), Some(false));
+    assert!(result.get("cache").is_some());
+
+    let check = request_once(
+        &addr,
+        &format!(
+            "{{\"op\":\"check\",\"graph\":{},\"k\":2}}",
+            chameleon_obs::json::string(&graph)
+        ),
+    )
+    .unwrap();
+    let v = parsed(&check);
+    assert_eq!(field(&v, "status").as_str(), Some("ok"));
+    assert!(field(field(&v, "result"), "eps_hat").as_f64().is_some());
+
+    let rel_req = format!(
+        "{{\"op\":\"reliability\",\"graph\":{},\"worlds\":80,\"pairs\":20,\"seed\":9}}",
+        chameleon_obs::json::string(&graph)
+    );
+    let rel_a = request_once(&addr, &rel_req).unwrap();
+    let rel_b = request_once(&addr, &rel_req).unwrap();
+    assert_eq!(field(&parsed(&rel_b), "cached").as_bool(), Some(true));
+    assert_eq!(result_bytes(&rel_a), result_bytes(&rel_b));
+
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn bad_requests_get_structured_errors_and_do_not_kill_the_server() {
+    let (handle, addr) = start(ServerConfig::default());
+
+    let cases = [
+        "not json at all",
+        r#"{"op":"fry"}"#,
+        r#"{"op":"obfuscate","graph":"0 1 0.5\n"}"#,
+        r#"{"op":"check","graph":"0 1 not-a-prob\n","k":2}"#,
+    ];
+    for case in cases {
+        let resp = request_once(&addr, case).unwrap();
+        let v = parsed(&resp);
+        assert_eq!(field(&v, "status").as_str(), Some("error"), "case {case:?}");
+        assert!(field(&v, "error").as_str().is_some());
+    }
+
+    // Still serving after all that abuse.
+    let status = request_once(&addr, r#"{"op":"status"}"#).unwrap();
+    assert_eq!(field(&parsed(&status), "status").as_str(), Some("ok"));
+
+    // Only the unparsable-graph case reached a worker; the others were
+    // rejected at the protocol layer before queueing.
+    let report = shutdown(&addr, handle);
+    assert_eq!(report.jobs_failed, 1);
+}
+
+#[test]
+fn full_queue_rejects_with_retry_after() {
+    // One worker, queue of one: occupy the worker, fill the queue, and the
+    // third submission must bounce with retry_after_ms.
+    let (handle, addr) = start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    });
+    let graph = graph_text(100, 7);
+    let slow = |seed: u64| {
+        format!(
+            "{{\"op\":\"obfuscate\",\"graph\":{},\"k\":3,\"epsilon\":0.1,\
+             \"method\":\"ME\",\"worlds\":400,\"trials\":2,\"seed\":{seed},\"threads\":1}}",
+            chameleon_obs::json::string(&graph),
+        )
+    };
+
+    let submits: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr.clone();
+            let req = slow(100 + i);
+            // Stagger so the first request owns the worker and the second
+            // the queue slot before the third arrives.
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(150 * i));
+                request_once(&addr, &req).unwrap()
+            })
+        })
+        .collect();
+    let responses: Vec<String> = submits.into_iter().map(|t| t.join().unwrap()).collect();
+
+    let rejected: Vec<&String> = responses
+        .iter()
+        .filter(|r| field(&parsed(r), "status").as_str() == Some("error"))
+        .collect();
+    assert_eq!(rejected.len(), 1, "exactly one rejection in {responses:?}");
+    let v = parsed(rejected[0]);
+    assert!(field(&v, "error").as_str().unwrap().contains("queue full"));
+    assert!(field(&v, "retry_after_ms").as_u64().unwrap() > 0);
+
+    let report = shutdown(&addr, handle);
+    assert_eq!(report.jobs_completed, 2);
+    assert_eq!(report.jobs_rejected, 1);
+}
+
+#[test]
+fn timed_out_job_is_cancelled_and_the_worker_survives() {
+    let (handle, addr) = start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let graph = graph_text(120, 13);
+
+    // A deadline far below the job's runtime: the cooperative token fires
+    // at a σ-probe boundary and the job reports a timeout.
+    let doomed = format!(
+        "{{\"op\":\"obfuscate\",\"id\":\"doomed\",\"timeout_ms\":1,\"graph\":{},\
+         \"k\":3,\"epsilon\":0.05,\"method\":\"RSME\",\"worlds\":500,\"trials\":3,\
+         \"seed\":21,\"threads\":1}}",
+        chameleon_obs::json::string(&graph),
+    );
+    let resp = request_once(&addr, &doomed).unwrap();
+    let v = parsed(&resp);
+    assert_eq!(field(&v, "id").as_str(), Some("doomed"));
+    assert_eq!(field(&v, "status").as_str(), Some("error"));
+    assert!(field(&v, "error").as_str().unwrap().contains("timeout"));
+
+    // The sole worker is alive and takes the next job.
+    let quick = format!(
+        "{{\"op\":\"check\",\"graph\":{},\"k\":2}}",
+        chameleon_obs::json::string(&graph)
+    );
+    let resp = request_once(&addr, &quick).unwrap();
+    assert_eq!(field(&parsed(&resp), "status").as_str(), Some("ok"));
+
+    let report = shutdown(&addr, handle);
+    assert_eq!(report.jobs_timed_out, 1);
+    assert_eq!(report.jobs_completed, 1);
+}
+
+#[test]
+fn graceful_shutdown_drains_and_writes_the_metrics_snapshot() {
+    let dir = std::env::temp_dir().join(format!(
+        "chameleond-test-{}-{}",
+        std::process::id(),
+        std::thread::current().name().unwrap_or("t").len(),
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics_path = dir.join("metrics.json");
+    let (handle, addr) = start(ServerConfig {
+        workers: 1,
+        metrics_path: Some(metrics_path.to_string_lossy().into_owned()),
+        ..ServerConfig::default()
+    });
+    let graph = graph_text(80, 17);
+
+    // Put a real job in flight, then immediately request shutdown from a
+    // second connection: the job must complete, not be dropped.
+    let job = format!(
+        "{{\"op\":\"obfuscate\",\"graph\":{},\"k\":2,\"epsilon\":0.2,\"method\":\"ME\",\
+         \"worlds\":200,\"trials\":1,\"seed\":33,\"threads\":0}}",
+        chameleon_obs::json::string(&graph),
+    );
+    let worker_conn = {
+        let addr = addr.clone();
+        std::thread::spawn(move || request_once(&addr, &job).unwrap())
+    };
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let report = shutdown(&addr, handle);
+
+    let job_resp = worker_conn.join().unwrap();
+    assert_eq!(field(&parsed(&job_resp), "status").as_str(), Some("ok"));
+    assert_eq!(report.jobs_completed, 1);
+
+    // New connections are refused (listener closed) or reset.
+    assert!(request_once(&addr, r#"{"op":"status"}"#).is_err());
+
+    // The final snapshot exists and is valid deterministic JSON.
+    let snapshot = std::fs::read_to_string(&metrics_path).unwrap();
+    let v = Json::parse(&snapshot).unwrap();
+    if chameleon_obs::is_enabled() {
+        assert!(
+            v.get("counters").is_some(),
+            "expected counters in {snapshot}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn submissions_during_shutdown_are_rejected() {
+    let (handle, addr) = start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    // Trigger shutdown and, while the accept loop may still be mid-poll,
+    // push a job down a pre-existing connection.
+    let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+    let resp = request_once(&addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert_eq!(field(&parsed(&resp), "status").as_str(), Some("ok"));
+    let late = chameleon_server::roundtrip(
+        &mut conn,
+        r#"{"op":"check","graph":"nodes 2\n0 1 0.5\n","k":1}"#,
+    );
+    // Either the connection already died with the server, or the request
+    // got a structured shutting-down rejection.
+    if let Ok(line) = late {
+        let v = parsed(&line);
+        assert_eq!(field(&v, "status").as_str(), Some("error"));
+        assert!(field(&v, "error")
+            .as_str()
+            .unwrap()
+            .contains("shutting down"));
+    }
+    handle.join().unwrap();
+}
