@@ -23,13 +23,13 @@ fn reliability_error(
 ) -> f64 {
     let seq = SeedSequence::new(cfg.seed);
     let pairs = sample_distinct_pairs(original.num_nodes(), cfg.pairs, &mut seq.rng("fig4-pairs"));
-    let uniforms = chameleon_reliability::ensemble::crn_uniforms(
+    let uniforms = chameleon_reliability::crn_uniform_matrix(
         cfg.worlds,
         original.num_edges().max(published.num_edges()),
         &mut seq.rng("fig4-crn"),
     );
-    let a = WorldEnsemble::from_uniforms(original, &uniforms);
-    let b = WorldEnsemble::from_uniforms(published, &uniforms);
+    let a = WorldEnsemble::from_uniform_matrix(original, &uniforms);
+    let b = WorldEnsemble::from_uniform_matrix(published, &uniforms);
     avg_reliability_discrepancy(&a, &b, &pairs).avg
 }
 

@@ -11,18 +11,22 @@
 //! far better than seconds do.
 //!
 //! Usage:
-//!   perf_smoke [--out BENCH_PR2.json] [--baseline ci/perf_baseline.json]
-//!              [--tolerance 0.25] [--reps 5] [--write-baseline]
+//!   perf_smoke [--out BENCH_PR3.json] [--baseline ci/perf_baseline.json]
+//!              [--tolerance 0.25] [--reps 5] [--write-baseline] [--allow-new]
 //!
 //! `--write-baseline` re-measures and rewrites the baseline file instead of
 //! gating (exit 0); commit the result when the hot paths change on purpose.
+//! `--allow-new` lets sites that are missing from the baseline pass (used
+//! when gating a branch that adds measurement sites against an older
+//! committed baseline).
 
 use chameleon_bench::{Args, ExperimentConfig};
 use chameleon_core::AdversaryKnowledge;
 use chameleon_core::{anonymity_check_threads, edge_reliability_relevance_threads};
 use chameleon_datasets::DatasetKind;
 use chameleon_obs::site::{SpanGuard, SpanSite};
-use chameleon_reliability::WorldEnsemble;
+use chameleon_reliability::{sample_distinct_pairs, WorldEnsemble};
+use chameleon_stats::SeedSequence;
 use std::fmt::Write as _;
 
 /// Fixed workload: small enough for a sub-minute CI job, large enough that
@@ -36,9 +40,15 @@ const CALIBRATION_ITERS: u64 = 1 << 24;
 
 static SPAN_CALIBRATION: SpanSite = SpanSite::new("perf.calibration");
 static SPAN_SAMPLING: SpanSite = SpanSite::new("perf.smoke.world_sampling");
+static SPAN_ANALYZE: SpanSite = SpanSite::new("perf.smoke.ensemble_analyze");
 static SPAN_ERR: SpanSite = SpanSite::new("perf.smoke.err_coupled");
+static SPAN_RELIABILITY: SpanSite = SpanSite::new("perf.smoke.reliability_many");
 static SPAN_CHECK: SpanSite = SpanSite::new("perf.smoke.anonymity_check");
 static SPAN_DISPATCH: SpanSite = SpanSite::new("perf.smoke.server_dispatch");
+
+/// Node pairs for the `reliability_many` site: enough that several
+/// `PAIR_BLOCK` windows stream the label matrix.
+const RELIABILITY_PAIRS: usize = 3000;
 
 /// Round-trips per dispatch rep; enough that a rep runs well above timer
 /// resolution while staying loopback-bound, not compute-bound.
@@ -88,6 +98,20 @@ struct Measurement {
     name: &'static str,
     seconds: f64,
     normalized: f64,
+    /// `normalized / baseline` once gated; `None` for new or baseline-less
+    /// sites.
+    vs_baseline: Option<f64>,
+}
+
+impl Measurement {
+    fn new(name: &'static str, seconds: f64) -> Self {
+        Self {
+            name,
+            seconds,
+            normalized: 0.0,
+            vs_baseline: None,
+        }
+    }
 }
 
 fn main() {
@@ -96,11 +120,12 @@ fn main() {
         "perf_smoke times via obs spans; rebuild with the default `obs` feature"
     );
     let args = Args::from_env();
-    let out: String = args.get("out", "BENCH_PR2.json".to_string());
+    let out: String = args.get("out", "BENCH_PR3.json".to_string());
     let baseline_path: String = args.get("baseline", "ci/perf_baseline.json".to_string());
     let tolerance: f64 = args.get("tolerance", 0.25f64);
     let reps: usize = args.get("reps", 5usize);
     let write_baseline = args.has("write-baseline");
+    let allow_new = args.has("allow-new");
 
     let mut cfg = ExperimentConfig::from_args(&args);
     cfg.scale = SCALE;
@@ -127,31 +152,51 @@ fn main() {
     println!("calibration: {calibration_s:.4}s per {CALIBRATION_ITERS} xorshift rounds");
 
     let ens = WorldEnsemble::sample_seeded(&g, WORLDS, SEED, 1);
+    let pairs = sample_distinct_pairs(
+        g.num_nodes(),
+        RELIABILITY_PAIRS,
+        &mut SeedSequence::new(SEED).rng("perf-pairs"),
+    );
     let sites = [
-        Measurement {
-            name: "world_sampling",
-            seconds: time_reps(&SPAN_SAMPLING, reps, || {
+        Measurement::new(
+            "world_sampling",
+            time_reps(&SPAN_SAMPLING, reps, || {
                 let e = WorldEnsemble::sample_seeded(&g, WORLDS, SEED, 1);
                 assert_eq!(e.len(), WORLDS);
             }),
-            normalized: 0.0,
-        },
-        Measurement {
-            name: "err_coupled",
-            seconds: time_reps(&SPAN_ERR, reps, || {
+        ),
+        // Connectivity analysis alone (union–find, labels, sizes, pair
+        // counts) on pre-sampled worlds: isolates the arena/scratch path
+        // from the RNG cost that dominates `world_sampling`.
+        Measurement::new(
+            "ensemble_analyze",
+            time_reps(&SPAN_ANALYZE, reps, || {
+                let e = WorldEnsemble::from_matrix_threads(&g, ens.matrix().clone(), 1);
+                assert_eq!(e.len(), WORLDS);
+            }),
+        ),
+        Measurement::new(
+            "err_coupled",
+            time_reps(&SPAN_ERR, reps, || {
                 let e = edge_reliability_relevance_threads(&g, &ens, 1);
                 assert_eq!(e.len(), g.num_edges());
             }),
-            normalized: 0.0,
-        },
-        Measurement {
-            name: "anonymity_check",
-            seconds: time_reps(&SPAN_CHECK, reps, || {
+        ),
+        // Blocked streaming of the flat label matrix over many pairs.
+        Measurement::new(
+            "reliability_many",
+            time_reps(&SPAN_RELIABILITY, reps, || {
+                let r = ens.reliability_many(&pairs);
+                assert_eq!(r.len(), pairs.len());
+            }),
+        ),
+        Measurement::new(
+            "anonymity_check",
+            time_reps(&SPAN_CHECK, reps, || {
                 let r = anonymity_check_threads(&g, &knowledge, k, 1);
                 assert!(r.eps_hat.is_finite());
             }),
-            normalized: 0.0,
-        },
+        ),
     ];
     // Daemon dispatch overhead: cached `status`-free round-trips through a
     // live loopback chameleond. The job (a tiny check) is primed into the
@@ -194,13 +239,12 @@ fn main() {
         seconds
     };
 
-    let sites: Vec<Measurement> = sites
+    let mut sites: Vec<Measurement> = sites
         .into_iter()
-        .chain(std::iter::once(Measurement {
-            name: "server_dispatch",
-            seconds: dispatch_seconds,
-            normalized: 0.0,
-        }))
+        .chain(std::iter::once(Measurement::new(
+            "server_dispatch",
+            dispatch_seconds,
+        )))
         .map(|m| Measurement {
             normalized: m.seconds / calibration_s,
             ..m
@@ -223,13 +267,14 @@ fn main() {
     };
 
     let mut regressions = Vec::new();
-    for m in &sites {
+    for m in &mut sites {
         let base = baseline
             .as_deref()
             .and_then(|doc| extract_number(doc, m.name));
         let verdict = match base {
             Some(b) if b > 0.0 => {
                 let ratio = m.normalized / b;
+                m.vs_baseline = Some(ratio);
                 if ratio > 1.0 + tolerance {
                     regressions.push((m.name, ratio));
                     format!("REGRESSED {:.2}x vs baseline {b:.3}", ratio)
@@ -238,13 +283,14 @@ fn main() {
                 }
             }
             Some(_) | None if write_baseline => "baseline".to_string(),
+            Some(_) | None if allow_new => "new site (allowed)".to_string(),
             _ => {
                 regressions.push((m.name, f64::NAN));
                 "MISSING from baseline".to_string()
             }
         };
         println!(
-            "{:<16} {:.4}s  normalized {:.3}  {verdict}",
+            "{:<17} {:.4}s  normalized {:.3}  {verdict}",
             m.name, m.seconds, m.normalized
         );
     }
@@ -267,10 +313,12 @@ fn main() {
         println!("(baseline written to {baseline_path})");
     }
 
-    // BENCH_PR2.json: measurements + the full metrics snapshot (spans of
+    // BENCH_PR3.json: measurements + the full metrics snapshot (spans of
     // this run, pipeline counters, chunk histograms) for the CI artifact.
+    // `vs_baseline` is `normalized / committed-baseline` — < 1.0 means the
+    // hot path got faster than the baseline commit.
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"bench\": \"PR2 perf smoke gate\",");
+    let _ = writeln!(json, "  \"bench\": \"PR3 perf smoke gate\",");
     let _ = writeln!(json, "  \"timer\": \"obs span, min of reps\",");
     let _ = writeln!(json, "  \"scale\": {SCALE},");
     let _ = writeln!(json, "  \"worlds\": {WORLDS},");
@@ -278,9 +326,12 @@ fn main() {
     let _ = writeln!(json, "  \"tolerance\": {tolerance},");
     let _ = writeln!(json, "  \"calibration_s\": {calibration_s:.6},");
     for m in &sites {
+        let vs = m
+            .vs_baseline
+            .map_or("null".to_string(), |r| format!("{r:.4}"));
         let _ = writeln!(
             json,
-            "  \"{}\": {{ \"seconds\": {:.6}, \"normalized\": {:.4} }},",
+            "  \"{}\": {{ \"seconds\": {:.6}, \"normalized\": {:.4}, \"vs_baseline\": {vs} }},",
             m.name, m.seconds, m.normalized
         );
     }

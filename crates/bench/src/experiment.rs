@@ -207,13 +207,13 @@ pub fn utility_errors(
         cfg.pairs,
         &mut seq.rng("pair-sampling"),
     );
-    let uniforms = chameleon_reliability::ensemble::crn_uniforms(
+    let uniforms = chameleon_reliability::crn_uniform_matrix(
         cfg.worlds,
         original.num_edges().max(published.num_edges()),
         &mut seq.rng("crn"),
     );
-    let ens_orig = WorldEnsemble::from_uniforms(original, &uniforms);
-    let ens_pub = WorldEnsemble::from_uniforms(published, &uniforms);
+    let ens_orig = WorldEnsemble::from_uniform_matrix(original, &uniforms);
+    let ens_pub = WorldEnsemble::from_uniform_matrix(published, &uniforms);
     let reliability = avg_reliability_discrepancy(&ens_orig, &ens_pub, &pairs).avg;
 
     // Average degree (closed form).

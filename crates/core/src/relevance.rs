@@ -78,12 +78,22 @@ pub fn edge_reliability_relevance_alg2_threads(
         let mut count_with = vec![0u32; m];
         let mut cc_total = 0.0f64;
         for w in range {
-            let world = &ensemble.worlds()[w];
+            let world = ensemble.world(w);
             let cc = ensemble.connected_pairs(w) as f64;
             cc_total += cc;
-            for e in world.present_edges() {
-                cc_with[e as usize] += cc;
-                count_with[e as usize] += 1;
+            // Walk present edges word-by-word: iterate the set bits of
+            // each 64-edge block. Ascending edge order, exactly like the
+            // historical per-edge `contains` loop, so the floating-point
+            // accumulation order (and thus every bit of the result) is
+            // unchanged.
+            for (wi, &word) in world.words().iter().enumerate() {
+                let mut x = word;
+                while x != 0 {
+                    let e = wi * 64 + x.trailing_zeros() as usize;
+                    x &= x - 1;
+                    cc_with[e] += cc;
+                    count_with[e] += 1;
+                }
             }
         }
         (cc_with, count_with, cc_total)
@@ -156,21 +166,36 @@ pub fn edge_reliability_relevance_threads(
     let _span = chameleon_obs::span!("relevance.err_coupled");
     let m = graph.num_edges();
     chameleon_obs::counter!("relevance.worlds_scanned").add(ensemble.len() as u64);
+    // SoA endpoints: the scan only touches endpoints, never probabilities,
+    // so cache lines carry twice the useful data of the `Edge` array.
+    let (us, vs) = graph.endpoint_soa();
     let partials = parallel::map_chunks(ensemble.len(), ERR_WORLD_CHUNK, threads, |_, range| {
         let mut sum = vec![0.0f64; m];
         let mut count = vec![0u32; m];
         for w in range {
-            let world = &ensemble.worlds()[w];
+            let world = ensemble.world(w);
             let labels = ensemble.labels(w);
             let sizes = ensemble.component_sizes(w);
-            for (idx, edge) in graph.edges().iter().enumerate() {
-                if world.contains(idx as u32) {
-                    continue;
+            // Walk *absent* edges word-by-word: the set bits of `!word`,
+            // masked to the valid tail in the final 64-edge block. The
+            // edge order is ascending, identical to the historical
+            // per-edge `contains` skip loop, so the accumulation is
+            // bit-for-bit unchanged.
+            for (wi, &word) in world.words().iter().enumerate() {
+                let base = wi * 64;
+                let width = (m - base).min(64);
+                let mut x = !word;
+                if width < 64 {
+                    x &= (1u64 << width) - 1;
                 }
-                count[idx] += 1;
-                let (lu, lv) = (labels[edge.u as usize], labels[edge.v as usize]);
-                if lu != lv {
-                    sum[idx] += sizes[lu as usize] as f64 * sizes[lv as usize] as f64;
+                while x != 0 {
+                    let e = base + x.trailing_zeros() as usize;
+                    x &= x - 1;
+                    count[e] += 1;
+                    let (lu, lv) = (labels[us[e] as usize], labels[vs[e] as usize]);
+                    if lu != lv {
+                        sum[e] += sizes[lu as usize] as f64 * sizes[lv as usize] as f64;
+                    }
                 }
             }
         }

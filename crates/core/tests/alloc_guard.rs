@@ -1,0 +1,116 @@
+//! Allocation guard for the Monte-Carlo kernel: building an N-world
+//! ensemble and scanning it with the coupled ERR estimator must allocate
+//! O(chunks), not O(worlds). A counting `#[global_allocator]` measures the
+//! exact heap-allocation count of the serial (threads = 1) path; the
+//! historical one-`Vec`-per-world layout allocated ≥ 4·N and would trip
+//! the bound immediately.
+//!
+//! One `#[test]` only: the counter is process-global, so concurrent tests
+//! in this binary would pollute the deltas.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use chameleon_core::relevance::edge_reliability_relevance_threads;
+use chameleon_reliability::{WorldEnsemble, WORLD_CHUNK};
+use chameleon_ugraph::UncertainGraph;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn test_graph() -> UncertainGraph {
+    // ~90 edges on 30 nodes so worlds span multiple bitset words and the
+    // per-world label/size buffers are non-trivial.
+    let n = 30u32;
+    let mut g = UncertainGraph::with_nodes(n as usize);
+    let mut p = 0.15f64;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if (u * 3 + v) % 7 < 2 {
+                g.add_edge(u, v, p).unwrap();
+                p = (p + 0.11) % 1.0;
+            }
+        }
+    }
+    g
+}
+
+#[test]
+fn kernel_allocations_scale_with_chunks_not_worlds() {
+    let g = test_graph();
+    let n_worlds = 16 * WORLD_CHUNK; // 512 worlds, 16 sampling chunks
+    let chunks = n_worlds / WORLD_CHUNK;
+
+    // Warm-up: registers obs sites, faults in allocator metadata, and
+    // gives growable arenas (component-size arena, label matrix) their
+    // worst-case first-build growth outside the measured window.
+    let warm = WorldEnsemble::sample_seeded(&g, n_worlds, 7, 1);
+    let _ = edge_reliability_relevance_threads(&g, &warm, 1);
+    drop(warm);
+
+    let before_build = allocs();
+    let ens = WorldEnsemble::sample_seeded(&g, n_worlds, 7, 1);
+    let build_allocs = allocs() - before_build;
+
+    let before_err = allocs();
+    let err = edge_reliability_relevance_threads(&g, &ens, 1);
+    let err_allocs = allocs() - before_err;
+
+    assert_eq!(err.len(), g.num_edges());
+
+    // O(chunks) + constant, with headroom for Vec growth doublings of the
+    // chunk-concatenated arenas. The old layout allocated ≥ 4 per world
+    // (world bitset + labels + sizes + adjacency scratch) — over 2048 here.
+    let build_budget = 12 * chunks + 64;
+    assert!(
+        build_allocs <= build_budget,
+        "ensemble build made {build_allocs} allocations \
+         (budget {build_budget} for {chunks} chunks); kernel regressed to per-world allocation?"
+    );
+    assert!(
+        build_allocs < n_worlds,
+        "ensemble build made {build_allocs} allocations for {n_worlds} worlds"
+    );
+
+    // The ERR scan folds ERR_WORLD_CHUNK=64-world chunks: 8 chunks here.
+    let err_chunks = n_worlds.div_ceil(64);
+    let err_budget = 12 * err_chunks + 32;
+    assert!(
+        err_allocs <= err_budget,
+        "coupled ERR made {err_allocs} allocations \
+         (budget {err_budget} for {err_chunks} chunks)"
+    );
+    assert!(
+        err_allocs < n_worlds,
+        "coupled ERR made {err_allocs} allocations for {n_worlds} worlds"
+    );
+}

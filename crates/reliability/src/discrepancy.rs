@@ -39,7 +39,8 @@ impl DiscrepancyReport {
 /// produces graphs that share no edge indexing with the original); each
 /// ensemble is built on its own graph. When the edge arrays *do* align,
 /// build both ensembles from one CRN uniforms matrix
-/// ([`crate::ensemble::crn_uniforms`]) for a large variance reduction.
+/// ([`crate::ensemble::crn_uniform_matrix`]) for a large variance
+/// reduction.
 ///
 /// # Panics
 /// Panics if the ensembles disagree on node count or a pair indexes out of
@@ -76,7 +77,7 @@ pub fn avg_reliability_discrepancy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ensemble::crn_uniforms;
+    use crate::ensemble::crn_uniform_matrix;
     use chameleon_ugraph::UncertainGraph;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -92,9 +93,9 @@ mod tests {
     fn identical_graphs_have_zero_discrepancy_under_crn() {
         let g = line(0.5);
         let mut rng = StdRng::seed_from_u64(0);
-        let uniforms = crn_uniforms(300, g.num_edges(), &mut rng);
-        let a = WorldEnsemble::from_uniforms(&g, &uniforms);
-        let b = WorldEnsemble::from_uniforms(&g, &uniforms);
+        let uniforms = crn_uniform_matrix(300, g.num_edges(), &mut rng);
+        let a = WorldEnsemble::from_uniform_matrix(&g, &uniforms);
+        let b = WorldEnsemble::from_uniform_matrix(&g, &uniforms);
         let rep = avg_reliability_discrepancy(&a, &b, &[(0, 1), (0, 2), (1, 2)]);
         assert_eq!(rep.avg, 0.0);
         assert_eq!(rep.sum, 0.0);
@@ -170,9 +171,9 @@ mod tests {
         let mut ind_vals = Vec::new();
         for i in 0..reps {
             let mut rng = StdRng::seed_from_u64(100 + i);
-            let uniforms = crn_uniforms(worlds, 2, &mut rng);
-            let a = WorldEnsemble::from_uniforms(&g1, &uniforms);
-            let b = WorldEnsemble::from_uniforms(&g2, &uniforms);
+            let uniforms = crn_uniform_matrix(worlds, 2, &mut rng);
+            let a = WorldEnsemble::from_uniform_matrix(&g1, &uniforms);
+            let b = WorldEnsemble::from_uniform_matrix(&g2, &uniforms);
             crn_vals.push(avg_reliability_discrepancy(&a, &b, &pairs).avg);
 
             let mut rng_a = StdRng::seed_from_u64(500 + i);

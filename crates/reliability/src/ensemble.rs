@@ -1,9 +1,21 @@
 //! World ensembles: a fixed set of sampled possible worlds with cached
 //! connectivity structure.
+//!
+//! Storage is arena-style (DESIGN.md §6c): the worlds live in one
+//! contiguous [`WorldMatrix`], component labels in one world-major flat
+//! `u32` matrix (stride = `num_nodes`), and per-world component sizes in
+//! one offset-indexed arena. Building an N-world ensemble therefore costs
+//! O(chunks) allocations, not O(N), and every query is a strided scan over
+//! contiguous memory. Results are bit-identical to the historical
+//! one-allocation-per-world layout: the sampling plan preserves the RNG
+//! draw order and the analysis replays union–find operations in the same
+//! ascending edge order.
 
 use chameleon_stats::parallel;
 use chameleon_stats::SeedSequence;
-use chameleon_ugraph::{NodeId, UncertainGraph, World, WorldSampler};
+use chameleon_ugraph::{
+    NodeId, SamplePlan, UncertainGraph, UnionFind, World, WorldMatrix, WorldRef,
+};
 use rand::Rng;
 
 /// Fixed number of worlds per sampling/analysis chunk. Chunk boundaries
@@ -12,6 +24,11 @@ use rand::Rng;
 /// count — that is what makes parallel ensembles bit-identical to serial
 /// ones. Changing it changes which worlds a given seed produces.
 pub const WORLD_CHUNK: usize = 32;
+
+/// Pairs per block in [`WorldEnsemble::reliability_many`]: a block of pair
+/// hit-counters is kept hot in cache while the label matrix streams past
+/// once per block.
+const PAIR_BLOCK: usize = 1024;
 
 /// A Monte-Carlo ensemble of possible worlds of one uncertain graph, with
 /// per-world component labels and connected-pair counts cached.
@@ -22,10 +39,16 @@ pub const WORLD_CHUNK: usize = 32;
 /// (Algorithm 2) iterates over exactly this cache.
 #[derive(Debug, Clone)]
 pub struct WorldEnsemble {
-    worlds: Vec<World>,
-    labels: Vec<Vec<u32>>,
-    /// Per world: size of each component, indexed by dense label.
-    component_sizes: Vec<Vec<u32>>,
+    worlds: WorldMatrix,
+    /// World-major flat label matrix: world `w`'s labels are
+    /// `labels[w*num_nodes .. (w+1)*num_nodes]`.
+    labels: Vec<u32>,
+    /// Arena of per-world component sizes, indexed by dense label within
+    /// the slice delimited by `size_offsets`.
+    component_sizes: Vec<u32>,
+    /// `size_offsets[w]..size_offsets[w+1]` is world `w`'s slice of
+    /// `component_sizes`; length `num_worlds + 1`.
+    size_offsets: Vec<usize>,
     connected_pairs: Vec<u64>,
     num_nodes: usize,
 }
@@ -33,8 +56,8 @@ pub struct WorldEnsemble {
 impl WorldEnsemble {
     /// Samples `n` worlds of `graph`.
     pub fn sample<R: Rng + ?Sized>(graph: &UncertainGraph, n: usize, rng: &mut R) -> Self {
-        let worlds = WorldSampler::sample_many(graph, n, rng);
-        Self::from_worlds(graph, worlds)
+        let plan = SamplePlan::new(graph);
+        Self::from_matrix_threads(graph, plan.sample_matrix(n, rng), 1)
     }
 
     /// Samples `n` worlds from a seed, using up to `threads` worker
@@ -51,85 +74,198 @@ impl WorldEnsemble {
         let _span = chameleon_obs::span!("ensemble.sample_seeded");
         chameleon_obs::counter!("ensemble.worlds_sampled").add(n as u64);
         let seq = SeedSequence::new(seed);
-        let world_chunks = parallel::map_chunks(n, WORLD_CHUNK, threads, |c, range| {
+        let plan = SamplePlan::new(graph);
+        let wpw = plan.words_per_world();
+        let row_chunks = parallel::map_chunks(n, WORLD_CHUNK, threads, |c, range| {
             let mut rng = seq.rng_indexed("world-chunk", c as u64);
-            range
-                .map(|_| WorldSampler::sample(graph, &mut rng))
-                .collect::<Vec<World>>()
+            let mut rows = vec![0u64; range.len() * wpw];
+            if wpw > 0 {
+                for row in rows.chunks_exact_mut(wpw) {
+                    plan.sample_into(row, &mut rng);
+                }
+            }
+            // wpw == 0 ⇒ edgeless graph ⇒ no uncertain edges ⇒ a draw-free
+            // world; skipping sample_into consumes the same (zero) RNG
+            // output per world.
+            rows
         });
-        let worlds = world_chunks.into_iter().flatten().collect();
-        Self::from_worlds_threads(graph, worlds, threads)
-    }
-
-    /// Builds an ensemble from worlds sampled with *common random numbers*:
-    /// `uniforms[w][i]` drives edge `i` in world `w`. Two graphs whose edge
-    /// arrays agree on shared edges can be compared with the same `uniforms`
-    /// matrix, eliminating independent-sampling noise from discrepancy
-    /// estimates.
-    ///
-    /// # Panics
-    /// Panics if any uniform row is shorter than the graph's edge count.
-    pub fn from_uniforms(graph: &UncertainGraph, uniforms: &[Vec<f64>]) -> Self {
-        let worlds = uniforms
-            .iter()
-            .map(|u| WorldSampler::sample_with_uniforms(graph, u))
-            .collect();
-        Self::from_worlds(graph, worlds)
+        let mut worlds = WorldMatrix::new(graph.num_edges());
+        worlds.reserve(n);
+        for (c, rows) in row_chunks.iter().enumerate() {
+            if wpw > 0 {
+                worlds.extend_from_words(rows);
+            } else {
+                worlds.grow(parallel::chunk_range(c, WORLD_CHUNK, n).len());
+            }
+        }
+        Self::from_matrix_threads(graph, worlds, threads)
     }
 
     /// Wraps pre-sampled worlds.
+    ///
+    /// # Panics
+    /// Panics if any world's edge-slot count disagrees with the graph's.
     pub fn from_worlds(graph: &UncertainGraph, worlds: Vec<World>) -> Self {
         Self::from_worlds_threads(graph, worlds, 1)
     }
 
-    /// Wraps pre-sampled worlds, running the per-world connectivity
-    /// analysis (union–find labels, component sizes, connected-pair
-    /// counts) on up to `threads` worker threads (`0` = all hardware
-    /// threads). Each world's analysis is a pure function of that world,
-    /// so the result is identical for every thread count.
+    /// Wraps pre-sampled worlds, running the connectivity analysis on up
+    /// to `threads` worker threads. See
+    /// [`WorldEnsemble::from_matrix_threads`].
     pub fn from_worlds_threads(graph: &UncertainGraph, worlds: Vec<World>, threads: usize) -> Self {
-        let _span = chameleon_obs::span!("ensemble.analyze_worlds");
-        let analyzed = parallel::map_chunks(worlds.len(), WORLD_CHUNK, threads, |_, range| {
-            // Union–find work per world: one makeset per node plus one
-            // union per present edge; counted once per chunk to keep the
-            // recording cost off the per-world path.
-            let mut uf_ops = 0u64;
-            let out = range
-                .map(|i| {
-                    uf_ops += graph.num_nodes() as u64 + worlds[i].num_present() as u64;
-                    let mut uf = worlds[i].components(graph);
-                    let cc = uf.connected_pairs();
-                    let l = uf.component_labels();
-                    let mut sizes = vec![0u32; uf.num_components()];
-                    for &lab in &l {
-                        sizes[lab as usize] += 1;
-                    }
-                    (l, sizes, cc)
-                })
-                .collect::<Vec<_>>();
-            chameleon_obs::counter!("ensemble.union_find_ops").add(uf_ops);
-            out
-        });
-        let mut labels = Vec::with_capacity(worlds.len());
-        let mut component_sizes = Vec::with_capacity(worlds.len());
-        let mut connected_pairs = Vec::with_capacity(worlds.len());
-        for (l, sizes, cc) in analyzed.into_iter().flatten() {
-            labels.push(l);
-            component_sizes.push(sizes);
-            connected_pairs.push(cc);
+        let mut matrix = WorldMatrix::new(graph.num_edges());
+        matrix.reserve(worlds.len());
+        for w in &worlds {
+            assert_eq!(
+                w.num_edge_slots(),
+                graph.num_edges(),
+                "world/graph edge-count mismatch"
+            );
+            if matrix.words_per_world() > 0 {
+                matrix.extend_from_words(w.as_world_ref().words());
+            } else {
+                matrix.grow(1);
+            }
         }
+        Self::from_matrix_threads(graph, matrix, threads)
+    }
+
+    /// Builds the ensemble caches for an already-sampled world matrix,
+    /// running the per-world connectivity analysis (union–find labels,
+    /// component sizes, connected-pair counts) on up to `threads` worker
+    /// threads (`0` = all hardware threads). Each world's analysis is a
+    /// pure function of that world, so the result is identical for every
+    /// thread count. Each worker reuses one union-find and one label
+    /// scratch across all its chunks.
+    ///
+    /// # Panics
+    /// Panics if the matrix's edge-slot count disagrees with the graph's.
+    pub fn from_matrix_threads(
+        graph: &UncertainGraph,
+        worlds: WorldMatrix,
+        threads: usize,
+    ) -> Self {
+        let _span = chameleon_obs::span!("ensemble.analyze_worlds");
+        assert_eq!(
+            worlds.num_edges(),
+            graph.num_edges(),
+            "world/graph edge-count mismatch"
+        );
+        let n = worlds.num_worlds();
+        let nn = graph.num_nodes();
+        let (us, vs) = graph.endpoint_soa();
+        let analyzed = parallel::map_chunks_scratch(
+            n,
+            WORLD_CHUNK,
+            threads,
+            || (UnionFind::new(nn), Vec::<u32>::new()),
+            |(uf, label_scratch), _, range| {
+                let k = range.len();
+                let mut labels = Vec::with_capacity(k * nn);
+                let mut sizes = Vec::with_capacity(k * nn.min(64));
+                let mut ncomps = Vec::with_capacity(k);
+                let mut pairs = Vec::with_capacity(k);
+                // Union–find work per world: one makeset per node plus one
+                // union per present edge; counted once per chunk to keep
+                // the recording cost off the per-world path.
+                let mut uf_ops = 0u64;
+                for w in range {
+                    uf.reset();
+                    let present = worlds.world(w).union_into(&us, &vs, uf);
+                    uf_ops += nn as u64 + present as u64;
+                    let (ncomp, cc) =
+                        uf.append_labels_and_sizes(&mut labels, &mut sizes, label_scratch);
+                    ncomps.push(ncomp);
+                    pairs.push(cc);
+                }
+                chameleon_obs::counter!("ensemble.union_find_ops").add(uf_ops);
+                // Worlds after the first in a chunk recycle the worker's
+                // union-find and label scratch instead of allocating —
+                // defined per chunk, so the count is thread-invariant.
+                chameleon_obs::counter!("ensemble.scratch_reuses").add(k.saturating_sub(1) as u64);
+                (labels, sizes, ncomps, pairs)
+            },
+        );
+        let mut labels = Vec::with_capacity(n * nn);
+        let mut component_sizes = Vec::new();
+        let mut size_offsets = Vec::with_capacity(n + 1);
+        size_offsets.push(0usize);
+        let mut connected_pairs = Vec::with_capacity(n);
+        for (l, sizes, ncomps, pairs) in analyzed {
+            labels.extend_from_slice(&l);
+            component_sizes.extend_from_slice(&sizes);
+            for ncomp in ncomps {
+                let last = *size_offsets.last().expect("seeded with 0");
+                size_offsets.push(last + ncomp);
+            }
+            connected_pairs.extend_from_slice(&pairs);
+        }
+        chameleon_obs::counter!("ensemble.arena_bytes").add(
+            (worlds.arena_bytes()
+                + labels.len() * std::mem::size_of::<u32>()
+                + component_sizes.len() * std::mem::size_of::<u32>()) as u64,
+        );
         Self {
             worlds,
             labels,
             component_sizes,
+            size_offsets,
             connected_pairs,
-            num_nodes: graph.num_nodes(),
+            num_nodes: nn,
         }
+    }
+
+    /// Builds an ensemble from worlds sampled with *common random numbers*:
+    /// row `w` of `uniforms` drives world `w` — edge `i` is present iff
+    /// `uniforms.row(w)[i] < p(e_i)`. Two graphs whose edge arrays agree on
+    /// shared edges can be compared with the same matrix, eliminating
+    /// independent-sampling noise from discrepancy estimates.
+    ///
+    /// # Panics
+    /// Panics if the matrix stride is smaller than the graph's edge count.
+    pub fn from_uniform_matrix(graph: &UncertainGraph, uniforms: &UniformMatrix) -> Self {
+        let m = graph.num_edges();
+        assert!(
+            uniforms.stride() >= m,
+            "need {m} uniforms per world, stride is {}",
+            uniforms.stride()
+        );
+        let n = uniforms.num_worlds();
+        let mut matrix = WorldMatrix::zeroed(n, m);
+        let probs: Vec<f64> = graph.edges().iter().map(|e| e.p).collect();
+        for w in 0..n {
+            let u = uniforms.row(w);
+            let row = matrix.row_mut(w);
+            for (i, &p) in probs.iter().enumerate() {
+                if u[i] < p {
+                    row[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+        }
+        Self::from_matrix_threads(graph, matrix, 1)
+    }
+
+    /// Builds an ensemble from a row-per-world CRN uniforms matrix.
+    ///
+    /// # Panics
+    /// Panics if any uniform row is shorter than the graph's edge count.
+    #[deprecated(note = "use `from_uniform_matrix` with a flat `UniformMatrix`")]
+    pub fn from_uniforms(graph: &UncertainGraph, uniforms: &[Vec<f64>]) -> Self {
+        let m = graph.num_edges();
+        for row in uniforms {
+            assert!(row.len() >= m, "need {m} uniforms, got {}", row.len());
+        }
+        let stride = uniforms.iter().map(|r| r.len()).max().unwrap_or(m);
+        let mut flat = UniformMatrix::zeroed(uniforms.len(), stride);
+        for (w, row) in uniforms.iter().enumerate() {
+            flat.row_mut(w)[..row.len()].copy_from_slice(row);
+        }
+        Self::from_uniform_matrix(graph, &flat)
     }
 
     /// Number of worlds.
     pub fn len(&self) -> usize {
-        self.worlds.len()
+        self.worlds.num_worlds()
     }
 
     /// True when the ensemble holds no worlds.
@@ -142,20 +278,25 @@ impl WorldEnsemble {
         self.num_nodes
     }
 
-    /// The sampled worlds.
-    pub fn worlds(&self) -> &[World] {
+    /// The arena holding every sampled world.
+    pub fn matrix(&self) -> &WorldMatrix {
         &self.worlds
+    }
+
+    /// World `w` as a borrowed bitset.
+    pub fn world(&self, w: usize) -> WorldRef<'_> {
+        self.worlds.world(w)
     }
 
     /// Component labels of world `w`.
     pub fn labels(&self, w: usize) -> &[u32] {
-        &self.labels[w]
+        &self.labels[w * self.num_nodes..(w + 1) * self.num_nodes]
     }
 
     /// Component sizes of world `w`, indexed by the dense labels of
     /// [`WorldEnsemble::labels`].
     pub fn component_sizes(&self, w: usize) -> &[u32] {
-        &self.component_sizes[w]
+        &self.component_sizes[self.size_offsets[w]..self.size_offsets[w + 1]]
     }
 
     /// Connected-pair count `cc(G_w)` of world `w`.
@@ -171,28 +312,35 @@ impl WorldEnsemble {
     /// Estimated two-terminal reliability `R_{u,v}` (paper Definition 1):
     /// the fraction of worlds in which `u` and `v` share a component.
     pub fn two_terminal_reliability(&self, u: NodeId, v: NodeId) -> f64 {
-        if self.worlds.is_empty() {
+        let n = self.len();
+        if n == 0 {
             return 0.0;
         }
+        let (u, v) = (u as usize, v as usize);
         let hits = self
             .labels
-            .iter()
-            .filter(|l| l[u as usize] == l[v as usize])
+            .chunks_exact(self.num_nodes)
+            .filter(|l| l[u] == l[v])
             .count();
-        hits as f64 / self.worlds.len() as f64
+        hits as f64 / n as f64
     }
 
-    /// Reliability for many pairs in one pass over the label cache.
+    /// Reliability for many pairs in one pass over the label cache,
+    /// blocked so a [`PAIR_BLOCK`]-wide window of hit counters stays hot
+    /// while the flat label matrix streams through.
     pub fn reliability_many(&self, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
-        let n = self.worlds.len();
+        let n = self.len();
         if n == 0 {
             return vec![0.0; pairs.len()];
         }
         let mut hits = vec![0u32; pairs.len()];
-        for l in &self.labels {
-            for (i, &(u, v)) in pairs.iter().enumerate() {
-                if l[u as usize] == l[v as usize] {
-                    hits[i] += 1;
+        for (block_idx, block) in pairs.chunks(PAIR_BLOCK).enumerate() {
+            let counters = &mut hits[block_idx * PAIR_BLOCK..];
+            for l in self.labels.chunks_exact(self.num_nodes) {
+                for (c, &(u, v)) in counters.iter_mut().zip(block) {
+                    if l[u as usize] == l[v as usize] {
+                        *c += 1;
+                    }
                 }
             }
         }
@@ -211,24 +359,26 @@ impl WorldEnsemble {
             !sources.is_empty() && !targets.is_empty(),
             "set reliability needs non-empty node sets"
         );
-        if self.worlds.is_empty() {
+        let n = self.len();
+        if n == 0 {
             return 0.0;
         }
         let mut hits = 0usize;
-        let mut source_labels = std::collections::HashSet::new();
-        for l in &self.labels {
+        // Sorted scratch of source labels, reused across worlds: after the
+        // first world no allocation happens (capacity is |sources|).
+        let mut source_labels: Vec<u32> = Vec::with_capacity(sources.len());
+        for l in self.labels.chunks_exact(self.num_nodes) {
             source_labels.clear();
-            for &s in sources {
-                source_labels.insert(l[s as usize]);
-            }
+            source_labels.extend(sources.iter().map(|&s| l[s as usize]));
+            source_labels.sort_unstable();
             if targets
                 .iter()
-                .any(|&t| source_labels.contains(&l[t as usize]))
+                .any(|&t| source_labels.binary_search(&l[t as usize]).is_ok())
             {
                 hits += 1;
             }
         }
-        hits as f64 / self.worlds.len() as f64
+        hits as f64 / n as f64
     }
 
     /// Estimated expected number of connected pairs
@@ -243,9 +393,73 @@ impl WorldEnsemble {
     }
 }
 
-/// Generates a CRN uniforms matrix: `n_worlds` rows of `n_edges` uniforms.
-/// Rows are the "randomness" of each world, reusable across graph variants
-/// whose edge arrays align.
+/// A flat row-stride matrix of CRN uniforms: `num_worlds` rows of `stride`
+/// variates in one contiguous allocation. Row `w` is the "randomness" of
+/// world `w`, reusable across graph variants whose edge arrays align (the
+/// stride must cover the larger edge count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformMatrix {
+    values: Vec<f64>,
+    stride: usize,
+    num_worlds: usize,
+}
+
+impl UniformMatrix {
+    /// An all-zero matrix (every edge present under `u < p` for `p > 0`).
+    pub fn zeroed(num_worlds: usize, stride: usize) -> Self {
+        Self {
+            values: vec![0.0; num_worlds * stride],
+            stride,
+            num_worlds,
+        }
+    }
+
+    /// Number of worlds (rows).
+    pub fn num_worlds(&self) -> usize {
+        self.num_worlds
+    }
+
+    /// Uniforms per row.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Row `w`.
+    ///
+    /// # Panics
+    /// Panics if `w >= num_worlds`.
+    pub fn row(&self, w: usize) -> &[f64] {
+        assert!(w < self.num_worlds, "world {w} out of {}", self.num_worlds);
+        &self.values[w * self.stride..(w + 1) * self.stride]
+    }
+
+    /// Mutable row `w`.
+    ///
+    /// # Panics
+    /// Panics if `w >= num_worlds`.
+    pub fn row_mut(&mut self, w: usize) -> &mut [f64] {
+        assert!(w < self.num_worlds, "world {w} out of {}", self.num_worlds);
+        &mut self.values[w * self.stride..(w + 1) * self.stride]
+    }
+}
+
+/// Generates a flat CRN uniforms matrix: `n_worlds` rows of `n_edges`
+/// variates, drawn row-major (the same RNG sequence as the historical
+/// nested `crn_uniforms`).
+pub fn crn_uniform_matrix<R: Rng + ?Sized>(
+    n_worlds: usize,
+    n_edges: usize,
+    rng: &mut R,
+) -> UniformMatrix {
+    let mut m = UniformMatrix::zeroed(n_worlds, n_edges);
+    for x in &mut m.values {
+        *x = rng.gen::<f64>();
+    }
+    m
+}
+
+/// Generates a CRN uniforms matrix as nested vectors.
+#[deprecated(note = "use `crn_uniform_matrix` for a flat row-stride matrix")]
 pub fn crn_uniforms<R: Rng + ?Sized>(
     n_worlds: usize,
     n_edges: usize,
@@ -334,6 +548,22 @@ mod tests {
     }
 
     #[test]
+    fn reliability_many_blocked_matches_single_past_block_boundary() {
+        let g = bridge_graph();
+        let mut rng = StdRng::seed_from_u64(14);
+        let ens = WorldEnsemble::sample(&g, 60, &mut rng);
+        // More pairs than one PAIR_BLOCK so at least two blocks run.
+        let pairs: Vec<(u32, u32)> = (0..(super::PAIR_BLOCK + 37))
+            .map(|i| ((i % 6) as u32, ((i + 1 + i / 6) % 6) as u32))
+            .map(|(u, v)| if u == v { (u, (v + 1) % 6) } else { (u, v) })
+            .collect();
+        let many = ens.reliability_many(&pairs);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            assert_eq!(many[i], ens.two_terminal_reliability(u, v), "pair {i}");
+        }
+    }
+
+    #[test]
     fn expected_connected_pairs_sums_reliabilities() {
         let g = bridge_graph();
         let mut rng = StdRng::seed_from_u64(5);
@@ -370,7 +600,7 @@ mod tests {
         let serial = WorldEnsemble::sample_seeded(&g, n, 42, 1);
         for threads in [2, 4, 8] {
             let par = WorldEnsemble::sample_seeded(&g, n, 42, threads);
-            assert_eq!(serial.worlds(), par.worlds());
+            assert_eq!(serial.matrix(), par.matrix());
             assert_eq!(serial.connected_pairs_all(), par.connected_pairs_all());
             for w in 0..n {
                 assert_eq!(serial.labels(w), par.labels(w));
@@ -379,7 +609,7 @@ mod tests {
         }
         // Different seeds still give different ensembles.
         let other = WorldEnsemble::sample_seeded(&g, n, 43, 2);
-        assert_ne!(serial.worlds(), other.worlds());
+        assert_ne!(serial.matrix(), other.matrix());
     }
 
     #[test]
@@ -398,19 +628,56 @@ mod tests {
     }
 
     #[test]
+    fn from_worlds_preserves_world_bits() {
+        let g = bridge_graph();
+        let mut rng = StdRng::seed_from_u64(11);
+        let worlds = chameleon_ugraph::WorldSampler::sample_many(&g, 40, &mut rng);
+        let ens = WorldEnsemble::from_worlds(&g, worlds.clone());
+        assert_eq!(ens.len(), 40);
+        for (w, world) in worlds.iter().enumerate() {
+            assert_eq!(ens.world(w), world.as_world_ref());
+        }
+    }
+
+    #[test]
     fn crn_identical_graphs_give_identical_ensembles() {
         let g = bridge_graph();
         let mut rng = StdRng::seed_from_u64(6);
-        let uniforms = crn_uniforms(100, g.num_edges(), &mut rng);
-        let a = WorldEnsemble::from_uniforms(&g, &uniforms);
-        let b = WorldEnsemble::from_uniforms(&g, &uniforms);
-        for (wa, wb) in a.worlds().iter().zip(b.worlds()) {
-            assert_eq!(wa, wb);
-        }
+        let uniforms = crn_uniform_matrix(100, g.num_edges(), &mut rng);
+        let a = WorldEnsemble::from_uniform_matrix(&g, &uniforms);
+        let b = WorldEnsemble::from_uniform_matrix(&g, &uniforms);
+        assert_eq!(a.matrix(), b.matrix());
         assert_eq!(
             a.two_terminal_reliability(0, 5),
             b.two_terminal_reliability(0, 5)
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_nested_shims_match_flat_matrix() {
+        let g = bridge_graph();
+        // Same seed → the flat generator draws the identical RNG sequence.
+        let nested = crn_uniforms(50, g.num_edges(), &mut StdRng::seed_from_u64(21));
+        let flat = crn_uniform_matrix(50, g.num_edges(), &mut StdRng::seed_from_u64(21));
+        for (w, row) in nested.iter().enumerate() {
+            assert_eq!(row.as_slice(), flat.row(w));
+        }
+        let a = WorldEnsemble::from_uniforms(&g, &nested);
+        let b = WorldEnsemble::from_uniform_matrix(&g, &flat);
+        assert_eq!(a.matrix(), b.matrix());
+        assert_eq!(a.connected_pairs_all(), b.connected_pairs_all());
+    }
+
+    #[test]
+    fn uniform_matrix_sampling_matches_per_world_sampler() {
+        let g = bridge_graph();
+        let uniforms = crn_uniform_matrix(30, g.num_edges(), &mut StdRng::seed_from_u64(13));
+        let ens = WorldEnsemble::from_uniform_matrix(&g, &uniforms);
+        for w in 0..30 {
+            let world = chameleon_ugraph::WorldSampler::sample_with_uniforms(&g, uniforms.row(w));
+            assert_eq!(ens.world(w), world.as_world_ref());
+        }
     }
 
     #[test]
@@ -440,21 +707,34 @@ mod tests {
     #[test]
     fn crn_uniform_matrix_shape() {
         let mut rng = StdRng::seed_from_u64(7);
-        let u = crn_uniforms(3, 5, &mut rng);
-        assert_eq!(u.len(), 3);
-        assert!(u.iter().all(|row| row.len() == 5));
-        assert!(u.iter().flatten().all(|&x| (0.0..1.0).contains(&x)));
+        let u = crn_uniform_matrix(3, 5, &mut rng);
+        assert_eq!(u.num_worlds(), 3);
+        assert_eq!(u.stride(), 5);
+        for w in 0..3 {
+            assert_eq!(u.row(w).len(), 5);
+            assert!(u.row(w).iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
     }
 
     #[test]
     fn higher_bridge_probability_increases_cross_reliability() {
         let mut g = bridge_graph();
         let mut rng = StdRng::seed_from_u64(8);
-        let uniforms = crn_uniforms(2000, g.num_edges(), &mut rng);
-        let low = WorldEnsemble::from_uniforms(&g, &uniforms);
+        let uniforms = crn_uniform_matrix(2000, g.num_edges(), &mut rng);
+        let low = WorldEnsemble::from_uniform_matrix(&g, &uniforms);
         let bridge = g.find_edge(2, 3).unwrap();
         g.set_prob(bridge, 0.95).unwrap();
-        let high = WorldEnsemble::from_uniforms(&g, &uniforms);
+        let high = WorldEnsemble::from_uniform_matrix(&g, &uniforms);
         assert!(high.two_terminal_reliability(0, 5) > low.two_terminal_reliability(0, 5));
+    }
+
+    #[test]
+    fn edgeless_graph_ensemble() {
+        let g = UncertainGraph::with_nodes(3);
+        let ens = WorldEnsemble::sample_seeded(&g, WORLD_CHUNK + 5, 1, 2);
+        assert_eq!(ens.len(), WORLD_CHUNK + 5);
+        assert_eq!(ens.two_terminal_reliability(0, 2), 0.0);
+        assert_eq!(ens.labels(0), &[0, 1, 2]);
+        assert_eq!(ens.component_sizes(0), &[1, 1, 1]);
     }
 }

@@ -49,5 +49,5 @@ pub mod pairs;
 
 pub use dcr::{dcr_profile, distance_constrained_reliability};
 pub use discrepancy::{avg_reliability_discrepancy, DiscrepancyReport};
-pub use ensemble::WorldEnsemble;
+pub use ensemble::{crn_uniform_matrix, UniformMatrix, WorldEnsemble, WORLD_CHUNK};
 pub use pairs::sample_distinct_pairs;

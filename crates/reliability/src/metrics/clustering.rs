@@ -27,8 +27,8 @@ pub fn expected_clustering(graph: &UncertainGraph, ensemble: &WorldEnsemble) -> 
     let mut cc = Summary::new();
     let mut tri = Summary::new();
     let mut wed = Summary::new();
-    for w in ensemble.worlds() {
-        let view = WorldView::new(graph, w);
+    for w in 0..ensemble.len() {
+        let view = WorldView::new(graph, ensemble.world(w));
         let (t, wd) = triangles_and_wedges(&view);
         tri.push(t as f64);
         wed.push(wd as f64);

@@ -15,8 +15,8 @@ pub fn expected_average_degree(graph: &UncertainGraph) -> f64 {
 /// Monte-Carlo estimate of the expected *maximum* degree over worlds.
 pub fn expected_max_degree(graph: &UncertainGraph, ensemble: &WorldEnsemble) -> f64 {
     let mut s = Summary::new();
-    for w in ensemble.worlds() {
-        let view = WorldView::new(graph, w);
+    for w in 0..ensemble.len() {
+        let view = WorldView::new(graph, ensemble.world(w));
         let max = (0..graph.num_nodes() as u32)
             .map(|v| view.degree(v))
             .max()
@@ -32,8 +32,8 @@ pub fn expected_max_degree(graph: &UncertainGraph, ensemble: &WorldEnsemble) -> 
 /// per-world averages).
 pub fn pooled_degree_histogram(graph: &UncertainGraph, ensemble: &WorldEnsemble) -> IntHistogram {
     let mut h = IntHistogram::new();
-    for w in ensemble.worlds() {
-        let view = WorldView::new(graph, w);
+    for w in 0..ensemble.len() {
+        let view = WorldView::new(graph, ensemble.world(w));
         for v in 0..graph.num_nodes() as u32 {
             h.push(view.degree(v) as u64);
         }
@@ -49,8 +49,8 @@ pub fn sampled_average_degree(graph: &UncertainGraph, ensemble: &WorldEnsemble) 
         return 0.0;
     }
     let mut s = Summary::new();
-    for w in ensemble.worlds() {
-        s.push(2.0 * w.num_present() as f64 / graph.num_nodes() as f64);
+    for w in 0..ensemble.len() {
+        s.push(2.0 * ensemble.world(w).num_present() as f64 / graph.num_nodes() as f64);
     }
     s.mean()
 }

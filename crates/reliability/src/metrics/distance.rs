@@ -46,8 +46,8 @@ pub fn expected_distances<R: Rng + ?Sized>(
     let mut avg = Summary::new();
     let mut diam = Summary::new();
     let mut reach = Summary::new();
-    for w in ensemble.worlds() {
-        let view = WorldView::new(graph, w);
+    for w in 0..ensemble.len() {
+        let view = WorldView::new(graph, ensemble.world(w));
         let stats = distance_stats(&view, &sources);
         if stats.reachable_pairs > 0 {
             avg.push(stats.mean_distance);
@@ -76,8 +76,8 @@ pub fn expected_distances_anf<R: Rng + ?Sized>(
 ) -> ExpectedDistances {
     let mut avg = Summary::new();
     let mut diam = Summary::new();
-    for w in ensemble.worlds() {
-        let view = WorldView::new(graph, w);
+    for w in 0..ensemble.len() {
+        let view = WorldView::new(graph, ensemble.world(w));
         let nf = crate::metrics::anf::anf(&view, k_sketches, graph.num_nodes().max(4), rng);
         let mean = nf.mean_distance();
         if mean > 0.0 {

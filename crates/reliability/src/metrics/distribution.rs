@@ -18,8 +18,8 @@ pub fn sampled_degree_distribution(
     ensemble: &WorldEnsemble,
 ) -> IntHistogram {
     let mut h = IntHistogram::new();
-    for w in ensemble.worlds() {
-        let view = WorldView::new(graph, w);
+    for w in 0..ensemble.len() {
+        let view = WorldView::new(graph, ensemble.world(w));
         for v in 0..graph.num_nodes() as u32 {
             h.push(view.degree(v) as u64);
         }

@@ -30,8 +30,8 @@ fn anf_mean_distance_tracks_bfs() {
     let all_sources: Vec<u32> = (0..g.num_nodes() as u32).collect();
     let mut exact = Summary::new();
     let mut sketch = Summary::new();
-    for w in ens.worlds() {
-        let view = WorldView::new(&g, w);
+    for w in 0..ens.len() {
+        let view = WorldView::new(&g, ens.world(w));
         let stats = distance_stats(&view, &all_sources);
         if stats.reachable_pairs == 0 {
             continue;

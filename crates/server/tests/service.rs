@@ -177,11 +177,15 @@ fn full_queue_rejects_with_retry_after() {
         cache_capacity: 0,
         ..ServerConfig::default()
     });
-    let graph = graph_text(100, 7);
+    // RSME at this size runs for hundreds of milliseconds in release (the
+    // ensemble sampling and ERR scans dominate) — far longer than the
+    // submission stagger below, so the worker is still busy with job 1
+    // when jobs 2 and 3 arrive.
+    let graph = graph_text(400, 7);
     let slow = |seed: u64| {
         format!(
-            "{{\"op\":\"obfuscate\",\"graph\":{},\"k\":3,\"epsilon\":0.1,\
-             \"method\":\"ME\",\"worlds\":400,\"trials\":2,\"seed\":{seed},\"threads\":1}}",
+            "{{\"op\":\"obfuscate\",\"graph\":{},\"k\":40,\"epsilon\":0.05,\
+             \"method\":\"RSME\",\"worlds\":3000,\"trials\":2,\"seed\":{seed},\"threads\":1}}",
             chameleon_obs::json::string(&graph),
         )
     };
@@ -193,7 +197,7 @@ fn full_queue_rejects_with_retry_after() {
             // Stagger so the first request owns the worker and the second
             // the queue slot before the third arrives.
             std::thread::spawn(move || {
-                std::thread::sleep(std::time::Duration::from_millis(150 * i));
+                std::thread::sleep(std::time::Duration::from_millis(30 * i));
                 request_once(&addr, &req).unwrap()
             })
         })

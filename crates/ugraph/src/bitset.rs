@@ -65,6 +65,12 @@ impl BitSet {
         }
     }
 
+    /// The backing `u64` words, least-significant bit first. Bits at
+    /// positions `>= len` are always clear.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Iterator over indices of set bits, ascending.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {

@@ -224,6 +224,20 @@ impl UncertainGraph {
         g
     }
 
+    /// Edge endpoints in structure-of-arrays form: `(us, vs)` with
+    /// `us[e] < vs[e]`, indexed by [`EdgeId`]. The flat Monte-Carlo kernels
+    /// scan these instead of the `Edge` array so the probability field does
+    /// not pollute cache lines during word-level bitset walks.
+    pub fn endpoint_soa(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut us = Vec::with_capacity(self.edges.len());
+        let mut vs = Vec::with_capacity(self.edges.len());
+        for e in &self.edges {
+            us.push(e.u);
+            vs.push(e.v);
+        }
+        (us, vs)
+    }
+
     /// Mean edge probability (0 for an edgeless graph) — the "Edge Prob"
     /// column of paper Table I.
     pub fn mean_edge_prob(&self) -> f64 {
@@ -375,6 +389,19 @@ mod tests {
         assert_eq!(g.expected_average_degree(), 0.0);
         assert_eq!(g.mean_edge_prob(), 0.0);
         assert!(g.expected_degrees().is_empty());
+    }
+
+    #[test]
+    fn endpoint_soa_matches_edges() {
+        let g = triangle();
+        let (us, vs) = g.endpoint_soa();
+        assert_eq!(us.len(), g.num_edges());
+        assert_eq!(vs.len(), g.num_edges());
+        for e in 0..g.num_edges() {
+            let edge = g.edge(e as EdgeId);
+            assert_eq!((us[e], vs[e]), (edge.u, edge.v));
+            assert!(us[e] < vs[e]);
+        }
     }
 
     #[test]

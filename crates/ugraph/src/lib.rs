@@ -15,6 +15,9 @@
 //! * [`World`] / [`WorldView`] — a sampled possible world as an edge bitset,
 //!   and a zero-copy adjacency view of the graph restricted to that world.
 //! * [`sample`] — possible-world Monte-Carlo sampling.
+//! * [`WorldMatrix`] / [`SamplePlan`] — arena ensemble storage (all worlds
+//!   in one contiguous word buffer) and the precomputed sampling plan whose
+//!   draw order is bit-identical to [`WorldSampler::sample`](sample::WorldSampler::sample).
 //! * [`UnionFind`] — connected components / connected-pair counting, the
 //!   kernel of the reliability estimators (paper Algorithm 2 & Lemma 2).
 //! * [`traversal`] — BFS distances and components over world views.
@@ -39,6 +42,7 @@ pub mod traversal;
 pub mod union_find;
 pub mod weighted;
 pub mod world;
+pub mod world_matrix;
 
 pub use analysis::GraphSummary;
 pub use bitset::BitSet;
@@ -48,4 +52,5 @@ pub use graph::{Edge, EdgeId, NodeId, UncertainGraph};
 pub use sample::WorldSampler;
 pub use union_find::UnionFind;
 pub use weighted::WeightedUncertainGraph;
-pub use world::{World, WorldView};
+pub use world::{World, WorldRef, WorldView};
+pub use world_matrix::{SamplePlan, WorldMatrix};

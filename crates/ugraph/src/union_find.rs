@@ -107,6 +107,48 @@ impl UnionFind {
         labels
     }
 
+    /// Appends dense component labels (as produced by
+    /// [`UnionFind::component_labels`]) to `labels_out` and the size of
+    /// each component — indexed by its dense label — to `sizes_out`,
+    /// reusing `label_of_root` as scratch so a caller looping over many
+    /// worlds performs no per-world allocation once the buffers have
+    /// grown. Returns `(num_components, connected_pairs)`: the pair count
+    /// is accumulated while labelling — each component contributes
+    /// `s·(s−1)/2` exactly once, when its root is first seen — so the
+    /// value equals [`UnionFind::connected_pairs`] (u64 addition is exact
+    /// and order-free) without a second find pass over every element.
+    pub fn append_labels_and_sizes(
+        &mut self,
+        labels_out: &mut Vec<u32>,
+        sizes_out: &mut Vec<u32>,
+        label_of_root: &mut Vec<u32>,
+    ) -> (usize, u64) {
+        let n = self.parent.len();
+        label_of_root.clear();
+        label_of_root.resize(n, u32::MAX);
+        labels_out.reserve(n);
+        let mut next = 0u32;
+        let mut pairs = 0u64;
+        for x in 0..n as u32 {
+            let r = self.find(x);
+            let slot = label_of_root[r as usize];
+            let label = if slot == u32::MAX {
+                label_of_root[r as usize] = next;
+                // Every member of the set shares this root, so the root's
+                // size is exactly the label's member count.
+                let s = self.size[r as usize];
+                sizes_out.push(s);
+                pairs += s as u64 * (s as u64 - 1) / 2;
+                next += 1;
+                next - 1
+            } else {
+                slot
+            };
+            labels_out.push(label);
+        }
+        (next as usize, pairs)
+    }
+
     /// Resets to `n` singletons without reallocating.
     pub fn reset(&mut self) {
         for (i, p) in self.parent.iter_mut().enumerate() {
@@ -170,6 +212,36 @@ mod tests {
         assert_ne!(labels[1], labels[2]);
         let max = *labels.iter().max().unwrap() as usize;
         assert_eq!(max + 1, uf.num_components());
+    }
+
+    #[test]
+    fn append_labels_and_sizes_matches_component_labels() {
+        let mut uf = UnionFind::new(7);
+        uf.union(0, 3);
+        uf.union(4, 5);
+        uf.union(3, 5);
+        let expect_labels = uf.clone().component_labels();
+        let expect_pairs = uf.clone().connected_pairs();
+        let mut labels = Vec::new();
+        let mut sizes = Vec::new();
+        let mut scratch = Vec::new();
+        let (ncomp, pairs) = uf.append_labels_and_sizes(&mut labels, &mut sizes, &mut scratch);
+        assert_eq!(labels, expect_labels);
+        assert_eq!(ncomp, uf.num_components());
+        assert_eq!(pairs, expect_pairs);
+        assert_eq!(sizes.len(), ncomp);
+        let mut counted = vec![0u32; ncomp];
+        for &l in &labels {
+            counted[l as usize] += 1;
+        }
+        assert_eq!(sizes, counted);
+        // Appending a second structure extends, never clears.
+        let mut uf2 = UnionFind::new(2);
+        uf2.union(0, 1);
+        uf2.append_labels_and_sizes(&mut labels, &mut sizes, &mut scratch);
+        assert_eq!(labels.len(), 9);
+        assert_eq!(sizes.len(), ncomp + 1);
+        assert_eq!(&sizes[ncomp..], &[2]);
     }
 
     #[test]

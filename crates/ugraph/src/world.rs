@@ -74,6 +74,111 @@ impl World {
     pub fn connected_pairs(&self, graph: &UncertainGraph) -> u64 {
         self.components(graph).connected_pairs()
     }
+
+    /// A borrowed word-level view of this world.
+    pub fn as_world_ref(&self) -> WorldRef<'_> {
+        WorldRef {
+            words: self.present.words(),
+            len: self.present.len(),
+        }
+    }
+}
+
+/// A borrowed possible world: one bit per edge over a `u64` word slice.
+///
+/// This is the common currency between [`World`] (one owned bitset per
+/// world) and the arena-backed `WorldMatrix` (all worlds in one contiguous
+/// allocation): both lend out `WorldRef`s, so downstream metrics written
+/// against [`WorldView`] work with either storage. Bits at positions
+/// `>= num_edge_slots()` are always clear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldRef<'a> {
+    words: &'a [u64],
+    len: usize,
+}
+
+impl<'a> WorldRef<'a> {
+    /// Wraps an explicit word slice of `len` bits.
+    ///
+    /// # Panics
+    /// Panics if `words` is not exactly `ceil(len / 64)` words long.
+    pub fn from_words(words: &'a [u64], len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(64),
+            "word slice length disagrees with bit length {len}"
+        );
+        Self { words, len }
+    }
+
+    /// Number of edge slots (present or not).
+    pub fn num_edge_slots(&self) -> usize {
+        self.len
+    }
+
+    /// True when edge `e` exists in this world.
+    ///
+    /// # Panics
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn contains(&self, e: EdgeId) -> bool {
+        let i = e as usize;
+        assert!(i < self.len, "edge index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of edges present.
+    pub fn num_present(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterator over the ids of present edges, ascending.
+    pub fn present_edges(&self) -> impl Iterator<Item = EdgeId> + 'a {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros();
+                    w &= w - 1;
+                    Some(wi as EdgeId * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// The backing `u64` words, least-significant bit first.
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Unions the endpoints of every present edge into `uf`, in ascending
+    /// edge order, using SoA endpoint arrays (`us[e]`, `vs[e]`). Returns
+    /// the number of present edges.
+    ///
+    /// # Panics
+    /// Panics if the endpoint arrays are shorter than the edge-slot count.
+    pub fn union_into(&self, us: &[u32], vs: &[u32], uf: &mut UnionFind) -> usize {
+        assert!(us.len() >= self.len && vs.len() >= self.len);
+        let mut present = 0usize;
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let e = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                uf.union(us[e], vs[e]);
+                present += 1;
+            }
+        }
+        present
+    }
+}
+
+impl<'a> From<&'a World> for WorldRef<'a> {
+    fn from(world: &'a World) -> Self {
+        world.as_world_ref()
+    }
 }
 
 /// A zero-copy adjacency view of `graph` restricted to the edges present in
@@ -82,15 +187,16 @@ impl World {
 #[derive(Debug, Clone, Copy)]
 pub struct WorldView<'a> {
     graph: &'a UncertainGraph,
-    world: &'a World,
+    world: WorldRef<'a>,
 }
 
 impl<'a> WorldView<'a> {
-    /// Creates the view.
+    /// Creates the view from an owned [`World`] reference or a [`WorldRef`].
     ///
     /// # Panics
     /// Panics if world and graph disagree on edge count.
-    pub fn new(graph: &'a UncertainGraph, world: &'a World) -> Self {
+    pub fn new(graph: &'a UncertainGraph, world: impl Into<WorldRef<'a>>) -> Self {
+        let world = world.into();
         assert_eq!(
             world.num_edge_slots(),
             graph.num_edges(),
@@ -115,7 +221,7 @@ impl<'a> WorldView<'a> {
     }
 
     /// The underlying world.
-    pub fn world(&self) -> &'a World {
+    pub fn world(&self) -> WorldRef<'a> {
         self.world
     }
 
@@ -221,6 +327,48 @@ mod tests {
         let g = path_graph();
         let w = World::empty(99);
         let _ = WorldView::new(&g, &w);
+    }
+
+    #[test]
+    fn world_ref_matches_world() {
+        let mut w = World::empty(130);
+        for e in [0u32, 63, 64, 129] {
+            w.set(e, true);
+        }
+        let r = w.as_world_ref();
+        assert_eq!(r.num_edge_slots(), 130);
+        assert_eq!(r.num_present(), w.num_present());
+        assert!(r.contains(64) && !r.contains(65));
+        let from_ref: Vec<EdgeId> = r.present_edges().collect();
+        let from_world: Vec<EdgeId> = w.present_edges().collect();
+        assert_eq!(from_ref, from_world);
+        assert_eq!(r.words(), WorldRef::from(&w).words());
+        assert_eq!(WorldRef::from_words(r.words(), 130), r);
+    }
+
+    #[test]
+    fn world_ref_union_into_matches_components() {
+        let g = path_graph();
+        let mut w = World::empty(g.num_edges());
+        w.set(0, true);
+        w.set(2, true);
+        let (us, vs) = g.endpoint_soa();
+        let mut uf = UnionFind::new(g.num_nodes());
+        let present = w.as_world_ref().union_into(&us, &vs, &mut uf);
+        assert_eq!(present, 2);
+        let mut expect = w.components(&g);
+        for a in 0..g.num_nodes() as u32 {
+            for b in 0..g.num_nodes() as u32 {
+                assert_eq!(uf.connected(a, b), expect.connected(a, b));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn world_ref_from_words_length_mismatch_panics() {
+        let words = [0u64; 1];
+        let _ = WorldRef::from_words(&words, 65);
     }
 
     #[test]

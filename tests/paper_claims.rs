@@ -9,13 +9,13 @@ use chameleon::prelude::*;
 fn reliability_error(original: &UncertainGraph, published: &UncertainGraph, seed: u64) -> f64 {
     let seq = SeedSequence::new(seed);
     let pairs = sample_distinct_pairs(original.num_nodes(), 600, &mut seq.rng("pairs"));
-    let uniforms = chameleon::reliability::ensemble::crn_uniforms(
+    let uniforms = chameleon::reliability::crn_uniform_matrix(
         400,
         original.num_edges().max(published.num_edges()),
         &mut seq.rng("crn"),
     );
-    let a = WorldEnsemble::from_uniforms(original, &uniforms);
-    let b = WorldEnsemble::from_uniforms(published, &uniforms);
+    let a = WorldEnsemble::from_uniform_matrix(original, &uniforms);
+    let b = WorldEnsemble::from_uniform_matrix(published, &uniforms);
     avg_reliability_discrepancy(&a, &b, &pairs).avg
 }
 

@@ -98,7 +98,7 @@ fn parallel_execution_matches_serial_at_every_site() {
     // Site 1: chunk-seeded world sampling and per-world analysis.
     let e1 = WorldEnsemble::sample_seeded(&g, 137, 99, 1);
     let e8 = WorldEnsemble::sample_seeded(&g, 137, 99, 8);
-    assert_eq!(e1.worlds(), e8.worlds());
+    assert_eq!(e1.matrix(), e8.matrix());
     for w in 0..e1.len() {
         assert_eq!(e1.labels(w), e8.labels(w));
         assert_eq!(e1.component_sizes(w), e8.component_sizes(w));
