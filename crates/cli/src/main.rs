@@ -18,16 +18,25 @@
 //!                     [--worlds N] [--seed S]
 //! chameleon synth     <in.txt> <out.txt> [--nodes N] [--seed S] [--dp-epsilon E]
 //! chameleon serve     [--host H] [--port P] [--workers N] [--queue-depth N]
-//!                     [--cache N] [--timeout-ms MS]
-//!                     # run the chameleond job service (see DESIGN.md §7);
+//!                     [--cache N] [--timeout-ms MS] [--max-request-bytes N]
+//!                     [--read-timeout-ms MS] [--max-connections N]
+//!                     # run the chameleond job service (see DESIGN.md §7–8);
 //!                     # with --metrics, the final snapshot is written on
-//!                     # graceful shutdown
+//!                     # graceful shutdown. Built with the `fault-injection`
+//!                     # feature, --fault-seed/--fault-panic-rate/
+//!                     # --fault-panic-budget/--fault-cancel-rate/
+//!                     # --fault-cancel-budget arm a deterministic chaos
+//!                     # schedule (dev/test only).
 //! chameleon submit    [in.txt] [out.txt] --job obfuscate|check|reliability|status|shutdown
 //!                     [--host H] [--port P] [--id ID] [--timeout-ms MS]
+//!                     [--retries N] [--retry-base-ms MS]
 //!                     [job flags as for the matching subcommand]
 //!                     # send one job to a running chameleond; for
 //!                     # obfuscate, the returned graph is written to out.txt
-//!                     # byte-identical to `chameleon anonymize` output
+//!                     # byte-identical to `chameleon anonymize` output.
+//!                     # Retryable rejections (queue full, injected faults)
+//!                     # are retried with seeded-jitter backoff honoring the
+//!                     # server's retry_after_ms hint.
 //! ```
 //!
 //! Graphs use the text edge-list format of `chameleon_ugraph::io`. When
@@ -95,18 +104,7 @@ const COMMANDS: &[Command] = &[
         cmd_mine,
     ),
     ("synth", &["nodes", "seed", "dp-epsilon"], cmd_synth),
-    (
-        "serve",
-        &[
-            "host",
-            "port",
-            "workers",
-            "queue-depth",
-            "cache",
-            "timeout-ms",
-        ],
-        cmd_serve,
-    ),
+    ("serve", SERVE_FLAGS, cmd_serve),
     (
         "submit",
         &[
@@ -115,6 +113,8 @@ const COMMANDS: &[Command] = &[
             "job",
             "id",
             "timeout-ms",
+            "retries",
+            "retry-base-ms",
             "k",
             "epsilon",
             "method",
@@ -127,6 +127,41 @@ const COMMANDS: &[Command] = &[
         ],
         cmd_submit,
     ),
+];
+
+/// `serve` flag whitelist; the `--fault-*` chaos flags exist only in
+/// `fault-injection` builds so a production binary cannot arm them.
+#[cfg(not(feature = "fault-injection"))]
+const SERVE_FLAGS: &[&str] = &[
+    "host",
+    "port",
+    "workers",
+    "queue-depth",
+    "cache",
+    "timeout-ms",
+    "max-request-bytes",
+    "read-timeout-ms",
+    "max-connections",
+];
+
+/// `serve` flag whitelist with the deterministic chaos schedule armed
+/// (`fault-injection` builds only).
+#[cfg(feature = "fault-injection")]
+const SERVE_FLAGS: &[&str] = &[
+    "host",
+    "port",
+    "workers",
+    "queue-depth",
+    "cache",
+    "timeout-ms",
+    "max-request-bytes",
+    "read-timeout-ms",
+    "max-connections",
+    "fault-seed",
+    "fault-panic-rate",
+    "fault-panic-budget",
+    "fault-cancel-rate",
+    "fault-cancel-budget",
 ];
 
 fn main() {
@@ -455,6 +490,7 @@ fn cmd_synth(cli: &Cli) -> Result<(), String> {
 fn cmd_serve(cli: &Cli) -> Result<(), String> {
     let host: String = cli.get("host", "127.0.0.1".to_string())?;
     let port: u16 = cli.get("port", 7788u16)?;
+    let defaults = chameleon_server::ServerConfig::default();
     let config = chameleon_server::ServerConfig {
         addr: format!("{host}:{port}"),
         workers: cli.get("workers", 0usize)?,
@@ -465,15 +501,45 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
             s if s.is_empty() => None,
             s => Some(s),
         },
+        max_request_bytes: cli.get("max-request-bytes", defaults.max_request_bytes)?,
+        read_timeout_ms: cli.get("read-timeout-ms", defaults.read_timeout_ms)?,
+        max_connections: cli.get("max-connections", defaults.max_connections)?,
+        faults: fault_plan(cli)?,
     };
     let server = chameleon_server::Server::bind(config).map_err(|e| format!("bind: {e}"))?;
     eprintln!("chameleond listening on {}", server.local_addr());
     let report = server.run().map_err(|e| format!("serve: {e}"))?;
     println!(
-        "served {} jobs ({} failed, {} rejected, {} timed out)",
-        report.jobs_completed, report.jobs_failed, report.jobs_rejected, report.jobs_timed_out
+        "served {} jobs ({} failed, {} rejected, {} timed out, {} panicked, {} cancelled)",
+        report.jobs_completed,
+        report.jobs_failed,
+        report.jobs_rejected,
+        report.jobs_timed_out,
+        report.jobs_panicked,
+        report.jobs_cancelled,
     );
     Ok(())
+}
+
+/// Builds the deterministic chaos schedule from the `--fault-*` flags
+/// (`fault-injection` builds only; production builds always serve `None`).
+#[cfg(feature = "fault-injection")]
+fn fault_plan(cli: &Cli) -> Result<Option<chameleon_server::FaultPlan>, String> {
+    let plan = chameleon_server::FaultPlan::new(cli.get("fault-seed", 0u64)?)
+        .with_panics(
+            cli.get("fault-panic-rate", 0.0f64)?,
+            cli.get("fault-panic-budget", 0u64)?,
+        )
+        .with_cancels(
+            cli.get("fault-cancel-rate", 0.0f64)?,
+            cli.get("fault-cancel-budget", 0u64)?,
+        );
+    Ok(plan.is_active().then_some(plan))
+}
+
+#[cfg(not(feature = "fault-injection"))]
+fn fault_plan(_cli: &Cli) -> Result<Option<chameleon_server::FaultPlan>, String> {
+    Ok(None)
 }
 
 /// Send one job to a running daemon and render the reply. An `obfuscate`
@@ -553,7 +619,17 @@ fn cmd_submit(cli: &Cli) -> Result<(), String> {
     }
     req.push('}');
 
-    let line = chameleon_server::request_once(&addr, &req).map_err(|e| format!("{addr}: {e}"))?;
+    // Retryable rejections (the server marks them with `retry_after_ms`:
+    // queue full, injected faults) are retried with seeded-jitter backoff;
+    // reusing the job seed keeps the whole submit schedule reproducible.
+    let policy = chameleon_server::RetryPolicy {
+        max_retries: cli.get("retries", 3u32)?,
+        base_delay_ms: cli.get("retry-base-ms", 50u64)?,
+        seed: cli.get("seed", 42u64)?,
+        ..chameleon_server::RetryPolicy::default()
+    };
+    let line = chameleon_server::request_with_retry(&addr, &req, &policy)
+        .map_err(|e| format!("{addr}: {e}"))?;
     let v = Json::parse(&line).map_err(|e| format!("bad response from server: {e}"))?;
     let status = v.get("status").and_then(Json::as_str).unwrap_or("?");
     if status != "ok" {

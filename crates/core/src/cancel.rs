@@ -10,10 +10,29 @@
 //! any random draw or ordering decision, so a run that is *not* cancelled
 //! is bit-identical to one executed without a token. This is what lets
 //! `chameleond` enforce per-job timeouts without perturbing determinism.
+//!
+//! A fired token remembers *why* it fired ([`CancelToken::reason`]):
+//! an explicit [`CancelToken::cancel`] call and a passed deadline are
+//! different events to a caller — the daemon reports a deadline as a
+//! non-retryable timeout but an explicit trip (e.g. an injected fault
+//! from `chameleon_server::faults`) as a retryable transient error.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Why a [`CancelToken`] fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called.
+    Explicit,
+    /// The wall-clock deadline passed.
+    Deadline,
+}
+
+const LIVE: u8 = 0;
+const EXPLICIT: u8 = 1;
+const DEADLINE: u8 = 2;
 
 /// Shared cancellation state: explicit flag plus optional deadline.
 #[derive(Debug, Clone, Default)]
@@ -23,7 +42,9 @@ pub struct CancelToken {
 
 #[derive(Debug, Default)]
 struct Inner {
-    cancelled: AtomicBool,
+    /// `LIVE` until the first cancellation event latches its cause; the
+    /// first writer wins, so the recorded reason never flips afterwards.
+    state: AtomicU8,
     deadline: Option<Instant>,
 }
 
@@ -37,7 +58,7 @@ impl CancelToken {
     pub fn with_deadline(deadline: Instant) -> Self {
         Self {
             inner: Arc::new(Inner {
-                cancelled: AtomicBool::new(false),
+                state: AtomicU8::new(LIVE),
                 deadline: Some(deadline),
             }),
         }
@@ -45,22 +66,43 @@ impl CancelToken {
 
     /// Requests cancellation; all clones observe it.
     pub fn cancel(&self) {
-        self.inner.cancelled.store(true, Ordering::Release);
+        let _ =
+            self.inner
+                .state
+                .compare_exchange(LIVE, EXPLICIT, Ordering::AcqRel, Ordering::Acquire);
     }
 
     /// True once [`CancelToken::cancel`] was called or the deadline (if
     /// any) has passed.
     pub fn is_cancelled(&self) -> bool {
-        if self.inner.cancelled.load(Ordering::Acquire) {
+        if self.inner.state.load(Ordering::Acquire) != LIVE {
             return true;
         }
         match self.inner.deadline {
             Some(deadline) if Instant::now() >= deadline => {
                 // Latch, so later polls skip the clock read.
-                self.inner.cancelled.store(true, Ordering::Release);
+                let _ = self.inner.state.compare_exchange(
+                    LIVE,
+                    DEADLINE,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
                 true
             }
             _ => false,
+        }
+    }
+
+    /// Why the token fired, or `None` while it is still live. Polls the
+    /// deadline first, so an expired-but-not-yet-polled token reports
+    /// [`CancelReason::Deadline`] rather than `None`.
+    pub fn reason(&self) -> Option<CancelReason> {
+        if !self.is_cancelled() {
+            return None;
+        }
+        match self.inner.state.load(Ordering::Acquire) {
+            EXPLICIT => Some(CancelReason::Explicit),
+            _ => Some(CancelReason::Deadline),
         }
     }
 }
@@ -72,7 +114,9 @@ mod tests {
 
     #[test]
     fn fresh_token_is_live() {
-        assert!(!CancelToken::new().is_cancelled());
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
     }
 
     #[test]
@@ -82,12 +126,14 @@ mod tests {
         t.cancel();
         assert!(t.is_cancelled());
         assert!(clone.is_cancelled());
+        assert_eq!(clone.reason(), Some(CancelReason::Explicit));
     }
 
     #[test]
     fn deadline_in_past_fires_immediately() {
         let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
         assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
     }
 
     #[test]
@@ -96,5 +142,21 @@ mod tests {
         assert!(!t.is_cancelled());
         t.cancel();
         assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::Explicit));
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_even_without_prior_poll() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        // reason() itself must run the deadline check.
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn first_cause_wins() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled()); // latches Deadline
+        t.cancel(); // must not overwrite the recorded cause
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
     }
 }

@@ -68,7 +68,7 @@ pub use anonymity::{
     anonymity_check_tolerant_threads, AdversaryKnowledge, AnonymityReport,
 };
 pub use attack::{simulate_degree_attack, AttackReport};
-pub use cancel::CancelToken;
+pub use cancel::{CancelReason, CancelToken};
 pub use chameleon::{Chameleon, ChameleonError, ObfuscationResult};
 pub use config::{ChameleonConfig, ChameleonConfigBuilder};
 pub use method::Method;

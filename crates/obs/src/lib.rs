@@ -118,3 +118,11 @@ pub fn snapshot() -> Snapshot {
 pub fn metrics_json() -> String {
     snapshot().to_json()
 }
+
+/// Current value of one named counter (0 when the counter was never
+/// recorded, or in a no-obs build). Convenience for tests and health
+/// checks that assert on a single site — e.g. the server's fault and
+/// poison-recovery counters — without walking a full [`Snapshot`].
+pub fn counter_value(name: &str) -> u64 {
+    snapshot().counter(name)
+}

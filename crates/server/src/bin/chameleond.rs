@@ -11,6 +11,8 @@ USAGE:
     chameleond [--host <addr>] [--port <port>] [--workers <n>]
                [--queue-depth <n>] [--cache <entries>]
                [--timeout-ms <ms>] [--metrics <path>]
+               [--max-request-bytes <n>] [--read-timeout-ms <ms>]
+               [--max-connections <n>]
 
 OPTIONS:
     --host <addr>       Bind address           [default: 127.0.0.1]
@@ -20,6 +22,11 @@ OPTIONS:
     --cache <entries>   Result cache capacity  [default: 256]
     --timeout-ms <ms>   Default per-job budget [default: 300000]
     --metrics <path>    Write final metrics snapshot here on shutdown
+    --max-request-bytes <n>   Request-line byte cap  [default: 16777216]
+    --read-timeout-ms <ms>    Per-line read deadline once the first byte
+                              arrived; 0 disables   [default: 30000]
+    --max-connections <n>     Open-connection cap; 0 = unlimited
+                              [default: 256]
 
 The wire protocol is newline-delimited JSON; see DESIGN.md \u{a7}7.
 Send {\"op\":\"shutdown\"} for a graceful drain-and-exit.
@@ -49,6 +56,9 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             "cache" => config.cache_capacity = value.parse().map_err(bad)?,
             "timeout-ms" => config.default_timeout_ms = value.parse().map_err(bad)?,
             "metrics" => config.metrics_path = Some(value.clone()),
+            "max-request-bytes" => config.max_request_bytes = value.parse().map_err(bad)?,
+            "read-timeout-ms" => config.read_timeout_ms = value.parse().map_err(bad)?,
+            "max-connections" => config.max_connections = value.parse().map_err(bad)?,
             other => return Err(format!("unknown flag --{other}")),
         }
     }
@@ -81,11 +91,14 @@ fn main() {
     match server.run() {
         Ok(report) => {
             eprintln!(
-                "chameleond: drained and stopped ({} completed, {} failed, {} rejected, {} timed out)",
+                "chameleond: drained and stopped ({} completed, {} failed, {} rejected, \
+                 {} timed out, {} panicked, {} cancelled)",
                 report.jobs_completed,
                 report.jobs_failed,
                 report.jobs_rejected,
                 report.jobs_timed_out,
+                report.jobs_panicked,
+                report.jobs_cancelled,
             );
         }
         Err(e) => {

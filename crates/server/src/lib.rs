@@ -20,25 +20,43 @@
 //! * [`server`] — the accept loop, worker pool, per-job deadlines
 //!   (cooperative cancellation via [`chameleon_core::CancelToken`]) and
 //!   the graceful drain-then-flush shutdown sequence.
+//! * [`sync`] — poison-recovering lock wrappers: a panicking lock holder
+//!   is counted and survived, never propagated as a permanent outage.
+//! * [`faults`] — deterministic, seeded fault injection (worker panics,
+//!   cancel-token trips) for chaos tests; inert unless configured.
+//!
+//! Robustness contract (DESIGN.md §8): no client behaviour and no worker
+//! panic may take the daemon down — panics are isolated per job
+//! (`catch_unwind` → structured `job_panicked` error), request lines are
+//! bounded in size and read under a deadline, and the connection pool is
+//! capped.
 //!
 //! Determinism contract: for a fixed request (graph, parameters, seed)
 //! the `result` object is byte-identical across thread counts, cache
 //! state (cold vs. hit) and the CLI subcommand computing the same thing —
-//! enforced by `tests/service.rs`.
+//! enforced by `tests/service.rs`, and under injected faults by
+//! `tests/chaos.rs`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod faults;
 pub mod job;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod sync;
 
 pub use cache::{fnv1a64, CacheStats, ResultCache};
+pub use faults::{FaultInjector, FaultPlan, JobFault};
 pub use job::{AnonymizeMethod, ExecError, JobSpec};
-pub use protocol::{error_response, ok_response, parse_request, Request};
+pub use protocol::{
+    coded_error_response, codes, error_response, ok_response, parse_request, Request,
+};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{
-    request_once, response_field, roundtrip, Server, ServerConfig, ServerHandle, ServerReport,
+    request_once, request_with_retry, response_field, retry_hint, roundtrip, RetryPolicy, Server,
+    ServerConfig, ServerHandle, ServerReport,
 };
+pub use sync::{poison_recoveries, RecoverableMutex};

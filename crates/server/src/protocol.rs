@@ -184,14 +184,70 @@ pub fn ok_response(id: Option<&str>, cached: bool, result: &str) -> String {
 /// Renders an error response; `retry_after_ms` marks retryable
 /// backpressure rejections.
 pub fn error_response(id: Option<&str>, error: &str, retry_after_ms: Option<u64>) -> String {
-    let mut out = String::with_capacity(error.len() + 64);
+    render_error(id, None, error, retry_after_ms)
+}
+
+/// Machine-readable error categories carried in the optional `"code"`
+/// response field. Clients branch on the code (retry policy, tests)
+/// instead of string-matching the human-readable message; the presence
+/// of `retry_after_ms` — not the code — is the retryability signal.
+pub mod codes {
+    /// Unparsable or semantically invalid request line.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// Request line exceeded the configured byte limit.
+    pub const REQUEST_TOO_LARGE: &str = "request_too_large";
+    /// A started request line stalled past the read deadline.
+    pub const READ_TIMEOUT: &str = "read_timeout";
+    /// Connection refused: too many open connections.
+    pub const SERVER_BUSY: &str = "server_busy";
+    /// Bounded queue at capacity (retryable).
+    pub const QUEUE_FULL: &str = "queue_full";
+    /// Daemon is draining for shutdown.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// The job exceeded its wall-clock budget.
+    pub const TIMEOUT: &str = "timeout";
+    /// The job's cancel token was tripped explicitly (retryable — this is
+    /// the injected-fault path, not a deadline).
+    pub const CANCELLED: &str = "cancelled";
+    /// The worker panicked while running the job (retryable; the panic
+    /// was isolated and the worker survived).
+    pub const JOB_PANICKED: &str = "job_panicked";
+    /// The job ran and failed (bad input, pipeline failure).
+    pub const JOB_FAILED: &str = "job_failed";
+}
+
+/// Renders an error response tagged with a machine-readable `code` (see
+/// [`codes`]). Field order: `id?`, `status`, `code`, `error`,
+/// `retry_after_ms?`.
+pub fn coded_error_response(
+    id: Option<&str>,
+    code: &str,
+    error: &str,
+    retry_after_ms: Option<u64>,
+) -> String {
+    render_error(id, Some(code), error, retry_after_ms)
+}
+
+fn render_error(
+    id: Option<&str>,
+    code: Option<&str>,
+    error: &str,
+    retry_after_ms: Option<u64>,
+) -> String {
+    let mut out = String::with_capacity(error.len() + 96);
     out.push('{');
     if let Some(id) = id {
         out.push_str("\"id\":");
         out.push_str(&json::string(id));
         out.push(',');
     }
-    out.push_str("\"status\":\"error\",\"error\":");
+    out.push_str("\"status\":\"error\",");
+    if let Some(code) = code {
+        out.push_str("\"code\":");
+        out.push_str(&json::string(code));
+        out.push(',');
+    }
+    out.push_str("\"error\":");
     out.push_str(&json::string(error));
     if let Some(ms) = retry_after_ms {
         out.push_str(",\"retry_after_ms\":");
@@ -291,6 +347,18 @@ mod tests {
         assert_eq!(
             error_response(None, "bad \"k\"\n", None),
             "{\"status\":\"error\",\"error\":\"bad \\\"k\\\"\\n\"}"
+        );
+    }
+
+    #[test]
+    fn coded_errors_carry_the_code_field() {
+        assert_eq!(
+            coded_error_response(Some("a"), codes::QUEUE_FULL, "queue full", Some(250)),
+            r#"{"id":"a","status":"error","code":"queue_full","error":"queue full","retry_after_ms":250}"#
+        );
+        assert_eq!(
+            coded_error_response(None, codes::JOB_PANICKED, "boom", None),
+            r#"{"status":"error","code":"job_panicked","error":"boom"}"#
         );
     }
 }

@@ -6,12 +6,18 @@
 //! (queue-full must answer `retry_after`, not block), a drain predicate
 //! that is atomic with dequeueing (no window where the queue looks empty
 //! while a worker is between `pop` and "I'm busy"), and an inspectable
-//! depth for `status`. Hence this small Mutex + Condvar queue: `pop`
+//! depth for `status`. Hence this small lock + Condvar queue: `pop`
 //! increments the active-worker count under the same lock that removes the
 //! item, and `task_done` decrements it, so `is_drained()` is exact.
+//!
+//! The lock is a [`RecoverableMutex`]: a panicking holder (a worker hit
+//! by an injected fault, say) must never take the queue down with it —
+//! the queue's state is valid after any prefix of a critical section, so
+//! poison is recovered and counted instead of being fatal.
 
+use crate::sync::RecoverableMutex;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::Condvar;
 
 /// Why a push was refused.
 #[derive(Debug, PartialEq, Eq)]
@@ -36,7 +42,7 @@ struct State<T> {
 /// Bounded multi-producer / multi-consumer FIFO.
 pub struct BoundedQueue<T> {
     capacity: usize,
-    state: Mutex<State<T>>,
+    state: RecoverableMutex<State<T>>,
     not_empty: Condvar,
 }
 
@@ -45,7 +51,7 @@ impl<T> BoundedQueue<T> {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity: capacity.max(1),
-            state: Mutex::new(State {
+            state: RecoverableMutex::new(State {
                 items: VecDeque::new(),
                 active: 0,
                 closed: false,
@@ -59,7 +65,7 @@ impl<T> BoundedQueue<T> {
     /// # Errors
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] once closed.
     pub fn try_push(&self, item: T) -> Result<usize, PushError> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.state.lock();
         if state.closed {
             return Err(PushError::Closed);
         }
@@ -78,7 +84,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks for the next item; `None` once the queue is closed *and*
     /// empty. A returned item counts as active until [`Self::task_done`].
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.state.lock();
         loop {
             if let Some(item) = state.items.pop_front() {
                 state.active += 1;
@@ -87,19 +93,19 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue poisoned");
+            state = self.state.wait(&self.not_empty, state);
         }
     }
 
     /// Marks one previously popped item as finished.
     pub fn task_done(&self) {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.state.lock();
         state.active = state.active.saturating_sub(1);
     }
 
     /// Current number of queued (not yet popped) items.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        self.state.lock().items.len()
     }
 
     /// True when no items are queued.
@@ -109,19 +115,19 @@ impl<T> BoundedQueue<T> {
 
     /// Number of popped-but-unfinished items.
     pub fn active(&self) -> usize {
-        self.state.lock().expect("queue poisoned").active
+        self.state.lock().active
     }
 
     /// True when nothing is queued and nothing is in flight.
     pub fn is_drained(&self) -> bool {
-        let state = self.state.lock().expect("queue poisoned");
+        let state = self.state.lock();
         state.items.is_empty() && state.active == 0
     }
 
     /// Stops accepting pushes; blocked `pop`s drain the backlog, then
     /// return `None`.
     pub fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        self.state.lock().closed = true;
         self.not_empty.notify_all();
     }
 }
@@ -181,5 +187,27 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert_eq!(t.join().unwrap(), None);
+    }
+
+    #[test]
+    fn queue_survives_a_panicking_consumer() {
+        // A consumer thread that panics between pop and task_done must
+        // leave the queue fully operational for everyone else (its item
+        // stays "active" until someone settles the account).
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let q2 = Arc::clone(&q);
+        let _ = std::thread::spawn(move || {
+            let _item = q2.pop();
+            panic!("worker died mid-job");
+        })
+        .join();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.active(), 1);
+        assert_eq!(q.pop(), Some(2));
+        q.task_done();
+        q.task_done(); // on behalf of the dead consumer
+        assert!(q.is_drained());
     }
 }

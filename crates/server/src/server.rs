@@ -2,29 +2,65 @@
 //! result cache, per-job deadlines, and graceful drain-on-shutdown.
 //!
 //! Job lifecycle: `received → queued → running → (completed | failed |
-//! timed_out)`, or `rejected` straight from `received` when the queue is
-//! full or shutdown has begun. Every transition is visible through
-//! `chameleon_obs` sites (`server.*` counters/spans) *and* through plain
-//! atomics so `status` works even in a no-obs build.
+//! timed_out | panicked | cancelled)`, or `rejected` straight from
+//! `received` when the queue is full or shutdown has begun. Every
+//! transition is visible through `chameleon_obs` sites (`server.*`
+//! counters/spans) *and* through plain atomics so `status` works even in
+//! a no-obs build.
+//!
+//! Robustness contract (DESIGN.md §8): no client behaviour and no worker
+//! panic may take the daemon down or wedge it. Concretely:
+//!
+//! * job execution runs under `catch_unwind` — a panicking job answers a
+//!   structured retryable `job_panicked` error and the worker survives;
+//! * the queue and cache locks recover from poisoning
+//!   ([`crate::sync::RecoverableMutex`]) instead of propagating it;
+//! * request lines are read through a bounded reader: a configurable
+//!   byte cap (`max_request_bytes`) and a per-line read deadline
+//!   (`read_timeout_ms`) turn oversized and slow-dribbling (slowloris)
+//!   clients into structured errors instead of unbounded allocation or a
+//!   pinned thread;
+//! * the connection pool is bounded (`max_connections`); excess
+//!   connections get a `server_busy` error line and are closed;
+//! * optional seeded fault injection ([`crate::faults`]) drives all of
+//!   the above deterministically in tests and chaos runs.
 //!
 //! Shutdown sequence (triggered by a `shutdown` request): set the flag —
-//! the accept loop stops accepting and job submission starts rejecting —
+//! the accept loop stops accepting, job submission starts rejecting, and
+//! idle connection threads notice on their next poll tick and exit —
 //! then wait until the queue is drained (queued = in-flight = 0), answer
-//! the shutdown request, close the queue so workers exit, join them, and
-//! flush a final metrics snapshot to the configured path.
+//! the shutdown request, close the queue so workers exit, join them,
+//! wait (bounded) for connection threads to unwind, and flush a final
+//! metrics snapshot to the configured path. A stalled client can never
+//! wedge this: reads poll, writes time out, waits are bounded.
 
 use crate::cache::ResultCache;
+use crate::faults::{FaultInjector, FaultPlan, JobFault};
 use crate::job::ExecError;
-use crate::protocol::{error_response, ok_response, parse_request, Request};
+use crate::protocol::{coded_error_response, codes, ok_response, parse_request, Request};
 use crate::queue::{BoundedQueue, PushError};
-use chameleon_core::CancelToken;
+use crate::sync::RecoverableMutex;
+use chameleon_core::{CancelReason, CancelToken};
 use chameleon_obs::json;
+use chameleon_stats::SeedSequence;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How often blocked reads wake to poll the shutdown flag and the
+/// per-line deadline.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Per-connection write deadline: a client that stops reading its
+/// responses gets its connection dropped instead of pinning the writer.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Suggested client backoff after an injected/transient worker fault.
+const FAULT_RETRY_MS: u64 = 50;
 
 /// Tunables of a [`Server`].
 #[derive(Debug, Clone)]
@@ -43,6 +79,20 @@ pub struct ServerConfig {
     pub default_timeout_ms: u64,
     /// Where the final metrics snapshot is flushed during shutdown.
     pub metrics_path: Option<String>,
+    /// Maximum bytes in one request line (floor 64). An over-limit line
+    /// answers a structured `request_too_large` error and closes the
+    /// connection instead of allocating without bound.
+    pub max_request_bytes: usize,
+    /// Deadline for completing a request line once its first byte
+    /// arrived, in ms (0 = no deadline). A stalled (slowloris) client
+    /// gets a structured `read_timeout` error and is disconnected.
+    pub read_timeout_ms: u64,
+    /// Maximum concurrently open connections (0 = unlimited). Excess
+    /// connections receive a `server_busy` error line and are closed.
+    pub max_connections: usize,
+    /// Deterministic fault-injection schedule (chaos testing only;
+    /// `None` in production).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +104,10 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             default_timeout_ms: 300_000,
             metrics_path: None,
+            max_request_bytes: 16 * 1024 * 1024,
+            read_timeout_ms: 30_000,
+            max_connections: 256,
+            faults: None,
         }
     }
 }
@@ -69,6 +123,11 @@ pub struct ServerReport {
     pub jobs_rejected: u64,
     /// Jobs cancelled at their deadline.
     pub jobs_timed_out: u64,
+    /// Jobs whose execution panicked (isolated; the worker survived).
+    pub jobs_panicked: u64,
+    /// Jobs whose cancel token was tripped explicitly (injected faults —
+    /// deadline trips count under `jobs_timed_out`).
+    pub jobs_cancelled: u64,
 }
 
 struct Job {
@@ -81,7 +140,7 @@ struct Job {
 
 struct Shared {
     queue: BoundedQueue<Job>,
-    cache: Mutex<ResultCache>,
+    cache: RecoverableMutex<ResultCache>,
     shutting_down: AtomicBool,
     /// Set once a shutdown response has been written and flushed; `run`
     /// waits on it so the process never exits before the client hears
@@ -91,9 +150,16 @@ struct Shared {
     jobs_failed: AtomicU64,
     jobs_rejected: AtomicU64,
     jobs_timed_out: AtomicU64,
+    jobs_panicked: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    open_connections: AtomicUsize,
     workers: usize,
     queue_depth: usize,
     default_timeout: Duration,
+    max_request_bytes: usize,
+    read_timeout: Option<Duration>,
+    max_connections: usize,
+    faults: Option<FaultInjector>,
     started: Instant,
 }
 
@@ -104,17 +170,26 @@ impl Shared {
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
             jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
             jobs_timed_out: self.jobs_timed_out.load(Ordering::Relaxed),
+            jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
         }
     }
 
     /// `status` result object; field order is fixed by construction.
     fn status_json(&self) -> String {
-        let cache = self.cache.lock().expect("cache poisoned").stats();
+        let cache = self.cache.lock().stats();
+        let (injected_panics, injected_cancels) = match &self.faults {
+            Some(f) => (f.injected_panics(), f.injected_cancels()),
+            None => (0, 0),
+        };
         format!(
             "{{\"uptime_ms\":{},\"workers\":{},\"queue_depth\":{},\"queue_capacity\":{},\
              \"in_flight\":{},\"jobs_completed\":{},\"jobs_failed\":{},\"jobs_rejected\":{},\
-             \"jobs_timed_out\":{},\"shutting_down\":{},\"cache\":{{\"entries\":{},\
-             \"capacity\":{},\"hits\":{},\"misses\":{},\"evictions\":{}}}}}",
+             \"jobs_timed_out\":{},\"jobs_panicked\":{},\"jobs_cancelled\":{},\
+             \"open_connections\":{},\"locks_recovered\":{},\"shutting_down\":{},\
+             \"faults\":{{\"injected_panics\":{},\"injected_cancels\":{}}},\
+             \"cache\":{{\"entries\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\
+             \"evictions\":{}}}}}",
             self.started.elapsed().as_millis(),
             self.workers,
             self.queue.len(),
@@ -124,7 +199,13 @@ impl Shared {
             self.jobs_failed.load(Ordering::Relaxed),
             self.jobs_rejected.load(Ordering::Relaxed),
             self.jobs_timed_out.load(Ordering::Relaxed),
+            self.jobs_panicked.load(Ordering::Relaxed),
+            self.jobs_cancelled.load(Ordering::Relaxed),
+            self.open_connections.load(Ordering::Relaxed),
+            crate::sync::poison_recoveries(),
             self.shutting_down.load(Ordering::Relaxed),
+            injected_panics,
+            injected_cancels,
             cache.entries,
             cache.capacity,
             cache.hits,
@@ -179,16 +260,31 @@ impl Server {
         };
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_depth),
-            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            cache: RecoverableMutex::new(ResultCache::new(config.cache_capacity)),
             shutting_down: AtomicBool::new(false),
             shutdown_acked: AtomicBool::new(false),
             jobs_completed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
             jobs_timed_out: AtomicU64::new(0),
+            jobs_panicked: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            open_connections: AtomicUsize::new(0),
             workers,
             queue_depth: config.queue_depth.max(1),
             default_timeout: Duration::from_millis(config.default_timeout_ms.max(1)),
+            max_request_bytes: config.max_request_bytes.max(64),
+            read_timeout: (config.read_timeout_ms > 0)
+                .then(|| Duration::from_millis(config.read_timeout_ms)),
+            max_connections: if config.max_connections == 0 {
+                usize::MAX
+            } else {
+                config.max_connections
+            },
+            faults: config
+                .faults
+                .filter(FaultPlan::is_active)
+                .map(FaultInjector::new),
             started: Instant::now(),
         });
         Ok(Server {
@@ -222,8 +318,8 @@ impl Server {
     }
 
     /// Serves until a `shutdown` request completes: accepts connections,
-    /// drains the queue on shutdown, joins the workers, and flushes the
-    /// final metrics snapshot.
+    /// drains the queue on shutdown, joins the workers, waits (bounded)
+    /// for connection threads, and flushes the final metrics snapshot.
     ///
     /// # Errors
     /// Propagates accept-loop I/O errors (`WouldBlock` excluded).
@@ -251,14 +347,25 @@ impl Server {
                 Ok((stream, _peer)) => {
                     chameleon_obs::counter!("server.connections").add(1);
                     stream.set_nonblocking(false)?;
+                    if shared.open_connections.load(Ordering::Relaxed) >= shared.max_connections {
+                        chameleon_obs::counter!("server.conn.rejected_busy").add(1);
+                        reject_busy(stream, shared.max_connections);
+                        continue;
+                    }
                     // Request/response alternation deadlocks with Nagle +
                     // delayed ACK into ~40 ms stalls per round-trip.
                     let _ = stream.set_nodelay(true);
-                    let shared = Arc::clone(&shared);
-                    std::thread::Builder::new()
+                    shared.open_connections.fetch_add(1, Ordering::Relaxed);
+                    let conn_shared = Arc::clone(&shared);
+                    let spawned = std::thread::Builder::new()
                         .name("chameleond-conn".into())
-                        .spawn(move || handle_connection(stream, &shared))
-                        .expect("spawn connection thread");
+                        .spawn(move || handle_connection(stream, &conn_shared));
+                    if spawned.is_err() {
+                        // Thread exhaustion is a load problem, not a
+                        // reason to die; shed the connection.
+                        shared.open_connections.fetch_sub(1, Ordering::Relaxed);
+                        chameleon_obs::counter!("server.conn.spawn_failed").add(1);
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(10));
@@ -284,6 +391,15 @@ impl Server {
         while !shared.shutdown_acked.load(Ordering::Acquire) && Instant::now() < ack_deadline {
             std::thread::sleep(Duration::from_millis(2));
         }
+        // Connection threads poll the shutdown flag every POLL_TICK, so
+        // even a stalled (slowloris or idle) client unwinds promptly.
+        // The wait is bounded: a thread stuck in a timed write cannot
+        // wedge shutdown either.
+        let conn_deadline = Instant::now() + Duration::from_secs(2);
+        while shared.open_connections.load(Ordering::Relaxed) > 0 && Instant::now() < conn_deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
         if let Some(path) = &metrics_path {
             let _ = std::fs::write(path, chameleon_obs::metrics_json());
         }
@@ -291,22 +407,89 @@ impl Server {
     }
 }
 
+/// Best-effort `server_busy` rejection written from the accept thread;
+/// short write deadline so a non-reading client cannot stall accepts.
+fn reject_busy(stream: TcpStream, limit: usize) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let line = coded_error_response(
+        None,
+        codes::SERVER_BUSY,
+        &format!("connection limit reached ({limit} open connections); retry later"),
+        Some(200),
+    );
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+}
+
+/// Settles the queue's active count even when the job path unwinds.
+struct TaskDoneGuard<'a>(&'a Shared);
+
+impl Drop for TaskDoneGuard<'_> {
+    fn drop(&mut self) {
+        self.0.queue.task_done();
+    }
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
+        let _done = TaskDoneGuard(shared);
         chameleon_obs::record_value!(
             "server.job.queue_wait_ns",
             job.enqueued.elapsed().as_nanos() as u64
         );
-        let response = process_job(shared, &job);
+        // Panic isolation: a panicking job — injected or genuine — must
+        // answer a structured error and leave the worker serving. The
+        // shared state is safe to reuse after an unwind: the queue/cache
+        // locks recover poison, and all counters are plain atomics.
+        let response =
+            match std::panic::catch_unwind(AssertUnwindSafe(|| process_job(shared, &job))) {
+                Ok(response) => response,
+                Err(payload) => {
+                    shared.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+                    chameleon_obs::counter!("server.jobs.panicked").add(1);
+                    coded_error_response(
+                        job.id.as_deref(),
+                        codes::JOB_PANICKED,
+                        &format!(
+                            "{} job panicked: {}; the worker recovered — safe to retry",
+                            job.spec.op(),
+                            panic_message(payload.as_ref()),
+                        ),
+                        Some(FAULT_RETRY_MS),
+                    )
+                }
+            };
         // A disconnected client just discards the response.
         let _ = job.respond.send(response);
-        shared.queue.task_done();
+    }
+}
+
+/// Renders a `catch_unwind` payload (typically a `&str` or `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
     }
 }
 
 fn process_job(shared: &Arc<Shared>, job: &Job) -> String {
     let key = job.spec.cache_key();
-    let cached = shared.cache.lock().expect("cache poisoned").get(&key);
+    let cancel = CancelToken::with_deadline(Instant::now() + job.timeout);
+    // Fault injection sits at the execution boundary, before the cache:
+    // an injected panic/cancel exercises the full admission-to-error
+    // path exactly as a genuine fault in the pipeline would.
+    if let Some(injector) = &shared.faults {
+        match injector.next_job_fault() {
+            Some(JobFault::Panic) => panic!("injected fault: worker panic (chaos schedule)"),
+            Some(JobFault::CancelTrip) => cancel.cancel(),
+            None => {}
+        }
+    }
+    let cached = shared.cache.lock().get(&key);
     if let Some(hit) = cached {
         chameleon_obs::counter!("server.cache.hit").add(1);
         shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
@@ -318,56 +501,247 @@ fn process_job(shared: &Arc<Shared>, job: &Job) -> String {
         crate::job::JobSpec::Check { .. } => chameleon_obs::span!("server.job.check"),
         crate::job::JobSpec::Reliability { .. } => chameleon_obs::span!("server.job.reliability"),
     };
-    let cancel = CancelToken::with_deadline(Instant::now() + job.timeout);
     match job.spec.execute(&cancel) {
         Ok(result) => {
-            shared
-                .cache
-                .lock()
-                .expect("cache poisoned")
-                .insert(key, result.clone());
+            shared.cache.lock().insert(key, result.clone());
             shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
             chameleon_obs::counter!("server.jobs.completed").add(1);
             ok_response(job.id.as_deref(), false, &result)
         }
-        Err(ExecError::Cancelled) => {
-            shared.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
-            chameleon_obs::counter!("server.jobs.timeout").add(1);
-            error_response(
-                job.id.as_deref(),
-                &format!(
-                    "{} job cancelled after exceeding its {} ms timeout",
-                    job.spec.op(),
-                    job.timeout.as_millis()
-                ),
-                None,
-            )
-        }
+        Err(ExecError::Cancelled) => match cancel.reason() {
+            Some(CancelReason::Explicit) => {
+                // Explicit trips are transient by construction (today:
+                // injected faults) — mark them retryable, unlike a
+                // deadline, which would fire again on an identical retry.
+                shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                chameleon_obs::counter!("server.jobs.cancelled").add(1);
+                coded_error_response(
+                    job.id.as_deref(),
+                    codes::CANCELLED,
+                    &format!(
+                        "{} job cancelled before completion; safe to retry",
+                        job.spec.op()
+                    ),
+                    Some(FAULT_RETRY_MS),
+                )
+            }
+            _ => {
+                shared.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+                chameleon_obs::counter!("server.jobs.timeout").add(1);
+                coded_error_response(
+                    job.id.as_deref(),
+                    codes::TIMEOUT,
+                    &format!(
+                        "{} job cancelled after exceeding its {} ms timeout",
+                        job.spec.op(),
+                        job.timeout.as_millis()
+                    ),
+                    None,
+                )
+            }
+        },
         Err(ExecError::Invalid(msg)) | Err(ExecError::Failed(msg)) => {
             shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
             chameleon_obs::counter!("server.jobs.failed").add(1);
-            error_response(job.id.as_deref(), &msg, None)
+            coded_error_response(job.id.as_deref(), codes::JOB_FAILED, &msg, None)
         }
     }
 }
 
+/// One request line, read under the daemon's protocol limits.
+enum LineRead {
+    /// A complete line (newline stripped, trailing `\r` stripped).
+    Line(String),
+    /// A complete line that is not valid UTF-8. The stream is resynced
+    /// at the newline, so the connection may continue.
+    BadUtf8,
+    /// The byte cap was hit before a newline; the connection cannot be
+    /// resynced and must close after the error reply.
+    TooLong,
+    /// A started line stalled past the read deadline (slowloris).
+    TimedOut,
+    /// EOF in the middle of a line (`n` bytes without a newline).
+    TruncatedEof(usize),
+    /// Clean EOF at a line boundary, an I/O error, or shutdown while
+    /// idle — close without a reply.
+    Disconnected,
+}
+
+/// Reads one `\n`-terminated line, enforcing `max_request_bytes` and the
+/// per-line read deadline. The socket carries a `POLL_TICK` read timeout,
+/// so the loop wakes regularly to poll the shutdown flag — an idle
+/// connection parks here indefinitely but unwinds within one tick of
+/// shutdown.
+fn read_bounded_line(reader: &mut BufReader<TcpStream>, shared: &Shared) -> LineRead {
+    let mut line: Vec<u8> = Vec::new();
+    let mut deadline: Option<Instant> = None;
+    loop {
+        enum Step {
+            Complete,
+            Partial,
+            TooLong,
+        }
+        let (step, consumed) = {
+            let available = match reader.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shared.shutting_down.load(Ordering::Acquire) {
+                        return if line.is_empty() {
+                            LineRead::Disconnected
+                        } else {
+                            LineRead::TimedOut
+                        };
+                    }
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            return LineRead::TimedOut;
+                        }
+                    }
+                    continue;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return LineRead::Disconnected,
+            };
+            if available.is_empty() {
+                return if line.is_empty() {
+                    LineRead::Disconnected
+                } else {
+                    LineRead::TruncatedEof(line.len())
+                };
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if line.len() + pos > shared.max_request_bytes {
+                        (Step::TooLong, 0)
+                    } else {
+                        line.extend_from_slice(&available[..pos]);
+                        (Step::Complete, pos + 1)
+                    }
+                }
+                None => {
+                    if line.len() + available.len() > shared.max_request_bytes {
+                        (Step::TooLong, 0)
+                    } else {
+                        let n = available.len();
+                        line.extend_from_slice(available);
+                        (Step::Partial, n)
+                    }
+                }
+            }
+        };
+        reader.consume(consumed);
+        match step {
+            Step::Complete => {
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return match String::from_utf8(line) {
+                    Ok(s) => LineRead::Line(s),
+                    Err(_) => LineRead::BadUtf8,
+                };
+            }
+            Step::TooLong => return LineRead::TooLong,
+            Step::Partial => {
+                if deadline.is_none() {
+                    deadline = shared.read_timeout.map(|t| Instant::now() + t);
+                }
+            }
+        }
+    }
+}
+
+/// Decrements the open-connection count when the thread unwinds, however
+/// it unwinds.
+struct ConnGuard<'a>(&'a Shared);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let reader = match stream.try_clone() {
-        Ok(clone) => BufReader::new(clone),
+    let _open = ConnGuard(shared);
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let reader_half = match stream.try_clone() {
+        Ok(clone) => clone,
         Err(_) => return,
     };
+    let mut reader = BufReader::new(reader_half);
     let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let write_line = |writer: &mut TcpStream, response: &str| {
+        writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_ok()
+    };
+    loop {
+        let line = match read_bounded_line(&mut reader, shared) {
+            LineRead::Line(line) => line,
+            LineRead::BadUtf8 => {
+                chameleon_obs::counter!("server.conn.bad_utf8").add(1);
+                let resp = coded_error_response(
+                    None,
+                    codes::BAD_REQUEST,
+                    "request line is not valid UTF-8",
+                    None,
+                );
+                // Resynced at the newline — the connection survives.
+                if !write_line(&mut writer, &resp) {
+                    return;
+                }
+                continue;
+            }
+            LineRead::TooLong => {
+                chameleon_obs::counter!("server.conn.request_too_large").add(1);
+                let resp = coded_error_response(
+                    None,
+                    codes::REQUEST_TOO_LARGE,
+                    &format!(
+                        "request line exceeds the {} byte limit",
+                        shared.max_request_bytes
+                    ),
+                    None,
+                );
+                let _ = write_line(&mut writer, &resp);
+                return;
+            }
+            LineRead::TimedOut => {
+                chameleon_obs::counter!("server.conn.read_timeout").add(1);
+                let resp = coded_error_response(
+                    None,
+                    codes::READ_TIMEOUT,
+                    "request line not completed before the read deadline",
+                    None,
+                );
+                let _ = write_line(&mut writer, &resp);
+                return;
+            }
+            LineRead::TruncatedEof(bytes) => {
+                chameleon_obs::counter!("server.conn.truncated").add(1);
+                let resp = coded_error_response(
+                    None,
+                    codes::BAD_REQUEST,
+                    &format!("truncated request: {bytes} bytes without a newline before EOF"),
+                    None,
+                );
+                let _ = write_line(&mut writer, &resp);
+                return;
+            }
+            LineRead::Disconnected => return,
+        };
         if line.trim().is_empty() {
             continue;
         }
         let (response, is_shutdown) = dispatch(&line, shared);
-        let ok = writer
-            .write_all(response.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
-            .is_ok();
+        let ok = write_line(&mut writer, &response);
         if is_shutdown {
             if ok {
                 shared.shutdown_acked.store(true, Ordering::Release);
@@ -375,7 +749,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             return;
         }
         if !ok {
-            break;
+            return;
         }
     }
 }
@@ -385,7 +759,12 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
 fn dispatch(line: &str, shared: &Arc<Shared>) -> (String, bool) {
     let request = match parse_request(line) {
         Ok(request) => request,
-        Err((id, msg)) => return (error_response(id.as_deref(), &msg, None), false),
+        Err((id, msg)) => {
+            return (
+                coded_error_response(id.as_deref(), codes::BAD_REQUEST, &msg, None),
+                false,
+            )
+        }
     };
     match request {
         Request::Status { id } => (
@@ -401,11 +780,14 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> (String, bool) {
             let report = shared.report();
             let result = format!(
                 "{{\"drained\":true,\"jobs_completed\":{},\"jobs_failed\":{},\
-                 \"jobs_rejected\":{},\"jobs_timed_out\":{}}}",
+                 \"jobs_rejected\":{},\"jobs_timed_out\":{},\"jobs_panicked\":{},\
+                 \"jobs_cancelled\":{}}}",
                 report.jobs_completed,
                 report.jobs_failed,
                 report.jobs_rejected,
                 report.jobs_timed_out,
+                report.jobs_panicked,
+                report.jobs_cancelled,
             );
             (ok_response(id.as_deref(), false, &result), true)
         }
@@ -418,7 +800,12 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> (String, bool) {
                 shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
                 chameleon_obs::counter!("server.jobs.rejected_shutdown").add(1);
                 return (
-                    error_response(id.as_deref(), "server is shutting down", None),
+                    coded_error_response(
+                        id.as_deref(),
+                        codes::SHUTTING_DOWN,
+                        "server is shutting down",
+                        None,
+                    ),
                     false,
                 );
             }
@@ -440,7 +827,12 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> (String, bool) {
                     match rx.recv() {
                         Ok(response) => (response, false),
                         Err(_) => (
-                            error_response(id.as_deref(), "worker dropped the job", None),
+                            coded_error_response(
+                                id.as_deref(),
+                                codes::JOB_FAILED,
+                                "worker dropped the job",
+                                None,
+                            ),
                             false,
                         ),
                     }
@@ -453,8 +845,9 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> (String, bool) {
                     // job at a time.
                     let retry_ms = 100 * (1 + shared.queue.active() as u64).min(50);
                     (
-                        error_response(
+                        coded_error_response(
                             id.as_deref(),
+                            codes::QUEUE_FULL,
                             &format!("queue full ({capacity} queued jobs); retry later"),
                             Some(retry_ms),
                         ),
@@ -465,7 +858,12 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> (String, bool) {
                     shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
                     chameleon_obs::counter!("server.jobs.rejected_shutdown").add(1);
                     (
-                        error_response(id.as_deref(), "server is shutting down", None),
+                        coded_error_response(
+                            id.as_deref(),
+                            codes::SHUTTING_DOWN,
+                            "server is shutting down",
+                            None,
+                        ),
                         false,
                     )
                 }
@@ -511,8 +909,127 @@ pub fn request_once(addr: &str, request: &str) -> std::io::Result<String> {
     roundtrip(&mut stream, request)
 }
 
+/// Client retry policy for transient, server-marked-retryable rejections
+/// (queue full, injected faults, busy connection limits). The backoff is
+/// *jittered but seeded*: for a fixed `seed` the jitter sequence — and
+/// hence the whole retry schedule given the same server hints — is
+/// reproducible, matching the workspace determinism contract.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = behave like [`request_once`]).
+    pub max_retries: u32,
+    /// Base delay and jitter magnitude in ms.
+    pub base_delay_ms: u64,
+    /// Hard cap on a single backoff sleep in ms.
+    pub max_delay_ms: u64,
+    /// Seed for the jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 4,
+            base_delay_ms: 50,
+            max_delay_ms: 5_000,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry `attempt` (0-based), honoring the
+    /// server's `retry_after_ms` hint when present: the sleep is the
+    /// hint (or the base delay) scaled exponentially by attempt, plus a
+    /// seeded jitter in `[0, base_delay_ms)`, capped at `max_delay_ms`.
+    pub fn backoff(&self, attempt: u32, retry_after_ms: Option<u64>) -> Duration {
+        let base = retry_after_ms.unwrap_or(self.base_delay_ms).max(1);
+        let scaled = base.saturating_mul(1u64 << attempt.min(10));
+        let jitter = SeedSequence::new(self.seed)
+            .derive_indexed("submit.backoff", u64::from(attempt))
+            % self.base_delay_ms.max(1);
+        Duration::from_millis(scaled.saturating_add(jitter).min(self.max_delay_ms.max(1)))
+    }
+}
+
+/// The `retry_after_ms` hint of a response line, when the line is an
+/// error that carries one — the server's marker for "transient, safe to
+/// retry". Non-error lines and unparsable lines return `None`.
+pub fn retry_hint(line: &str) -> Option<u64> {
+    let v = json::Json::parse(line).ok()?;
+    if v.get("status").and_then(json::Json::as_str) != Some("error") {
+        return None;
+    }
+    v.get("retry_after_ms").and_then(json::Json::as_u64)
+}
+
+/// [`request_once`] with seeded-backoff retries on responses the server
+/// marked retryable (see [`retry_hint`]). Returns the last response —
+/// retries exhausted still yield the server's error line, never a
+/// client-synthesized one.
+///
+/// # Errors
+/// Propagates connection and I/O failures of the final attempt.
+pub fn request_with_retry(
+    addr: &str,
+    request: &str,
+    policy: &RetryPolicy,
+) -> std::io::Result<String> {
+    let mut attempt = 0u32;
+    loop {
+        let line = request_once(addr, request)?;
+        match retry_hint(&line) {
+            Some(hint) if attempt < policy.max_retries => {
+                chameleon_obs::counter!("server.client.retries").add(1);
+                std::thread::sleep(policy.backoff(attempt, Some(hint)));
+                attempt += 1;
+            }
+            _ => return Ok(line),
+        }
+    }
+}
+
 /// Extracts a field from a response line, parsed with the shared JSON
 /// module (client-side convenience).
 pub fn response_field(line: &str, key: &str) -> Option<json::Json> {
     json::Json::parse(line).ok()?.get(key).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_seeded_and_honors_the_hint() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_delay_ms: 40,
+            max_delay_ms: 10_000,
+            seed: 9,
+        };
+        // Reproducible: same policy, same attempt, same sleep.
+        assert_eq!(p.backoff(2, Some(100)), p.backoff(2, Some(100)));
+        // The hint sets the base: attempt 0 sleeps at least the hint.
+        assert!(p.backoff(0, Some(300)) >= Duration::from_millis(300));
+        // Exponential growth until the cap.
+        assert!(p.backoff(3, Some(100)) > p.backoff(1, Some(100)));
+        assert!(p.backoff(30, Some(100)) <= Duration::from_millis(10_000));
+        // Different seeds give different jitter (for this attempt).
+        let q = RetryPolicy { seed: 10, ..p };
+        assert_ne!(p.backoff(1, None), q.backoff(1, None));
+    }
+
+    #[test]
+    fn retry_hint_only_fires_on_marked_errors() {
+        assert_eq!(
+            retry_hint(r#"{"status":"error","error":"full","retry_after_ms":120}"#),
+            Some(120)
+        );
+        assert_eq!(retry_hint(r#"{"status":"error","error":"bad"}"#), None);
+        assert_eq!(
+            retry_hint(r#"{"status":"ok","cached":false,"result":{}}"#),
+            None
+        );
+        assert_eq!(retry_hint("garbage"), None);
+    }
 }

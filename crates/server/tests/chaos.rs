@@ -1,0 +1,214 @@
+//! Deterministic fault-injection soak: the daemon is driven through a
+//! seeded schedule of worker panics, cancel-token trips, queue-full
+//! storms and abusive client I/O, and must come out of it (a) alive and
+//! (b) producing results *byte-identical* to a fault-free run.
+//!
+//! Why byte-identical is even possible: injected faults only remove or
+//! delay work — a panicked or cancelled execution computes nothing and
+//! caches nothing — and never feed into a job's RNG streams. A job that
+//! eventually runs to completion therefore takes exactly the fault-free
+//! code path through the pipeline. The chaos schedule itself is a pure
+//! function of the plan seed (`faults::decide`), so the whole soak is
+//! reproducible, not a flaky stress test.
+
+use chameleon_obs::json::Json;
+use chameleon_server::{
+    request_once, request_with_retry, FaultPlan, RetryPolicy, Server, ServerConfig, ServerHandle,
+};
+use chameleon_ugraph::io;
+use std::io::{BufRead, BufReader, Write};
+
+fn graph_text(nodes: usize, seed: u64) -> String {
+    let g = chameleon_datasets::dblp_like(nodes, seed);
+    let mut buf = Vec::new();
+    io::write_text(&g, &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+fn start(config: ServerConfig) -> (ServerHandle, String) {
+    let handle = Server::spawn(config).unwrap();
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> &'a Json {
+    v.get(key)
+        .unwrap_or_else(|| panic!("response missing {key:?}: {v:?}"))
+}
+
+fn result_bytes(line: &str) -> String {
+    let v = Json::parse(line).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"));
+    assert_eq!(
+        field(&v, "status").as_str(),
+        Some("ok"),
+        "job did not converge: {line}"
+    );
+    field(&v, "result").render()
+}
+
+/// The soak's job mix: cheap but real work with distinct cache keys.
+fn job_requests() -> Vec<String> {
+    let graph = chameleon_obs::json::string(&graph_text(30, 2));
+    let mut reqs = Vec::new();
+    for k in 1..=4u64 {
+        reqs.push(format!(
+            "{{\"op\":\"check\",\"id\":\"chk{k}\",\"graph\":{graph},\"k\":{k}}}"
+        ));
+    }
+    for seed in [5u64, 6, 7, 8] {
+        reqs.push(format!(
+            "{{\"op\":\"reliability\",\"id\":\"rel{seed}\",\"graph\":{graph},\
+             \"worlds\":40,\"pairs\":10,\"seed\":{seed},\"threads\":1}}"
+        ));
+    }
+    reqs
+}
+
+/// Runs every request against `addr` with the retry client, returning the
+/// rendered result bytes in request order.
+fn run_jobs(addr: &str, policy: &RetryPolicy) -> Vec<String> {
+    job_requests()
+        .iter()
+        .map(|req| result_bytes(&request_with_retry(addr, req, policy).unwrap()))
+        .collect()
+}
+
+#[test]
+fn soak_with_faults_on_matches_faults_off_byte_for_byte() {
+    let policy = RetryPolicy {
+        max_retries: 12,
+        base_delay_ms: 10,
+        max_delay_ms: 500,
+        seed: 99,
+    };
+
+    // Baseline: no faults.
+    let (handle, addr) = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let baseline = run_jobs(&addr, &policy);
+    let resp = request_once(&addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert!(resp.contains("\"status\":\"ok\""));
+    handle.join().unwrap();
+
+    // Chaos run: the first 3 executions panic, the next 3 are cancelled
+    // (rate 1.0 + budget = exact deterministic prefix schedule), a tiny
+    // queue forces queue-full rejections, and abusive clients hammer the
+    // connection layer while the real jobs run.
+    let (handle, addr) = start(ServerConfig {
+        workers: 2,
+        queue_depth: 2,
+        max_request_bytes: 64 * 1024,
+        read_timeout_ms: 200,
+        faults: Some(
+            FaultPlan::new(2026)
+                .with_panics(1.0, 3)
+                .with_cancels(1.0, 3),
+        ),
+        ..ServerConfig::default()
+    });
+
+    let abusers: Vec<_> = (0..3u8)
+        .map(|kind| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                for _ in 0..4 {
+                    let Ok(mut conn) = std::net::TcpStream::connect(&addr) else {
+                        continue;
+                    };
+                    match kind {
+                        // Junk bytes (invalid UTF-8 included) + newline.
+                        0 => {
+                            let _ = conn.write_all(b"\xff\xfe{{{ junk\n");
+                            let mut line = String::new();
+                            let _ = BufReader::new(&conn).read_line(&mut line);
+                        }
+                        // Oversized line against the 64 KiB cap.
+                        1 => {
+                            let _ = conn.write_all(&vec![b'x'; 128 * 1024]);
+                            let _ = conn.write_all(b"\n");
+                            let mut line = String::new();
+                            let _ = BufReader::new(&conn).read_line(&mut line);
+                        }
+                        // Truncated request: half a line, then vanish.
+                        _ => {
+                            let _ = conn.write_all(b"{\"op\":\"chec");
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let chaotic = run_jobs(&addr, &policy);
+    for t in abusers {
+        t.join().unwrap();
+    }
+
+    assert_eq!(
+        baseline, chaotic,
+        "results diverged between faults-off and faults-on runs"
+    );
+
+    // The injected faults actually happened and were survived.
+    let status = request_once(&addr, r#"{"op":"status"}"#).unwrap();
+    let v = Json::parse(&status).unwrap();
+    let faults = field(field(&v, "result"), "faults");
+    assert_eq!(field(faults, "injected_panics").as_u64(), Some(3));
+    assert_eq!(field(faults, "injected_cancels").as_u64(), Some(3));
+
+    let resp = request_once(&addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert!(resp.contains("\"status\":\"ok\""));
+    let report = handle.join().unwrap();
+    assert_eq!(report.jobs_panicked, 3);
+    assert_eq!(report.jobs_cancelled, 3);
+    // Every submitted job converged; the chaos shows up only in the
+    // fault/retry accounting, never in the payloads.
+    assert!(report.jobs_completed >= job_requests().len() as u64);
+}
+
+#[test]
+fn queue_full_storm_converges_under_the_retry_client() {
+    // One worker, queue of one: concurrent submissions are guaranteed to
+    // bounce with queue_full + retry_after_ms; the seeded-backoff retry
+    // client must get every one of them through.
+    let (handle, addr) = start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    });
+    let graph = chameleon_obs::json::string(&graph_text(25, 4));
+
+    let clients: Vec<_> = (0..6u64)
+        .map(|i| {
+            let addr = addr.clone();
+            let req = format!(
+                "{{\"op\":\"reliability\",\"graph\":{graph},\"worlds\":30,\
+                 \"pairs\":8,\"seed\":{i},\"threads\":1}}"
+            );
+            std::thread::spawn(move || {
+                let policy = RetryPolicy {
+                    max_retries: 40,
+                    base_delay_ms: 5,
+                    max_delay_ms: 200,
+                    seed: i,
+                };
+                request_with_retry(&addr, &req, &policy).unwrap()
+            })
+        })
+        .collect();
+    for client in clients {
+        let line = client.join().unwrap();
+        assert!(
+            line.contains("\"status\":\"ok\""),
+            "storm client failed: {line}"
+        );
+    }
+
+    let resp = request_once(&addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert!(resp.contains("\"status\":\"ok\""));
+    let report = handle.join().unwrap();
+    assert_eq!(report.jobs_completed, 6);
+}

@@ -1,0 +1,140 @@
+//! Property tests for the wire-protocol parser plus a live-server abuse
+//! round: no request line — malformed, truncated, junk-byte, or invalid
+//! UTF-8 — may panic the parser or leave a connection without a reply.
+
+use chameleon_obs::json::Json;
+use chameleon_server::{parse_request, Server, ServerConfig};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+
+/// A representative valid request line for mutation-based fuzzing.
+fn valid_request() -> String {
+    "{\"op\":\"obfuscate\",\"id\":\"j1\",\"graph\":\"nodes 3\\n0 1 0.5\\n1 2 0.25\\n\",\
+     \"k\":2,\"epsilon\":0.05,\"method\":\"RSME\",\"worlds\":40,\"trials\":2,\"seed\":7}"
+        .to_string()
+}
+
+proptest! {
+    /// Arbitrary bytes (lossily decoded, as the daemon's reader would
+    /// hand them over) never panic the parser — every input yields
+    /// `Ok(request)` or a structured `Err((id, message))`.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parser(
+        bytes in vec(any::<u8>(), 0..512)
+    ) {
+        let line = String::from_utf8_lossy(&bytes);
+        match parse_request(&line) {
+            Ok(_) => {}
+            Err((_, msg)) => prop_assert!(!msg.is_empty()),
+        }
+    }
+
+    /// Every strict prefix of a valid request is rejected (a truncated
+    /// JSON object is never silently accepted), without panicking.
+    #[test]
+    fn truncated_requests_are_rejected_not_panicked(
+        cut_seed in any::<u64>()
+    ) {
+        let full = valid_request();
+        let cut = (cut_seed % full.len() as u64) as usize;
+        // Truncation may split a UTF-8 boundary in principle; this
+        // request is ASCII, so every cut is a valid char boundary.
+        let truncated = &full[..cut];
+        prop_assert!(
+            parse_request(truncated).is_err(),
+            "accepted truncated request {truncated:?}"
+        );
+    }
+
+    /// Splicing a junk byte anywhere into a valid request never panics,
+    /// and anything still accepted parses as a known operation.
+    #[test]
+    fn junk_byte_injection_never_panics(
+        pos_seed in any::<u64>(),
+        junk in any::<u8>()
+    ) {
+        let mut line = valid_request();
+        let pos = (pos_seed % (line.len() as u64 + 1)) as usize;
+        // Keep the mutation a valid `String` (the reader rejects
+        // non-UTF-8 lines before the parser ever sees them).
+        let junk_char = char::from(junk % 0x80);
+        line.insert(pos, junk_char);
+        let _ = parse_request(&line);
+    }
+
+    /// Unknown fields, wrong field types and wild numbers yield errors
+    /// that carry the request id whenever one was parseable.
+    #[test]
+    fn type_confusion_keeps_the_request_id(
+        k_text in vec(0u8..=255u8, 0..8)
+    ) {
+        // Printable ASCII minus quote/backslash: the line stays valid
+        // JSON (so the id is recoverable), only the field type is wrong.
+        let weird: String = k_text
+            .iter()
+            .map(|b| char::from(b' ' + b % 0x5e))
+            .filter(|c| *c != '"' && *c != '\\')
+            .collect();
+        let line = format!(
+            "{{\"op\":\"obfuscate\",\"id\":\"keepme\",\"graph\":\"0 1 0.5\\n\",\"k\":\"{weird}\"}}"
+        );
+        match parse_request(&line) {
+            Err((id, _)) => prop_assert_eq!(id.as_deref(), Some("keepme")),
+            Ok(_) => prop_assert!(false, "string k accepted: {}", line),
+        }
+    }
+}
+
+#[test]
+fn every_junk_line_gets_a_reply_and_the_connection_survives() {
+    let handle = Server::spawn(ServerConfig {
+        max_request_bytes: 64 * 1024,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let junk_lines: &[&[u8]] = &[
+        b"not json at all",
+        b"{",
+        b"}{",
+        b"{\"op\":12}",
+        b"{\"op\":\"obfuscate\"}",
+        b"\x00\x01\x02\x03",
+        b"\xff\xfe\xfd invalid utf8",
+        b"[1,2,3]",
+        b"\"just a string\"",
+        b"{\"op\":\"check\",\"graph\":\"0 1 0.5\\n\",\"k\":\"two\"}",
+    ];
+    for junk in junk_lines {
+        conn.write_all(junk).unwrap();
+        conn.write_all(b"\n").unwrap();
+        conn.flush().unwrap();
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).unwrap();
+        assert!(n > 0, "no reply for junk line {junk:?}");
+        let v = Json::parse(line.trim_end())
+            .unwrap_or_else(|e| panic!("unstructured reply {line:?} for {junk:?}: {e}"));
+        assert_eq!(
+            v.get("status").and_then(Json::as_str),
+            Some("error"),
+            "junk line {junk:?} was not rejected: {line}"
+        );
+        assert!(
+            v.get("error").and_then(Json::as_str).is_some(),
+            "reply missing error message: {line}"
+        );
+    }
+
+    // After all that, the same connection still serves real requests.
+    let resp = chameleon_server::roundtrip(&mut conn, r#"{"op":"status"}"#).unwrap();
+    let v = Json::parse(&resp).unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+
+    let resp = chameleon_server::request_once(&addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert!(resp.contains("\"status\":\"ok\""));
+    handle.join().unwrap();
+}
