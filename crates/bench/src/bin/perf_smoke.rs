@@ -22,7 +22,9 @@
 
 use chameleon_bench::{Args, ExperimentConfig};
 use chameleon_core::AdversaryKnowledge;
-use chameleon_core::{anonymity_check_threads, edge_reliability_relevance_threads};
+use chameleon_core::{
+    anonymity_check_threads, edge_reliability_relevance_threads, Chameleon, ChameleonConfig, Method,
+};
 use chameleon_datasets::DatasetKind;
 use chameleon_obs::site::{SpanGuard, SpanSite};
 use chameleon_reliability::{sample_distinct_pairs, WorldEnsemble};
@@ -45,6 +47,8 @@ static SPAN_ERR: SpanSite = SpanSite::new("perf.smoke.err_coupled");
 static SPAN_RELIABILITY: SpanSite = SpanSite::new("perf.smoke.reliability_many");
 static SPAN_CHECK: SpanSite = SpanSite::new("perf.smoke.anonymity_check");
 static SPAN_DISPATCH: SpanSite = SpanSite::new("perf.smoke.server_dispatch");
+static SPAN_E2E: SpanSite = SpanSite::new("perf.smoke.anonymize_e2e");
+static SPAN_E2E_INC: SpanSite = SpanSite::new("perf.smoke.anonymize_e2e_incremental");
 
 /// Node pairs for the `reliability_many` site: enough that several
 /// `PAIR_BLOCK` windows stream the label matrix.
@@ -120,7 +124,7 @@ fn main() {
         "perf_smoke times via obs spans; rebuild with the default `obs` feature"
     );
     let args = Args::from_env();
-    let out: String = args.get("out", "BENCH_PR3.json".to_string());
+    let out: String = args.get("out", "BENCH_PR6.json".to_string());
     let baseline_path: String = args.get("baseline", "ci/perf_baseline.json".to_string());
     let tolerance: f64 = args.get("tolerance", 0.25f64);
     let reps: usize = args.get("reps", 5usize);
@@ -198,6 +202,47 @@ fn main() {
             }),
         ),
     ];
+    // End-to-end σ search on the reference workload, plain vs incremental
+    // (DESIGN.md §6d). Both runs must succeed; the driver and BENCH json
+    // report `anonymize_incremental_speedup` = plain / incremental.
+    let anonymize_cfg = |incremental: bool| {
+        ChameleonConfig::builder()
+            .k(k)
+            .epsilon(0.05)
+            .trials(5)
+            .num_world_samples(WORLDS)
+            // A tight bisection tolerance makes the σ search take enough
+            // probes that the one-off setup (VRR ensemble, selection) does
+            // not dominate either variant.
+            .sigma_tolerance(0.02)
+            .num_threads(1)
+            .incremental(incremental)
+            .build()
+    };
+    let e2e_plain = time_reps(&SPAN_E2E, reps, || {
+        let r = Chameleon::new(anonymize_cfg(false))
+            .anonymize(&g, Method::Rsme, SEED)
+            .expect("plain anonymize on the reference workload");
+        std::hint::black_box(r.sigma);
+    });
+    let e2e_incremental = time_reps(&SPAN_E2E_INC, reps, || {
+        let r = Chameleon::new(anonymize_cfg(true))
+            .anonymize(&g, Method::Rsme, SEED)
+            .expect("incremental anonymize on the reference workload");
+        std::hint::black_box(r.sigma);
+    });
+    let incremental_speedup = e2e_plain / e2e_incremental;
+    println!(
+        "anonymize e2e: plain {e2e_plain:.4}s, incremental {e2e_incremental:.4}s \
+         ({incremental_speedup:.2}x speedup)"
+    );
+    let sites: Vec<Measurement> = sites
+        .into_iter()
+        .chain([
+            Measurement::new("anonymize_e2e", e2e_plain),
+            Measurement::new("anonymize_e2e_incremental", e2e_incremental),
+        ])
+        .collect();
     // Daemon dispatch overhead: cached `status`-free round-trips through a
     // live loopback chameleond. The job (a tiny check) is primed into the
     // result cache first, so the measurement isolates the service stack —
@@ -318,8 +363,12 @@ fn main() {
     // `vs_baseline` is `normalized / committed-baseline` — < 1.0 means the
     // hot path got faster than the baseline commit.
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"bench\": \"PR3 perf smoke gate\",");
+    let _ = writeln!(json, "  \"bench\": \"perf smoke gate\",");
     let _ = writeln!(json, "  \"timer\": \"obs span, min of reps\",");
+    let _ = writeln!(
+        json,
+        "  \"anonymize_incremental_speedup\": {incremental_speedup:.4},"
+    );
     let _ = writeln!(json, "  \"scale\": {SCALE},");
     let _ = writeln!(json, "  \"worlds\": {WORLDS},");
     let _ = writeln!(json, "  \"reps\": {reps},");

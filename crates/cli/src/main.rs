@@ -82,7 +82,14 @@ const COMMANDS: &[Command] = &[
     (
         "anonymize",
         &[
-            "k", "epsilon", "method", "seed", "worlds", "trials", "threads",
+            "k",
+            "epsilon",
+            "method",
+            "seed",
+            "worlds",
+            "trials",
+            "threads",
+            "incremental",
         ],
         cmd_anonymize,
     ),
@@ -312,12 +319,18 @@ fn cmd_anonymize(cli: &Cli) -> Result<(), String> {
     let worlds: usize = cli.get("worlds", 500usize)?;
     let trials: usize = cli.get("trials", 5usize)?;
     let threads: usize = cli.get("threads", 0usize)?;
+    // `--incremental` reuses each GenObf trial's randomness across the σ
+    // search (DESIGN.md §6d); output stays a deterministic function of
+    // (seed, config) but can differ from the non-incremental bytes once
+    // the search takes more than one probe.
+    let incremental = cli.has("incremental");
     let config = ChameleonConfig::builder()
         .k(k)
         .epsilon(epsilon)
         .num_world_samples(worlds)
         .trials(trials)
         .num_threads(threads)
+        .incremental(incremental)
         .build();
     let (published, sigma, eps_hat) = if method.eq_ignore_ascii_case("repan") {
         let r = RepAn::new(config)

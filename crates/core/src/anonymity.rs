@@ -170,8 +170,12 @@ pub fn anonymity_check_tolerant_threads(
             k,
         };
     }
-    let omega_max =
-        knowledge.targets().iter().copied().max().unwrap_or(0) as usize + tolerance as usize;
+    // Widen to usize *before* adding: `omega + tolerance` in u32 can
+    // overflow (panic in debug, silent wrap in release) for adversary
+    // values near u32::MAX. usize is 64-bit on every supported target, but
+    // saturate anyway so the bound is safe unconditionally.
+    let omega_max = (knowledge.targets().iter().copied().max().unwrap_or(0) as usize)
+        .saturating_add(tolerance as usize);
     let pmfs = degree_pmfs(published, omega_max, threads);
     let mut entropy_by_omega: HashMap<u32, f64> = HashMap::new();
     for &omega in knowledge.targets() {
@@ -180,10 +184,18 @@ pub fn anonymity_check_tolerant_threads(
     let threshold = (k as f64).log2();
     let mut weights = vec![0.0; n];
     for (&omega, slot) in entropy_by_omega.iter_mut() {
-        let lo = omega.saturating_sub(tolerance) as usize;
-        let hi = (omega + tolerance) as usize;
+        let lo = (omega as usize).saturating_sub(tolerance as usize);
+        let hi = (omega as usize).saturating_add(tolerance as usize);
         for (u, pmf) in pmfs.iter().enumerate() {
-            weights[u] = (lo..=hi).map(|w| pmf.get(w).copied().unwrap_or(0.0)).sum();
+            // Clamp the window to the pmf's support: entries past the end
+            // are exact 0.0 summands, so skipping them is bit-identical
+            // and keeps the sweep O(window ∩ support) even for huge ω.
+            let top = hi.min(pmf.len() - 1);
+            weights[u] = if lo <= top {
+                pmf[lo..=top].iter().sum()
+            } else {
+                0.0
+            };
         }
         *slot = shannon_entropy_bits(&weights);
     }
@@ -249,10 +261,25 @@ pub fn anonymity_check_threads(
             k,
         };
     }
+    // ω_max is a plain u32 → usize widening (no arithmetic), so unlike the
+    // tolerant variant there is nothing to saturate here.
     let omega_max = knowledge.targets().iter().copied().max().unwrap_or(0) as usize;
     // Per-vertex degree pmf, truncated at ω_max (values above are never
     // queried).
     let pmfs = degree_pmfs(published, omega_max, threads);
+    exact_entropy_sweep(&pmfs, knowledge, k)
+}
+
+/// The entropy sweep of the exact (tolerance-0) check: one posterior per
+/// distinct adversary value, one entropy comparison per vertex. Shared by
+/// [`anonymity_check_threads`] and [`anonymity_check_cached`] so the two
+/// paths are bit-identical by construction.
+fn exact_entropy_sweep(
+    pmfs: &[Vec<f64>],
+    knowledge: &AdversaryKnowledge,
+    k: usize,
+) -> AnonymityReport {
+    let n = pmfs.len();
     // Distinct adversary values.
     let mut entropy_by_omega: HashMap<u32, f64> = HashMap::new();
     for &omega in knowledge.targets() {
@@ -280,6 +307,131 @@ pub fn anonymity_check_threads(
         entropy_by_omega,
         k,
     }
+}
+
+/// Per-vertex truncated degree pmfs cached across anonymity checks.
+///
+/// Inside GenObf's σ-probe loop consecutive candidate graphs differ on a
+/// few hundred edges, so most vertices keep their incident-probability
+/// multiset — and their pmf — from one check to the next. The cache stores
+/// every vertex's pmf (truncated at the adversary's maximal value, which
+/// is fixed per anonymize run) and recomputes only vertices the caller
+/// marks dirty.
+///
+/// **Exactness**: a pmf rebuilt from the same incident probabilities *in
+/// the same adjacency order* is bit-identical (the truncated DP is a fixed
+/// float program of its input sequence), and entries `≤ ω` of the DP do
+/// not depend on the truncation cap, so a cache built with any
+/// `omega_max ≥ max ω` yields reports bit-identical to
+/// [`anonymity_check_threads`].
+#[derive(Debug, Clone)]
+pub struct DegreePmfCache {
+    omega_max: usize,
+    pmfs: Vec<Vec<f64>>,
+}
+
+impl DegreePmfCache {
+    /// Builds the cache for `published` against `knowledge` (the cap is
+    /// the adversary's maximal value, matching [`anonymity_check`]).
+    ///
+    /// # Panics
+    /// Panics if `knowledge` covers a different number of vertices.
+    pub fn build(
+        published: &UncertainGraph,
+        knowledge: &AdversaryKnowledge,
+        threads: usize,
+    ) -> Self {
+        assert_eq!(
+            knowledge.len(),
+            published.num_nodes(),
+            "adversary knowledge must cover every vertex"
+        );
+        let omega_max = knowledge.targets().iter().copied().max().unwrap_or(0) as usize;
+        Self {
+            omega_max,
+            pmfs: degree_pmfs(published, omega_max, threads),
+        }
+    }
+
+    /// The truncation cap (`max ω`) the pmfs were built with.
+    pub fn omega_max(&self) -> usize {
+        self.omega_max
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.pmfs.len()
+    }
+
+    /// True when the cache covers no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.pmfs.is_empty()
+    }
+
+    /// Cached pmf of vertex `v`.
+    pub fn pmf(&self, v: NodeId) -> &[f64] {
+        &self.pmfs[v as usize]
+    }
+
+    /// Recomputes the pmfs of `dirty` vertices from `published`'s current
+    /// incident probabilities. Every vertex whose incident-probability
+    /// sequence changed since the last refresh must be listed; duplicates
+    /// are harmless.
+    pub fn refresh(&mut self, published: &UncertainGraph, dirty: &[NodeId]) {
+        chameleon_obs::counter!("anonymity.pmfs_built").add(dirty.len() as u64);
+        chameleon_obs::counter!("anonymity.pmfs_reused")
+            .add(self.pmfs.len().saturating_sub(dirty.len()) as u64);
+        for &v in dirty {
+            self.pmfs[v as usize] = pmf_truncated(&published.incident_probs(v), self.omega_max);
+        }
+    }
+
+    /// Recomputes vertex `v`'s pmf from an explicit incident-probability
+    /// sequence. The caller must supply the probabilities in the same
+    /// order [`UncertainGraph::incident_probs`] would produce for the
+    /// graph being modelled — the DP result depends on it bit-for-bit.
+    pub fn set_from_probs(&mut self, v: NodeId, incident: &[f64]) {
+        self.pmfs[v as usize] = pmf_truncated(incident, self.omega_max);
+    }
+}
+
+/// [`anonymity_check`] reading degree pmfs from a [`DegreePmfCache`]
+/// instead of rebuilding them: the entropy sweep is the same code, so the
+/// report is bit-identical to the direct check whenever the cache is
+/// up to date with the published graph.
+///
+/// # Panics
+/// Panics if the cache and `knowledge` disagree on the vertex count, if
+/// the cache's cap is below the adversary's maximal value, or `k == 0`.
+pub fn anonymity_check_cached(
+    cache: &DegreePmfCache,
+    knowledge: &AdversaryKnowledge,
+    k: usize,
+) -> AnonymityReport {
+    let _span = chameleon_obs::span!("anonymity.check.cached");
+    chameleon_obs::counter!("anonymity.checks").add(1);
+    assert!(k >= 1, "k must be at least 1");
+    assert_eq!(
+        knowledge.len(),
+        cache.len(),
+        "adversary knowledge must cover every vertex"
+    );
+    let max_omega = knowledge.targets().iter().copied().max().unwrap_or(0) as usize;
+    assert!(
+        cache.omega_max() >= max_omega,
+        "cache truncated at {} but the adversary queries {}",
+        cache.omega_max(),
+        max_omega
+    );
+    if cache.is_empty() {
+        return AnonymityReport {
+            eps_hat: 0.0,
+            unobfuscated: Vec::new(),
+            entropy_by_omega: HashMap::new(),
+            k,
+        };
+    }
+    exact_entropy_sweep(&cache.pmfs, knowledge, k)
 }
 
 #[cfg(test)]
@@ -489,6 +641,120 @@ mod tests {
         let exact = anonymity_check_tolerant(&g, &knowledge, 4, 0);
         let fuzzy = anonymity_check_tolerant(&g, &knowledge, 4, 2);
         assert!(fuzzy.unobfuscated.len() <= exact.unobfuscated.len());
+    }
+
+    #[test]
+    fn tolerant_check_survives_adversary_values_near_u32_max() {
+        // Regression: `omega + tolerance` used to be a u32 add that
+        // panicked in debug (wrapped in release) for targets near
+        // u32::MAX. The window must saturate instead.
+        let g = matching(2, 1.0);
+        let knowledge = AdversaryKnowledge::from_values(vec![u32::MAX, u32::MAX - 1, 1, 1]);
+        let rep = anonymity_check_tolerant(&g, &knowledge, 2, 5);
+        // No vertex can reach a degree anywhere near u32::MAX → zero
+        // entropy → exposed.
+        assert!(rep.unobfuscated.contains(&0));
+        assert!(rep.unobfuscated.contains(&1));
+        assert_eq!(rep.entropy_by_omega[&u32::MAX], 0.0);
+        // The degree-1 class is untouched by the huge targets.
+        assert!(rep.entropy_by_omega[&1] > 0.9);
+        // Maximal tolerance must also saturate, in both directions.
+        let rep = anonymity_check_tolerant(&g, &knowledge, 2, u32::MAX);
+        // Window [0, ∞) ⊇ every pmf → total mass 1 per vertex → uniform.
+        assert!((rep.entropy_by_omega[&u32::MAX] - 2.0).abs() < 1e-12);
+        assert_eq!(rep.eps_hat, 0.0);
+    }
+
+    #[test]
+    fn window_clamping_is_bit_identical_to_padded_sums() {
+        // The clamped window sum must match the unclamped definition
+        // (zero-padded past the pmf support) bit for bit.
+        let mut g = UncertainGraph::with_nodes(8);
+        for v in 1..8u32 {
+            g.add_edge(0, v, 0.3 + 0.07 * v as f64).unwrap();
+        }
+        let knowledge = AdversaryKnowledge::expected_degrees(&g);
+        for tol in [0u32, 1, 3, 100] {
+            let rep = anonymity_check_tolerant(&g, &knowledge, 3, tol);
+            for (&omega, &h) in &rep.entropy_by_omega {
+                let lo = (omega as usize).saturating_sub(tol as usize);
+                let hi = (omega as usize).saturating_add(tol as usize);
+                let omega_max =
+                    knowledge.targets().iter().copied().max().unwrap() as usize + tol as usize;
+                let weights: Vec<f64> = (0..8u32)
+                    .map(|u| {
+                        let pmf = chameleon_stats::poisson_binomial::pmf_truncated(
+                            &g.incident_probs(u),
+                            omega_max,
+                        );
+                        (lo..=hi).map(|w| pmf.get(w).copied().unwrap_or(0.0)).sum()
+                    })
+                    .collect();
+                let expect = chameleon_stats::shannon_entropy_bits(&weights);
+                assert_eq!(h.to_bits(), expect.to_bits(), "omega={omega} tol={tol}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_check_is_bit_identical_to_direct() {
+        let mut g = UncertainGraph::with_nodes(12);
+        for v in 1..12u32 {
+            g.add_edge(0, v, 0.5).unwrap();
+            g.add_edge(v, (v % 11) + 1, 0.35).unwrap();
+        }
+        let knowledge = AdversaryKnowledge::expected_degrees(&g);
+        let cache = DegreePmfCache::build(&g, &knowledge, 2);
+        let direct = anonymity_check(&g, &knowledge, 4);
+        let cached = anonymity_check_cached(&cache, &knowledge, 4);
+        assert_eq!(direct.unobfuscated, cached.unobfuscated);
+        assert_eq!(direct.eps_hat.to_bits(), cached.eps_hat.to_bits());
+        for (omega, h) in &direct.entropy_by_omega {
+            assert_eq!(h.to_bits(), cached.entropy_by_omega[omega].to_bits());
+        }
+    }
+
+    #[test]
+    fn cache_refresh_tracks_edge_perturbations() {
+        let mut g = UncertainGraph::with_nodes(10);
+        for v in 1..10u32 {
+            g.add_edge(0, v, 0.4).unwrap();
+        }
+        g.add_edge(3, 7, 0.9).unwrap();
+        let knowledge = AdversaryKnowledge::expected_degrees(&g);
+        let mut cache = DegreePmfCache::build(&g, &knowledge, 1);
+        // Perturb two edges; only their endpoints go dirty.
+        g.set_prob(2, 0.95).unwrap(); // edge (0,3)
+        let last = g.num_edges() - 1; // edge (3,7)
+        g.set_prob(last as u32, 0.05).unwrap();
+        cache.refresh(&g, &[0, 3, 7]);
+        let direct = anonymity_check(&g, &knowledge, 3);
+        let cached = anonymity_check_cached(&cache, &knowledge, 3);
+        assert_eq!(direct.unobfuscated, cached.unobfuscated);
+        for (omega, h) in &direct.entropy_by_omega {
+            assert_eq!(h.to_bits(), cached.entropy_by_omega[omega].to_bits());
+        }
+        // set_from_probs with the adjacency-order sequence is the same as
+        // a graph refresh.
+        let mut cache2 = cache.clone();
+        g.set_prob(2, 0.11).unwrap();
+        cache.refresh(&g, &[0, 3]);
+        cache2.set_from_probs(0, &g.incident_probs(0));
+        cache2.set_from_probs(3, &g.incident_probs(3));
+        let a = anonymity_check_cached(&cache, &knowledge, 3);
+        let b = anonymity_check_cached(&cache2, &knowledge, 3);
+        assert_eq!(a.unobfuscated, b.unobfuscated);
+        assert_eq!(a.eps_hat.to_bits(), b.eps_hat.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "cache truncated at")]
+    fn cached_check_rejects_stale_cap() {
+        let g = matching(2, 0.5);
+        let knowledge = AdversaryKnowledge::from_values(vec![1, 1, 1, 1]);
+        let cache = DegreePmfCache::build(&g, &knowledge, 1);
+        let wider = AdversaryKnowledge::from_values(vec![9, 1, 1, 1]);
+        let _ = anonymity_check_cached(&cache, &wider, 2);
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! The Chameleon anonymization driver: GenObf (paper Algorithm 3) wrapped
 //! in the σ binary-search skeleton (paper Algorithm 1).
 
-use crate::anonymity::{anonymity_check_threads, AdversaryKnowledge, AnonymityReport};
+use crate::anonymity::{
+    anonymity_check_threads, AdversaryKnowledge, AnonymityReport, DegreePmfCache,
+};
 use crate::cancel::CancelToken;
 use crate::candidate::{select_candidates, VertexSampler};
 use crate::config::ChameleonConfig;
+use crate::genobf_plan::TrialPlan;
 use crate::method::Method;
 use crate::perturb::draw_noise;
 use crate::relevance::{
@@ -199,6 +202,10 @@ impl Chameleon {
         // the feasible region is an interval, and the final bisection still
         // finds its lower (minimum-noise) edge.
         let mut calls = 0usize;
+        // Incremental mode (DESIGN.md §6d): the first GenObf call records
+        // every trial's randomness into these plans; later σ probes
+        // re-evaluate them instead of redrawing.
+        let mut trial_plans: Option<Vec<TrialPlan>> = None;
         let mut best_eps_seen = 1.0f64;
         let mut sigma_l = 0.0f64;
         let mut sigma_u = self.config.sigma_init;
@@ -208,7 +215,15 @@ impl Chameleon {
                 return Err(ChameleonError::Cancelled);
             }
             let outcome = self.gen_obf(
-                graph, &knowledge, method, sigma_u, &selection, &excluded, &seq, &mut calls,
+                graph,
+                &knowledge,
+                method,
+                sigma_u,
+                &selection,
+                &excluded,
+                &seq,
+                &mut calls,
+                &mut trial_plans,
             );
             best_eps_seen = best_eps_seen.min(outcome.eps_nearest);
             sigma_trace.push((sigma_u, outcome.eps_nearest));
@@ -229,7 +244,15 @@ impl Chameleon {
                     return Err(ChameleonError::Cancelled);
                 }
                 let outcome = self.gen_obf(
-                    graph, &knowledge, method, sigma, &selection, &excluded, &seq, &mut calls,
+                    graph,
+                    &knowledge,
+                    method,
+                    sigma,
+                    &selection,
+                    &excluded,
+                    &seq,
+                    &mut calls,
+                    &mut trial_plans,
                 );
                 best_eps_seen = best_eps_seen.min(outcome.eps_nearest);
                 sigma_trace.push((sigma, outcome.eps_nearest));
@@ -257,7 +280,15 @@ impl Chameleon {
             }
             let sigma = 0.5 * (sigma_u + sigma_l);
             let outcome = self.gen_obf(
-                graph, &knowledge, method, sigma, &selection, &excluded, &seq, &mut calls,
+                graph,
+                &knowledge,
+                method,
+                sigma,
+                &selection,
+                &excluded,
+                &seq,
+                &mut calls,
+                &mut trial_plans,
             );
             best_eps_seen = best_eps_seen.min(outcome.eps_nearest);
             sigma_trace.push((sigma, outcome.eps_nearest));
@@ -288,6 +319,10 @@ impl Chameleon {
 
     /// One GenObf invocation (paper Algorithm 3): `t` randomized attempts
     /// at noise level σ, returning the best (k, ε)-satisfying graph found.
+    ///
+    /// With `config.incremental` set, the trials' randomness is recorded
+    /// into `plans` on the first call and re-evaluated on every later one
+    /// (DESIGN.md §6d) instead of being redrawn.
     #[allow(clippy::too_many_arguments)]
     fn gen_obf(
         &self,
@@ -299,6 +334,7 @@ impl Chameleon {
         excluded: &HashSet<NodeId>,
         seq: &SeedSequence,
         calls: &mut usize,
+        plans: &mut Option<Vec<TrialPlan>>,
     ) -> GenObfOutcome {
         let _span = chameleon_obs::span!("genobf.call");
         let call_idx = *calls as u64;
@@ -307,6 +343,11 @@ impl Chameleon {
         let threads = parallel::resolve_threads(cfg.num_threads);
         let sampler = VertexSampler::new(selection, excluded);
         let strategy = method.perturbation();
+        if cfg.incremental {
+            return self.gen_obf_incremental(
+                graph, knowledge, strategy, sigma, selection, &sampler, seq, call_idx, plans,
+            );
+        }
         // When trials run concurrently, the per-trial anonymity check runs
         // single-threaded (nested fan-out would oversubscribe the pool);
         // with a single trial the check gets the whole budget instead. The
@@ -328,7 +369,10 @@ impl Chameleon {
                 chameleon_obs::counter!("genobf.trials").add(1);
                 let mut rng = seq.rng_indexed2("genobf-trial", call_idx, trial as u64);
                 // Edge selection (lines 9–16).
-                let candidates = select_candidates(graph, &sampler, cfg.size_multiplier, &mut rng);
+                let candidates = {
+                    let _s = chameleon_obs::span!("genobf.select");
+                    select_candidates(graph, &sampler, cfg.size_multiplier, &mut rng)
+                };
                 if candidates.is_empty() {
                     return (1.0, None);
                 }
@@ -345,7 +389,11 @@ impl Chameleon {
                     1.0
                 };
                 // Perturbation (lines 17–23).
-                let mut perturbed = graph.clone();
+                let _s_perturb = chameleon_obs::span!("genobf.perturb");
+                let mut perturbed = {
+                    let _s = chameleon_obs::span!("genobf.clone");
+                    graph.clone()
+                };
                 for (cand, &qe) in candidates.iter().zip(&q_edge) {
                     let sigma_e = if q_sum > 0.0 {
                         (sigma * qe / q_mean).clamp(1e-9, 3.0)
@@ -364,6 +412,7 @@ impl Chameleon {
                     }
                 }
                 // Anonymity check (line 24).
+                drop(_s_perturb);
                 let report = anonymity_check_threads(&perturbed, knowledge, cfg.k, check_threads);
                 (report.eps_hat, Some((perturbed, report)))
             });
@@ -392,6 +441,88 @@ impl Chameleon {
                 eps_hat,
                 eps_nearest,
                 graph: Some((g, rep)),
+            },
+            None => GenObfOutcome {
+                eps_hat: 1.0,
+                eps_nearest,
+                graph: None,
+            },
+        }
+    }
+
+    /// The incremental GenObf path (DESIGN.md §6d): trials are recorded
+    /// once — on the first call, from exactly the RNG streams the
+    /// non-incremental path would consume, so that call's winner is
+    /// bit-identical — and every σ probe afterwards re-transforms the
+    /// stored randomness through the new σ's inverse CDF. Anonymity checks
+    /// run off the shared degree-pmf cache, and the winning graph is
+    /// materialized only when a probe passes.
+    #[allow(clippy::too_many_arguments)]
+    fn gen_obf_incremental(
+        &self,
+        graph: &UncertainGraph,
+        knowledge: &AdversaryKnowledge,
+        strategy: crate::perturb::PerturbStrategy,
+        sigma: f64,
+        selection: &[f64],
+        sampler: &VertexSampler,
+        seq: &SeedSequence,
+        call_idx: u64,
+        plans: &mut Option<Vec<TrialPlan>>,
+    ) -> GenObfOutcome {
+        let cfg = &self.config;
+        let threads = parallel::resolve_threads(cfg.num_threads);
+        let plans = plans.get_or_insert_with(|| {
+            let _s = chameleon_obs::span!("genobf.plan_record");
+            let base_cache = DegreePmfCache::build(graph, knowledge, threads);
+            (0..cfg.trials)
+                .map(|trial| {
+                    let mut rng = seq.rng_indexed2("genobf-trial", call_idx, trial as u64);
+                    TrialPlan::record(
+                        graph,
+                        sampler,
+                        cfg,
+                        strategy,
+                        selection,
+                        &base_cache,
+                        &mut rng,
+                    )
+                })
+                .collect()
+        });
+        // Serial strict-improvement fold, same winner rule as the parallel
+        // path. An ε̂ = 0 probe cannot be strictly beaten, so the remaining
+        // trials are skipped (eps_nearest may then under-report — a legal
+        // §6d divergence of the diagnostic trace).
+        let mut best: Option<(f64, usize, AnonymityReport)> = None;
+        let mut eps_nearest = 1.0f64;
+        for (trial, plan) in plans.iter_mut().enumerate() {
+            let _trial_span = chameleon_obs::span!("genobf.trial");
+            chameleon_obs::counter!("genobf.trials").add(1);
+            if plan.is_degenerate() {
+                continue;
+            }
+            let report = plan.check_at_sigma(sigma, strategy, knowledge, cfg);
+            eps_nearest = eps_nearest.min(report.eps_hat);
+            if report.eps_hat <= cfg.epsilon {
+                let better = best
+                    .as_ref()
+                    .map(|(e, _, _)| report.eps_hat < *e)
+                    .unwrap_or(true);
+                if better {
+                    let exact = report.eps_hat == 0.0;
+                    best = Some((report.eps_hat, trial, report));
+                    if exact {
+                        break;
+                    }
+                }
+            }
+        }
+        match best {
+            Some((eps_hat, trial, report)) => GenObfOutcome {
+                eps_hat,
+                eps_nearest,
+                graph: Some((plans[trial].materialize(graph), report)),
             },
             None => GenObfOutcome {
                 eps_hat: 1.0,

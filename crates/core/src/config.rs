@@ -38,6 +38,17 @@ pub struct ChameleonConfig {
     /// threads. Results are bit-identical for every value — `1` runs the
     /// same chunked algorithms without thread machinery.
     pub num_threads: usize,
+    /// Reuse each GenObf trial's randomness across the σ search instead of
+    /// redrawing it (DESIGN.md §6d): candidate selections, noise coins and
+    /// uniform draws are persisted per trial and re-transformed through
+    /// each probe's σ-dependent inverse CDF, and degree pmfs are cached so
+    /// an anonymity check only recomputes vertices whose incident edges
+    /// moved. The first GenObf call is bit-identical to the non-incremental
+    /// path; later probes legally consume their randomness differently, so
+    /// the end-to-end result is a deterministic function of `(seed,
+    /// config)` but can differ between the two settings once the σ search
+    /// takes more than one probe.
+    pub incremental: bool,
 }
 
 impl Default for ChameleonConfig {
@@ -54,6 +65,7 @@ impl Default for ChameleonConfig {
             max_doublings: 6,
             bandwidth_scale: 1.0,
             num_threads: 0,
+            incremental: false,
         }
     }
 }
@@ -169,6 +181,10 @@ impl ChameleonConfigBuilder {
         /// Sets the worker-thread count (`0` = all hardware threads).
         num_threads: usize
     );
+    setter!(
+        /// Enables the incremental (randomness-reusing) GenObf σ search.
+        incremental: bool
+    );
 
     /// Finalizes the configuration.
     ///
@@ -217,6 +233,14 @@ mod tests {
     fn threads_default_to_auto() {
         assert_eq!(ChameleonConfig::default().num_threads, 0);
         assert!(ChameleonConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn incremental_defaults_off_and_is_settable() {
+        assert!(!ChameleonConfig::default().incremental);
+        let c = ChameleonConfig::builder().incremental(true).build();
+        assert!(c.incremental);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

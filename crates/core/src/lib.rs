@@ -57,6 +57,7 @@ pub mod cancel;
 pub mod candidate;
 pub mod chameleon;
 pub mod config;
+mod genobf_plan;
 pub mod method;
 pub mod perturb;
 pub mod profile;
@@ -64,8 +65,8 @@ pub mod relevance;
 pub mod uniqueness;
 
 pub use anonymity::{
-    anonymity_check, anonymity_check_threads, anonymity_check_tolerant,
-    anonymity_check_tolerant_threads, AdversaryKnowledge, AnonymityReport,
+    anonymity_check, anonymity_check_cached, anonymity_check_threads, anonymity_check_tolerant,
+    anonymity_check_tolerant_threads, AdversaryKnowledge, AnonymityReport, DegreePmfCache,
 };
 pub use attack::{simulate_degree_attack, AttackReport};
 pub use cancel::{CancelReason, CancelToken};

@@ -39,18 +39,18 @@ const PAIR_BLOCK: usize = 1024;
 /// (Algorithm 2) iterates over exactly this cache.
 #[derive(Debug, Clone)]
 pub struct WorldEnsemble {
-    worlds: WorldMatrix,
+    pub(crate) worlds: WorldMatrix,
     /// World-major flat label matrix: world `w`'s labels are
     /// `labels[w*num_nodes .. (w+1)*num_nodes]`.
-    labels: Vec<u32>,
+    pub(crate) labels: Vec<u32>,
     /// Arena of per-world component sizes, indexed by dense label within
     /// the slice delimited by `size_offsets`.
-    component_sizes: Vec<u32>,
+    pub(crate) component_sizes: Vec<u32>,
     /// `size_offsets[w]..size_offsets[w+1]` is world `w`'s slice of
     /// `component_sizes`; length `num_worlds + 1`.
-    size_offsets: Vec<usize>,
-    connected_pairs: Vec<u64>,
-    num_nodes: usize,
+    pub(crate) size_offsets: Vec<usize>,
+    pub(crate) connected_pairs: Vec<u64>,
+    pub(crate) num_nodes: usize,
 }
 
 impl WorldEnsemble {
@@ -224,6 +224,21 @@ impl WorldEnsemble {
     /// # Panics
     /// Panics if the matrix stride is smaller than the graph's edge count.
     pub fn from_uniform_matrix(graph: &UncertainGraph, uniforms: &UniformMatrix) -> Self {
+        Self::from_uniform_matrix_threads(graph, uniforms, 1)
+    }
+
+    /// [`WorldEnsemble::from_uniform_matrix`] with the connectivity
+    /// analysis on up to `threads` worker threads (`0` = all hardware
+    /// threads). The world bits are a pure per-edge function of the
+    /// uniforms, so the result is identical for every thread count.
+    ///
+    /// # Panics
+    /// Panics if the matrix stride is smaller than the graph's edge count.
+    pub fn from_uniform_matrix_threads(
+        graph: &UncertainGraph,
+        uniforms: &UniformMatrix,
+        threads: usize,
+    ) -> Self {
         let m = graph.num_edges();
         assert!(
             uniforms.stride() >= m,
@@ -242,7 +257,7 @@ impl WorldEnsemble {
                 }
             }
         }
-        Self::from_matrix_threads(graph, matrix, 1)
+        Self::from_matrix_threads(graph, matrix, threads)
     }
 
     /// Builds an ensemble from a row-per-world CRN uniforms matrix.

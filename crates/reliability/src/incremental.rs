@@ -1,0 +1,539 @@
+//! Delta-updated world ensembles (DESIGN.md §6d).
+//!
+//! A [`WorldEnsemble`] built from a CRN [`UniformMatrix`] is a pure
+//! function of `(uniforms, edge probabilities)`: edge `e` is present in
+//! world `w` iff `uniforms[w][e] < p(e)`. When only a few probabilities
+//! move — one GenObf σ-probe to the next perturbs the same candidate set —
+//! rebuilding every world from scratch re-derives bits that cannot have
+//! changed. [`IncrementalEnsemble`] persists the uniform draws alongside
+//! the world matrix and, per update:
+//!
+//! 1. **Flip scan** (serial, O(|changes|·N)): for every changed edge and
+//!    world, flips the presence bit exactly when the stored uniform
+//!    crosses the threshold ([`SamplePlan::resample_edges_into`]), and
+//!    classifies each world as *clean* (no flips), *insert-only*, or
+//!    *rebuild* (at least one deletion).
+//! 2. **Label repair** (parallel, [`WORLD_CHUNK`] blocks): clean worlds
+//!    copy their cached labels/sizes/pair counts; insert-only worlds merge
+//!    old component labels with a union–find over the (few) dense labels
+//!    instead of the (many) vertices; deletion-touched worlds rerun the
+//!    full union–find.
+//!
+//! The result is **bit-identical** to
+//! [`WorldEnsemble::from_uniform_matrix`] on the updated graph with the
+//! same uniforms, for every thread count. Insert-only label repair is
+//! exact because dense labels are assigned in vertex-first-appearance
+//! order: a merged component first appears at the first vertex of its
+//! minimal old label, so renumbering merged roots in ascending old-label
+//! order reproduces the from-scratch labelling.
+//!
+//! **Superset convention**: edges that may be *inserted* later must
+//! already exist in the graph with `p = 0` (an impossible edge samples to
+//! absent in every world and changes nothing). Insertion is then the
+//! probability update `0 → p`. This keeps edge ids — and hence uniform
+//! columns — stable across updates.
+
+use crate::ensemble::{crn_uniform_matrix, UniformMatrix, WorldEnsemble, WORLD_CHUNK};
+use chameleon_stats::parallel;
+use chameleon_stats::SeedSequence;
+use chameleon_ugraph::{EdgeId, SamplePlan, UncertainGraph, UnionFind};
+
+/// How one update batch touched one world, decided during the flip scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorldDelta {
+    /// No bit flipped: every cached structure is still valid.
+    Clean,
+    /// Only insertions: labels are repairable by merging old components.
+    /// The payload indexes the per-update added-edge arena.
+    Insert { start: usize, end: usize },
+    /// At least one deletion: components may have split; full relabel.
+    Rebuild,
+}
+
+/// A [`WorldEnsemble`] that can absorb edge-probability changes without
+/// resampling, staying bit-identical to a from-scratch CRN rebuild.
+///
+/// See the [module docs](self) for the algorithm and the superset
+/// convention for insertions.
+#[derive(Debug, Clone)]
+pub struct IncrementalEnsemble {
+    /// Width/word bookkeeping for the flip kernel (built once; only
+    /// `words_per_world` is consulted after construction).
+    plan: SamplePlan,
+    /// Current per-edge probabilities, kept in edge-id order.
+    probs: Vec<f64>,
+    /// The persisted CRN draws; row `w` drives world `w` forever.
+    uniforms: UniformMatrix,
+    ensemble: WorldEnsemble,
+    /// Endpoint SoA of the (structurally fixed) graph.
+    us: Vec<u32>,
+    vs: Vec<u32>,
+    /// Scratch reused across updates: per-world delta classification and
+    /// the arena of per-world inserted edge ids.
+    deltas: Vec<WorldDelta>,
+    added: Vec<u32>,
+}
+
+impl IncrementalEnsemble {
+    /// Builds the ensemble from `num_worlds` freshly drawn CRN uniforms on
+    /// the stream `(seed, "crn-uniforms")`. Deterministic in `seed` and
+    /// bit-identical for every `threads` value.
+    pub fn build(graph: &UncertainGraph, num_worlds: usize, seed: u64, threads: usize) -> Self {
+        let seq = SeedSequence::new(seed);
+        let mut rng = seq.rng("crn-uniforms");
+        let uniforms = crn_uniform_matrix(num_worlds, graph.num_edges(), &mut rng);
+        Self::from_uniform_matrix(graph, uniforms, threads)
+    }
+
+    /// Wraps caller-provided uniforms (taking ownership — the draws are
+    /// the state that makes delta updates possible).
+    ///
+    /// # Panics
+    /// Panics if the matrix stride is smaller than the graph's edge count.
+    pub fn from_uniform_matrix(
+        graph: &UncertainGraph,
+        uniforms: UniformMatrix,
+        threads: usize,
+    ) -> Self {
+        let ensemble = WorldEnsemble::from_uniform_matrix_threads(graph, &uniforms, threads);
+        let (us, vs) = graph.endpoint_soa();
+        Self {
+            plan: SamplePlan::new(graph),
+            probs: graph.edges().iter().map(|e| e.p).collect(),
+            uniforms,
+            ensemble,
+            us,
+            vs,
+            deltas: Vec::new(),
+            added: Vec::new(),
+        }
+    }
+
+    /// Applies a batch of probability changes `(edge id, new probability)`
+    /// and repairs the cached connectivity structure.
+    ///
+    /// Duplicate edge ids within one batch chain left to right (each entry
+    /// sees the probability left by the previous one). After the call the
+    /// ensemble is bit-identical — worlds, labels, component sizes and
+    /// connected-pair counts — to `WorldEnsemble::from_uniform_matrix` on
+    /// a graph carrying the updated probabilities, for every thread count.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range edge id or a probability outside `[0, 1]`.
+    pub fn update_edges(&mut self, changes: &[(EdgeId, f64)], threads: usize) {
+        if changes.is_empty() {
+            return;
+        }
+        let _span = chameleon_obs::span!("incremental.update_edges");
+
+        // Chain the batch against the live probability vector so repeated
+        // edges compose, and remember (old, new) per entry for the
+        // threshold-crossing test.
+        let mut chained: Vec<(u32, f64, f64)> = Vec::with_capacity(changes.len());
+        for &(e, new_p) in changes {
+            let slot = self
+                .probs
+                .get_mut(e as usize)
+                .unwrap_or_else(|| panic!("edge id {e} out of range"));
+            assert!(
+                new_p.is_finite() && (0.0..=1.0).contains(&new_p),
+                "probability {new_p} is not in [0, 1]"
+            );
+            chained.push((e, *slot, new_p));
+            *slot = new_p;
+        }
+
+        // Phase 1: flip the crossed bits world by world and classify.
+        let n = self.ensemble.worlds.num_worlds();
+        self.deltas.clear();
+        self.deltas.reserve(n);
+        self.added.clear();
+        let mut flips = 0u64;
+        let mut rebuilds = 0u64;
+        for w in 0..n {
+            let row_uniforms = self.uniforms.row(w);
+            let delta = self.plan.resample_edges_into(
+                self.ensemble.worlds.row_mut(w),
+                row_uniforms,
+                &chained,
+            );
+            flips += delta.flipped as u64;
+            self.deltas.push(if delta.flipped == 0 {
+                WorldDelta::Clean
+            } else if delta.removed > 0 {
+                rebuilds += 1;
+                WorldDelta::Rebuild
+            } else {
+                // Every crossing was an insertion; re-derive which edges
+                // appeared (crossings alternate direction per edge, so
+                // with zero removals each inserted edge is distinct).
+                let start = self.added.len();
+                for &(e, old_p, new_p) in &chained {
+                    let u = row_uniforms[e as usize];
+                    if u < new_p && u >= old_p {
+                        self.added.push(e);
+                    }
+                }
+                WorldDelta::Insert {
+                    start,
+                    end: self.added.len(),
+                }
+            });
+        }
+        let dirty = self
+            .deltas
+            .iter()
+            .filter(|d| **d != WorldDelta::Clean)
+            .count();
+        chameleon_obs::counter!("incremental.bit_flips").add(flips);
+        chameleon_obs::counter!("incremental.worlds_dirty").add(dirty as u64);
+        chameleon_obs::counter!("incremental.worlds_rebuilt").add(rebuilds);
+        if dirty == 0 {
+            // Labels depend on the world bits only; nothing flipped, so
+            // every cached structure is still exact.
+            return;
+        }
+
+        // Phase 2: repair labels/sizes/pairs per world, in the same fixed
+        // WORLD_CHUNK blocks as a from-scratch analysis so the stitched
+        // arenas are thread-count invariant.
+        let nn = self.ensemble.num_nodes;
+        let ensemble = &self.ensemble;
+        let deltas = &self.deltas;
+        let added = &self.added;
+        let (us, vs) = (&self.us, &self.vs);
+        let repaired = parallel::map_chunks_scratch(
+            n,
+            WORLD_CHUNK,
+            threads,
+            || (UnionFind::new(nn), Vec::<u32>::new(), Vec::<u32>::new()),
+            |(uf, label_scratch, root_new), _, range| {
+                let k = range.len();
+                let mut labels = Vec::with_capacity(k * nn);
+                let mut sizes = Vec::new();
+                let mut ncomps = Vec::with_capacity(k);
+                let mut pairs = Vec::with_capacity(k);
+                for w in range {
+                    match deltas[w] {
+                        WorldDelta::Clean => {
+                            labels.extend_from_slice(ensemble.labels(w));
+                            let old_sizes = ensemble.component_sizes(w);
+                            sizes.extend_from_slice(old_sizes);
+                            ncomps.push(old_sizes.len());
+                            pairs.push(ensemble.connected_pairs(w));
+                        }
+                        WorldDelta::Rebuild => {
+                            uf.reset();
+                            ensemble.worlds.world(w).union_into(us, vs, uf);
+                            let (ncomp, cc) =
+                                uf.append_labels_and_sizes(&mut labels, &mut sizes, label_scratch);
+                            ncomps.push(ncomp);
+                            pairs.push(cc);
+                        }
+                        WorldDelta::Insert { start, end } => {
+                            let old_labels = ensemble.labels(w);
+                            let old_sizes = ensemble.component_sizes(w);
+                            let ncomp_old = old_sizes.len();
+                            // Union over *old labels*, not vertices: the
+                            // inserted edges can only merge components.
+                            uf.reset();
+                            for &e in &added[start..end] {
+                                uf.union(
+                                    old_labels[us[e as usize] as usize],
+                                    old_labels[vs[e as usize] as usize],
+                                );
+                            }
+                            // Renumber merged roots in ascending old-label
+                            // order; old labels are dense in vertex-first-
+                            // appearance order, so this reproduces the
+                            // from-scratch label assignment exactly.
+                            root_new.clear();
+                            root_new.resize(ncomp_old, u32::MAX);
+                            let base = sizes.len();
+                            let mut next = 0u32;
+                            for l in 0..ncomp_old as u32 {
+                                let r = uf.find(l) as usize;
+                                if root_new[r] == u32::MAX {
+                                    root_new[r] = next;
+                                    sizes.push(0);
+                                    next += 1;
+                                }
+                                sizes[base + root_new[r] as usize] += old_sizes[l as usize];
+                            }
+                            let cc: u64 = sizes[base..]
+                                .iter()
+                                .map(|&s| s as u64 * (s as u64 - 1) / 2)
+                                .sum();
+                            labels.extend(
+                                old_labels.iter().map(|&ol| root_new[uf.find(ol) as usize]),
+                            );
+                            ncomps.push(next as usize);
+                            pairs.push(cc);
+                        }
+                    }
+                }
+                (labels, sizes, ncomps, pairs)
+            },
+        );
+
+        let mut labels = Vec::with_capacity(n * nn);
+        let mut component_sizes = Vec::new();
+        let mut size_offsets = Vec::with_capacity(n + 1);
+        size_offsets.push(0usize);
+        let mut connected_pairs = Vec::with_capacity(n);
+        for (l, sizes, ncomps, pairs) in repaired {
+            labels.extend_from_slice(&l);
+            component_sizes.extend_from_slice(&sizes);
+            for ncomp in ncomps {
+                let last = *size_offsets.last().expect("seeded with 0");
+                size_offsets.push(last + ncomp);
+            }
+            connected_pairs.extend_from_slice(&pairs);
+        }
+        self.ensemble.labels = labels;
+        self.ensemble.component_sizes = component_sizes;
+        self.ensemble.size_offsets = size_offsets;
+        self.ensemble.connected_pairs = connected_pairs;
+    }
+
+    /// Diffs `graph`'s probabilities against the current state and applies
+    /// the difference via [`IncrementalEnsemble::update_edges`]. The graph
+    /// must be structurally identical (same edges, same ids) — only
+    /// probabilities may differ.
+    ///
+    /// # Panics
+    /// Panics if the edge count disagrees.
+    pub fn update_to(&mut self, graph: &UncertainGraph, threads: usize) {
+        assert_eq!(
+            graph.num_edges(),
+            self.probs.len(),
+            "graph/ensemble edge-count mismatch"
+        );
+        let changes: Vec<(EdgeId, f64)> = graph
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| e.p != self.probs[*i])
+            .map(|(i, e)| (i as EdgeId, e.p))
+            .collect();
+        self.update_edges(&changes, threads);
+    }
+
+    /// The maintained ensemble (always consistent with
+    /// [`IncrementalEnsemble::probs`]).
+    pub fn ensemble(&self) -> &WorldEnsemble {
+        &self.ensemble
+    }
+
+    /// Current per-edge probabilities, in edge-id order.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// The persisted CRN uniforms driving every world.
+    pub fn uniforms(&self) -> &UniformMatrix {
+        &self.uniforms
+    }
+
+    /// Number of worlds.
+    pub fn len(&self) -> usize {
+        self.ensemble.len()
+    }
+
+    /// True when the ensemble holds no worlds.
+    pub fn is_empty(&self) -> bool {
+        self.ensemble.is_empty()
+    }
+
+    /// Consumes self, yielding the maintained ensemble.
+    pub fn into_ensemble(self) -> WorldEnsemble {
+        self.ensemble
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Asserts every cached structure of `inc` equals a from-scratch CRN
+    /// build over `graph` with the same uniforms.
+    fn assert_matches_scratch(inc: &IncrementalEnsemble, graph: &UncertainGraph) {
+        let scratch = WorldEnsemble::from_uniform_matrix(graph, inc.uniforms());
+        let n = scratch.len();
+        assert_eq!(inc.len(), n);
+        for w in 0..n {
+            assert_eq!(
+                inc.ensemble().world(w).words(),
+                scratch.world(w).words(),
+                "world {w} bits diverged"
+            );
+            assert_eq!(
+                inc.ensemble().labels(w),
+                scratch.labels(w),
+                "world {w} labels diverged"
+            );
+            assert_eq!(
+                inc.ensemble().component_sizes(w),
+                scratch.component_sizes(w),
+                "world {w} sizes diverged"
+            );
+        }
+        assert_eq!(
+            inc.ensemble().connected_pairs_all(),
+            scratch.connected_pairs_all()
+        );
+    }
+
+    /// A graph with some impossible (p = 0) edges reserved for insertion.
+    fn seed_graph() -> UncertainGraph {
+        let mut g = UncertainGraph::with_nodes(10);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut added = 0;
+        'outer: for u in 0..10u32 {
+            for v in (u + 1)..10 {
+                let p = match added % 4 {
+                    0 => 0.0, // superset slot: insertable later
+                    1 => 1.0,
+                    _ => rng.gen::<f64>(),
+                };
+                g.add_edge(u, v, p).unwrap();
+                added += 1;
+                if added == 30 {
+                    break 'outer;
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn update_edges_is_bit_identical_to_from_scratch() {
+        let mut graph = seed_graph();
+        let mut inc = IncrementalEnsemble::build(&graph, 64, 42, 2);
+        assert_matches_scratch(&inc, &graph);
+
+        let mut rng = StdRng::seed_from_u64(99);
+        for _round in 0..25 {
+            let mut changes = Vec::new();
+            for _ in 0..rng.gen_range(1..6) {
+                let e = rng.gen_range(0..graph.num_edges()) as u32;
+                let p = match rng.gen_range(0..5) {
+                    0 => 0.0, // deletion
+                    1 => 1.0, // certain insertion
+                    _ => rng.gen::<f64>(),
+                };
+                changes.push((e, p));
+                graph.set_prob(e, p).unwrap();
+            }
+            inc.update_edges(&changes, 2);
+            assert_matches_scratch(&inc, &graph);
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_in_one_batch_chain() {
+        let mut graph = seed_graph();
+        let mut inc = IncrementalEnsemble::build(&graph, 32, 5, 1);
+        // Same edge three times: only the last value survives, and the
+        // intermediate crossings must not corrupt the bits.
+        let e = 2u32;
+        let changes = [(e, 0.9), (e, 0.05), (e, 0.6)];
+        for &(e, p) in &changes {
+            graph.set_prob(e, p).unwrap();
+        }
+        inc.update_edges(&changes, 1);
+        assert!((inc.probs()[e as usize] - 0.6).abs() < 1e-15);
+        assert_matches_scratch(&inc, &graph);
+    }
+
+    #[test]
+    fn insert_only_batches_use_label_repair() {
+        let mut graph = seed_graph();
+        let mut inc = IncrementalEnsemble::build(&graph, 48, 11, 2);
+        // Raising a p=0 edge to certainty inserts it in *every* world —
+        // the pure insert-repair path, no rebuilds possible.
+        let zero_edge = graph
+            .edges()
+            .iter()
+            .position(|e| e.p == 0.0)
+            .expect("seed graph reserves p=0 slots") as u32;
+        graph.set_prob(zero_edge, 1.0).unwrap();
+        inc.update_edges(&[(zero_edge, 1.0)], 2);
+        assert_matches_scratch(&inc, &graph);
+    }
+
+    #[test]
+    fn update_to_diffs_the_graph() {
+        let mut graph = seed_graph();
+        let mut inc = IncrementalEnsemble::build(&graph, 32, 3, 1);
+        graph.set_prob(0, 0.123).unwrap();
+        graph.set_prob(7, 0.0).unwrap();
+        inc.update_to(&graph, 1);
+        assert!((inc.probs()[0] - 0.123).abs() < 1e-15);
+        assert_matches_scratch(&inc, &graph);
+    }
+
+    #[test]
+    fn updates_are_thread_count_invariant() {
+        let mut graph = seed_graph();
+        let mut a = IncrementalEnsemble::build(&graph, 64, 17, 1);
+        let mut b = IncrementalEnsemble::build(&graph, 64, 17, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let e = rng.gen_range(0..graph.num_edges()) as u32;
+            let p = rng.gen::<f64>();
+            graph.set_prob(e, p).unwrap();
+            a.update_edges(&[(e, p)], 1);
+            b.update_edges(&[(e, p)], 8);
+        }
+        for w in 0..a.len() {
+            assert_eq!(a.ensemble().world(w).words(), b.ensemble().world(w).words());
+            assert_eq!(a.ensemble().labels(w), b.ensemble().labels(w));
+            assert_eq!(
+                a.ensemble().component_sizes(w),
+                b.ensemble().component_sizes(w)
+            );
+        }
+        assert_eq!(
+            a.ensemble().connected_pairs_all(),
+            b.ensemble().connected_pairs_all()
+        );
+        assert_matches_scratch(&a, &graph);
+    }
+
+    #[test]
+    fn empty_and_noop_updates_touch_nothing() {
+        let graph = seed_graph();
+        let mut inc = IncrementalEnsemble::build(&graph, 16, 23, 1);
+        let before = inc.ensemble().clone();
+        inc.update_edges(&[], 1);
+        // Re-assert an unchanged probability: no uniform can cross.
+        let p0 = inc.probs()[0];
+        inc.update_edges(&[(0, p0)], 1);
+        assert_eq!(
+            inc.ensemble().connected_pairs_all(),
+            before.connected_pairs_all()
+        );
+        for w in 0..inc.len() {
+            assert_eq!(inc.ensemble().labels(w), before.labels(w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let graph = seed_graph();
+        let mut inc = IncrementalEnsemble::build(&graph, 4, 1, 1);
+        inc.update_edges(&[(10_000, 0.5)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn invalid_probability_panics() {
+        let graph = seed_graph();
+        let mut inc = IncrementalEnsemble::build(&graph, 4, 1, 1);
+        inc.update_edges(&[(0, 1.5)], 1);
+    }
+}

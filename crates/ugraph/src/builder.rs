@@ -67,6 +67,14 @@ impl GraphBuilder {
         if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
             return Err(GraphError::InvalidProbability(p));
         }
+        // Endpoint u32::MAX would need u32::MAX + 1 nodes, one past the
+        // dense-u32 id space [`UncertainGraph`] enforces.
+        if u.max(v) == u32::MAX {
+            return Err(GraphError::CapacityExceeded {
+                what: "nodes",
+                limit: u32::MAX as u64,
+            });
+        }
         self.ensure_nodes(u.max(v) as usize + 1);
         let key = if u < v { (u, v) } else { (v, u) };
         match self.edges.entry(key) {
@@ -196,6 +204,18 @@ mod tests {
         for (a, b) in g1.edges().iter().zip(g2.edges()) {
             assert_eq!((a.u, a.v), (b.u, b.v));
         }
+    }
+
+    #[test]
+    fn endpoint_at_id_space_limit_rejected() {
+        let mut b = GraphBuilder::new(0);
+        assert!(matches!(
+            b.add_edge(u32::MAX, 0, 0.5),
+            Err(GraphError::CapacityExceeded { what: "nodes", .. })
+        ));
+        // One below the limit is fine structurally (id space still fits).
+        assert!(b.add_edge(u32::MAX - 1, 0, 0.5).is_ok());
+        assert_eq!(b.num_edges(), 1);
     }
 
     #[test]

@@ -25,6 +25,14 @@ pub enum GraphError {
         /// Number of edges in the graph.
         num_edges: usize,
     },
+    /// A structural capacity limit was exceeded (node/edge ids are dense
+    /// `u32` indices; larger inputs would wrap the id arithmetic).
+    CapacityExceeded {
+        /// Which id space overflowed ("nodes" or "edges").
+        what: &'static str,
+        /// The maximum representable count.
+        limit: u64,
+    },
     /// A parse error while reading the text format.
     Parse {
         /// 1-based line number.
@@ -57,6 +65,9 @@ impl fmt::Display for GraphError {
                     f,
                     "edge index {edge} out of range (graph has {num_edges} edges)"
                 )
+            }
+            GraphError::CapacityExceeded { what, limit } => {
+                write!(f, "too many {what}: the id space holds at most {limit}")
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")

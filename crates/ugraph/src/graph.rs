@@ -58,7 +58,17 @@ pub struct UncertainGraph {
 
 impl UncertainGraph {
     /// Creates a graph with `n` isolated nodes.
+    ///
+    /// # Panics
+    /// Panics if `n > u32::MAX`: node ids are dense `u32` indices, and a
+    /// count beyond that would silently wrap every downstream
+    /// `num_nodes() as u32` cast (the anonymity sweep iterates
+    /// `0..n as u32`).
     pub fn with_nodes(n: usize) -> Self {
+        assert!(
+            n <= u32::MAX as usize,
+            "node count {n} exceeds the u32 id space"
+        );
         Self {
             edges: Vec::new(),
             adj: vec![Vec::new(); n],
@@ -147,6 +157,14 @@ impl UncertainGraph {
         let key = normalize(u, v);
         if self.index.contains_key(&key) {
             return Err(GraphError::DuplicateEdge(key.0, key.1));
+        }
+        // Edge ids are dense u32 indices; past this point `len as EdgeId`
+        // would wrap and corrupt the adjacency/index invariants.
+        if self.edges.len() >= u32::MAX as usize {
+            return Err(GraphError::CapacityExceeded {
+                what: "edges",
+                limit: u32::MAX as u64,
+            });
         }
         let id = self.edges.len() as EdgeId;
         self.edges.push(Edge {
@@ -269,6 +287,14 @@ mod tests {
         g.add_edge(1, 2, 0.25).unwrap();
         g.add_edge(2, 0, 1.0).unwrap();
         g
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 id space")]
+    fn node_count_beyond_u32_panics() {
+        // The guard fires before the adjacency vector is allocated, so
+        // this is cheap despite the huge request.
+        let _ = UncertainGraph::with_nodes(u32::MAX as usize + 1);
     }
 
     #[test]

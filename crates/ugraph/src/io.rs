@@ -54,6 +54,15 @@ pub fn read_text<R: BufRead>(input: R, policy: DedupPolicy) -> Result<UncertainG
                 line: lineno,
                 message: format!("invalid node count: {rest:?}"),
             })?;
+            // Checked at the deserialization boundary: a hostile header
+            // beyond the dense-u32 node id space must not reach the
+            // builder, where it would later wrap id arithmetic.
+            if n > u32::MAX as usize {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message: format!("node count {n} exceeds the u32 id space"),
+                });
+            }
             builder.ensure_nodes(n);
             continue;
         }
@@ -205,6 +214,17 @@ mod tests {
         assert_eq!(g.num_edges(), 1);
         assert!((g.prob(0) - 0.9).abs() < 1e-15);
         assert!(read_text(text.as_bytes(), DedupPolicy::Reject).is_err());
+    }
+
+    #[test]
+    fn oversized_node_header_rejected() {
+        let text = format!("nodes {}\n0 1 0.5\n", u32::MAX as u64 + 1);
+        match read_text(text.as_bytes(), DedupPolicy::Reject) {
+            Err(GraphError::Parse { line: 1, message }) => {
+                assert!(message.contains("u32"), "message: {message}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]
