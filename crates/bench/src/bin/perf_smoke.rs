@@ -47,6 +47,8 @@ static SPAN_ERR: SpanSite = SpanSite::new("perf.smoke.err_coupled");
 static SPAN_RELIABILITY: SpanSite = SpanSite::new("perf.smoke.reliability_many");
 static SPAN_CHECK: SpanSite = SpanSite::new("perf.smoke.anonymity_check");
 static SPAN_DISPATCH: SpanSite = SpanSite::new("perf.smoke.server_dispatch");
+static SPAN_PIPELINED: SpanSite = SpanSite::new("perf.smoke.server_pipelined_dispatch");
+static SPAN_BATCH: SpanSite = SpanSite::new("perf.smoke.server_batch_submit");
 static SPAN_E2E: SpanSite = SpanSite::new("perf.smoke.anonymize_e2e");
 static SPAN_E2E_INC: SpanSite = SpanSite::new("perf.smoke.anonymize_e2e_incremental");
 
@@ -124,7 +126,7 @@ fn main() {
         "perf_smoke times via obs spans; rebuild with the default `obs` feature"
     );
     let args = Args::from_env();
-    let out: String = args.get("out", "BENCH_PR6.json".to_string());
+    let out: String = args.get("out", "BENCH_PR7.json".to_string());
     let baseline_path: String = args.get("baseline", "ci/perf_baseline.json".to_string());
     let tolerance: f64 = args.get("tolerance", 0.25f64);
     let reps: usize = args.get("reps", 5usize);
@@ -248,48 +250,105 @@ fn main() {
     // result cache first, so the measurement isolates the service stack —
     // socket, NDJSON parse, queue hand-off, cache hit, response render —
     // from the anonymization math gated by the sites above.
-    let dispatch_seconds = {
+    let (dispatch_seconds, pipelined_seconds, batch_seconds) = {
+        use std::io::{BufReader, Write};
         let handle = chameleon_server::Server::spawn(chameleon_server::ServerConfig {
             workers: 1,
+            // The pipelined site bursts DISPATCH_ROUNDTRIPS individual
+            // requests before draining a single reply; the queue must
+            // absorb the whole burst or the site measures rejection cost.
+            queue_depth: 2 * DISPATCH_ROUNDTRIPS,
             ..chameleon_server::ServerConfig::default()
         })
         .expect("spawn loopback chameleond");
         let addr = handle.addr().to_string();
-        let small = chameleon_bench::build_dataset(
-            DatasetKind::Brightkite,
-            &ExperimentConfig {
-                scale: 60,
-                ..cfg.clone()
-            },
-        );
-        let mut text = Vec::new();
-        chameleon_ugraph::io::write_text(&small, &mut text).unwrap();
-        let req = format!(
-            "{{\"op\":\"check\",\"graph\":{},\"k\":4}}",
-            chameleon_obs::json::string(&String::from_utf8(text).unwrap()),
-        );
+        // A deliberately tiny job: these sites measure the service stack
+        // (framing, queue hand-off, completion wakeups, cache-hit replay),
+        // so the payload must not drown the machinery being compared in
+        // graph-parse time — per-element parse cost is identical across
+        // lockstep/pipelined/batch and is gated by the math sites above.
+        let graph_json =
+            chameleon_obs::json::string("nodes 4\n0 1 0.5\n1 2 0.5\n2 3 0.25\n0 3 0.75\n");
+        let req = format!("{{\"op\":\"check\",\"graph\":{graph_json},\"k\":2}}");
         let prime = chameleon_server::request_once(&addr, &req).expect("prime dispatch job");
         assert!(prime.contains("\"status\":\"ok\""), "prime failed: {prime}");
         let mut conn = std::net::TcpStream::connect(&addr).expect("connect");
         conn.set_nodelay(true).expect("nodelay");
-        let seconds = time_reps(&SPAN_DISPATCH, reps, || {
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        // (a) Strict request→reply lockstep: each job pays a full loopback
+        // round-trip plus a reactor wakeup.
+        let dispatch = time_reps(&SPAN_DISPATCH, reps, || {
             for _ in 0..DISPATCH_ROUNDTRIPS {
                 let resp = chameleon_server::roundtrip(&mut conn, &req).expect("roundtrip");
-                assert!(resp.contains("\"cached\":true"), "expected a cache hit");
+                assert!(
+                    resp.contains("\"cached\":true"),
+                    "expected a cache hit: {resp}"
+                );
             }
         });
+        // (b) Pipelined: the same jobs, id-tagged, written in one burst and
+        // the replies drained afterwards — round-trips overlap, but each
+        // line is still parsed, queued and completed individually.
+        let mut burst = String::new();
+        for i in 0..DISPATCH_ROUNDTRIPS {
+            let _ = writeln!(
+                burst,
+                "{{\"op\":\"check\",\"id\":\"p{i}\",\"graph\":{graph_json},\"k\":2}}"
+            );
+        }
+        let pipelined = time_reps(&SPAN_PIPELINED, reps, || {
+            conn.write_all(burst.as_bytes()).expect("pipelined write");
+            for _ in 0..DISPATCH_ROUNDTRIPS {
+                let resp = chameleon_server::read_response(&mut reader).expect("pipelined read");
+                assert!(
+                    resp.contains("\"cached\":true"),
+                    "expected a cache hit: {resp}"
+                );
+            }
+        });
+        // (c) Batch: the same jobs as ONE request line occupying one queue
+        // slot; the worker renders every reply into a single completion, so
+        // queue pop, channel send and reactor wakeup amortize over the lot.
+        let mut batch = String::from("{\"op\":\"batch\",\"id\":\"b\",\"requests\":[");
+        for i in 0..DISPATCH_ROUNDTRIPS {
+            if i > 0 {
+                batch.push(',');
+            }
+            let _ = write!(batch, "{{\"op\":\"check\",\"graph\":{graph_json},\"k\":2}}");
+        }
+        batch.push_str("]}\n");
+        let batch_s = time_reps(&SPAN_BATCH, reps, || {
+            conn.write_all(batch.as_bytes()).expect("batch write");
+            for _ in 0..DISPATCH_ROUNDTRIPS {
+                let resp = chameleon_server::read_response(&mut reader).expect("batch read");
+                assert!(
+                    resp.contains("\"cached\":true"),
+                    "expected a cache hit: {resp}"
+                );
+            }
+        });
+        drop(reader);
         drop(conn);
         let _ = chameleon_server::request_once(&addr, "{\"op\":\"shutdown\"}");
         let _ = handle.join();
-        seconds
+        (dispatch, pipelined, batch_s)
     };
+    let dispatch_us_per_job = dispatch_seconds / DISPATCH_ROUNDTRIPS as f64 * 1e6;
+    let batch_us_per_job = batch_seconds / DISPATCH_ROUNDTRIPS as f64 * 1e6;
+    let batch_speedup = dispatch_us_per_job / batch_us_per_job;
+    println!(
+        "dispatch µs/job: lockstep {dispatch_us_per_job:.1}, pipelined {:.1}, \
+         batch {batch_us_per_job:.1} ({batch_speedup:.1}x batch speedup)",
+        pipelined_seconds / DISPATCH_ROUNDTRIPS as f64 * 1e6
+    );
 
     let mut sites: Vec<Measurement> = sites
         .into_iter()
-        .chain(std::iter::once(Measurement::new(
-            "server_dispatch",
-            dispatch_seconds,
-        )))
+        .chain([
+            Measurement::new("server_dispatch", dispatch_seconds),
+            Measurement::new("server_pipelined_dispatch", pipelined_seconds),
+            Measurement::new("server_batch_submit", batch_seconds),
+        ])
         .map(|m| Measurement {
             normalized: m.seconds / calibration_s,
             ..m
@@ -369,6 +428,9 @@ fn main() {
         json,
         "  \"anonymize_incremental_speedup\": {incremental_speedup:.4},"
     );
+    let _ = writeln!(json, "  \"dispatch_us_per_job\": {dispatch_us_per_job:.2},");
+    let _ = writeln!(json, "  \"batch_us_per_job\": {batch_us_per_job:.2},");
+    let _ = writeln!(json, "  \"batch_speedup\": {batch_speedup:.4},");
     let _ = writeln!(json, "  \"scale\": {SCALE},");
     let _ = writeln!(json, "  \"worlds\": {WORLDS},");
     let _ = writeln!(json, "  \"reps\": {reps},");
@@ -406,6 +468,18 @@ fn main() {
                 .map(|(n, r)| format!("{n} ({r:.2}x)"))
                 .collect::<Vec<_>>()
                 .join(", ")
+        );
+        std::process::exit(1);
+    }
+    // Hard floor on the batch protocol's amortization: one batch line must
+    // cost at least 5x fewer µs/job than lockstep single-request dispatch,
+    // or the queue-slot/completion amortization has silently regressed.
+    const BATCH_SPEEDUP_FLOOR: f64 = 5.0;
+    if batch_speedup < BATCH_SPEEDUP_FLOOR {
+        eprintln!(
+            "perf_smoke FAILED: batch submit amortization {batch_speedup:.2}x < required \
+             {BATCH_SPEEDUP_FLOOR:.0}x (lockstep {dispatch_us_per_job:.1} µs/job vs batch \
+             {batch_us_per_job:.1} µs/job)"
         );
         std::process::exit(1);
     }

@@ -131,6 +131,7 @@ const COMMANDS: &[Command] = &[
             "threads",
             "tolerance",
             "pairs",
+            "chunk-bytes",
         ],
         cmd_submit,
     ),
@@ -149,6 +150,7 @@ const SERVE_FLAGS: &[&str] = &[
     "max-request-bytes",
     "read-timeout-ms",
     "max-connections",
+    "max-batch",
 ];
 
 /// `serve` flag whitelist with the deterministic chaos schedule armed
@@ -164,11 +166,16 @@ const SERVE_FLAGS: &[&str] = &[
     "max-request-bytes",
     "read-timeout-ms",
     "max-connections",
+    "max-batch",
     "fault-seed",
     "fault-panic-rate",
     "fault-panic-budget",
     "fault-cancel-rate",
     "fault-cancel-budget",
+    "fault-defer-rate",
+    "fault-defer-budget",
+    "fault-short-write-rate",
+    "fault-short-write-budget",
 ];
 
 fn main() {
@@ -517,6 +524,7 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
         max_request_bytes: cli.get("max-request-bytes", defaults.max_request_bytes)?,
         read_timeout_ms: cli.get("read-timeout-ms", defaults.read_timeout_ms)?,
         max_connections: cli.get("max-connections", defaults.max_connections)?,
+        max_batch: cli.get("max-batch", defaults.max_batch)?,
         faults: fault_plan(cli)?,
     };
     let server = chameleon_server::Server::bind(config).map_err(|e| format!("bind: {e}"))?;
@@ -546,6 +554,14 @@ fn fault_plan(cli: &Cli) -> Result<Option<chameleon_server::FaultPlan>, String> 
         .with_cancels(
             cli.get("fault-cancel-rate", 0.0f64)?,
             cli.get("fault-cancel-budget", 0u64)?,
+        )
+        .with_deferred_ready(
+            cli.get("fault-defer-rate", 0.0f64)?,
+            cli.get("fault-defer-budget", 0u64)?,
+        )
+        .with_short_writes(
+            cli.get("fault-short-write-rate", 0.0f64)?,
+            cli.get("fault-short-write-budget", 0u64)?,
         );
     Ok(plan.is_active().then_some(plan))
 }
@@ -580,6 +596,12 @@ fn cmd_submit(cli: &Cli) -> Result<(), String> {
     let timeout_ms: u64 = cli.get("timeout-ms", 0u64)?;
     if timeout_ms > 0 {
         push_field(&mut req, "timeout_ms", timeout_ms.to_string());
+    }
+    // Ask the daemon to stream oversized responses as chunk frames; the
+    // client helper reassembles them, so the rendered reply is identical.
+    let chunk_bytes: u64 = cli.get("chunk-bytes", 0u64)?;
+    if chunk_bytes > 0 {
+        push_field(&mut req, "chunk_bytes", chunk_bytes.to_string());
     }
     let needs_graph = matches!(job.as_str(), "obfuscate" | "check" | "reliability");
     if needs_graph {

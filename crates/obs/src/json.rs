@@ -135,6 +135,14 @@ impl Json {
         }
     }
 
+    /// The element slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// The boolean payload, if this is a bool.
     pub fn as_bool(&self) -> Option<bool> {
         match self {

@@ -12,7 +12,7 @@ USAGE:
                [--queue-depth <n>] [--cache <entries>]
                [--timeout-ms <ms>] [--metrics <path>]
                [--max-request-bytes <n>] [--read-timeout-ms <ms>]
-               [--max-connections <n>]
+               [--max-connections <n>] [--max-batch <n>]
 
 OPTIONS:
     --host <addr>       Bind address           [default: 127.0.0.1]
@@ -27,8 +27,11 @@ OPTIONS:
                               arrived; 0 disables   [default: 30000]
     --max-connections <n>     Open-connection cap; 0 = unlimited
                               [default: 256]
+    --max-batch <n>           Elements allowed in one batch request;
+                              0 = unlimited    [default: 1024]
 
-The wire protocol is newline-delimited JSON; see DESIGN.md \u{a7}7.
+The wire protocol is newline-delimited JSON (pipelined; supports batch
+submission and chunked responses); see DESIGN.md \u{a7}7 and \u{a7}9.
 Send {\"op\":\"shutdown\"} for a graceful drain-and-exit.
 ";
 
@@ -59,6 +62,7 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             "max-request-bytes" => config.max_request_bytes = value.parse().map_err(bad)?,
             "read-timeout-ms" => config.read_timeout_ms = value.parse().map_err(bad)?,
             "max-connections" => config.max_connections = value.parse().map_err(bad)?,
+            "max-batch" => config.max_batch = value.parse().map_err(bad)?,
             other => return Err(format!("unknown flag --{other}")),
         }
     }

@@ -20,6 +20,16 @@
 //!   daemon answers a retryable `cancelled` error (distinguished from a
 //!   real deadline via [`chameleon_core::CancelToken::reason`]).
 //!
+//! Two more are injected at the reactor's I/O boundary (DESIGN.md §9) to
+//! chaos-test the event loop itself:
+//!
+//! * **deferred readiness** — a connection that polled readable is
+//!   skipped for one tick, exactly as if the kernel had woken the loop
+//!   spuriously. The bytes are still there next tick; nothing is lost.
+//! * **short writes** — a response flush is artificially truncated to
+//!   one byte, forcing the partial-write resumption path that real
+//!   kernel buffers exercise only under memory pressure.
+//!
 //! Client-side faults (slow, truncated, oversized and junk-byte request
 //! lines; queue-full storms) are driven by the chaos harness itself —
 //! see `tests/chaos.rs` — using [`decide`] so the abuse schedule is
@@ -53,6 +63,16 @@ pub struct FaultPlan {
     pub cancel_rate: f64,
     /// Maximum number of injected cancel trips.
     pub cancel_budget: u64,
+    /// Per-readiness-event probability that the reactor defers handling
+    /// a readable connection by one tick.
+    pub defer_ready_rate: f64,
+    /// Maximum number of injected readiness deferrals.
+    pub defer_ready_budget: u64,
+    /// Per-flush probability that the reactor truncates a response write
+    /// to a single byte.
+    pub short_write_rate: f64,
+    /// Maximum number of injected short writes.
+    pub short_write_budget: u64,
 }
 
 impl Default for FaultPlan {
@@ -63,6 +83,10 @@ impl Default for FaultPlan {
             panic_budget: 0,
             cancel_rate: 0.0,
             cancel_budget: 0,
+            defer_ready_rate: 0.0,
+            defer_ready_budget: 0,
+            short_write_rate: 0.0,
+            short_write_budget: 0,
         }
     }
 }
@@ -90,10 +114,28 @@ impl FaultPlan {
         self
     }
 
+    /// Enables reactor readiness-deferral injection at `rate`, capped at
+    /// `budget`.
+    pub fn with_deferred_ready(mut self, rate: f64, budget: u64) -> Self {
+        self.defer_ready_rate = rate;
+        self.defer_ready_budget = budget;
+        self
+    }
+
+    /// Enables reactor short-write injection at `rate`, capped at
+    /// `budget`.
+    pub fn with_short_writes(mut self, rate: f64, budget: u64) -> Self {
+        self.short_write_rate = rate;
+        self.short_write_budget = budget;
+        self
+    }
+
     /// True when the plan can inject at least one fault.
     pub fn is_active(&self) -> bool {
         (self.panic_rate > 0.0 && self.panic_budget > 0)
             || (self.cancel_rate > 0.0 && self.cancel_budget > 0)
+            || (self.defer_ready_rate > 0.0 && self.defer_ready_budget > 0)
+            || (self.short_write_rate > 0.0 && self.short_write_budget > 0)
     }
 }
 
@@ -132,6 +174,10 @@ pub struct FaultInjector {
     executions: AtomicU64,
     panics: AtomicU64,
     cancels: AtomicU64,
+    ready_events: AtomicU64,
+    defers: AtomicU64,
+    flushes: AtomicU64,
+    short_writes: AtomicU64,
 }
 
 impl FaultInjector {
@@ -142,6 +188,10 @@ impl FaultInjector {
             executions: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             cancels: AtomicU64::new(0),
+            ready_events: AtomicU64::new(0),
+            defers: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            short_writes: AtomicU64::new(0),
         }
     }
 
@@ -186,6 +236,46 @@ impl FaultInjector {
         .is_ok()
     }
 
+    /// Consumes one readiness-event index; true when the reactor should
+    /// skip this readable connection for one tick.
+    pub fn next_deferred_ready(&self) -> bool {
+        if self.plan.defer_ready_rate <= 0.0 || self.plan.defer_ready_budget == 0 {
+            return false;
+        }
+        let index = self.ready_events.fetch_add(1, Ordering::Relaxed);
+        if decide(
+            self.plan.seed,
+            "fault.defer_ready",
+            index,
+            self.plan.defer_ready_rate,
+        ) && self.take_budget(&self.defers, self.plan.defer_ready_budget)
+        {
+            chameleon_obs::counter!("server.faults.injected_defer").add(1);
+            return true;
+        }
+        false
+    }
+
+    /// Consumes one flush index; true when the reactor should truncate
+    /// this response flush to a single byte.
+    pub fn next_short_write(&self) -> bool {
+        if self.plan.short_write_rate <= 0.0 || self.plan.short_write_budget == 0 {
+            return false;
+        }
+        let index = self.flushes.fetch_add(1, Ordering::Relaxed);
+        if decide(
+            self.plan.seed,
+            "fault.short_write",
+            index,
+            self.plan.short_write_rate,
+        ) && self.take_budget(&self.short_writes, self.plan.short_write_budget)
+        {
+            chameleon_obs::counter!("server.faults.injected_short_write").add(1);
+            return true;
+        }
+        false
+    }
+
     /// Total injected worker panics so far.
     pub fn injected_panics(&self) -> u64 {
         self.panics.load(Ordering::Relaxed)
@@ -194,6 +284,16 @@ impl FaultInjector {
     /// Total injected cancel trips so far.
     pub fn injected_cancels(&self) -> u64 {
         self.cancels.load(Ordering::Relaxed)
+    }
+
+    /// Total injected readiness deferrals so far.
+    pub fn injected_defers(&self) -> u64 {
+        self.defers.load(Ordering::Relaxed)
+    }
+
+    /// Total injected short writes so far.
+    pub fn injected_short_writes(&self) -> u64 {
+        self.short_writes.load(Ordering::Relaxed)
     }
 }
 
@@ -258,5 +358,24 @@ mod tests {
         let inj = FaultInjector::new(FaultPlan::new(42));
         assert!(!inj.plan().is_active());
         assert!((0..100).all(|_| inj.next_job_fault().is_none()));
+        assert!((0..100).all(|_| !inj.next_deferred_ready()));
+        assert!((0..100).all(|_| !inj.next_short_write()));
+    }
+
+    #[test]
+    fn reactor_faults_have_independent_budgets_and_counters() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(11)
+                .with_deferred_ready(1.0, 2)
+                .with_short_writes(1.0, 3),
+        );
+        assert!(inj.plan().is_active());
+        let defers = (0..10).filter(|_| inj.next_deferred_ready()).count();
+        let shorts = (0..10).filter(|_| inj.next_short_write()).count();
+        assert_eq!((defers, shorts), (2, 3));
+        assert_eq!(inj.injected_defers(), 2);
+        assert_eq!(inj.injected_short_writes(), 3);
+        // Job faults are untouched by the reactor schedule.
+        assert_eq!(inj.next_job_fault(), None);
     }
 }

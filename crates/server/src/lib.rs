@@ -17,13 +17,19 @@
 //!   (backpressure → `retry_after_ms`) and exact drain accounting.
 //! * [`cache`] — a content-addressed LRU cache of rendered results; hits
 //!   replay the cold response byte-for-byte.
-//! * [`server`] — the accept loop, worker pool, per-job deadlines
-//!   (cooperative cancellation via [`chameleon_core::CancelToken`]) and
-//!   the graceful drain-then-flush shutdown sequence.
+//! * [`reactor`] — nonblocking event-loop primitives: a thin, safe
+//!   wrapper over `poll(2)` (the workspace's only unsafe code) and the
+//!   self-pipe wakeup channel worker threads use to rouse the loop.
+//! * [`server`] — the single-threaded poll reactor owning every socket
+//!   (nonblocking accept, per-connection read/write buffers, pipelined
+//!   dispatch), the worker pool, per-job deadlines (cooperative
+//!   cancellation via [`chameleon_core::CancelToken`]) and the graceful
+//!   drain-then-flush shutdown sequence.
 //! * [`sync`] — poison-recovering lock wrappers: a panicking lock holder
 //!   is counted and survived, never propagated as a permanent outage.
 //! * [`faults`] — deterministic, seeded fault injection (worker panics,
-//!   cancel-token trips) for chaos tests; inert unless configured.
+//!   cancel-token trips, deferred readiness, short writes) for chaos
+//!   tests; inert unless configured.
 //!
 //! Robustness contract (DESIGN.md §8): no client behaviour and no worker
 //! panic may take the daemon down — panics are isolated per job
@@ -38,13 +44,16 @@
 //! `tests/chaos.rs`.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the reactor module carries the workspace's single
+// unsafe exception (the `poll(2)` FFI call) behind a scoped allow.
+#![deny(unsafe_code)]
 
 pub mod cache;
 pub mod faults;
 pub mod job;
 pub mod protocol;
 pub mod queue;
+pub mod reactor;
 pub mod server;
 pub mod sync;
 
@@ -52,11 +61,12 @@ pub use cache::{fnv1a64, CacheStats, ResultCache};
 pub use faults::{FaultInjector, FaultPlan, JobFault};
 pub use job::{AnonymizeMethod, ExecError, JobSpec};
 pub use protocol::{
-    coded_error_response, codes, error_response, ok_response, parse_request, Request,
+    chunk_frames, coded_error_response, codes, error_response, ok_response, parse_request,
+    JobRequest, Request,
 };
 pub use queue::{BoundedQueue, PushError};
 pub use server::{
-    request_once, request_with_retry, response_field, retry_hint, roundtrip, RetryPolicy, Server,
-    ServerConfig, ServerHandle, ServerReport,
+    read_response, request_once, request_with_retry, response_field, retry_hint, roundtrip,
+    send_request, RetryPolicy, Server, ServerConfig, ServerHandle, ServerReport,
 };
 pub use sync::{poison_recoveries, RecoverableMutex};

@@ -1,14 +1,36 @@
-//! The `chameleond` wire protocol: newline-delimited JSON over TCP.
+//! The `chameleond` wire protocol: newline-delimited JSON over TCP, with
+//! pipelining, batch submission and chunked responses.
 //!
 //! Grammar (one request object per line, one response object per line):
 //!
 //! ```text
-//! request  = { "op": op, ["id": string], ["timeout_ms": int], params... }
+//! request  = { "op": op, ["id": string], ["timeout_ms": int],
+//!              ["chunk_bytes": int], params... }
+//!          | { "op": "batch", ["id": string], ["chunk_bytes": int],
+//!              "requests": [ job-request, ... ] }
 //! op       = "obfuscate" | "check" | "reliability" | "status" | "shutdown"
 //! response = { ["id": ...], "status": "ok", "cached": bool, "result": {...} }
 //!          | { ["id": ...], "status": "error", "error": string,
 //!              ["retry_after_ms": int] }
+//!          | { ["id": ...], "status": "chunk", "seq": int, "last": bool,
+//!              "data": string }    (reassemble by concatenating "data")
 //! ```
+//!
+//! **Pipelining.** Clients may write any number of request lines without
+//! waiting for responses; the `id` field is the correlation key — job
+//! responses come back in *completion* order, each echoing the `id` of
+//! the request it answers. Clients that pipeline must send distinct ids.
+//!
+//! **Batch.** `op":"batch"` submits many job requests in one line (each
+//! element a full job object). Every element gets its own response line;
+//! an element without an `id` inherits `"<batch-id>#<index>"` when the
+//! batch has one. Elements that fail to parse get a structured error with
+//! their id; the remaining elements still run.
+//!
+//! **Chunking.** A request carrying `"chunk_bytes": N` asks that any
+//! response line for it longer than `N` bytes be streamed as `chunk`
+//! frames whose concatenated `data` fields are the exact bytes of the
+//! unchunked response line — byte-identical reassembly, enforced by test.
 //!
 //! Job parameters are flat fields mirroring the CLI flags of the matching
 //! subcommand, with the same defaults (`seed` 42, `worlds` 500, `trials`
@@ -24,17 +46,36 @@
 use crate::job::{AnonymizeMethod, JobSpec};
 use chameleon_obs::json::{self, Json};
 
+/// Requests below this `chunk_bytes` floor are never chunked: tiny frames
+/// would multiply the framing overhead past the payload itself.
+pub const CHUNK_FLOOR: usize = 512;
+
+/// One fully parsed job submission (top-level or batch element).
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// What to compute.
+    pub spec: JobSpec,
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<String>,
+    /// Per-job wall-clock budget override (ms).
+    pub timeout_ms: Option<u64>,
+    /// Chunk responses longer than this many bytes (0 = never chunk;
+    /// values below [`CHUNK_FLOOR`] are raised to it).
+    pub chunk_bytes: usize,
+}
+
 /// A parsed client request.
 #[derive(Debug, Clone)]
 pub enum Request {
     /// Work for the queue/worker pool.
-    Job {
-        /// What to compute.
-        spec: JobSpec,
-        /// Client-chosen correlation id, echoed in the response.
+    Job(JobRequest),
+    /// Many jobs submitted in one line; per-element parse failures keep
+    /// the recovered id so each element can be answered individually.
+    Batch {
+        /// Batch-level correlation id (also the prefix for element ids).
         id: Option<String>,
-        /// Per-job wall-clock budget override (ms).
-        timeout_ms: Option<u64>,
+        /// Parsed elements, in submission order.
+        items: Vec<Result<JobRequest, ParseFailure>>,
     },
     /// Server introspection (answered inline, never queued).
     Status {
@@ -101,6 +142,69 @@ pub fn parse_request(line: &str) -> Result<Request, ParseFailure> {
         .and_then(Json::as_str)
         .ok_or_else(|| fail("missing required string field \"op\"".to_string()))?
         .to_string();
+    match op.as_str() {
+        "status" => return Ok(Request::Status { id }),
+        "shutdown" => return Ok(Request::Shutdown { id }),
+        "batch" => return parse_batch(&v, id),
+        _ => {}
+    }
+    parse_job_body(&v, &op, id).map(Request::Job)
+}
+
+/// Parses the batch envelope: every element of `"requests"` is parsed as
+/// an independent job; elements without an id inherit `"<batch-id>#<i>"`,
+/// and a batch-level `"chunk_bytes"` is the default for elements that do
+/// not set their own.
+fn parse_batch(v: &Json, id: Option<String>) -> Result<Request, ParseFailure> {
+    let fail = |msg: String| (id.clone(), msg);
+    let default_chunk = get_u64(v, "chunk_bytes", 0).map_err(&fail)? as usize;
+    let requests = v
+        .get("requests")
+        .ok_or_else(|| fail("batch requires an array field \"requests\"".into()))?;
+    let elements = requests
+        .as_array()
+        .ok_or_else(|| fail("field \"requests\" must be an array".into()))?;
+    if elements.is_empty() {
+        return Err(fail("batch \"requests\" must not be empty".into()));
+    }
+    let items = elements
+        .iter()
+        .enumerate()
+        .map(|(i, elem)| {
+            let derived_id = elem
+                .get("id")
+                .and_then(Json::as_str)
+                .map(String::from)
+                .or_else(|| id.as_ref().map(|batch| format!("{batch}#{i}")));
+            let op = match elem.get("op").and_then(Json::as_str) {
+                Some(op) => op.to_string(),
+                None => {
+                    return Err((
+                        derived_id,
+                        format!("batch element {i}: missing required string field \"op\""),
+                    ))
+                }
+            };
+            if matches!(op.as_str(), "batch" | "status" | "shutdown") {
+                return Err((
+                    derived_id,
+                    format!("batch element {i}: op {op:?} is not allowed inside a batch"),
+                ));
+            }
+            let mut job = parse_job_body(elem, &op, derived_id.clone())
+                .map_err(|(_, msg)| (derived_id, format!("batch element {i}: {msg}")))?;
+            if job.chunk_bytes == 0 {
+                job.chunk_bytes = default_chunk;
+            }
+            Ok(job)
+        })
+        .collect();
+    Ok(Request::Batch { id, items })
+}
+
+/// Parses the job fields shared by top-level and batch-element requests.
+fn parse_job_body(v: &Json, op: &str, id: Option<String>) -> Result<JobRequest, ParseFailure> {
+    let fail = |msg: String| (id.clone(), msg);
     let timeout_ms =
         match v.get("timeout_ms") {
             None => None,
@@ -108,58 +212,58 @@ pub fn parse_request(line: &str) -> Result<Request, ParseFailure> {
                 fail("field \"timeout_ms\" must be a non-negative integer".into())
             })?),
         };
-    let spec = match op.as_str() {
-        "status" => return Ok(Request::Status { id }),
-        "shutdown" => return Ok(Request::Shutdown { id }),
+    let chunk_bytes = get_u64(v, "chunk_bytes", 0).map_err(&fail)? as usize;
+    let spec = match op {
         "obfuscate" => {
-            let graph = require_graph(&v).map_err(&fail)?;
-            let k = get_u64(&v, "k", 0).map_err(&fail)?;
+            let graph = require_graph(v).map_err(&fail)?;
+            let k = get_u64(v, "k", 0).map_err(&fail)?;
             if k == 0 {
                 return Err(fail("obfuscate requires \"k\" >= 1".into()));
             }
-            let method = AnonymizeMethod::parse(&get_str(&v, "method", "RSME").map_err(&fail)?)
+            let method = AnonymizeMethod::parse(&get_str(v, "method", "RSME").map_err(&fail)?)
                 .map_err(&fail)?;
             JobSpec::Obfuscate {
                 graph,
                 k: k as usize,
-                epsilon: get_f64(&v, "epsilon", 0.01).map_err(&fail)?,
+                epsilon: get_f64(v, "epsilon", 0.01).map_err(&fail)?,
                 method,
-                worlds: get_u64(&v, "worlds", 500).map_err(&fail)? as usize,
-                trials: get_u64(&v, "trials", 5).map_err(&fail)? as usize,
-                threads: get_u64(&v, "threads", 0).map_err(&fail)? as usize,
-                seed: get_u64(&v, "seed", 42).map_err(&fail)?,
+                worlds: get_u64(v, "worlds", 500).map_err(&fail)? as usize,
+                trials: get_u64(v, "trials", 5).map_err(&fail)? as usize,
+                threads: get_u64(v, "threads", 0).map_err(&fail)? as usize,
+                seed: get_u64(v, "seed", 42).map_err(&fail)?,
             }
         }
         "check" => {
-            let graph = require_graph(&v).map_err(&fail)?;
-            let k = get_u64(&v, "k", 0).map_err(&fail)?;
+            let graph = require_graph(v).map_err(&fail)?;
+            let k = get_u64(v, "k", 0).map_err(&fail)?;
             if k == 0 {
                 return Err(fail("check requires \"k\" >= 1".into()));
             }
             JobSpec::Check {
                 graph,
                 k: k as usize,
-                epsilon: get_f64(&v, "epsilon", 0.0).map_err(&fail)?,
-                tolerance: get_u64(&v, "tolerance", 0).map_err(&fail)? as u32,
+                epsilon: get_f64(v, "epsilon", 0.0).map_err(&fail)?,
+                tolerance: get_u64(v, "tolerance", 0).map_err(&fail)? as u32,
             }
         }
         "reliability" => JobSpec::Reliability {
-            graph: require_graph(&v).map_err(&fail)?,
-            worlds: get_u64(&v, "worlds", 500).map_err(&fail)? as usize,
-            pairs: get_u64(&v, "pairs", 2000).map_err(&fail)? as usize,
-            threads: get_u64(&v, "threads", 0).map_err(&fail)? as usize,
-            seed: get_u64(&v, "seed", 42).map_err(&fail)?,
+            graph: require_graph(v).map_err(&fail)?,
+            worlds: get_u64(v, "worlds", 500).map_err(&fail)? as usize,
+            pairs: get_u64(v, "pairs", 2000).map_err(&fail)? as usize,
+            threads: get_u64(v, "threads", 0).map_err(&fail)? as usize,
+            seed: get_u64(v, "seed", 42).map_err(&fail)?,
         },
         other => {
             return Err(fail(format!(
-                "unknown op {other:?} (obfuscate|check|reliability|status|shutdown)"
+                "unknown op {other:?} (obfuscate|check|reliability|batch|status|shutdown)"
             )))
         }
     };
-    Ok(Request::Job {
+    Ok(JobRequest {
         spec,
         id,
         timeout_ms,
+        chunk_bytes,
     })
 }
 
@@ -214,6 +318,58 @@ pub mod codes {
     pub const JOB_PANICKED: &str = "job_panicked";
     /// The job ran and failed (bad input, pipeline failure).
     pub const JOB_FAILED: &str = "job_failed";
+    /// A batch carried more elements than the server's `--max-batch`.
+    pub const BATCH_TOO_LARGE: &str = "batch_too_large";
+}
+
+/// Splits a finished response line into `chunk` frames of at most
+/// `chunk_bytes` payload bytes each, or returns `None` when the line fits
+/// in one frame's worth (no chunking needed). Frames split only at UTF-8
+/// character boundaries; concatenating the `data` fields of all frames
+/// reproduces `line` byte-for-byte.
+pub fn chunk_frames(id: Option<&str>, line: &str, chunk_bytes: usize) -> Option<Vec<String>> {
+    let chunk_bytes = chunk_bytes.max(CHUNK_FLOOR);
+    if line.len() <= chunk_bytes {
+        return None;
+    }
+    let mut pieces: Vec<&str> = Vec::with_capacity(line.len() / chunk_bytes + 2);
+    let mut rest = line;
+    while rest.len() > chunk_bytes {
+        let mut cut = chunk_bytes;
+        while !rest.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let (head, tail) = rest.split_at(cut);
+        pieces.push(head);
+        rest = tail;
+    }
+    if !rest.is_empty() {
+        pieces.push(rest);
+    }
+    let last = pieces.len() - 1;
+    Some(
+        pieces
+            .iter()
+            .enumerate()
+            .map(|(seq, data)| {
+                let mut out = String::with_capacity(data.len() + 80);
+                out.push('{');
+                if let Some(id) = id {
+                    out.push_str("\"id\":");
+                    out.push_str(&json::string(id));
+                    out.push(',');
+                }
+                out.push_str("\"status\":\"chunk\",\"seq\":");
+                out.push_str(&seq.to_string());
+                out.push_str(",\"last\":");
+                out.push_str(if seq == last { "true" } else { "false" });
+                out.push_str(",\"data\":");
+                out.push_str(&json::string(data));
+                out.push('}');
+                out
+            })
+            .collect(),
+    )
 }
 
 /// Renders an error response tagged with a machine-readable `code` (see
@@ -265,7 +421,7 @@ mod tests {
     fn parses_obfuscate_with_defaults() {
         let line = r#"{"op":"obfuscate","id":"j1","graph":"0 1 0.5\n","k":4}"#;
         match parse_request(line).unwrap() {
-            Request::Job {
+            Request::Job(JobRequest {
                 spec:
                     JobSpec::Obfuscate {
                         k,
@@ -278,9 +434,11 @@ mod tests {
                     },
                 id,
                 timeout_ms,
-            } => {
+                chunk_bytes,
+            }) => {
                 assert_eq!(id.as_deref(), Some("j1"));
                 assert_eq!(timeout_ms, None);
+                assert_eq!(chunk_bytes, 0);
                 assert_eq!((k, worlds, trials, threads, seed), (4, 500, 5, 0, 42));
                 assert!((epsilon - 0.01).abs() < 1e-12);
             }
@@ -293,10 +451,66 @@ mod tests {
         let implicit = r#"{"op":"obfuscate","graph":"0 1 0.5\n","k":4}"#;
         let explicit = r#"{"op":"obfuscate","graph":"0 1 0.5\n","k":4,"epsilon":0.01,"method":"RSME","worlds":500,"trials":5,"seed":42,"threads":3}"#;
         let key = |line: &str| match parse_request(line).unwrap() {
-            Request::Job { spec, .. } => spec.cache_key(),
+            Request::Job(job) => job.spec.cache_key(),
             other => panic!("unexpected {other:?}"),
         };
         assert_eq!(key(implicit), key(explicit));
+    }
+
+    #[test]
+    fn batch_elements_parse_with_derived_ids_and_default_chunking() {
+        let line = r#"{"op":"batch","id":"b","chunk_bytes":4096,"requests":[{"op":"check","graph":"0 1 0.5\n","k":2},{"op":"check","id":"own","graph":"0 1 0.5\n","k":2,"chunk_bytes":9000},{"op":"status"},{"op":"check","k":2}]}"#;
+        match parse_request(line).unwrap() {
+            Request::Batch { id, items } => {
+                assert_eq!(id.as_deref(), Some("b"));
+                assert_eq!(items.len(), 4);
+                let first = items[0].as_ref().unwrap();
+                assert_eq!(first.id.as_deref(), Some("b#0"));
+                assert_eq!(first.chunk_bytes, 4096);
+                let second = items[1].as_ref().unwrap();
+                assert_eq!(second.id.as_deref(), Some("own"));
+                assert_eq!(second.chunk_bytes, 9000);
+                let (bad_id, bad_msg) = items[2].as_ref().err().unwrap();
+                assert_eq!(bad_id.as_deref(), Some("b#2"));
+                assert!(bad_msg.contains("not allowed inside a batch"));
+                let (miss_id, miss_msg) = items[3].as_ref().err().unwrap();
+                assert_eq!(miss_id.as_deref(), Some("b#3"));
+                assert!(miss_msg.contains("graph"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_envelope_errors_are_whole_line_failures() {
+        assert!(parse_request(r#"{"op":"batch"}"#).is_err());
+        assert!(parse_request(r#"{"op":"batch","requests":[]}"#).is_err());
+        assert!(parse_request(r#"{"op":"batch","requests":7}"#).is_err());
+    }
+
+    #[test]
+    fn chunk_frames_reassemble_byte_for_byte() {
+        let line = format!(
+            "{{\"status\":\"ok\",\"cached\":false,\"result\":{{\"pad\":\"{}\"}}}}",
+            "é".repeat(2000)
+        );
+        assert!(chunk_frames(Some("c"), &line, usize::MAX).is_none());
+        let frames = chunk_frames(Some("c"), &line, 700).unwrap();
+        assert!(frames.len() > 1);
+        let mut rebuilt = String::new();
+        for (i, frame) in frames.iter().enumerate() {
+            let v = Json::parse(frame).unwrap();
+            assert_eq!(v.get("id").and_then(Json::as_str), Some("c"));
+            assert_eq!(v.get("status").and_then(Json::as_str), Some("chunk"));
+            assert_eq!(v.get("seq").and_then(Json::as_u64), Some(i as u64));
+            let last = frame.contains("\"last\":true");
+            assert_eq!(last, i == frames.len() - 1);
+            rebuilt.push_str(v.get("data").and_then(Json::as_str).unwrap());
+        }
+        assert_eq!(rebuilt, line);
+        // The floor protects against degenerate frame sizes.
+        let floored = chunk_frames(None, &line, 1).unwrap();
+        assert!(floored.len() <= line.len() / CHUNK_FLOOR + 1);
     }
 
     #[test]

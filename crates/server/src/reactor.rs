@@ -1,0 +1,336 @@
+//! Nonblocking event-loop primitives: a thin `poll(2)` wrapper and a
+//! self-pipe wakeup channel.
+//!
+//! The daemon's connection layer (DESIGN.md §9) runs as a single event
+//! loop that owns every socket in nonblocking mode and multiplexes
+//! readiness through `poll(2)`. The workspace's zero-dependency rule
+//! means no `libc`, `mio`, or `polling` crates — instead this module
+//! declares the one C-ABI symbol it needs (`poll`, which the platform's
+//! C runtime already exports into every Rust binary) and wraps it behind
+//! a safe, allocation-reusing [`PollSet`]. This is the only unsafe code
+//! in the workspace; everything above it is safe Rust over `RawFd`s the
+//! caller keeps alive.
+//!
+//! The second half is the wakeup path: worker threads finish jobs on a
+//! plain `mpsc` channel, but the event loop parks inside `poll(2)` and a
+//! channel send alone would not rouse it. A [`Wakeup`] is the classic
+//! self-pipe: a nonblocking `UnixStream` pair whose read end sits in the
+//! poll set; any thread holding a cloned [`Waker`] writes one byte to
+//! make the loop's next `poll` return immediately. Spurious wakeups are
+//! harmless (the loop drains the pipe and re-checks its channels), and a
+//! full pipe is fine too — the loop is already guaranteed to wake.
+
+// The `poll(2)` declaration and call below are the workspace's single
+// unsafe exception (lib.rs holds the deny): the call passes a pointer and
+// length derived from one live `&mut [PollFd]` and nothing else.
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Readiness to request: read side (`POLLIN`).
+pub const POLLIN: i16 = 0x001;
+/// Readiness to request: write side (`POLLOUT`).
+pub const POLLOUT: i16 = 0x004;
+/// Returned readiness: error condition on the descriptor.
+pub const POLLERR: i16 = 0x008;
+/// Returned readiness: peer hung up.
+pub const POLLHUP: i16 = 0x010;
+/// Returned readiness: descriptor not open (stale registration).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One `struct pollfd`, layout-compatible with the C definition on every
+/// unix this workspace targets (Linux CI, macOS dev machines).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// Registers `fd` for the readiness bits in `events`.
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        Self {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// The registered descriptor.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Readiness returned by the last [`PollSet::poll`].
+    pub fn revents(&self) -> i16 {
+        self.revents
+    }
+
+    /// True when the descriptor is readable (or in an error/hangup state,
+    /// which reads surface as EOF/error — the caller must read to find
+    /// out).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// True when the descriptor accepts writes (or errored, which the
+    /// next write will surface).
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+extern "C" {
+    /// `poll(2)` from the platform C runtime. `nfds_t` is 64-bit on
+    /// 64-bit Linux; the workspace only targets 64-bit unix (CI pins
+    /// x86_64 Linux), so `u64` matches the ABI.
+    fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+}
+
+/// A reusable registration set for one `poll(2)` call per event-loop
+/// tick. The `Vec` is cleared, refilled and handed to the kernel each
+/// tick, so steady-state allocations are zero once it reaches its
+/// high-water mark.
+#[derive(Debug, Default)]
+pub struct PollSet {
+    fds: Vec<PollFd>,
+}
+
+impl PollSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all registrations (allocation retained).
+    pub fn clear(&mut self) {
+        self.fds.clear();
+    }
+
+    /// Registers `fd` for `events`; returns its slot index, by which the
+    /// caller reads back [`Self::revents`] after the poll.
+    pub fn register(&mut self, fd: RawFd, events: i16) -> usize {
+        self.fds.push(PollFd::new(fd, events));
+        self.fds.len() - 1
+    }
+
+    /// Number of registered descriptors.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// The registration at `slot` (panics on a bad slot, which is a
+    /// caller bug — slots come from [`Self::register`] this tick).
+    pub fn revents(&self, slot: usize) -> &PollFd {
+        &self.fds[slot]
+    }
+
+    /// Blocks until at least one registered descriptor is ready or
+    /// `timeout` elapses (`None` = wait forever). Returns the number of
+    /// ready descriptors (0 on timeout). `EINTR` is retried with the
+    /// same timeout — the loop's own deadline bookkeeping absorbs the
+    /// drift.
+    ///
+    /// # Errors
+    /// Propagates `poll(2)` failures other than `EINTR`.
+    pub fn poll(&mut self, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // +999_999 rounds nanoseconds up: a 100 µs deadline must not
+            // become a hot 0 ms spin loop.
+            Some(t) => t
+                .as_millis()
+                .max(u128::from(t.subsec_nanos() > 0))
+                .min(i32::MAX as u128) as i32,
+        };
+        loop {
+            // SAFETY: `fds` is a live, exclusively borrowed slice of
+            // `#[repr(C)]` pollfd-compatible structs; the kernel writes
+            // only the `revents` fields within its bounds.
+            let rc = unsafe { poll(self.fds.as_mut_ptr(), self.fds.len() as u64, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// The event loop's end of the self-pipe: a nonblocking socket-pair read
+/// half registered for `POLLIN` every tick.
+#[derive(Debug)]
+pub struct Wakeup {
+    read_half: UnixStream,
+    write_half: UnixStream,
+}
+
+/// A cloneable handle that rouses the event loop from any thread.
+#[derive(Debug)]
+pub struct Waker {
+    write_half: UnixStream,
+}
+
+impl Wakeup {
+    /// Creates the pair; both halves are nonblocking so neither the
+    /// wakers nor the drain can ever park a thread.
+    ///
+    /// # Errors
+    /// Propagates socketpair creation failures.
+    pub fn new() -> io::Result<Self> {
+        let (read_half, write_half) = UnixStream::pair()?;
+        read_half.set_nonblocking(true)?;
+        write_half.set_nonblocking(true)?;
+        Ok(Self {
+            read_half,
+            write_half,
+        })
+    }
+
+    /// The descriptor to register for `POLLIN`.
+    pub fn fd(&self) -> RawFd {
+        self.read_half.as_raw_fd()
+    }
+
+    /// A handle for worker threads.
+    ///
+    /// # Errors
+    /// Propagates descriptor duplication failures.
+    pub fn waker(&self) -> io::Result<Waker> {
+        Ok(Waker {
+            write_half: self.write_half.try_clone()?,
+        })
+    }
+
+    /// Discards all pending wakeup bytes. Called once per tick when the
+    /// pipe polls readable; the loop then re-checks its channels, so
+    /// coalesced wakeups are never lost.
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut sink = [0u8; 256];
+        // Nonblocking: loop until WouldBlock (or any error — a broken
+        // self-pipe only costs spurious wakeups, never correctness).
+        while matches!((&self.read_half).read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+impl Waker {
+    /// Makes the event loop's current (or next) `poll` return
+    /// immediately. Best-effort by design: a full pipe means wakeups are
+    /// already pending, and any other failure is absorbed by the loop's
+    /// bounded poll timeout.
+    pub fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.write_half).write(&[1u8]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn poll_times_out_on_a_quiet_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut set = PollSet::new();
+        set.register(listener.as_raw_fd(), POLLIN);
+        let ready = set.poll(Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(ready, 0);
+    }
+
+    #[test]
+    fn poll_reports_an_accept_ready_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let mut set = PollSet::new();
+        let slot = set.register(listener.as_raw_fd(), POLLIN);
+        let ready = set.poll(Some(Duration::from_millis(2000))).unwrap();
+        assert!(ready >= 1);
+        assert!(set.revents(slot).readable());
+    }
+
+    #[test]
+    fn poll_reports_readable_data_and_writable_buffers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        client.write_all(b"ping").unwrap();
+        client.flush().unwrap();
+        let mut set = PollSet::new();
+        let r = set.register(server.as_raw_fd(), POLLIN);
+        let w = set.register(client.as_raw_fd(), POLLOUT);
+        let ready = set.poll(Some(Duration::from_millis(2000))).unwrap();
+        assert!(ready >= 1);
+        assert!(set.revents(r).readable(), "server side has bytes to read");
+        assert!(set.revents(w).writable(), "idle client buffer is writable");
+    }
+
+    #[test]
+    fn waker_rouses_a_parked_poll() {
+        let wakeup = Wakeup::new().unwrap();
+        let waker = wakeup.waker().unwrap();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.wake();
+        });
+        let mut set = PollSet::new();
+        let slot = set.register(wakeup.fd(), POLLIN);
+        let begun = std::time::Instant::now();
+        let ready = set.poll(Some(Duration::from_secs(10))).unwrap();
+        assert!(ready >= 1);
+        assert!(set.revents(slot).readable());
+        assert!(
+            begun.elapsed() < Duration::from_secs(5),
+            "wakeup did not interrupt the poll"
+        );
+        wakeup.drain();
+        // Drained pipe: the next poll times out instead of spinning.
+        set.clear();
+        set.register(wakeup.fd(), POLLIN);
+        assert_eq!(set.poll(Some(Duration::from_millis(10))).unwrap(), 0);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn coalesced_wakeups_survive_a_single_drain() {
+        let wakeup = Wakeup::new().unwrap();
+        let waker = wakeup.waker().unwrap();
+        for _ in 0..1000 {
+            waker.wake();
+        }
+        wakeup.drain();
+        let mut set = PollSet::new();
+        set.register(wakeup.fd(), POLLIN);
+        assert_eq!(
+            set.poll(Some(Duration::from_millis(10))).unwrap(),
+            0,
+            "drain left bytes behind"
+        );
+    }
+
+    #[test]
+    fn subsecond_timeouts_round_up_not_down() {
+        // A 100 µs timeout must become 1 ms, not a 0 ms busy spin.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut set = PollSet::new();
+        set.register(listener.as_raw_fd(), POLLIN);
+        let ready = set.poll(Some(Duration::from_micros(100))).unwrap();
+        assert_eq!(ready, 0);
+    }
+}

@@ -1,12 +1,25 @@
-//! The daemon: accept loop → bounded job queue → worker pool, with a
-//! result cache, per-job deadlines, and graceful drain-on-shutdown.
+//! The daemon: a single-threaded poll reactor → bounded job queue →
+//! worker pool, with a result cache, per-job deadlines, and graceful
+//! drain-on-shutdown.
+//!
+//! Connection layer (DESIGN.md §9): one event loop owns every socket in
+//! nonblocking mode and multiplexes readiness through `poll(2)` (see
+//! [`crate::reactor`]). Each connection carries a read buffer (partial
+//! line), a write buffer (pending responses) and a small state machine
+//! (`open → close-after-flush → closed`); complete request lines are
+//! parsed and dispatched on the reactor thread, job work is executed on
+//! the worker pool, and workers hand finished responses back over an
+//! `mpsc` channel plus a self-pipe wakeup. Responses to pipelined
+//! requests interleave in completion order, correlated by the request
+//! `id`; a `batch` request rides the queue as one entry whose elements
+//! are answered individually.
 //!
 //! Job lifecycle: `received → queued → running → (completed | failed |
 //! timed_out | panicked | cancelled)`, or `rejected` straight from
 //! `received` when the queue is full or shutdown has begun. Every
-//! transition is visible through `chameleon_obs` sites (`server.*`
-//! counters/spans) *and* through plain atomics so `status` works even in
-//! a no-obs build.
+//! transition is visible through `chameleon_obs` sites (`server.*` /
+//! `server.reactor.*` counters) *and* through plain atomics so `status`
+//! works even in a no-obs build.
 //!
 //! Robustness contract (DESIGN.md §8): no client behaviour and no worker
 //! panic may take the daemon down or wedge it. Concretely:
@@ -15,49 +28,71 @@
 //!   structured retryable `job_panicked` error and the worker survives;
 //! * the queue and cache locks recover from poisoning
 //!   ([`crate::sync::RecoverableMutex`]) instead of propagating it;
-//! * request lines are read through a bounded reader: a configurable
-//!   byte cap (`max_request_bytes`) and a per-line read deadline
-//!   (`read_timeout_ms`) turn oversized and slow-dribbling (slowloris)
-//!   clients into structured errors instead of unbounded allocation or a
-//!   pinned thread;
-//! * the connection pool is bounded (`max_connections`); excess
-//!   connections get a `server_busy` error line and are closed;
+//! * request lines are buffered under a byte cap (`max_request_bytes`)
+//!   and a per-line deadline (`read_timeout_ms`, tracked as poll-timeout
+//!   bookkeeping): oversized and slow-dribbling (slowloris) clients get
+//!   structured errors instead of unbounded allocation or a pinned
+//!   reactor;
+//! * the connection slab is bounded (`max_connections`); excess
+//!   connections get a `server_busy` error line written best-effort from
+//!   the reactor — no thread is ever spawned per connection;
+//! * a client that stops reading its responses trips a write-stall
+//!   deadline and is disconnected instead of growing its buffer forever;
 //! * optional seeded fault injection ([`crate::faults`]) drives all of
-//!   the above deterministically in tests and chaos runs.
+//!   the above deterministically — including reactor-level deferred
+//!   readiness and short writes — in tests and chaos runs.
 //!
 //! Shutdown sequence (triggered by a `shutdown` request): set the flag —
-//! the accept loop stops accepting, job submission starts rejecting, and
-//! idle connection threads notice on their next poll tick and exit —
-//! then wait until the queue is drained (queued = in-flight = 0), answer
-//! the shutdown request, close the queue so workers exit, join them,
-//! wait (bounded) for connection threads to unwind, and flush a final
-//! metrics snapshot to the configured path. A stalled client can never
-//! wedge this: reads poll, writes time out, waits are bounded.
+//! the reactor stops accepting and job submission starts rejecting —
+//! then wait until the queue is drained (queued = in-flight = 0), flush
+//! every already-completed response, answer the shutdown request, give
+//! the flush a bounded grace period, close the queue so workers exit,
+//! join them, and write the final metrics snapshot. A stalled client can
+//! never wedge this: every wait is poll-timeout bounded.
+//!
+//! Determinism contract: job execution and response rendering are
+//! identical to the CLI path (`process_job` runs the same library entry
+//! points and the shared deterministic encoder), so for a fixed request
+//! the `result` object is byte-identical across thread counts, cache
+//! state, pipelining, batching and chunking — the reactor only moves
+//! bytes, it never feeds an RNG stream.
 
 use crate::cache::ResultCache;
 use crate::faults::{FaultInjector, FaultPlan, JobFault};
 use crate::job::ExecError;
-use crate::protocol::{coded_error_response, codes, ok_response, parse_request, Request};
+use crate::protocol::{
+    chunk_frames, coded_error_response, codes, ok_response, parse_request, JobRequest, Request,
+};
 use crate::queue::{BoundedQueue, PushError};
+use crate::reactor::{PollSet, Waker, Wakeup, POLLIN, POLLOUT};
 use crate::sync::RecoverableMutex;
 use chameleon_core::{CancelReason, CancelToken};
 use chameleon_obs::json;
 use chameleon_stats::SeedSequence;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// How often blocked reads wake to poll the shutdown flag and the
-/// per-line deadline.
-const POLL_TICK: Duration = Duration::from_millis(25);
+/// Idle poll timeout: the loop wakes at least this often to re-check
+/// deadlines and the shutdown flag even with no I/O and no wakeups.
+const IDLE_POLL: Duration = Duration::from_millis(500);
 
-/// Per-connection write deadline: a client that stops reading its
-/// responses gets its connection dropped instead of pinning the writer.
+/// Poll timeout while a shutdown waits for the queue to drain.
+const DRAIN_POLL: Duration = Duration::from_millis(5);
+
+/// Per-connection write-stall deadline: a client that stops reading its
+/// responses gets its connection dropped instead of growing the write
+/// buffer forever.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Bounded grace period for flushing final responses after the shutdown
+/// request is answered; a vanished client cannot wedge shutdown.
+const FLUSH_GRACE: Duration = Duration::from_secs(2);
 
 /// Suggested client backoff after an injected/transient worker fault.
 const FAULT_RETRY_MS: u64 = 50;
@@ -71,6 +106,7 @@ pub struct ServerConfig {
     /// Worker threads (0 = one per hardware thread).
     pub workers: usize,
     /// Bounded queue depth; a full queue rejects with `retry_after_ms`.
+    /// A `batch` request occupies one slot regardless of size.
     pub queue_depth: usize,
     /// Result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
@@ -90,6 +126,9 @@ pub struct ServerConfig {
     /// Maximum concurrently open connections (0 = unlimited). Excess
     /// connections receive a `server_busy` error line and are closed.
     pub max_connections: usize,
+    /// Maximum elements in one `batch` request (0 = unlimited). A larger
+    /// batch answers a single `batch_too_large` error.
+    pub max_batch: usize,
     /// Deterministic fault-injection schedule (chaos testing only;
     /// `None` in production).
     pub faults: Option<FaultPlan>,
@@ -107,6 +146,7 @@ impl Default for ServerConfig {
             max_request_bytes: 16 * 1024 * 1024,
             read_timeout_ms: 30_000,
             max_connections: 256,
+            max_batch: 1024,
             faults: None,
         }
     }
@@ -130,22 +170,43 @@ pub struct ServerReport {
     pub jobs_cancelled: u64,
 }
 
-struct Job {
+/// Identifies a connection slab slot at a point in time: the generation
+/// counter makes completions for a closed-and-reused slot harmlessly
+/// undeliverable instead of landing on the wrong client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ConnToken {
+    idx: usize,
+    gen: u64,
+}
+
+/// One job of a queue entry (a single request is a one-element entry).
+struct QueuedJob {
     spec: crate::job::JobSpec,
     id: Option<String>,
     timeout: Duration,
-    respond: mpsc::Sender<String>,
+    chunk_bytes: usize,
+}
+
+/// One bounded-queue entry: all jobs of one request line.
+struct Job {
+    items: Vec<QueuedJob>,
+    token: ConnToken,
     enqueued: Instant,
+}
+
+/// A worker's finished queue entry: the rendered wire bytes (one or more
+/// newline-terminated response/chunk lines) plus how many in-flight jobs
+/// it settles on the owning connection.
+struct Completion {
+    token: ConnToken,
+    wire: Vec<u8>,
+    jobs: usize,
 }
 
 struct Shared {
     queue: BoundedQueue<Job>,
     cache: RecoverableMutex<ResultCache>,
     shutting_down: AtomicBool,
-    /// Set once a shutdown response has been written and flushed; `run`
-    /// waits on it so the process never exits before the client hears
-    /// back.
-    shutdown_acked: AtomicBool,
     jobs_completed: AtomicU64,
     jobs_failed: AtomicU64,
     jobs_rejected: AtomicU64,
@@ -159,6 +220,7 @@ struct Shared {
     max_request_bytes: usize,
     read_timeout: Option<Duration>,
     max_connections: usize,
+    max_batch: usize,
     faults: Option<FaultInjector>,
     started: Instant,
 }
@@ -178,16 +240,23 @@ impl Shared {
     /// `status` result object; field order is fixed by construction.
     fn status_json(&self) -> String {
         let cache = self.cache.lock().stats();
-        let (injected_panics, injected_cancels) = match &self.faults {
-            Some(f) => (f.injected_panics(), f.injected_cancels()),
-            None => (0, 0),
-        };
+        let (injected_panics, injected_cancels, injected_defers, injected_short_writes) =
+            match &self.faults {
+                Some(f) => (
+                    f.injected_panics(),
+                    f.injected_cancels(),
+                    f.injected_defers(),
+                    f.injected_short_writes(),
+                ),
+                None => (0, 0, 0, 0),
+            };
         format!(
             "{{\"uptime_ms\":{},\"workers\":{},\"queue_depth\":{},\"queue_capacity\":{},\
              \"in_flight\":{},\"jobs_completed\":{},\"jobs_failed\":{},\"jobs_rejected\":{},\
              \"jobs_timed_out\":{},\"jobs_panicked\":{},\"jobs_cancelled\":{},\
              \"open_connections\":{},\"locks_recovered\":{},\"shutting_down\":{},\
-             \"faults\":{{\"injected_panics\":{},\"injected_cancels\":{}}},\
+             \"faults\":{{\"injected_panics\":{},\"injected_cancels\":{},\
+             \"injected_defers\":{},\"injected_short_writes\":{}}},\
              \"cache\":{{\"entries\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\
              \"evictions\":{}}}}}",
             self.started.elapsed().as_millis(),
@@ -206,6 +275,8 @@ impl Shared {
             self.shutting_down.load(Ordering::Relaxed),
             injected_panics,
             injected_cancels,
+            injected_defers,
+            injected_short_writes,
             cache.entries,
             cache.capacity,
             cache.hits,
@@ -262,7 +333,6 @@ impl Server {
             queue: BoundedQueue::new(config.queue_depth),
             cache: RecoverableMutex::new(ResultCache::new(config.cache_capacity)),
             shutting_down: AtomicBool::new(false),
-            shutdown_acked: AtomicBool::new(false),
             jobs_completed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
@@ -280,6 +350,11 @@ impl Server {
                 usize::MAX
             } else {
                 config.max_connections
+            },
+            max_batch: if config.max_batch == 0 {
+                usize::MAX
+            } else {
+                config.max_batch
             },
             faults: config
                 .faults
@@ -311,115 +386,752 @@ impl Server {
         let server = Server::bind(config)?;
         let addr = server.local_addr();
         let thread = std::thread::Builder::new()
-            .name("chameleond-accept".into())
+            .name("chameleond-reactor".into())
             .spawn(move || server.run())
-            .expect("spawn accept thread");
+            .expect("spawn reactor thread");
         Ok(ServerHandle { addr, thread })
     }
 
-    /// Serves until a `shutdown` request completes: accepts connections,
-    /// drains the queue on shutdown, joins the workers, waits (bounded)
-    /// for connection threads, and flushes the final metrics snapshot.
+    /// Serves until a `shutdown` request completes: runs the reactor
+    /// event loop, drains the queue on shutdown, joins the workers, and
+    /// flushes the final metrics snapshot.
     ///
     /// # Errors
-    /// Propagates accept-loop I/O errors (`WouldBlock` excluded).
+    /// Propagates fatal reactor I/O errors (`poll` failures, listener
+    /// errors other than transient accept races).
     pub fn run(self) -> std::io::Result<ServerReport> {
         let Server {
             listener,
             shared,
             metrics_path,
         } = self;
+        let wakeup = Wakeup::new()?;
+        let (tx, rx) = mpsc::channel::<Completion>();
         let worker_handles: Vec<_> = (0..shared.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                let waker = wakeup.waker().expect("clone waker");
                 std::thread::Builder::new()
                     .name(format!("chameleond-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, &tx, &waker))
                     .expect("spawn worker")
             })
             .collect();
-
-        // Nonblocking accept + short sleep: the loop must notice the
-        // shutdown flag without a connection arriving to wake it.
+        drop(tx);
         listener.set_nonblocking(true)?;
-        while !shared.shutting_down.load(Ordering::Acquire) {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    chameleon_obs::counter!("server.connections").add(1);
-                    stream.set_nonblocking(false)?;
-                    if shared.open_connections.load(Ordering::Relaxed) >= shared.max_connections {
-                        chameleon_obs::counter!("server.conn.rejected_busy").add(1);
-                        reject_busy(stream, shared.max_connections);
-                        continue;
-                    }
-                    // Request/response alternation deadlocks with Nagle +
-                    // delayed ACK into ~40 ms stalls per round-trip.
-                    let _ = stream.set_nodelay(true);
-                    shared.open_connections.fetch_add(1, Ordering::Relaxed);
-                    let conn_shared = Arc::clone(&shared);
-                    let spawned = std::thread::Builder::new()
-                        .name("chameleond-conn".into())
-                        .spawn(move || handle_connection(stream, &conn_shared));
-                    if spawned.is_err() {
-                        // Thread exhaustion is a load problem, not a
-                        // reason to die; shed the connection.
-                        shared.open_connections.fetch_sub(1, Ordering::Relaxed);
-                        chameleon_obs::counter!("server.conn.spawn_failed").add(1);
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        drop(listener);
-
-        // Drain: queued and in-flight jobs finish; their connection
-        // threads deliver the responses.
-        while !shared.queue.is_drained() {
-            std::thread::sleep(Duration::from_millis(5));
-        }
+        let mut reactor = Reactor {
+            listener,
+            wakeup,
+            completions: rx,
+            shared: Arc::clone(&shared),
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_gen: 0,
+            shutdown_requested: false,
+            shutdown_waiters: Vec::new(),
+            shutdown_answered: false,
+            exit_deadline: None,
+            poll: PollSet::new(),
+            conn_slots: Vec::new(),
+            scratch: vec![0u8; 64 * 1024],
+        };
+        let run_result = reactor.run();
+        drop(reactor);
+        // Workers exit once the queue closes; any completion they send
+        // into the dropped channel is discarded.
         shared.queue.close();
         for handle in worker_handles {
             let _ = handle.join();
         }
-        // Let the shutdown connection flush its response before the
-        // process (in CLI use) exits; bounded wait so a vanished client
-        // cannot wedge shutdown.
-        let ack_deadline = Instant::now() + Duration::from_secs(2);
-        while !shared.shutdown_acked.load(Ordering::Acquire) && Instant::now() < ack_deadline {
-            std::thread::sleep(Duration::from_millis(2));
-        }
-        // Connection threads poll the shutdown flag every POLL_TICK, so
-        // even a stalled (slowloris or idle) client unwinds promptly.
-        // The wait is bounded: a thread stuck in a timed write cannot
-        // wedge shutdown either.
-        let conn_deadline = Instant::now() + Duration::from_secs(2);
-        while shared.open_connections.load(Ordering::Relaxed) > 0 && Instant::now() < conn_deadline
-        {
-            std::thread::sleep(Duration::from_millis(5));
-        }
         if let Some(path) = &metrics_path {
             let _ = std::fs::write(path, chameleon_obs::metrics_json());
         }
+        run_result?;
         Ok(shared.report())
     }
 }
 
-/// Best-effort `server_busy` rejection written from the accept thread;
-/// short write deadline so a non-reading client cannot stall accepts.
-fn reject_busy(stream: TcpStream, limit: usize) {
-    let mut stream = stream;
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-    let line = coded_error_response(
+/// One connection owned by the reactor.
+struct Conn {
+    stream: TcpStream,
+    gen: u64,
+    /// Partial request line (bytes up to, not including, the next `\n`).
+    rbuf: Vec<u8>,
+    /// Pending outbound bytes; `wpos` is the already-written prefix.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Armed when `rbuf` holds a started line and a read timeout is
+    /// configured; cleared when the line completes.
+    line_deadline: Option<Instant>,
+    /// Jobs dispatched to the queue whose completions are still owed.
+    in_flight: usize,
+    /// Terminal state: flush `wbuf`, then close. No further lines are
+    /// parsed and no further job responses are delivered.
+    close_after_flush: bool,
+    /// Peer sent EOF; stop registering for reads.
+    read_closed: bool,
+    /// Last time a write made progress (or data was first queued);
+    /// drives the write-stall deadline.
+    last_progress: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, gen: u64) -> Self {
+        Self {
+            stream,
+            gen,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            line_deadline: None,
+            in_flight: 0,
+            close_after_flush: false,
+            read_closed: false,
+            last_progress: Instant::now(),
+        }
+    }
+
+    fn has_pending_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+/// Appends one newline-terminated response line to the connection's
+/// write buffer.
+fn push_line(conn: &mut Conn, line: &str) {
+    if !conn.has_pending_write() {
+        conn.last_progress = Instant::now();
+    }
+    conn.wbuf.extend_from_slice(line.as_bytes());
+    conn.wbuf.push(b'\n');
+}
+
+/// Appends already newline-terminated wire bytes (worker completions).
+fn push_wire(conn: &mut Conn, wire: &[u8]) {
+    if !conn.has_pending_write() {
+        conn.last_progress = Instant::now();
+    }
+    conn.wbuf.extend_from_slice(wire);
+}
+
+/// Best-effort `server_busy` rejection written from the reactor without
+/// occupying a slab slot; the socket is nonblocking, so a full buffer
+/// just drops the notice.
+fn reject_busy(stream: &TcpStream, limit: usize) {
+    let mut line = coded_error_response(
         None,
         codes::SERVER_BUSY,
         &format!("connection limit reached ({limit} open connections); retry later"),
         Some(200),
     );
-    let _ = stream.write_all(line.as_bytes());
-    let _ = stream.write_all(b"\n");
+    line.push('\n');
+    let _ = (&*stream).write(line.as_bytes());
+}
+
+/// The event loop: owns the listener, the connection slab, the wakeup
+/// pipe and the completion channel.
+struct Reactor {
+    listener: TcpListener,
+    wakeup: Wakeup,
+    completions: mpsc::Receiver<Completion>,
+    shared: Arc<Shared>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_gen: u64,
+    shutdown_requested: bool,
+    shutdown_waiters: Vec<(ConnToken, Option<String>)>,
+    shutdown_answered: bool,
+    exit_deadline: Option<Instant>,
+    poll: PollSet,
+    /// Scratch mapping of poll-set slot → slab index, rebuilt per tick.
+    conn_slots: Vec<(usize, usize)>,
+    /// Scratch read buffer shared by all connections.
+    scratch: Vec<u8>,
+}
+
+impl Reactor {
+    fn run(&mut self) -> std::io::Result<()> {
+        loop {
+            self.answer_shutdown_when_drained();
+            if self.exit_ready() {
+                return Ok(());
+            }
+            self.tick()?;
+        }
+    }
+
+    /// One poll cycle: build the registration set, wait for readiness,
+    /// then service wakeups, completions, accepts, reads, deadlines and
+    /// writes in that order.
+    fn tick(&mut self) -> std::io::Result<()> {
+        self.poll.clear();
+        self.conn_slots.clear();
+        let wake_slot = self.poll.register(self.wakeup.fd(), POLLIN);
+        let listen_slot = if self.shutdown_requested {
+            None
+        } else {
+            Some(self.poll.register(self.listener.as_raw_fd(), POLLIN))
+        };
+        for (idx, conn) in self.conns.iter().enumerate() {
+            let Some(conn) = conn else { continue };
+            let mut events: i16 = 0;
+            if !conn.read_closed {
+                events |= POLLIN;
+            }
+            if conn.has_pending_write() {
+                events |= POLLOUT;
+            }
+            if events != 0 {
+                self.conn_slots
+                    .push((self.poll.register(conn.stream.as_raw_fd(), events), idx));
+            }
+        }
+        let timeout = self.poll_timeout();
+        self.poll.poll(Some(timeout))?;
+        chameleon_obs::counter!("server.reactor.ticks").add(1);
+
+        if self.poll.revents(wake_slot).readable() {
+            chameleon_obs::counter!("server.reactor.wakeups").add(1);
+            self.wakeup.drain();
+        }
+        self.drain_completions();
+        for k in 0..self.conn_slots.len() {
+            let (slot, idx) = self.conn_slots[k];
+            let readable = self.poll.revents(slot).readable();
+            if readable {
+                self.read_ready(idx);
+            }
+        }
+        self.service_timers_and_flush();
+        // Accept *after* reads and reaping: a connection closed in this
+        // same tick must free its slot before the busy check, or a
+        // back-to-back close-then-connect client gets a spurious
+        // `server_busy`.
+        if let Some(slot) = listen_slot {
+            if self.poll.revents(slot).readable() {
+                self.accept_ready()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The next poll timeout: tight while draining for shutdown,
+    /// otherwise the nearest read/write/exit deadline, capped at the
+    /// idle tick.
+    fn poll_timeout(&self) -> Duration {
+        if self.shutdown_requested && !self.shutdown_answered {
+            return DRAIN_POLL;
+        }
+        let now = Instant::now();
+        let mut nearest: Option<Instant> = self.exit_deadline;
+        for conn in self.conns.iter().flatten() {
+            if let Some(d) = conn.line_deadline {
+                nearest = Some(nearest.map_or(d, |n| n.min(d)));
+            }
+            if conn.has_pending_write() {
+                let d = conn.last_progress + WRITE_TIMEOUT;
+                nearest = Some(nearest.map_or(d, |n| n.min(d)));
+            }
+        }
+        match nearest {
+            Some(d) => d
+                .saturating_duration_since(now)
+                .max(Duration::from_millis(1))
+                .min(IDLE_POLL),
+            None => IDLE_POLL,
+        }
+    }
+
+    /// Routes finished queue entries to their connections. Stale tokens
+    /// (closed or reused slots) are dropped — exactly the old
+    /// disconnected-client semantics.
+    fn drain_completions(&mut self) {
+        while let Ok(done) = self.completions.try_recv() {
+            chameleon_obs::counter!("server.reactor.completions").add(1);
+            let Some(conn) = self.conns.get_mut(done.token.idx).and_then(Option::as_mut) else {
+                continue;
+            };
+            if conn.gen != done.token.gen {
+                continue;
+            }
+            conn.in_flight = conn.in_flight.saturating_sub(done.jobs);
+            if conn.close_after_flush {
+                continue;
+            }
+            push_wire(conn, &done.wire);
+        }
+    }
+
+    fn accept_ready(&mut self) -> std::io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    chameleon_obs::counter!("server.connections").add(1);
+                    let _ = stream.set_nonblocking(true);
+                    // Request/response alternation deadlocks with Nagle +
+                    // delayed ACK into ~40 ms stalls per round-trip.
+                    let _ = stream.set_nodelay(true);
+                    if self.shared.open_connections.load(Ordering::Relaxed)
+                        >= self.shared.max_connections
+                    {
+                        chameleon_obs::counter!("server.conn.rejected_busy").add(1);
+                        reject_busy(&stream, self.shared.max_connections);
+                        continue;
+                    }
+                    self.insert_conn(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                // A peer that aborted between SYN and accept is its
+                // problem, not a reason to die (common under soak load).
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::Interrupted
+                            | std::io::ErrorKind::ConnectionAborted
+                            | std::io::ErrorKind::ConnectionReset
+                    ) =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn insert_conn(&mut self, stream: TcpStream) {
+        self.next_gen += 1;
+        let conn = Conn::new(stream, self.next_gen);
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.conns[idx] = Some(conn);
+                idx
+            }
+            None => {
+                self.conns.push(Some(conn));
+                self.conns.len() - 1
+            }
+        };
+        let _ = idx;
+        self.shared.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        if self.conns[idx].take().is_some() {
+            self.free.push(idx);
+            self.shared.open_connections.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads everything currently available on one connection, extracts
+    /// complete lines and dispatches them. Level-triggered readiness
+    /// makes the deferred-readiness fault safe: a skipped tick is
+    /// re-signalled on the next poll.
+    fn read_ready(&mut self, idx: usize) {
+        if let Some(injector) = &self.shared.faults {
+            if injector.next_deferred_ready() {
+                chameleon_obs::counter!("server.reactor.deferred_ready").add(1);
+                return;
+            }
+        }
+        let mut lines: Vec<Vec<u8>> = Vec::new();
+        let mut close_now = false;
+        loop {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    if !conn.rbuf.is_empty() && !conn.close_after_flush {
+                        chameleon_obs::counter!("server.conn.truncated").add(1);
+                        let bytes = conn.rbuf.len();
+                        conn.rbuf.clear();
+                        conn.line_deadline = None;
+                        push_line(
+                            conn,
+                            &coded_error_response(
+                                None,
+                                codes::BAD_REQUEST,
+                                &format!(
+                                    "truncated request: {bytes} bytes without a newline before EOF"
+                                ),
+                                None,
+                            ),
+                        );
+                        conn.close_after_flush = true;
+                    } else if conn.has_pending_write() {
+                        conn.close_after_flush = true;
+                    } else {
+                        close_now = true;
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    if conn.close_after_flush {
+                        // Terminal state: drain and discard so the error
+                        // response is not torn down by a reset.
+                        continue;
+                    }
+                    conn.rbuf.extend_from_slice(&self.scratch[..n]);
+                    let mut overflow = false;
+                    while let Some(pos) = conn.rbuf.iter().position(|&b| b == b'\n') {
+                        let mut line: Vec<u8> = conn.rbuf.drain(..=pos).collect();
+                        line.pop();
+                        if line.last() == Some(&b'\r') {
+                            line.pop();
+                        }
+                        if line.len() > self.shared.max_request_bytes {
+                            overflow = true;
+                            break;
+                        }
+                        lines.push(line);
+                    }
+                    if conn.rbuf.len() > self.shared.max_request_bytes {
+                        overflow = true;
+                    }
+                    if overflow {
+                        chameleon_obs::counter!("server.conn.request_too_large").add(1);
+                        conn.rbuf.clear();
+                        conn.line_deadline = None;
+                        push_line(
+                            conn,
+                            &coded_error_response(
+                                None,
+                                codes::REQUEST_TOO_LARGE,
+                                &format!(
+                                    "request line exceeds the {} byte limit",
+                                    self.shared.max_request_bytes
+                                ),
+                                None,
+                            ),
+                        );
+                        conn.close_after_flush = true;
+                        continue;
+                    }
+                    if conn.rbuf.is_empty() {
+                        conn.line_deadline = None;
+                    } else if conn.line_deadline.is_none() {
+                        conn.line_deadline = self.shared.read_timeout.map(|t| Instant::now() + t);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    close_now = true;
+                    break;
+                }
+            }
+        }
+        if close_now {
+            self.close_conn(idx);
+            return;
+        }
+        for line in lines {
+            if self.conns[idx].as_ref().is_none_or(|c| c.close_after_flush) {
+                break;
+            }
+            self.handle_line(idx, line);
+        }
+    }
+
+    /// Parses and dispatches one complete request line.
+    fn handle_line(&mut self, idx: usize, raw: Vec<u8>) {
+        let shared = Arc::clone(&self.shared);
+        let gen = match self.conns[idx].as_ref() {
+            Some(c) => c.gen,
+            None => return,
+        };
+        let token = ConnToken { idx, gen };
+        let line = match String::from_utf8(raw) {
+            Ok(line) => line,
+            Err(_) => {
+                chameleon_obs::counter!("server.conn.bad_utf8").add(1);
+                // Resynced at the newline — the connection survives.
+                let resp = coded_error_response(
+                    None,
+                    codes::BAD_REQUEST,
+                    "request line is not valid UTF-8",
+                    None,
+                );
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    push_line(conn, &resp);
+                }
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            return;
+        }
+        let request = match parse_request(&line) {
+            Ok(request) => request,
+            Err((id, msg)) => {
+                let resp = coded_error_response(id.as_deref(), codes::BAD_REQUEST, &msg, None);
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    push_line(conn, &resp);
+                }
+                return;
+            }
+        };
+        match request {
+            Request::Status { id } => {
+                let resp = ok_response(id.as_deref(), false, &shared.status_json());
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    push_line(conn, &resp);
+                }
+            }
+            Request::Shutdown { id } => {
+                chameleon_obs::counter!("server.shutdown_requests").add(1);
+                shared.shutting_down.store(true, Ordering::Release);
+                self.shutdown_requested = true;
+                self.shutdown_waiters.push((token, id));
+            }
+            Request::Job(job) => {
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    submit_jobs(&shared, conn, token, vec![Ok(job)]);
+                }
+            }
+            Request::Batch { id, items } => {
+                if items.len() > shared.max_batch {
+                    shared
+                        .jobs_rejected
+                        .fetch_add(items.len() as u64, Ordering::Relaxed);
+                    chameleon_obs::counter!("server.jobs.rejected_batch").add(items.len() as u64);
+                    let resp = coded_error_response(
+                        id.as_deref(),
+                        codes::BATCH_TOO_LARGE,
+                        &format!(
+                            "batch of {} elements exceeds the {} element limit",
+                            items.len(),
+                            shared.max_batch
+                        ),
+                        None,
+                    );
+                    if let Some(conn) = self.conns[idx].as_mut() {
+                        push_line(conn, &resp);
+                    }
+                    return;
+                }
+                chameleon_obs::counter!("server.jobs.batched").add(items.len() as u64);
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    submit_jobs(&shared, conn, token, items);
+                }
+            }
+        }
+    }
+
+    /// Once the queue drains after a shutdown request: flush every
+    /// already-completed job response into its write buffer *first*,
+    /// then answer the waiters and start the bounded exit grace period.
+    fn answer_shutdown_when_drained(&mut self) {
+        if !self.shutdown_requested || self.shutdown_answered {
+            return;
+        }
+        if !self.shared.queue.is_drained() {
+            return;
+        }
+        // Workers send the completion before marking the task done, so a
+        // drained queue means every response is already in the channel.
+        self.drain_completions();
+        let report = self.shared.report();
+        let result = format!(
+            "{{\"drained\":true,\"jobs_completed\":{},\"jobs_failed\":{},\
+             \"jobs_rejected\":{},\"jobs_timed_out\":{},\"jobs_panicked\":{},\
+             \"jobs_cancelled\":{}}}",
+            report.jobs_completed,
+            report.jobs_failed,
+            report.jobs_rejected,
+            report.jobs_timed_out,
+            report.jobs_panicked,
+            report.jobs_cancelled,
+        );
+        for (token, id) in std::mem::take(&mut self.shutdown_waiters) {
+            let Some(conn) = self.conns.get_mut(token.idx).and_then(Option::as_mut) else {
+                continue;
+            };
+            if conn.gen != token.gen {
+                continue;
+            }
+            conn.close_after_flush = false;
+            push_line(conn, &ok_response(id.as_deref(), false, &result));
+            conn.close_after_flush = true;
+        }
+        self.shutdown_answered = true;
+        self.exit_deadline = Some(Instant::now() + FLUSH_GRACE);
+    }
+
+    /// The loop may exit once shutdown is answered and every write
+    /// buffer is flushed (or the grace period expired — a vanished
+    /// client cannot wedge shutdown).
+    fn exit_ready(&self) -> bool {
+        if !self.shutdown_answered {
+            return false;
+        }
+        let all_flushed = self.conns.iter().flatten().all(|c| !c.has_pending_write());
+        all_flushed || self.exit_deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Enforces read deadlines, flushes pending writes, applies the
+    /// write-stall deadline and reaps terminal connections.
+    fn service_timers_and_flush(&mut self) {
+        let now = Instant::now();
+        for idx in 0..self.conns.len() {
+            let mut close_now = false;
+            if let Some(conn) = self.conns[idx].as_mut() {
+                if let Some(deadline) = conn.line_deadline {
+                    if now >= deadline && !conn.close_after_flush {
+                        chameleon_obs::counter!("server.conn.read_timeout").add(1);
+                        conn.rbuf.clear();
+                        conn.line_deadline = None;
+                        push_line(
+                            conn,
+                            &coded_error_response(
+                                None,
+                                codes::READ_TIMEOUT,
+                                "request line not completed before the read deadline",
+                                None,
+                            ),
+                        );
+                        conn.close_after_flush = true;
+                    }
+                }
+                if conn.has_pending_write() {
+                    if !flush_conn(conn, self.shared.faults.as_ref()) {
+                        close_now = true;
+                    } else if conn.has_pending_write()
+                        && now.duration_since(conn.last_progress) > WRITE_TIMEOUT
+                    {
+                        chameleon_obs::counter!("server.conn.write_stalled").add(1);
+                        close_now = true;
+                    }
+                }
+                if !close_now && conn.close_after_flush && !conn.has_pending_write() {
+                    close_now = true;
+                }
+            } else {
+                continue;
+            }
+            if close_now {
+                self.close_conn(idx);
+            }
+        }
+    }
+}
+
+/// Writes as much of the pending buffer as the socket accepts; returns
+/// false when the connection is dead. The short-write fault caps one
+/// attempt at a single byte and yields, exercising the partial-write
+/// resume path deterministically.
+fn flush_conn(conn: &mut Conn, faults: Option<&FaultInjector>) -> bool {
+    loop {
+        let pending_len = conn.wbuf.len() - conn.wpos;
+        if pending_len == 0 {
+            break;
+        }
+        let cap = match faults {
+            Some(f) if f.next_short_write() => {
+                chameleon_obs::counter!("server.reactor.short_writes").add(1);
+                1
+            }
+            _ => pending_len,
+        };
+        let chunk = &conn.wbuf[conn.wpos..conn.wpos + cap];
+        match conn.stream.write(chunk) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.wpos += n;
+                conn.last_progress = Instant::now();
+                if cap < pending_len {
+                    // Injected short write: leave the rest for the next
+                    // tick so the resume path actually runs.
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+    true
+}
+
+/// Admits the parsed jobs of one request line: per-element parse errors
+/// answer immediately, the valid remainder rides the queue as a single
+/// entry. Every element gets its own response line.
+fn submit_jobs(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    token: ConnToken,
+    items: Vec<Result<JobRequest, (Option<String>, String)>>,
+) {
+    let mut queued: Vec<QueuedJob> = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            Ok(job) => queued.push(QueuedJob {
+                timeout: job
+                    .timeout_ms
+                    .map(|ms| Duration::from_millis(ms.max(1)))
+                    .unwrap_or(shared.default_timeout),
+                spec: job.spec,
+                id: job.id,
+                chunk_bytes: job.chunk_bytes,
+            }),
+            Err((id, msg)) => {
+                push_line(
+                    conn,
+                    &coded_error_response(id.as_deref(), codes::BAD_REQUEST, &msg, None),
+                );
+            }
+        }
+    }
+    if queued.is_empty() {
+        return;
+    }
+    let n = queued.len() as u64;
+    // Ids are kept out-of-band so a rejected push (which consumes the
+    // entry) can still answer every element with its own id.
+    let ids: Vec<Option<String>> = queued.iter().map(|j| j.id.clone()).collect();
+    let reject = |conn: &mut Conn, code: &str, msg: &str, retry: Option<u64>| {
+        for id in &ids {
+            push_line(conn, &coded_error_response(id.as_deref(), code, msg, retry));
+        }
+    };
+    if shared.shutting_down.load(Ordering::Acquire) {
+        shared.jobs_rejected.fetch_add(n, Ordering::Relaxed);
+        chameleon_obs::counter!("server.jobs.rejected_shutdown").add(n);
+        reject(conn, codes::SHUTTING_DOWN, "server is shutting down", None);
+        return;
+    }
+    let count = queued.len();
+    match shared.queue.try_push(Job {
+        items: queued,
+        token,
+        enqueued: Instant::now(),
+    }) {
+        Ok(depth) => {
+            chameleon_obs::counter!("server.jobs.accepted").add(n);
+            chameleon_obs::record_value!("server.queue.depth", depth as u64);
+            conn.in_flight += count;
+        }
+        Err(PushError::Full { capacity }) => {
+            shared.jobs_rejected.fetch_add(n, Ordering::Relaxed);
+            chameleon_obs::counter!("server.jobs.rejected_full").add(n);
+            // Suggested backoff grows with the number of busy workers: a
+            // saturated pool drains no faster than one job at a time.
+            let retry_ms = 100 * (1 + shared.queue.active() as u64).min(50);
+            let msg = format!("queue full ({capacity} queued jobs); retry later");
+            reject(conn, codes::QUEUE_FULL, &msg, Some(retry_ms));
+        }
+        Err(PushError::Closed) => {
+            shared.jobs_rejected.fetch_add(n, Ordering::Relaxed);
+            chameleon_obs::counter!("server.jobs.rejected_shutdown").add(n);
+            reject(conn, codes::SHUTTING_DOWN, "server is shutting down", None);
+        }
+    }
 }
 
 /// Settles the queue's active count even when the job path unwinds.
@@ -431,37 +1143,67 @@ impl Drop for TaskDoneGuard<'_> {
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop() {
+/// Renders one job's response line into wire bytes, applying chunked
+/// framing when the request asked for it.
+fn wire_bytes(id: Option<&str>, line: String, chunk_bytes: usize) -> Vec<u8> {
+    if chunk_bytes > 0 {
+        if let Some(frames) = chunk_frames(id, &line, chunk_bytes) {
+            let mut out = Vec::with_capacity(line.len() + frames.len() * 96);
+            for frame in &frames {
+                out.extend_from_slice(frame.as_bytes());
+                out.push(b'\n');
+            }
+            return out;
+        }
+    }
+    let mut out = line.into_bytes();
+    out.push(b'\n');
+    out
+}
+
+fn worker_loop(shared: &Arc<Shared>, respond: &mpsc::Sender<Completion>, waker: &Waker) {
+    while let Some(batch) = shared.queue.pop() {
         let _done = TaskDoneGuard(shared);
         chameleon_obs::record_value!(
             "server.job.queue_wait_ns",
-            job.enqueued.elapsed().as_nanos() as u64
+            batch.enqueued.elapsed().as_nanos() as u64
         );
-        // Panic isolation: a panicking job — injected or genuine — must
-        // answer a structured error and leave the worker serving. The
-        // shared state is safe to reuse after an unwind: the queue/cache
-        // locks recover poison, and all counters are plain atomics.
-        let response =
-            match std::panic::catch_unwind(AssertUnwindSafe(|| process_job(shared, &job))) {
-                Ok(response) => response,
-                Err(payload) => {
-                    shared.jobs_panicked.fetch_add(1, Ordering::Relaxed);
-                    chameleon_obs::counter!("server.jobs.panicked").add(1);
-                    coded_error_response(
-                        job.id.as_deref(),
-                        codes::JOB_PANICKED,
-                        &format!(
-                            "{} job panicked: {}; the worker recovered — safe to retry",
-                            job.spec.op(),
-                            panic_message(payload.as_ref()),
-                        ),
-                        Some(FAULT_RETRY_MS),
-                    )
-                }
-            };
-        // A disconnected client just discards the response.
-        let _ = job.respond.send(response);
+        let mut wire: Vec<u8> = Vec::new();
+        for item in &batch.items {
+            // Panic isolation: a panicking job — injected or genuine —
+            // must answer a structured error and leave the worker (and
+            // the rest of the batch) running. The shared state is safe
+            // to reuse after an unwind: the queue/cache locks recover
+            // poison, and all counters are plain atomics.
+            let response =
+                match std::panic::catch_unwind(AssertUnwindSafe(|| process_job(shared, item))) {
+                    Ok(response) => response,
+                    Err(payload) => {
+                        shared.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+                        chameleon_obs::counter!("server.jobs.panicked").add(1);
+                        coded_error_response(
+                            item.id.as_deref(),
+                            codes::JOB_PANICKED,
+                            &format!(
+                                "{} job panicked: {}; the worker recovered — safe to retry",
+                                item.spec.op(),
+                                panic_message(payload.as_ref()),
+                            ),
+                            Some(FAULT_RETRY_MS),
+                        )
+                    }
+                };
+            wire.extend_from_slice(&wire_bytes(item.id.as_deref(), response, item.chunk_bytes));
+        }
+        // Send precedes `task_done` (the guard drops after this): once
+        // the queue reports drained, every completion is already in the
+        // channel. A dropped receiver (reactor exited) just discards.
+        let _ = respond.send(Completion {
+            token: batch.token,
+            wire,
+            jobs: batch.items.len(),
+        });
+        waker.wake();
     }
 }
 
@@ -476,7 +1218,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
-fn process_job(shared: &Arc<Shared>, job: &Job) -> String {
+fn process_job(shared: &Arc<Shared>, job: &QueuedJob) -> String {
     let key = job.spec.cache_key();
     let cancel = CancelToken::with_deadline(Instant::now() + job.timeout);
     // Fault injection sits at the execution boundary, before the cache:
@@ -548,354 +1290,68 @@ fn process_job(shared: &Arc<Shared>, job: &Job) -> String {
     }
 }
 
-/// One request line, read under the daemon's protocol limits.
-enum LineRead {
-    /// A complete line (newline stripped, trailing `\r` stripped).
-    Line(String),
-    /// A complete line that is not valid UTF-8. The stream is resynced
-    /// at the newline, so the connection may continue.
-    BadUtf8,
-    /// The byte cap was hit before a newline; the connection cannot be
-    /// resynced and must close after the error reply.
-    TooLong,
-    /// A started line stalled past the read deadline (slowloris).
-    TimedOut,
-    /// EOF in the middle of a line (`n` bytes without a newline).
-    TruncatedEof(usize),
-    /// Clean EOF at a line boundary, an I/O error, or shutdown while
-    /// idle — close without a reply.
-    Disconnected,
+/// Client-side helper: writes one request line (newline appended). Pair
+/// with [`read_response`]; pipelining is just several `send_request`
+/// calls before the matching reads.
+///
+/// # Errors
+/// Propagates socket I/O failures.
+pub fn send_request<W: Write>(writer: &mut W, request: &str) -> std::io::Result<()> {
+    writer.write_all(request.as_bytes())?;
+    writer.write_all(b"\n")
 }
 
-/// Reads one `\n`-terminated line, enforcing `max_request_bytes` and the
-/// per-line read deadline. The socket carries a `POLL_TICK` read timeout,
-/// so the loop wakes regularly to poll the shutdown flag — an idle
-/// connection parks here indefinitely but unwinds within one tick of
-/// shutdown.
-fn read_bounded_line(reader: &mut BufReader<TcpStream>, shared: &Shared) -> LineRead {
-    let mut line: Vec<u8> = Vec::new();
-    let mut deadline: Option<Instant> = None;
+/// Client-side helper: reads one *logical* response, transparently
+/// reassembling chunked (`"status":"chunk"`) frames into the original
+/// response line.
+///
+/// # Errors
+/// Propagates socket I/O failures; a closed connection without a
+/// complete response is an `UnexpectedEof` error.
+pub fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<String> {
+    let mut assembled: Option<String> = None;
     loop {
-        enum Step {
-            Complete,
-            Partial,
-            TooLong,
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection without responding",
+            ));
         }
-        let (step, consumed) = {
-            let available = match reader.fill_buf() {
-                Ok(chunk) => chunk,
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if shared.shutting_down.load(Ordering::Acquire) {
-                        return if line.is_empty() {
-                            LineRead::Disconnected
-                        } else {
-                            LineRead::TimedOut
-                        };
-                    }
-                    if let Some(d) = deadline {
-                        if Instant::now() >= d {
-                            return LineRead::TimedOut;
-                        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        // Fast path: only lines that can be chunk frames pay the parse.
+        if line.contains("\"status\":\"chunk\"") {
+            if let Ok(v) = json::Json::parse(&line) {
+                if v.get("status").and_then(json::Json::as_str) == Some("chunk") {
+                    let data = v.get("data").and_then(json::Json::as_str).unwrap_or("");
+                    assembled.get_or_insert_with(String::new).push_str(data);
+                    if v.get("last").and_then(json::Json::as_bool) == Some(true) {
+                        return Ok(assembled.take().unwrap_or_default());
                     }
                     continue;
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => return LineRead::Disconnected,
-            };
-            if available.is_empty() {
-                return if line.is_empty() {
-                    LineRead::Disconnected
-                } else {
-                    LineRead::TruncatedEof(line.len())
-                };
-            }
-            match available.iter().position(|&b| b == b'\n') {
-                Some(pos) => {
-                    if line.len() + pos > shared.max_request_bytes {
-                        (Step::TooLong, 0)
-                    } else {
-                        line.extend_from_slice(&available[..pos]);
-                        (Step::Complete, pos + 1)
-                    }
-                }
-                None => {
-                    if line.len() + available.len() > shared.max_request_bytes {
-                        (Step::TooLong, 0)
-                    } else {
-                        let n = available.len();
-                        line.extend_from_slice(available);
-                        (Step::Partial, n)
-                    }
-                }
-            }
-        };
-        reader.consume(consumed);
-        match step {
-            Step::Complete => {
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                return match String::from_utf8(line) {
-                    Ok(s) => LineRead::Line(s),
-                    Err(_) => LineRead::BadUtf8,
-                };
-            }
-            Step::TooLong => return LineRead::TooLong,
-            Step::Partial => {
-                if deadline.is_none() {
-                    deadline = shared.read_timeout.map(|t| Instant::now() + t);
-                }
             }
         }
+        return Ok(line);
     }
 }
 
-/// Decrements the open-connection count when the thread unwinds, however
-/// it unwinds.
-struct ConnGuard<'a>(&'a Shared);
-
-impl Drop for ConnGuard<'_> {
-    fn drop(&mut self) {
-        self.0.open_connections.fetch_sub(1, Ordering::Relaxed);
-    }
-}
-
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let _open = ConnGuard(shared);
-    let _ = stream.set_read_timeout(Some(POLL_TICK));
-    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let reader_half = match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(reader_half);
-    let mut writer = stream;
-    let write_line = |writer: &mut TcpStream, response: &str| {
-        writer
-            .write_all(response.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
-            .is_ok()
-    };
-    loop {
-        let line = match read_bounded_line(&mut reader, shared) {
-            LineRead::Line(line) => line,
-            LineRead::BadUtf8 => {
-                chameleon_obs::counter!("server.conn.bad_utf8").add(1);
-                let resp = coded_error_response(
-                    None,
-                    codes::BAD_REQUEST,
-                    "request line is not valid UTF-8",
-                    None,
-                );
-                // Resynced at the newline — the connection survives.
-                if !write_line(&mut writer, &resp) {
-                    return;
-                }
-                continue;
-            }
-            LineRead::TooLong => {
-                chameleon_obs::counter!("server.conn.request_too_large").add(1);
-                let resp = coded_error_response(
-                    None,
-                    codes::REQUEST_TOO_LARGE,
-                    &format!(
-                        "request line exceeds the {} byte limit",
-                        shared.max_request_bytes
-                    ),
-                    None,
-                );
-                let _ = write_line(&mut writer, &resp);
-                return;
-            }
-            LineRead::TimedOut => {
-                chameleon_obs::counter!("server.conn.read_timeout").add(1);
-                let resp = coded_error_response(
-                    None,
-                    codes::READ_TIMEOUT,
-                    "request line not completed before the read deadline",
-                    None,
-                );
-                let _ = write_line(&mut writer, &resp);
-                return;
-            }
-            LineRead::TruncatedEof(bytes) => {
-                chameleon_obs::counter!("server.conn.truncated").add(1);
-                let resp = coded_error_response(
-                    None,
-                    codes::BAD_REQUEST,
-                    &format!("truncated request: {bytes} bytes without a newline before EOF"),
-                    None,
-                );
-                let _ = write_line(&mut writer, &resp);
-                return;
-            }
-            LineRead::Disconnected => return,
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, is_shutdown) = dispatch(&line, shared);
-        let ok = write_line(&mut writer, &response);
-        if is_shutdown {
-            if ok {
-                shared.shutdown_acked.store(true, Ordering::Release);
-            }
-            return;
-        }
-        if !ok {
-            return;
-        }
-    }
-}
-
-/// Handles one request line; returns the response and whether it was a
-/// shutdown (the connection closes after answering one).
-fn dispatch(line: &str, shared: &Arc<Shared>) -> (String, bool) {
-    let request = match parse_request(line) {
-        Ok(request) => request,
-        Err((id, msg)) => {
-            return (
-                coded_error_response(id.as_deref(), codes::BAD_REQUEST, &msg, None),
-                false,
-            )
-        }
-    };
-    match request {
-        Request::Status { id } => (
-            ok_response(id.as_deref(), false, &shared.status_json()),
-            false,
-        ),
-        Request::Shutdown { id } => {
-            chameleon_obs::counter!("server.shutdown_requests").add(1);
-            shared.shutting_down.store(true, Ordering::Release);
-            while !shared.queue.is_drained() {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            let report = shared.report();
-            let result = format!(
-                "{{\"drained\":true,\"jobs_completed\":{},\"jobs_failed\":{},\
-                 \"jobs_rejected\":{},\"jobs_timed_out\":{},\"jobs_panicked\":{},\
-                 \"jobs_cancelled\":{}}}",
-                report.jobs_completed,
-                report.jobs_failed,
-                report.jobs_rejected,
-                report.jobs_timed_out,
-                report.jobs_panicked,
-                report.jobs_cancelled,
-            );
-            (ok_response(id.as_deref(), false, &result), true)
-        }
-        Request::Job {
-            spec,
-            id,
-            timeout_ms,
-        } => {
-            if shared.shutting_down.load(Ordering::Acquire) {
-                shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-                chameleon_obs::counter!("server.jobs.rejected_shutdown").add(1);
-                return (
-                    coded_error_response(
-                        id.as_deref(),
-                        codes::SHUTTING_DOWN,
-                        "server is shutting down",
-                        None,
-                    ),
-                    false,
-                );
-            }
-            let timeout = timeout_ms
-                .map(|ms| Duration::from_millis(ms.max(1)))
-                .unwrap_or(shared.default_timeout);
-            let (tx, rx) = mpsc::channel();
-            let job = Job {
-                spec,
-                id: id.clone(),
-                timeout,
-                respond: tx,
-                enqueued: Instant::now(),
-            };
-            match shared.queue.try_push(job) {
-                Ok(depth) => {
-                    chameleon_obs::counter!("server.jobs.accepted").add(1);
-                    chameleon_obs::record_value!("server.queue.depth", depth as u64);
-                    match rx.recv() {
-                        Ok(response) => (response, false),
-                        Err(_) => (
-                            coded_error_response(
-                                id.as_deref(),
-                                codes::JOB_FAILED,
-                                "worker dropped the job",
-                                None,
-                            ),
-                            false,
-                        ),
-                    }
-                }
-                Err(PushError::Full { capacity }) => {
-                    shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-                    chameleon_obs::counter!("server.jobs.rejected_full").add(1);
-                    // Suggested backoff grows with the number of busy
-                    // workers: a saturated pool drains no faster than one
-                    // job at a time.
-                    let retry_ms = 100 * (1 + shared.queue.active() as u64).min(50);
-                    (
-                        coded_error_response(
-                            id.as_deref(),
-                            codes::QUEUE_FULL,
-                            &format!("queue full ({capacity} queued jobs); retry later"),
-                            Some(retry_ms),
-                        ),
-                        false,
-                    )
-                }
-                Err(PushError::Closed) => {
-                    shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-                    chameleon_obs::counter!("server.jobs.rejected_shutdown").add(1);
-                    (
-                        coded_error_response(
-                            id.as_deref(),
-                            codes::SHUTTING_DOWN,
-                            "server is shutting down",
-                            None,
-                        ),
-                        false,
-                    )
-                }
-            }
-        }
-    }
-}
-
-/// Client-side helper: sends one request line and reads one response line.
-/// Used by the CLI `submit` subcommand, the integration tests and the
-/// bench probes — not part of the daemon itself.
+/// Client-side helper: sends one request line and reads one response
+/// (chunk frames reassembled). Used by the CLI `submit` subcommand, the
+/// integration tests and the bench probes — not part of the daemon
+/// itself.
 ///
 /// # Errors
 /// Propagates socket I/O failures; a closed connection without a response
 /// is an `UnexpectedEof` error.
 pub fn roundtrip(stream: &mut TcpStream, request: &str) -> std::io::Result<String> {
-    stream.write_all(request.as_bytes())?;
-    stream.write_all(b"\n")?;
+    send_request(stream, request)?;
     stream.flush()?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut line = String::new();
-    let n = reader.read_line(&mut line)?;
-    if n == 0 {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::UnexpectedEof,
-            "server closed the connection without responding",
-        ));
-    }
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
-    }
-    Ok(line)
+    read_response(&mut reader)
 }
 
 /// Convenience for one-shot clients: connect, round-trip a single request,
@@ -1031,5 +1487,30 @@ mod tests {
             None
         );
         assert_eq!(retry_hint("garbage"), None);
+    }
+
+    #[test]
+    fn wire_bytes_chunk_only_when_asked_and_needed() {
+        let short = wire_bytes(Some("a"), "{\"x\":1}".to_string(), 0);
+        assert_eq!(short, b"{\"x\":1}\n");
+        let long_line = format!("{{\"pad\":\"{}\"}}", "x".repeat(4000));
+        let unchunked = wire_bytes(Some("a"), long_line.clone(), 0);
+        assert_eq!(unchunked.len(), long_line.len() + 1);
+        let chunked = wire_bytes(Some("a"), long_line.clone(), 1024);
+        let text = String::from_utf8(chunked).unwrap();
+        let mut rebuilt = String::new();
+        for frame in text.lines() {
+            let v = json::Json::parse(frame).unwrap();
+            assert_eq!(v.get("status").and_then(json::Json::as_str), Some("chunk"));
+            rebuilt.push_str(v.get("data").and_then(json::Json::as_str).unwrap());
+        }
+        assert_eq!(rebuilt, long_line);
+        // Client-side reassembly round-trips through read_response.
+        let mut reader = std::io::BufReader::new(std::io::Cursor::new(wire_bytes(
+            Some("a"),
+            long_line.clone(),
+            1024,
+        )));
+        assert_eq!(read_response(&mut reader).unwrap(), long_line);
     }
 }

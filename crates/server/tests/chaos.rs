@@ -169,6 +169,53 @@ fn soak_with_faults_on_matches_faults_off_byte_for_byte() {
 }
 
 #[test]
+fn reactor_faults_leave_responses_byte_identical() {
+    let policy = RetryPolicy {
+        max_retries: 12,
+        base_delay_ms: 10,
+        max_delay_ms: 500,
+        seed: 7,
+    };
+
+    // Baseline: no faults.
+    let (handle, addr) = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let baseline = run_jobs(&addr, &policy);
+    let resp = request_once(&addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert!(resp.contains("\"status\":\"ok\""));
+    handle.join().unwrap();
+
+    // Reactor chaos: the first 4 read-readiness events are deferred a poll
+    // tick and the first 6 socket writes are truncated to a single byte.
+    // Both faults reshuffle *when* bytes move through the event loop, never
+    // *which* bytes move — so every payload must come back unchanged.
+    let (handle, addr) = start(ServerConfig {
+        workers: 2,
+        faults: Some(
+            FaultPlan::new(31)
+                .with_deferred_ready(1.0, 4)
+                .with_short_writes(1.0, 6),
+        ),
+        ..ServerConfig::default()
+    });
+    let chaotic = run_jobs(&addr, &policy);
+    assert_eq!(baseline, chaotic, "reactor faults changed response bytes");
+
+    // Every budgeted fault actually fired (rate 1.0 => exact prefix).
+    let status = request_once(&addr, r#"{"op":"status"}"#).unwrap();
+    let v = Json::parse(&status).unwrap();
+    let faults = field(field(&v, "result"), "faults");
+    assert_eq!(field(faults, "injected_defers").as_u64(), Some(4));
+    assert_eq!(field(faults, "injected_short_writes").as_u64(), Some(6));
+
+    let resp = request_once(&addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert!(resp.contains("\"status\":\"ok\""));
+    handle.join().unwrap();
+}
+
+#[test]
 fn queue_full_storm_converges_under_the_retry_client() {
     // One worker, queue of one: concurrent submissions are guaranteed to
     // bounce with queue_full + retry_after_ms; the seeded-backoff retry

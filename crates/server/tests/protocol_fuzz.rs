@@ -86,6 +86,203 @@ proptest! {
     }
 }
 
+/// Reads `n` newline-terminated replies and indexes them by their echoed
+/// `id` (pipelined responses complete in worker order, not request order).
+fn read_replies_by_id<R: BufRead>(
+    reader: &mut R,
+    n: usize,
+) -> std::collections::HashMap<String, Json> {
+    let mut replies = std::collections::HashMap::new();
+    for _ in 0..n {
+        let mut line = String::new();
+        let got = reader.read_line(&mut line).unwrap();
+        assert!(got > 0, "connection closed with replies outstanding");
+        let v = Json::parse(line.trim_end())
+            .unwrap_or_else(|e| panic!("unstructured reply {line:?}: {e}"));
+        let id = v
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("reply missing id: {line}"))
+            .to_string();
+        assert!(
+            replies.insert(id.clone(), v).is_none(),
+            "id {id:?} echoed twice"
+        );
+    }
+    replies
+}
+
+#[test]
+fn pipelined_burst_echoes_every_id_exactly_once() {
+    let handle = Server::spawn(ServerConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+
+    // One burst: valid jobs interleaved with id-tagged junk, all written
+    // before a single reply is read. Every line — good or junk — must be
+    // answered with its own id, exactly once.
+    let mut burst = String::new();
+    let mut expect_ok = Vec::new();
+    let mut expect_err = Vec::new();
+    for i in 0..8 {
+        burst.push_str(&format!(
+            "{{\"op\":\"check\",\"id\":\"ok{i}\",\"graph\":\"0 1 0.5\\n1 2 0.5\\n\",\"k\":1}}\n"
+        ));
+        expect_ok.push(format!("ok{i}"));
+        burst.push_str(&format!("{{\"op\":\"bogus\",\"id\":\"bad{i}\"}}\n"));
+        expect_err.push(format!("bad{i}"));
+    }
+    conn.write_all(burst.as_bytes()).unwrap();
+    conn.flush().unwrap();
+
+    let replies = read_replies_by_id(&mut reader, expect_ok.len() + expect_err.len());
+    for id in &expect_ok {
+        let v = &replies[id];
+        assert_eq!(
+            v.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{id}: {v:?}"
+        );
+    }
+    for id in &expect_err {
+        let v = &replies[id];
+        assert_eq!(
+            v.get("status").and_then(Json::as_str),
+            Some("error"),
+            "{id}: {v:?}"
+        );
+        assert!(v.get("error").and_then(Json::as_str).is_some());
+    }
+
+    let resp = chameleon_server::request_once(&addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert!(resp.contains("\"status\":\"ok\""));
+    handle.join().unwrap();
+}
+
+#[test]
+fn oversized_batch_is_rejected_whole_with_batch_too_large() {
+    let handle = Server::spawn(ServerConfig {
+        max_batch: 4,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+
+    let elem = "{\"op\":\"check\",\"graph\":\"0 1 0.5\\n\",\"k\":1}";
+    let over = format!(
+        "{{\"op\":\"batch\",\"id\":\"big\",\"requests\":[{}]}}\n",
+        [elem; 6].join(",")
+    );
+    conn.write_all(over.as_bytes()).unwrap();
+    conn.flush().unwrap();
+
+    // Exactly one reply for the whole rejected batch, carrying the batch id
+    // and the machine-readable code — no per-element replies leak through.
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v = Json::parse(line.trim_end()).unwrap();
+    assert_eq!(v.get("id").and_then(Json::as_str), Some("big"));
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("error"));
+    assert_eq!(
+        v.get("code").and_then(Json::as_str),
+        Some("batch_too_large")
+    );
+
+    // A batch at the limit still goes through, all on the same connection.
+    let ok = format!(
+        "{{\"op\":\"batch\",\"id\":\"fit\",\"requests\":[{}]}}\n",
+        [elem; 4].join(",")
+    );
+    conn.write_all(ok.as_bytes()).unwrap();
+    conn.flush().unwrap();
+    let replies = read_replies_by_id(&mut reader, 4);
+    for i in 0..4 {
+        let v = &replies[&format!("fit#{i}")];
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"), "{v:?}");
+    }
+
+    let resp = chameleon_server::request_once(&addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert!(resp.contains("\"status\":\"ok\""));
+    handle.join().unwrap();
+}
+
+#[test]
+fn batch_junk_elements_get_per_element_replies_with_derived_ids() {
+    let handle = Server::spawn(ServerConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+
+    // Element 0: valid, no id (inherits "b#0"). Element 1: junk op.
+    // Element 2: nested batch (forbidden). Element 3: valid, explicit id.
+    let line = "{\"op\":\"batch\",\"id\":\"b\",\"requests\":[\
+         {\"op\":\"check\",\"graph\":\"0 1 0.5\\n\",\"k\":1},\
+         {\"op\":\"bogus\"},\
+         {\"op\":\"batch\",\"requests\":[]},\
+         {\"op\":\"check\",\"id\":\"own\",\"graph\":\"0 1 0.5\\n\",\"k\":1}]}\n";
+    conn.write_all(line.as_bytes()).unwrap();
+    conn.flush().unwrap();
+
+    let replies = read_replies_by_id(&mut reader, 4);
+    assert_eq!(
+        replies["b#0"].get("status").and_then(Json::as_str),
+        Some("ok")
+    );
+    assert_eq!(
+        replies["own"].get("status").and_then(Json::as_str),
+        Some("ok")
+    );
+    for id in ["b#1", "b#2"] {
+        let v = &replies[id];
+        assert_eq!(
+            v.get("status").and_then(Json::as_str),
+            Some("error"),
+            "{v:?}"
+        );
+        assert!(v.get("error").and_then(Json::as_str).is_some());
+    }
+
+    let resp = chameleon_server::request_once(&addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert!(resp.contains("\"status\":\"ok\""));
+    handle.join().unwrap();
+}
+
+#[test]
+fn requests_split_mid_line_across_poll_ticks_reassemble() {
+    let handle = Server::spawn(ServerConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+
+    // Dribble a pipelined pair of requests in 7-byte fragments with pauses
+    // so each fragment lands in a separate poll tick; the reactor must
+    // buffer partial lines across ticks and only dispatch on '\n'.
+    let payload = "{\"op\":\"check\",\"id\":\"slow\",\"graph\":\"0 1 0.5\\n\",\"k\":1}\n\
+                   {\"op\":\"bogus\",\"id\":\"slow2\"}\n";
+    for frag in payload.as_bytes().chunks(7) {
+        conn.write_all(frag).unwrap();
+        conn.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    let replies = read_replies_by_id(&mut reader, 2);
+    assert_eq!(
+        replies["slow"].get("status").and_then(Json::as_str),
+        Some("ok")
+    );
+    assert_eq!(
+        replies["slow2"].get("status").and_then(Json::as_str),
+        Some("error")
+    );
+
+    let resp = chameleon_server::request_once(&addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert!(resp.contains("\"status\":\"ok\""));
+    handle.join().unwrap();
+}
+
 #[test]
 fn every_junk_line_gets_a_reply_and_the_connection_survives() {
     let handle = Server::spawn(ServerConfig {
