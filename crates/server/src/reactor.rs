@@ -85,11 +85,33 @@ impl PollFd {
     }
 }
 
+/// The platform's `nfds_t`: `unsigned long` (64-bit) on 64-bit Linux,
+/// but `unsigned int` (32-bit) on macOS and the BSDs. The declaration
+/// must match exactly — a 64-bit count against a 32-bit ABI slot is
+/// undefined behavior even when little-endian registers happen to make
+/// small values work.
+#[cfg(any(
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "netbsd",
+    target_os = "openbsd",
+    target_os = "dragonfly"
+))]
+type NfdsT = u32;
+#[cfg(not(any(
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "netbsd",
+    target_os = "openbsd",
+    target_os = "dragonfly"
+)))]
+type NfdsT = u64;
+
 extern "C" {
-    /// `poll(2)` from the platform C runtime. `nfds_t` is 64-bit on
-    /// 64-bit Linux; the workspace only targets 64-bit unix (CI pins
-    /// x86_64 Linux), so `u64` matches the ABI.
-    fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+    /// `poll(2)` from the platform C runtime.
+    fn poll(fds: *mut PollFd, nfds: NfdsT, timeout_ms: i32) -> i32;
 }
 
 /// A reusable registration set for one `poll(2)` call per event-loop
@@ -157,7 +179,7 @@ impl PollSet {
             // SAFETY: `fds` is a live, exclusively borrowed slice of
             // `#[repr(C)]` pollfd-compatible structs; the kernel writes
             // only the `revents` fields within its bounds.
-            let rc = unsafe { poll(self.fds.as_mut_ptr(), self.fds.len() as u64, timeout_ms) };
+            let rc = unsafe { poll(self.fds.as_mut_ptr(), self.fds.len() as NfdsT, timeout_ms) };
             if rc >= 0 {
                 return Ok(rc as usize);
             }

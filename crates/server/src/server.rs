@@ -466,10 +466,16 @@ struct Conn {
     line_deadline: Option<Instant>,
     /// Jobs dispatched to the queue whose completions are still owed.
     in_flight: usize,
-    /// Terminal state: flush `wbuf`, then close. No further lines are
-    /// parsed and no further job responses are delivered.
+    /// Terminal *error* state (oversized line, read timeout, truncated
+    /// request, shutdown answer): flush `wbuf`, then close. No further
+    /// lines are parsed and later job completions are suppressed, so
+    /// the error reply is deterministically the connection's final
+    /// line. A clean EOF never sets this — see `read_closed`.
     close_after_flush: bool,
-    /// Peer sent EOF; stop registering for reads.
+    /// Peer half-closed its write side (clean EOF). The connection
+    /// turns write-only: lines received before the FIN are still
+    /// dispatched, in-flight completions are still delivered, and the
+    /// socket closes once `in_flight` and `wbuf` both drain.
     read_closed: bool,
     /// Last time a write made progress (or data was first queued);
     /// drives the write-stall deadline.
@@ -656,6 +662,10 @@ impl Reactor {
                 continue;
             }
             conn.in_flight = conn.in_flight.saturating_sub(done.jobs);
+            // Error closures suppress late completions — the queued
+            // error reply stays the final line. A half-closed client
+            // (`read_closed` without the error state) still gets every
+            // owed response: it sent FIN, not a protocol violation.
             if conn.close_after_flush {
                 continue;
             }
@@ -727,6 +737,13 @@ impl Reactor {
     /// complete lines and dispatches them. Level-triggered readiness
     /// makes the deferred-readiness fault safe: a skipped tick is
     /// re-signalled on the next poll.
+    ///
+    /// Terminal events (EOF, an oversized line, an I/O error) are only
+    /// *recorded* inside the read loop and acted on after every complete
+    /// line already extracted from the same burst has been dispatched —
+    /// a client may legally write its requests and immediately shut down
+    /// its write side, and DESIGN.md §9.2 promises every complete line a
+    /// response regardless of how that FIN races the poll tick.
     fn read_ready(&mut self, idx: usize) {
         if let Some(injector) = &self.shared.faults {
             if injector.next_deferred_ready() {
@@ -735,7 +752,9 @@ impl Reactor {
             }
         }
         let mut lines: Vec<Vec<u8>> = Vec::new();
-        let mut close_now = false;
+        let mut fatal = false;
+        let mut overflow = false;
+        let mut truncated_bytes: Option<usize> = None;
         loop {
             let Some(conn) = self.conns[idx].as_mut() else {
                 return;
@@ -743,38 +762,21 @@ impl Reactor {
             match conn.stream.read(&mut self.scratch) {
                 Ok(0) => {
                     conn.read_closed = true;
-                    if !conn.rbuf.is_empty() && !conn.close_after_flush {
+                    if !conn.rbuf.is_empty() && !conn.close_after_flush && !overflow {
                         chameleon_obs::counter!("server.conn.truncated").add(1);
-                        let bytes = conn.rbuf.len();
+                        truncated_bytes = Some(conn.rbuf.len());
                         conn.rbuf.clear();
                         conn.line_deadline = None;
-                        push_line(
-                            conn,
-                            &coded_error_response(
-                                None,
-                                codes::BAD_REQUEST,
-                                &format!(
-                                    "truncated request: {bytes} bytes without a newline before EOF"
-                                ),
-                                None,
-                            ),
-                        );
-                        conn.close_after_flush = true;
-                    } else if conn.has_pending_write() {
-                        conn.close_after_flush = true;
-                    } else {
-                        close_now = true;
                     }
                     break;
                 }
                 Ok(n) => {
-                    if conn.close_after_flush {
+                    if conn.close_after_flush || overflow {
                         // Terminal state: drain and discard so the error
                         // response is not torn down by a reset.
                         continue;
                     }
                     conn.rbuf.extend_from_slice(&self.scratch[..n]);
-                    let mut overflow = false;
                     while let Some(pos) = conn.rbuf.iter().position(|&b| b == b'\n') {
                         let mut line: Vec<u8> = conn.rbuf.drain(..=pos).collect();
                         line.pop();
@@ -794,19 +796,6 @@ impl Reactor {
                         chameleon_obs::counter!("server.conn.request_too_large").add(1);
                         conn.rbuf.clear();
                         conn.line_deadline = None;
-                        push_line(
-                            conn,
-                            &coded_error_response(
-                                None,
-                                codes::REQUEST_TOO_LARGE,
-                                &format!(
-                                    "request line exceeds the {} byte limit",
-                                    self.shared.max_request_bytes
-                                ),
-                                None,
-                            ),
-                        );
-                        conn.close_after_flush = true;
                         continue;
                     }
                     if conn.rbuf.is_empty() {
@@ -818,20 +807,61 @@ impl Reactor {
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => {
-                    close_now = true;
+                    fatal = true;
                     break;
                 }
             }
         }
-        if close_now {
+        // Dispatch first: every line in `lines` was complete before any
+        // terminal event in this burst. Immediate replies land in the
+        // outbuf ahead of whatever error line the event queues below.
+        for line in lines {
+            if self.conns[idx].is_none() {
+                return;
+            }
+            self.handle_line(idx, line);
+        }
+        if fatal {
             self.close_conn(idx);
             return;
         }
-        for line in lines {
-            if self.conns[idx].as_ref().is_none_or(|c| c.close_after_flush) {
-                break;
+        if let Some(conn) = self.conns[idx].as_mut() {
+            if let Some(bytes) = truncated_bytes {
+                push_line(
+                    conn,
+                    &coded_error_response(
+                        None,
+                        codes::BAD_REQUEST,
+                        &format!("truncated request: {bytes} bytes without a newline before EOF"),
+                        None,
+                    ),
+                );
+                conn.close_after_flush = true;
             }
-            self.handle_line(idx, line);
+            if overflow {
+                push_line(
+                    conn,
+                    &coded_error_response(
+                        None,
+                        codes::REQUEST_TOO_LARGE,
+                        &format!(
+                            "request line exceeds the {} byte limit",
+                            self.shared.max_request_bytes
+                        ),
+                        None,
+                    ),
+                );
+                conn.close_after_flush = true;
+            }
+        }
+        // Clean EOF with nothing owed closes immediately; with jobs in
+        // flight or bytes buffered the connection stays in write-drain
+        // (reaped by `service_timers_and_flush` once both hit zero).
+        let drained = self.conns[idx].as_ref().is_some_and(|c| {
+            c.read_closed && !c.close_after_flush && c.in_flight == 0 && !c.has_pending_write()
+        });
+        if drained {
+            self.close_conn(idx);
         }
     }
 
@@ -1006,6 +1036,16 @@ impl Reactor {
                     }
                 }
                 if !close_now && conn.close_after_flush && !conn.has_pending_write() {
+                    close_now = true;
+                }
+                // A half-closed connection in write-drain is done once
+                // every dispatched line has been answered and flushed.
+                if !close_now
+                    && conn.read_closed
+                    && !conn.close_after_flush
+                    && conn.in_flight == 0
+                    && !conn.has_pending_write()
+                {
                     close_now = true;
                 }
             } else {

@@ -161,6 +161,99 @@ fn pipelined_burst_echoes_every_id_exactly_once() {
 }
 
 #[test]
+fn half_close_after_pipelined_burst_still_delivers_every_reply() {
+    let handle = Server::spawn(ServerConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+
+    // The pipelined-client idiom: write every request, then shut down the
+    // write side (`printf 'req\n' | nc`). The FIN races the reactor's
+    // poll tick against delivery of the burst; whichever way it lands,
+    // the server must dispatch every complete line and keep the
+    // connection in write-drain until all replies are out.
+    let mut burst = String::new();
+    let mut expect = Vec::new();
+    for i in 0..8 {
+        burst.push_str(&format!(
+            "{{\"op\":\"check\",\"id\":\"hc{i}\",\"graph\":\"0 1 0.5\\n1 2 0.5\\n\",\"k\":1}}\n"
+        ));
+        expect.push(format!("hc{i}"));
+    }
+    conn.write_all(burst.as_bytes()).unwrap();
+    conn.flush().unwrap();
+    conn.shutdown(std::net::Shutdown::Write).unwrap();
+
+    let replies = read_replies_by_id(&mut reader, expect.len());
+    for id in &expect {
+        let v = &replies[id];
+        assert_eq!(
+            v.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{id}: {v:?}"
+        );
+    }
+    // Everything owed was delivered; the server now closes its side too.
+    let mut line = String::new();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "expected EOF");
+
+    let resp = chameleon_server::request_once(&addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert!(resp.contains("\"status\":\"ok\""));
+    handle.join().unwrap();
+}
+
+#[test]
+fn oversized_line_still_answers_earlier_lines_from_the_same_burst() {
+    let handle = Server::spawn(ServerConfig {
+        max_request_bytes: 512,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+
+    // One write: two well-formed lines with immediate replies, then a
+    // line far over the limit. The earlier lines were complete before
+    // the overflow and must be answered ahead of the error.
+    let mut burst = String::from("{\"op\":\"status\",\"id\":\"pre1\"}\n");
+    burst.push_str("{\"op\":\"bogus\",\"id\":\"pre2\"}\n");
+    burst.push_str(&format!(
+        "{{\"op\":\"check\",\"junk\":\"{}\"",
+        "x".repeat(2048)
+    ));
+    burst.push('\n');
+    conn.write_all(burst.as_bytes()).unwrap();
+    conn.flush().unwrap();
+
+    let replies = read_replies_by_id(&mut reader, 2);
+    assert_eq!(
+        replies["pre1"].get("status").and_then(Json::as_str),
+        Some("ok"),
+        "status request preceding the oversized line must be answered"
+    );
+    assert_eq!(
+        replies["pre2"].get("status").and_then(Json::as_str),
+        Some("error"),
+        "junk line preceding the oversized line must keep its reply"
+    );
+    // Then the terminal request_too_large error, then EOF.
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v = Json::parse(line.trim_end()).unwrap();
+    assert_eq!(
+        v.get("code").and_then(Json::as_str),
+        Some("request_too_large")
+    );
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "expected EOF");
+
+    let resp = chameleon_server::request_once(&addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert!(resp.contains("\"status\":\"ok\""));
+    handle.join().unwrap();
+}
+
+#[test]
 fn oversized_batch_is_rejected_whole_with_batch_too_large() {
     let handle = Server::spawn(ServerConfig {
         max_batch: 4,
