@@ -20,7 +20,12 @@
 //! chameleon serve     [--host H] [--port P] [--workers N] [--queue-depth N]
 //!                     [--cache N] [--timeout-ms MS] [--max-request-bytes N]
 //!                     [--read-timeout-ms MS] [--max-connections N]
+//!                     [--journal-dir DIR] [--journal-sync always|interval]
+//!                     [--journal-segment-bytes N] [--resume]
 //!                     # run the chameleond job service (see DESIGN.md §7–8);
+//!                     # --journal-dir enables the durable-jobs write-ahead
+//!                     # journal (DESIGN.md §11); --resume re-enqueues
+//!                     # incomplete journaled jobs after a crash.
 //!                     # with --metrics, the final snapshot is written on
 //!                     # graceful shutdown. Built with the `fault-injection`
 //!                     # feature, --fault-seed/--fault-panic-rate/
@@ -151,6 +156,10 @@ const SERVE_FLAGS: &[&str] = &[
     "read-timeout-ms",
     "max-connections",
     "max-batch",
+    "journal-dir",
+    "journal-sync",
+    "journal-segment-bytes",
+    "resume",
 ];
 
 /// `serve` flag whitelist with the deterministic chaos schedule armed
@@ -167,6 +176,10 @@ const SERVE_FLAGS: &[&str] = &[
     "read-timeout-ms",
     "max-connections",
     "max-batch",
+    "journal-dir",
+    "journal-sync",
+    "journal-segment-bytes",
+    "resume",
     "fault-seed",
     "fault-panic-rate",
     "fault-panic-budget",
@@ -526,6 +539,16 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
         max_connections: cli.get("max-connections", defaults.max_connections)?,
         max_batch: cli.get("max-batch", defaults.max_batch)?,
         faults: fault_plan(cli)?,
+        journal_dir: match cli.get("journal-dir", String::new())? {
+            s if s.is_empty() => None,
+            s => Some(s),
+        },
+        journal_sync: cli
+            .get("journal-sync", "interval".to_string())?
+            .parse()
+            .map_err(|e: String| e)?,
+        journal_segment_bytes: cli.get("journal-segment-bytes", defaults.journal_segment_bytes)?,
+        resume: cli.has("resume"),
     };
     let server = chameleon_server::Server::bind(config).map_err(|e| format!("bind: {e}"))?;
     eprintln!("chameleond listening on {}", server.local_addr());

@@ -7,6 +7,9 @@ use crate::anonymity::{
 use crate::cancel::CancelToken;
 use crate::candidate::{select_candidates, VertexSampler};
 use crate::config::ChameleonConfig;
+use crate::genobf_checkpoint::{
+    graph_fingerprint, search_fingerprint, CheckpointHook, ProbeRecord, SearchCheckpoint,
+};
 use crate::genobf_plan::TrialPlan;
 use crate::method::Method;
 use crate::perturb::draw_noise;
@@ -17,7 +20,7 @@ use crate::uniqueness::uniqueness_scores_scaled;
 use chameleon_reliability::WorldEnsemble;
 use chameleon_stats::{parallel, SeedSequence};
 use chameleon_ugraph::{NodeId, UncertainGraph};
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 
 /// Downward σ sweep length when the upward phase fails (σ_init · 2⁻²⁰ is
 /// effectively zero noise; below that the graph is unchanged and further
@@ -43,6 +46,11 @@ pub enum ChameleonError {
     /// The run was cancelled cooperatively (explicit cancel or deadline)
     /// before a result was found; see [`crate::cancel::CancelToken`].
     Cancelled,
+    /// A resume checkpoint does not belong to this search (fingerprint
+    /// mismatch) or records a trajectory the deterministic search cannot
+    /// reproduce. Callers holding persisted checkpoints should validate
+    /// with [`SearchCheckpoint::matches`] and fall back to a fresh run.
+    CheckpointInvalid(String),
 }
 
 impl std::fmt::Display for ChameleonError {
@@ -59,6 +67,7 @@ impl std::fmt::Display for ChameleonError {
             ),
             ChameleonError::DegenerateInput(msg) => write!(f, "degenerate input: {msg}"),
             ChameleonError::Cancelled => write!(f, "run cancelled before completion"),
+            ChameleonError::CheckpointInvalid(msg) => write!(f, "invalid checkpoint: {msg}"),
         }
     }
 }
@@ -90,6 +99,10 @@ pub struct ObfuscationResult {
     /// lets callers plot the search trajectory and the privacy-vs-noise
     /// response of their graph.
     pub sigma_trace: Vec<(f64, f64)>,
+    /// Probes replayed from [`ChameleonConfig::resume_from`] instead of
+    /// recomputed (0 for a fresh run). `genobf_calls` still counts them —
+    /// the call counter is part of the deterministic trajectory.
+    pub replayed_probes: usize,
 }
 
 /// Outcome of one GenObf call (paper Algorithm 3's `⟨ε̃, G̃⟩`).
@@ -101,6 +114,38 @@ struct GenObfOutcome {
     /// target (diagnostic; drives the near-miss report on failure).
     eps_nearest: f64,
     graph: Option<(UncertainGraph, AnonymityReport)>,
+}
+
+/// Durability state threaded through one σ search: the queue of probes to
+/// replay from a resume checkpoint, the cumulative record of probes seen
+/// so far (replayed + live), and the sink to notify after live probes.
+struct CheckpointState<'a> {
+    replay: VecDeque<ProbeRecord>,
+    probes: Vec<ProbeRecord>,
+    fingerprint: u64,
+    seed: u64,
+    sink: Option<&'a CheckpointHook>,
+    replayed: usize,
+}
+
+/// What the σ-search control flow needs from one probe. `payload` is
+/// `None` for replayed probes — the graph is materialized lazily, and only
+/// if that probe ends up winning the search.
+struct ProbeEval {
+    call: u64,
+    eps_hat: f64,
+    eps_nearest: f64,
+    passed: bool,
+    payload: Option<(UncertainGraph, AnonymityReport)>,
+}
+
+/// Best passing probe seen so far. A replayed winner carries no payload;
+/// the search end materializes it by re-running its recorded call.
+struct BestSoFar {
+    sigma: f64,
+    eps_hat: f64,
+    call: u64,
+    payload: Option<(UncertainGraph, AnonymityReport)>,
 }
 
 /// The anonymization engine. Construct with a [`ChameleonConfig`], then
@@ -169,6 +214,30 @@ impl Chameleon {
         if graph.num_edges() == 0 {
             return Err(ChameleonError::DegenerateInput("graph has no edges".into()));
         }
+        // Durability (DESIGN.md §11): a resume checkpoint must fingerprint
+        // the exact same deterministic search — graph, method, seed and
+        // every probe-affecting config knob — or its recorded trajectory is
+        // meaningless here.
+        let fingerprint = search_fingerprint(graph_fingerprint(graph), method, seed, &self.config);
+        let mut replay: VecDeque<ProbeRecord> = VecDeque::new();
+        if let Some(cp) = &self.config.resume_from {
+            if cp.fingerprint != fingerprint {
+                return Err(ChameleonError::CheckpointInvalid(format!(
+                    "checkpoint fingerprint {:016x} does not match this search ({fingerprint:016x})",
+                    cp.fingerprint
+                )));
+            }
+            replay = cp.probes.iter().cloned().collect();
+        }
+        let mut ckpt = CheckpointState {
+            replay,
+            probes: Vec::new(),
+            fingerprint,
+            seed,
+            sink: self.config.checkpoint.as_ref(),
+            replayed: 0,
+        };
+
         let seq = SeedSequence::new(seed);
         let threads = parallel::resolve_threads(self.config.num_threads);
         let knowledge = AdversaryKnowledge::expected_degrees(graph);
@@ -209,12 +278,12 @@ impl Chameleon {
         let mut best_eps_seen = 1.0f64;
         let mut sigma_l = 0.0f64;
         let mut sigma_u = self.config.sigma_init;
-        let mut best: Option<(UncertainGraph, AnonymityReport, f64, f64)> = None;
+        let mut best: Option<BestSoFar> = None;
         for _ in 0..=self.config.max_doublings {
             if cancel.is_cancelled() {
                 return Err(ChameleonError::Cancelled);
             }
-            let outcome = self.gen_obf(
+            let eval = self.probe_sigma(
                 graph,
                 &knowledge,
                 method,
@@ -224,11 +293,17 @@ impl Chameleon {
                 &seq,
                 &mut calls,
                 &mut trial_plans,
+                &mut ckpt,
             );
-            best_eps_seen = best_eps_seen.min(outcome.eps_nearest);
-            sigma_trace.push((sigma_u, outcome.eps_nearest));
-            if let Some((g, rep)) = outcome.graph {
-                best = Some((g, rep, sigma_u, outcome.eps_hat));
+            best_eps_seen = best_eps_seen.min(eval.eps_nearest);
+            sigma_trace.push((sigma_u, eval.eps_nearest));
+            if eval.passed {
+                best = Some(BestSoFar {
+                    sigma: sigma_u,
+                    eps_hat: eval.eps_hat,
+                    call: eval.call,
+                    payload: eval.payload,
+                });
                 break;
             }
             sigma_l = sigma_u;
@@ -243,7 +318,7 @@ impl Chameleon {
                 if cancel.is_cancelled() {
                     return Err(ChameleonError::Cancelled);
                 }
-                let outcome = self.gen_obf(
+                let eval = self.probe_sigma(
                     graph,
                     &knowledge,
                     method,
@@ -253,13 +328,19 @@ impl Chameleon {
                     &seq,
                     &mut calls,
                     &mut trial_plans,
+                    &mut ckpt,
                 );
-                best_eps_seen = best_eps_seen.min(outcome.eps_nearest);
-                sigma_trace.push((sigma, outcome.eps_nearest));
-                if let Some((g, rep)) = outcome.graph {
+                best_eps_seen = best_eps_seen.min(eval.eps_nearest);
+                sigma_trace.push((sigma, eval.eps_nearest));
+                if eval.passed {
                     sigma_l = 0.0;
                     sigma_u = sigma;
-                    best = Some((g, rep, sigma, outcome.eps_hat));
+                    best = Some(BestSoFar {
+                        sigma,
+                        eps_hat: eval.eps_hat,
+                        call: eval.call,
+                        payload: eval.payload,
+                    });
                     break;
                 }
                 sigma /= 2.0;
@@ -279,7 +360,7 @@ impl Chameleon {
                 return Err(ChameleonError::Cancelled);
             }
             let sigma = 0.5 * (sigma_u + sigma_l);
-            let outcome = self.gen_obf(
+            let eval = self.probe_sigma(
                 graph,
                 &knowledge,
                 method,
@@ -289,21 +370,59 @@ impl Chameleon {
                 &seq,
                 &mut calls,
                 &mut trial_plans,
+                &mut ckpt,
             );
-            best_eps_seen = best_eps_seen.min(outcome.eps_nearest);
-            sigma_trace.push((sigma, outcome.eps_nearest));
-            match outcome.graph {
-                Some((g, rep)) => {
-                    sigma_u = sigma;
-                    current_best = (g, rep, sigma, outcome.eps_hat);
-                }
-                None => {
-                    sigma_l = sigma;
-                }
+            best_eps_seen = best_eps_seen.min(eval.eps_nearest);
+            sigma_trace.push((sigma, eval.eps_nearest));
+            if eval.passed {
+                sigma_u = sigma;
+                current_best = BestSoFar {
+                    sigma,
+                    eps_hat: eval.eps_hat,
+                    call: eval.call,
+                    payload: eval.payload,
+                };
+            } else {
+                sigma_l = sigma;
             }
         }
 
-        let (graph_out, report, sigma, eps_hat) = current_best;
+        let BestSoFar {
+            sigma,
+            eps_hat,
+            call,
+            payload,
+        } = current_best;
+        let (graph_out, report) = match payload {
+            Some(payload) => payload,
+            None => {
+                // The winning probe was replayed from the checkpoint, so
+                // its graph was never built. Each probe is a pure function
+                // of (graph, config, seed, call index) — re-running the
+                // one winning call reproduces it bit for bit.
+                let mut replay_calls = call as usize;
+                let outcome = self.gen_obf(
+                    graph,
+                    &knowledge,
+                    method,
+                    sigma,
+                    &selection,
+                    &excluded,
+                    &seq,
+                    &mut replay_calls,
+                    &mut trial_plans,
+                );
+                match outcome.graph {
+                    Some(payload) => payload,
+                    None => {
+                        return Err(ChameleonError::CheckpointInvalid(format!(
+                            "checkpointed winning probe (call {call}, sigma {sigma}) \
+                             did not reproduce a passing graph"
+                        )))
+                    }
+                }
+            }
+        };
         Ok(ObfuscationResult {
             graph: graph_out,
             sigma,
@@ -314,7 +433,77 @@ impl Chameleon {
             uniqueness: uniq,
             vrr,
             sigma_trace,
+            replayed_probes: ckpt.replayed,
         })
+    }
+
+    /// One σ probe of Algorithm 1, replay-aware: if the front of the
+    /// resume queue records exactly this `(call, σ)` probe, its outcome is
+    /// taken from the checkpoint without recomputation; otherwise the
+    /// probe runs live via [`Chameleon::gen_obf`] and — when a sink is
+    /// configured — the cumulative probe history is emitted afterwards.
+    ///
+    /// A replay record that disagrees with the deterministic trajectory
+    /// (wrong σ bits or call index) invalidates the rest of the queue: the
+    /// remainder is dropped and the search continues live, which is always
+    /// correct, merely slower.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_sigma(
+        &self,
+        graph: &UncertainGraph,
+        knowledge: &AdversaryKnowledge,
+        method: Method,
+        sigma: f64,
+        selection: &[f64],
+        excluded: &HashSet<NodeId>,
+        seq: &SeedSequence,
+        calls: &mut usize,
+        plans: &mut Option<Vec<TrialPlan>>,
+        ckpt: &mut CheckpointState<'_>,
+    ) -> ProbeEval {
+        if let Some(front) = ckpt.replay.front() {
+            if front.sigma.to_bits() == sigma.to_bits() && front.call == *calls as u64 {
+                let rec = ckpt.replay.pop_front().expect("front exists");
+                *calls = rec.call as usize + 1;
+                ckpt.replayed += 1;
+                chameleon_obs::counter!("genobf.probes_replayed").add(1);
+                let eval = ProbeEval {
+                    call: rec.call,
+                    eps_hat: rec.eps_hat,
+                    eps_nearest: rec.eps_nearest,
+                    passed: rec.passed,
+                    payload: None,
+                };
+                ckpt.probes.push(rec);
+                return eval;
+            }
+            ckpt.replay.clear();
+        }
+        let call = *calls as u64;
+        let outcome = self.gen_obf(
+            graph, knowledge, method, sigma, selection, excluded, seq, calls, plans,
+        );
+        ckpt.probes.push(ProbeRecord {
+            call,
+            sigma,
+            eps_hat: outcome.eps_hat,
+            eps_nearest: outcome.eps_nearest,
+            passed: outcome.graph.is_some(),
+        });
+        if let Some(sink) = ckpt.sink {
+            sink.emit(&SearchCheckpoint {
+                fingerprint: ckpt.fingerprint,
+                seed: ckpt.seed,
+                probes: ckpt.probes.clone(),
+            });
+        }
+        ProbeEval {
+            call,
+            eps_hat: outcome.eps_hat,
+            eps_nearest: outcome.eps_nearest,
+            passed: outcome.graph.is_some(),
+            payload: outcome.graph,
+        }
     }
 
     /// One GenObf invocation (paper Algorithm 3): `t` randomized attempts
@@ -345,7 +534,7 @@ impl Chameleon {
         let strategy = method.perturbation();
         if cfg.incremental {
             return self.gen_obf_incremental(
-                graph, knowledge, strategy, sigma, selection, &sampler, seq, call_idx, plans,
+                graph, knowledge, strategy, sigma, selection, &sampler, seq, plans,
             );
         }
         // When trials run concurrently, the per-trial anonymity check runs
@@ -467,17 +656,22 @@ impl Chameleon {
         selection: &[f64],
         sampler: &VertexSampler,
         seq: &SeedSequence,
-        call_idx: u64,
         plans: &mut Option<Vec<TrialPlan>>,
     ) -> GenObfOutcome {
         let cfg = &self.config;
         let threads = parallel::resolve_threads(cfg.num_threads);
+        // The tape is always recorded from the call-0 RNG streams, no
+        // matter which call triggers recording: in a fresh run the first
+        // call *is* call 0, and in a checkpoint-resumed run the first live
+        // call comes later — pinning the stream index keeps the recorded
+        // tape (and therefore every downstream probe) identical to the
+        // uninterrupted run's.
         let plans = plans.get_or_insert_with(|| {
             let _s = chameleon_obs::span!("genobf.plan_record");
             let base_cache = DegreePmfCache::build(graph, knowledge, threads);
             (0..cfg.trials)
                 .map(|trial| {
-                    let mut rng = seq.rng_indexed2("genobf-trial", call_idx, trial as u64);
+                    let mut rng = seq.rng_indexed2("genobf-trial", 0, trial as u64);
                     TrialPlan::record(
                         graph,
                         sampler,

@@ -1,5 +1,7 @@
 //! Configuration of the Chameleon anonymization pipeline.
 
+use crate::genobf_checkpoint::{CheckpointHook, SearchCheckpoint};
+
 /// Tunable parameters of [`crate::Chameleon`].
 ///
 /// Field defaults follow the paper: `c = 2` candidate-set multiplier,
@@ -49,6 +51,17 @@ pub struct ChameleonConfig {
     /// config)` but can differ between the two settings once the σ search
     /// takes more than one probe.
     pub incremental: bool,
+    /// Durability hook (DESIGN.md §11): called with the cumulative
+    /// [`SearchCheckpoint`] after every live GenObf probe. The sink only
+    /// observes the search — it never feeds randomness back — so result
+    /// bytes are identical with or without it. Excluded from config
+    /// equality except by handle identity.
+    pub checkpoint: Option<CheckpointHook>,
+    /// Resume state: a checkpoint from an earlier run of the *same*
+    /// search (graph, method, seed and config must match its
+    /// fingerprint). Recorded probes are replayed without recomputation;
+    /// the final output is bit-identical to an uninterrupted run.
+    pub resume_from: Option<SearchCheckpoint>,
 }
 
 impl Default for ChameleonConfig {
@@ -66,6 +79,8 @@ impl Default for ChameleonConfig {
             bandwidth_scale: 1.0,
             num_threads: 0,
             incremental: false,
+            checkpoint: None,
+            resume_from: None,
         }
     }
 }
@@ -184,6 +199,14 @@ impl ChameleonConfigBuilder {
     setter!(
         /// Enables the incremental (randomness-reusing) GenObf σ search.
         incremental: bool
+    );
+    setter!(
+        /// Sets the per-probe checkpoint sink (durability layer).
+        checkpoint: Option<CheckpointHook>
+    );
+    setter!(
+        /// Sets the checkpoint to resume the σ search from.
+        resume_from: Option<SearchCheckpoint>
     );
 
     /// Finalizes the configuration.

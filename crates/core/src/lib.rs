@@ -57,6 +57,7 @@ pub mod cancel;
 pub mod candidate;
 pub mod chameleon;
 pub mod config;
+pub mod genobf_checkpoint;
 mod genobf_plan;
 pub mod method;
 pub mod perturb;
@@ -72,6 +73,10 @@ pub use attack::{simulate_degree_attack, AttackReport};
 pub use cancel::{CancelReason, CancelToken};
 pub use chameleon::{Chameleon, ChameleonError, ObfuscationResult};
 pub use config::{ChameleonConfig, ChameleonConfigBuilder};
+pub use genobf_checkpoint::{
+    graph_fingerprint, search_fingerprint, CheckpointHook, CheckpointSink, ProbeRecord,
+    SearchCheckpoint,
+};
 pub use method::Method;
 pub use perturb::PerturbStrategy;
 pub use profile::PrivacyProfile;

@@ -1,0 +1,247 @@
+//! End-to-end pinning of GenObf checkpoint/resume (DESIGN.md §11): a σ
+//! search interrupted at *any* probe boundary and resumed from the
+//! checkpoint emitted there must produce bit-identical output to the
+//! uninterrupted run, while actually skipping the recorded probes.
+
+use chameleon_core::{
+    Chameleon, ChameleonConfig, ChameleonError, CheckpointHook, Method, ObfuscationResult,
+    SearchCheckpoint,
+};
+use chameleon_ugraph::{generators, UncertainGraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
+
+fn test_graph(seed: u64) -> UncertainGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = generators::gnm(60, 140, &mut rng);
+    for e in 0..g.num_edges() as u32 {
+        let p = 0.2 + 0.6 * ((e % 7) as f64 / 7.0);
+        g.set_prob(e, p).unwrap();
+    }
+    g
+}
+
+fn quick_config(incremental: bool) -> ChameleonConfig {
+    ChameleonConfig::builder()
+        .k(6)
+        .epsilon(0.1)
+        .trials(2)
+        .num_world_samples(60)
+        .sigma_tolerance(0.2)
+        .incremental(incremental)
+        .build()
+}
+
+/// A hook that stores every emitted checkpoint (the durability layer's
+/// journal, reduced to a Vec).
+fn recording_hook() -> (CheckpointHook, Arc<Mutex<Vec<SearchCheckpoint>>>) {
+    let store: Arc<Mutex<Vec<SearchCheckpoint>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink_store = Arc::clone(&store);
+    let hook = CheckpointHook::new(move |cp: &SearchCheckpoint| {
+        sink_store.lock().unwrap().push(cp.clone());
+    });
+    (hook, store)
+}
+
+fn assert_bit_identical(a: &ObfuscationResult, b: &ObfuscationResult) {
+    assert_eq!(a.sigma.to_bits(), b.sigma.to_bits());
+    assert_eq!(a.eps_hat.to_bits(), b.eps_hat.to_bits());
+    assert_eq!(a.genobf_calls, b.genobf_calls);
+    assert_eq!(a.sigma_trace.len(), b.sigma_trace.len());
+    for (x, y) in a.sigma_trace.iter().zip(&b.sigma_trace) {
+        assert_eq!(x.0.to_bits(), y.0.to_bits());
+        assert_eq!(x.1.to_bits(), y.1.to_bits());
+    }
+    assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+    for (x, y) in a.graph.edges().iter().zip(b.graph.edges()) {
+        assert_eq!((x.u, x.v), (y.u, y.v));
+        assert_eq!(x.p.to_bits(), y.p.to_bits());
+    }
+    assert_eq!(a.report.eps_hat.to_bits(), b.report.eps_hat.to_bits());
+    assert_eq!(a.report.unobfuscated, b.report.unobfuscated);
+}
+
+/// Runs `(graph, method, seed, config)` once uninterrupted, then resumes
+/// from every emitted checkpoint (each is a probe-boundary snapshot, so
+/// together they cover interrupting after probe 1, 2, …, n) and asserts
+/// bit-identical output plus actual probe skipping.
+fn exhaustive_resume_check(graph: &UncertainGraph, method: Method, seed: u64, incremental: bool) {
+    let (hook, store) = recording_hook();
+    let mut cfg = quick_config(incremental);
+    cfg.checkpoint = Some(hook);
+    let baseline = Chameleon::new(cfg.clone())
+        .anonymize(graph, method, seed)
+        .expect("baseline run must succeed");
+    assert_eq!(baseline.replayed_probes, 0);
+
+    // A sink must only observe: same output as a hookless run.
+    let plain = Chameleon::new(quick_config(incremental))
+        .anonymize(graph, method, seed)
+        .expect("plain run must succeed");
+    assert_bit_identical(&plain, &baseline);
+
+    let checkpoints = store.lock().unwrap().clone();
+    assert_eq!(
+        checkpoints.len(),
+        baseline.genobf_calls,
+        "one checkpoint per live probe"
+    );
+    for (i, cp) in checkpoints.iter().enumerate() {
+        assert_eq!(cp.probes.len(), i + 1, "checkpoints are cumulative");
+        // Resume through the real persistence path: serialize + parse.
+        let restored = SearchCheckpoint::parse(&cp.to_json()).expect("round-trip");
+        assert_eq!(&restored, cp);
+        assert!(restored.matches(graph, method, seed, &cfg));
+        let mut resume_cfg = quick_config(incremental);
+        resume_cfg.resume_from = Some(restored);
+        let resumed = Chameleon::new(resume_cfg)
+            .anonymize(graph, method, seed)
+            .expect("resumed run must succeed");
+        assert_eq!(
+            resumed.replayed_probes,
+            i + 1,
+            "every recorded probe must be skipped, not recomputed"
+        );
+        assert_bit_identical(&baseline, &resumed);
+    }
+}
+
+#[test]
+fn resume_at_every_probe_boundary_is_bit_identical() {
+    let g = test_graph(41);
+    exhaustive_resume_check(&g, Method::Me, 7, false);
+}
+
+#[test]
+fn resume_at_every_probe_boundary_is_bit_identical_incremental() {
+    let g = test_graph(41);
+    exhaustive_resume_check(&g, Method::Me, 7, true);
+}
+
+#[test]
+fn resume_covers_reliability_oriented_methods() {
+    let g = test_graph(42);
+    exhaustive_resume_check(&g, Method::Rsme, 11, false);
+}
+
+#[test]
+fn full_checkpoint_resume_materializes_the_replayed_winner() {
+    // Resuming from the *final* checkpoint replays every probe including
+    // the winner, exercising the lazy winner-materialization path.
+    let g = test_graph(43);
+    let (hook, store) = recording_hook();
+    let mut cfg = quick_config(true);
+    cfg.checkpoint = Some(hook);
+    let baseline = Chameleon::new(cfg)
+        .anonymize(&g, Method::Me, 3)
+        .expect("baseline");
+    let last = store.lock().unwrap().last().cloned().expect("checkpoints");
+    assert_eq!(last.probes.len(), baseline.genobf_calls);
+    let mut resume_cfg = quick_config(true);
+    resume_cfg.resume_from = Some(last);
+    let resumed = Chameleon::new(resume_cfg)
+        .anonymize(&g, Method::Me, 3)
+        .expect("resumed");
+    assert_eq!(resumed.replayed_probes, baseline.genobf_calls);
+    assert_bit_identical(&baseline, &resumed);
+}
+
+#[test]
+fn foreign_checkpoint_is_rejected() {
+    let g = test_graph(44);
+    let (hook, store) = recording_hook();
+    let mut cfg = quick_config(false);
+    cfg.checkpoint = Some(hook);
+    Chameleon::new(cfg.clone())
+        .anonymize(&g, Method::Me, 5)
+        .expect("recording run");
+    let cp = store.lock().unwrap().first().cloned().expect("checkpoint");
+    // Same graph and config, different seed → different trajectory.
+    assert!(!cp.matches(&g, Method::Me, 6, &cfg));
+    let mut resume_cfg = quick_config(false);
+    resume_cfg.resume_from = Some(cp);
+    match Chameleon::new(resume_cfg).anonymize(&g, Method::Me, 6) {
+        Err(ChameleonError::CheckpointInvalid(_)) => {}
+        other => panic!("expected CheckpointInvalid, got {other:?}"),
+    }
+}
+
+#[test]
+fn config_change_invalidates_checkpoint() {
+    let g = test_graph(45);
+    let (hook, store) = recording_hook();
+    let mut cfg = quick_config(false);
+    cfg.checkpoint = Some(hook);
+    Chameleon::new(cfg)
+        .anonymize(&g, Method::Me, 5)
+        .expect("recording run");
+    let cp = store.lock().unwrap().first().cloned().expect("checkpoint");
+    let mut other = quick_config(false);
+    other.k += 1;
+    assert!(!cp.matches(&g, Method::Me, 5, &other));
+    other.resume_from = Some(cp);
+    assert!(matches!(
+        Chameleon::new(other).anonymize(&g, Method::Me, 5),
+        Err(ChameleonError::CheckpointInvalid(_))
+    ));
+}
+
+#[test]
+fn tampered_trajectory_falls_back_to_live_probes() {
+    // A record whose σ bits disagree with the deterministic trajectory
+    // must not be trusted: the remainder of the queue is dropped and the
+    // search recomputes live — same final bytes, nothing skipped after
+    // the divergence point.
+    let g = test_graph(46);
+    let (hook, store) = recording_hook();
+    let mut cfg = quick_config(false);
+    cfg.checkpoint = Some(hook);
+    let baseline = Chameleon::new(cfg)
+        .anonymize(&g, Method::Me, 9)
+        .expect("baseline");
+    let mut cp = store.lock().unwrap().last().cloned().expect("checkpoint");
+    cp.probes[0].sigma *= 1.5;
+    let mut resume_cfg = quick_config(false);
+    resume_cfg.resume_from = Some(cp);
+    let resumed = Chameleon::new(resume_cfg)
+        .anonymize(&g, Method::Me, 9)
+        .expect("tampered resume still completes");
+    assert_eq!(resumed.replayed_probes, 0, "diverged records are dropped");
+    assert_bit_identical(&baseline, &resumed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole invariant, fuzzed: for random (graph seed, search
+    /// seed, incremental flag, interrupt point), resuming mid-search is
+    /// bit-identical to never having stopped.
+    #[test]
+    fn prop_resume_is_bit_identical(
+        graph_seed in 0u64..500,
+        seed in 0u64..500,
+        incremental in any::<bool>(),
+        cut in 0usize..64,
+    ) {
+        let g = test_graph(graph_seed);
+        let (hook, store) = recording_hook();
+        let mut cfg = quick_config(incremental);
+        cfg.checkpoint = Some(hook);
+        let Ok(baseline) = Chameleon::new(cfg).anonymize(&g, Method::Me, seed) else {
+            // Privacy target unreachable for this draw — nothing to resume.
+            return Ok(());
+        };
+        let checkpoints = store.lock().unwrap().clone();
+        prop_assert_eq!(checkpoints.len(), baseline.genobf_calls);
+        let cp = checkpoints[cut % checkpoints.len()].clone();
+        let replayed = cp.probes.len();
+        let restored = SearchCheckpoint::parse(&cp.to_json()).unwrap();
+        let mut resume_cfg = quick_config(incremental);
+        resume_cfg.resume_from = Some(restored);
+        let resumed = Chameleon::new(resume_cfg).anonymize(&g, Method::Me, seed).unwrap();
+        prop_assert_eq!(resumed.replayed_probes, replayed);
+        assert_bit_identical(&baseline, &resumed);
+    }
+}

@@ -2,7 +2,7 @@
 //! same runtime with the workspace-wide flag conventions; this thin entry
 //! point exists so the service can be deployed without the full CLI.
 
-use chameleon_server::{Server, ServerConfig};
+use chameleon_server::{JournalSync, Server, ServerConfig};
 
 const USAGE: &str = "\
 chameleond - Chameleon anonymization job service
@@ -13,6 +13,8 @@ USAGE:
                [--timeout-ms <ms>] [--metrics <path>]
                [--max-request-bytes <n>] [--read-timeout-ms <ms>]
                [--max-connections <n>] [--max-batch <n>]
+               [--journal-dir <dir>] [--journal-sync <always|interval>]
+               [--journal-segment-bytes <n>] [--resume]
 
 OPTIONS:
     --host <addr>       Bind address           [default: 127.0.0.1]
@@ -29,6 +31,14 @@ OPTIONS:
                               [default: 256]
     --max-batch <n>           Elements allowed in one batch request;
                               0 = unlimited    [default: 1024]
+    --journal-dir <dir>       Write-ahead job journal directory; enables
+                              durable jobs (DESIGN.md \u{a7}11)
+    --journal-sync <policy>   Journal fsync policy: always | interval
+                              [default: interval]
+    --journal-segment-bytes <n>  Journal segment rotation threshold
+                              [default: 8388608]
+    --resume                  Re-enqueue incomplete journaled jobs at
+                              startup instead of cancelling them
 
 The wire protocol is newline-delimited JSON (pipelined; supports batch
 submission and chunked responses); see DESIGN.md \u{a7}7 and \u{a7}9.
@@ -47,6 +57,11 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("unexpected argument {flag:?}"));
         };
+        // Valueless flags must not consume the next argument.
+        if name == "resume" {
+            config.resume = true;
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("--{name} requires a value"))?;
@@ -63,6 +78,13 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             "read-timeout-ms" => config.read_timeout_ms = value.parse().map_err(bad)?,
             "max-connections" => config.max_connections = value.parse().map_err(bad)?,
             "max-batch" => config.max_batch = value.parse().map_err(bad)?,
+            "journal-dir" => config.journal_dir = Some(value.clone()),
+            "journal-sync" => {
+                config.journal_sync = value
+                    .parse::<JournalSync>()
+                    .map_err(|_| format!("invalid value {value:?} for --journal-sync"))?;
+            }
+            "journal-segment-bytes" => config.journal_segment_bytes = value.parse().map_err(bad)?,
             other => return Err(format!("unknown flag --{other}")),
         }
     }

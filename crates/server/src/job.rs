@@ -11,7 +11,7 @@ use crate::cache::fnv1a64;
 use chameleon_baseline::RepAn;
 use chameleon_core::{
     anonymity_check, anonymity_check_tolerant, AdversaryKnowledge, CancelToken, Chameleon,
-    ChameleonConfig, ChameleonError, Method,
+    ChameleonConfig, ChameleonError, CheckpointHook, Method, SearchCheckpoint,
 };
 use chameleon_obs::json;
 use chameleon_reliability::{sample_distinct_pairs, WorldEnsemble};
@@ -19,6 +19,7 @@ use chameleon_stats::{parallel, SeedSequence};
 use chameleon_ugraph::builder::DedupPolicy;
 use chameleon_ugraph::{io, UncertainGraph};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Which anonymizer an `obfuscate` job runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +103,35 @@ pub enum JobSpec {
     },
 }
 
+/// Receives each serialized checkpoint as a search progresses (the
+/// journal's `checkpoint` record writer).
+pub type CheckpointWriter = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// Durability plumbing for one job execution (DESIGN.md §11): where to
+/// persist search checkpoints and what checkpoint to resume from. Only
+/// Chameleon `obfuscate` jobs have checkpointable state; the other ops
+/// ignore this entirely.
+#[derive(Clone, Default)]
+pub struct Durability {
+    /// Receives each serialized [`SearchCheckpoint`] as the search
+    /// progresses (the journal's `checkpoint` record writer).
+    pub sink: Option<CheckpointWriter>,
+    /// A serialized checkpoint recovered from the journal. Validated
+    /// against the live search before use — a stale or foreign checkpoint
+    /// is silently dropped (fresh search, always correct).
+    pub resume: Option<String>,
+}
+
+/// A job's result plus its durability telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutput {
+    /// The rendered result JSON (the cacheable replay unit).
+    pub result: String,
+    /// σ probes replayed from the resume checkpoint instead of
+    /// recomputed (0 for fresh runs and non-obfuscate ops).
+    pub resumed_probes: u64,
+}
+
 /// Why a job produced no result.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecError {
@@ -175,6 +205,23 @@ impl JobSpec {
     /// # Errors
     /// See [`ExecError`].
     pub fn execute(&self, cancel: &CancelToken) -> Result<String, ExecError> {
+        self.execute_durable(cancel, None).map(|out| out.result)
+    }
+
+    /// [`JobSpec::execute`] with durability plumbing: Chameleon
+    /// `obfuscate` jobs emit checkpoints through `durability.sink` and
+    /// resume from `durability.resume` when it matches the live search.
+    /// Result bytes are identical with or without durability — the sink
+    /// only observes, and a resumed search is bit-identical by the core's
+    /// replay contract.
+    ///
+    /// # Errors
+    /// See [`ExecError`].
+    pub fn execute_durable(
+        &self,
+        cancel: &CancelToken,
+        durability: Option<&Durability>,
+    ) -> Result<ExecOutput, ExecError> {
         if cancel.is_cancelled() {
             return Err(ExecError::Cancelled);
         }
@@ -190,7 +237,7 @@ impl JobSpec {
                 seed,
             } => {
                 let g = parse_graph(graph)?;
-                let config = ChameleonConfig {
+                let mut config = ChameleonConfig {
                     k: *k,
                     epsilon: *epsilon,
                     num_world_samples: *worlds,
@@ -199,6 +246,7 @@ impl JobSpec {
                     ..ChameleonConfig::default()
                 };
                 config.validate().map_err(ExecError::Invalid)?;
+                let mut resumed_probes = 0u64;
                 let (out, sigma, eps_hat, calls) = match method {
                     AnonymizeMethod::RepAn => {
                         let r = RepAn::new(config)
@@ -207,12 +255,30 @@ impl JobSpec {
                         (r.graph, r.sigma, r.eps_hat, 0usize)
                     }
                     AnonymizeMethod::Chameleon(m) => {
+                        if let Some(d) = durability {
+                            if let Some(sink) = &d.sink {
+                                let sink = Arc::clone(sink);
+                                config.checkpoint =
+                                    Some(CheckpointHook::new(move |cp: &SearchCheckpoint| {
+                                        sink(&cp.to_json())
+                                    }));
+                            }
+                            // A checkpoint that fails to parse or belongs
+                            // to a different search is dropped, not fatal:
+                            // running fresh is always correct.
+                            config.resume_from = d
+                                .resume
+                                .as_deref()
+                                .and_then(|text| SearchCheckpoint::parse(text).ok())
+                                .filter(|cp| cp.matches(&g, *m, *seed, &config));
+                        }
                         let r = Chameleon::new(config)
                             .anonymize_cancellable(&g, *m, *seed, cancel)
                             .map_err(|e| match e {
                                 ChameleonError::Cancelled => ExecError::Cancelled,
                                 other => ExecError::Failed(other.to_string()),
                             })?;
+                        resumed_probes = r.replayed_probes as u64;
                         (r.graph, r.sigma, r.eps_hat, r.genobf_calls)
                     }
                 };
@@ -229,7 +295,10 @@ impl JobSpec {
                     out.num_edges(),
                     json::string(&text),
                 );
-                Ok(res)
+                Ok(ExecOutput {
+                    result: res,
+                    resumed_probes,
+                })
             }
             JobSpec::Check {
                 graph,
@@ -244,15 +313,18 @@ impl JobSpec {
                 } else {
                     anonymity_check_tolerant(&g, &knowledge, *k, *tolerance)
                 };
-                Ok(format!(
-                    "{{\"satisfied\":{},\"eps_hat\":{},\"k\":{k},\"epsilon\":{},\
-                     \"unobfuscated\":{},\"nodes\":{}}}",
-                    report.satisfies(*epsilon),
-                    json::number(report.eps_hat),
-                    json::number(*epsilon),
-                    report.unobfuscated.len(),
-                    g.num_nodes(),
-                ))
+                Ok(ExecOutput {
+                    result: format!(
+                        "{{\"satisfied\":{},\"eps_hat\":{},\"k\":{k},\"epsilon\":{},\
+                         \"unobfuscated\":{},\"nodes\":{}}}",
+                        report.satisfies(*epsilon),
+                        json::number(report.eps_hat),
+                        json::number(*epsilon),
+                        report.unobfuscated.len(),
+                        g.num_nodes(),
+                    ),
+                    resumed_probes: 0,
+                })
             }
             JobSpec::Reliability {
                 graph,
@@ -283,14 +355,17 @@ impl JobSpec {
                 } else {
                     sum / rel.len() as f64
                 };
-                Ok(format!(
-                    "{{\"avg_reliability\":{},\"min_reliability\":{},\"max_reliability\":{},\
-                     \"pairs\":{},\"worlds\":{worlds}}}",
-                    json::number(avg),
-                    json::number(if rel.is_empty() { 0.0 } else { lo }),
-                    json::number(if rel.is_empty() { 0.0 } else { hi }),
-                    rel.len(),
-                ))
+                Ok(ExecOutput {
+                    result: format!(
+                        "{{\"avg_reliability\":{},\"min_reliability\":{},\"max_reliability\":{},\
+                         \"pairs\":{},\"worlds\":{worlds}}}",
+                        json::number(avg),
+                        json::number(if rel.is_empty() { 0.0 } else { lo }),
+                        json::number(if rel.is_empty() { 0.0 } else { hi }),
+                        rel.len(),
+                    ),
+                    resumed_probes: 0,
+                })
             }
         }
     }

@@ -27,6 +27,10 @@
 //!   drain-then-flush shutdown sequence.
 //! * [`sync`] — poison-recovering lock wrappers: a panicking lock holder
 //!   is counted and survived, never propagated as a permanent outage.
+//! * [`journal`] — the durability layer (DESIGN.md §11): an append-only,
+//!   checksummed write-ahead log of job lifecycles with segment rotation,
+//!   crash-tolerant replay, checkpointed GenObf searches and clean-stop
+//!   compaction.
 //! * [`faults`] — deterministic, seeded fault injection (worker panics,
 //!   cancel-token trips, deferred readiness, short writes) for chaos
 //!   tests; inert unless configured.
@@ -51,6 +55,7 @@
 pub mod cache;
 pub mod faults;
 pub mod job;
+pub mod journal;
 pub mod protocol;
 pub mod queue;
 pub mod reactor;
@@ -59,7 +64,8 @@ pub mod sync;
 
 pub use cache::{fnv1a64, CacheStats, ResultCache};
 pub use faults::{FaultInjector, FaultPlan, JobFault};
-pub use job::{AnonymizeMethod, ExecError, JobSpec};
+pub use job::{AnonymizeMethod, Durability, ExecError, ExecOutput, JobSpec};
+pub use journal::{Journal, JournalStats, JournalSync, ReplayJob, ReplaySummary};
 pub use protocol::{
     chunk_frames, coded_error_response, codes, error_response, ok_response, parse_request,
     JobRequest, Request,

@@ -59,7 +59,8 @@
 
 use crate::cache::ResultCache;
 use crate::faults::{FaultInjector, FaultPlan, JobFault};
-use crate::job::ExecError;
+use crate::job::{Durability, ExecError};
+use crate::journal::{Journal, JournalSync};
 use crate::protocol::{
     chunk_frames, coded_error_response, codes, ok_response, parse_request, JobRequest, Request,
 };
@@ -132,6 +133,17 @@ pub struct ServerConfig {
     /// Deterministic fault-injection schedule (chaos testing only;
     /// `None` in production).
     pub faults: Option<FaultPlan>,
+    /// Durability (DESIGN.md §11): directory holding the write-ahead job
+    /// journal. `None` disables journaling entirely.
+    pub journal_dir: Option<String>,
+    /// Journal fsync policy: `Always` syncs every append, `Interval`
+    /// batches syncs on the reactor tick (bounded loss window).
+    pub journal_sync: JournalSync,
+    /// Journal segment rotation threshold in bytes.
+    pub journal_segment_bytes: u64,
+    /// On startup, re-enqueue accepted-but-incomplete journaled jobs in
+    /// their original order instead of marking them cancelled.
+    pub resume: bool,
 }
 
 impl Default for ServerConfig {
@@ -148,6 +160,10 @@ impl Default for ServerConfig {
             max_connections: 256,
             max_batch: 1024,
             faults: None,
+            journal_dir: None,
+            journal_sync: JournalSync::Interval,
+            journal_segment_bytes: crate::journal::DEFAULT_SEGMENT_BYTES,
+            resume: false,
         }
     }
 }
@@ -179,12 +195,26 @@ struct ConnToken {
     gen: u64,
 }
 
+/// Token used for jobs re-enqueued from the journal at startup: no live
+/// connection owns them, so their completions are harmlessly dropped by
+/// the stale-token check (`usize::MAX` never indexes the slab).
+const REPLAY_TOKEN: ConnToken = ConnToken {
+    idx: usize::MAX,
+    gen: 0,
+};
+
 /// One job of a queue entry (a single request is a one-element entry).
 struct QueuedJob {
     spec: crate::job::JobSpec,
     id: Option<String>,
     timeout: Duration,
     chunk_bytes: usize,
+    /// Journal sequence number when durability is on (`accepted` already
+    /// written); reused for the job's remaining lifecycle records.
+    journal_seq: Option<u64>,
+    /// Serialized `SearchCheckpoint` recovered from the journal: a
+    /// resumed GenObf search skips the recorded σ probes.
+    resume_checkpoint: Option<String>,
 }
 
 /// One bounded-queue entry: all jobs of one request line.
@@ -222,6 +252,15 @@ struct Shared {
     max_connections: usize,
     max_batch: usize,
     faults: Option<FaultInjector>,
+    /// The write-ahead job journal (DESIGN.md §11), when durability is
+    /// on. Locked briefly per lifecycle record, never across execution.
+    journal: Option<RecoverableMutex<Journal>>,
+    /// Startup-replay totals, fixed after `bind`.
+    journal_replayed_jobs: u64,
+    journal_rehydrated_results: u64,
+    journal_records_dropped: u64,
+    /// σ probes skipped via checkpoint resume, summed over all jobs.
+    journal_probes_skipped: AtomicU64,
     started: Instant,
 }
 
@@ -240,6 +279,7 @@ impl Shared {
     /// `status` result object; field order is fixed by construction.
     fn status_json(&self) -> String {
         let cache = self.cache.lock().stats();
+        let journal = self.journal.as_ref().map(|j| j.lock().stats());
         let (injected_panics, injected_cancels, injected_defers, injected_short_writes) =
             match &self.faults {
                 Some(f) => (
@@ -258,7 +298,11 @@ impl Shared {
              \"faults\":{{\"injected_panics\":{},\"injected_cancels\":{},\
              \"injected_defers\":{},\"injected_short_writes\":{}}},\
              \"cache\":{{\"entries\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\
-             \"evictions\":{}}}}}",
+             \"evictions\":{}}},\
+             \"journal\":{{\"enabled\":{},\"open_jobs\":{},\"segments\":{},\
+             \"appends\":{},\"syncs\":{},\"replayed_jobs\":{},\
+             \"rehydrated_results\":{},\"records_dropped\":{},\
+             \"probes_skipped\":{}}}}}",
             self.started.elapsed().as_millis(),
             self.workers,
             self.queue.len(),
@@ -282,6 +326,15 @@ impl Shared {
             cache.hits,
             cache.misses,
             cache.evictions,
+            journal.is_some(),
+            journal.as_ref().map_or(0, |s| s.open_jobs as u64),
+            journal.as_ref().map_or(0, |s| s.segments),
+            journal.as_ref().map_or(0, |s| s.appends),
+            journal.as_ref().map_or(0, |s| s.syncs),
+            self.journal_replayed_jobs,
+            self.journal_rehydrated_results,
+            self.journal_records_dropped,
+            self.journal_probes_skipped.load(Ordering::Relaxed),
         )
     }
 }
@@ -329,9 +382,88 @@ impl Server {
         } else {
             config.workers
         };
+        // Durability: open (and replay) the journal before anything else
+        // can accept work, so recovered state is complete by the time the
+        // port goes live.
+        let mut replay = None;
+        let journal = match &config.journal_dir {
+            Some(dir) => {
+                let (journal, summary) = Journal::open(
+                    std::path::Path::new(dir),
+                    config.journal_sync,
+                    config.journal_segment_bytes,
+                )?;
+                replay = Some(summary);
+                Some(RecoverableMutex::new(journal))
+            }
+            None => None,
+        };
+        // Rehydrate the result cache from `completed` records: a restart
+        // serves previously answered jobs byte-identically, from memory.
+        let mut cache = ResultCache::new(config.cache_capacity);
+        let mut rehydrated = 0u64;
+        if let Some(summary) = &replay {
+            for (key, result) in &summary.completed {
+                cache.insert(key.clone(), result.clone());
+            }
+            rehydrated = summary.completed.len() as u64;
+            chameleon_obs::counter!("server.journal.rehydrated_results").add(rehydrated);
+            chameleon_obs::counter!("server.journal.records_dropped").add(summary.records_dropped);
+        }
+        // Re-enqueue accepted-but-incomplete jobs in their original
+        // acceptance order (`--resume`), or mark them cancelled so the
+        // journal converges instead of replaying them forever.
+        let queue = BoundedQueue::new(config.queue_depth);
+        let default_timeout = Duration::from_millis(config.default_timeout_ms.max(1));
+        let mut replayed_jobs = 0u64;
+        if let (Some(journal), Some(summary)) = (&journal, replay.as_mut()) {
+            let mut j = journal.lock();
+            for job in summary.jobs.drain(..) {
+                if !config.resume {
+                    j.cancelled(job.seq);
+                    continue;
+                }
+                let timeout = job
+                    .timeout_ms
+                    .map(|ms| Duration::from_millis(ms.max(1)))
+                    .unwrap_or(default_timeout);
+                let entry = Job {
+                    items: vec![QueuedJob {
+                        spec: job.spec,
+                        id: None,
+                        timeout,
+                        chunk_bytes: 0,
+                        journal_seq: Some(job.seq),
+                        resume_checkpoint: job.checkpoint,
+                    }],
+                    token: REPLAY_TOKEN,
+                    enqueued: Instant::now(),
+                };
+                match queue.try_push(entry) {
+                    Ok(_) => {
+                        replayed_jobs += 1;
+                        chameleon_obs::counter!("server.journal.replayed_jobs").add(1);
+                    }
+                    Err(_) => {
+                        // More incomplete jobs than queue slots: fail the
+                        // overflow durably rather than wedging startup.
+                        j.failed(
+                            job.seq,
+                            codes::QUEUE_FULL,
+                            "recovery overflow: queue full during journal replay",
+                        );
+                    }
+                }
+            }
+        }
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(config.queue_depth),
-            cache: RecoverableMutex::new(ResultCache::new(config.cache_capacity)),
+            queue,
+            cache: RecoverableMutex::new(cache),
+            journal,
+            journal_replayed_jobs: replayed_jobs,
+            journal_rehydrated_results: rehydrated,
+            journal_records_dropped: replay.as_ref().map_or(0, |s| s.records_dropped),
+            journal_probes_skipped: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             jobs_completed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
@@ -342,7 +474,7 @@ impl Server {
             open_connections: AtomicUsize::new(0),
             workers,
             queue_depth: config.queue_depth.max(1),
-            default_timeout: Duration::from_millis(config.default_timeout_ms.max(1)),
+            default_timeout,
             max_request_bytes: config.max_request_bytes.max(64),
             read_timeout: (config.read_timeout_ms > 0)
                 .then(|| Duration::from_millis(config.read_timeout_ms)),
@@ -443,6 +575,12 @@ impl Server {
         shared.queue.close();
         for handle in worker_handles {
             let _ = handle.join();
+        }
+        // Clean shutdown: every queued job has settled, so compaction can
+        // drop fully-terminal segments and fsync what remains — the next
+        // start replays zero jobs.
+        if let Some(journal) = &shared.journal {
+            journal.lock().compact();
         }
         if let Some(path) = &metrics_path {
             let _ = std::fs::write(path, chameleon_obs::metrics_json());
@@ -618,6 +756,12 @@ impl Reactor {
             if self.poll.revents(slot).readable() {
                 self.accept_ready()?;
             }
+        }
+        // Interval-mode journal housekeeping: the tick is the daemon's
+        // heartbeat, so the fsync loss window is bounded by the poll
+        // timeout plus the sync interval.
+        if let Some(journal) = &self.shared.journal {
+            journal.lock().maybe_sync();
         }
         Ok(())
     }
@@ -1119,6 +1263,8 @@ fn submit_jobs(
                 spec: job.spec,
                 id: job.id,
                 chunk_bytes: job.chunk_bytes,
+                journal_seq: None,
+                resume_checkpoint: None,
             }),
             Err((id, msg)) => {
                 push_line(
@@ -1147,6 +1293,26 @@ fn submit_jobs(
         return;
     }
     let count = queued.len();
+    // Durability: every admitted job gets an `accepted` record *before*
+    // the push — a crash between the two replays the job, which is the
+    // safe direction (at-least-once acceptance, idempotent execution).
+    if let Some(journal) = &shared.journal {
+        let mut j = journal.lock();
+        for q in &mut queued {
+            q.journal_seq = Some(j.accepted(&q.spec, Some(q.timeout.as_millis() as u64)));
+        }
+    }
+    let seqs: Vec<Option<u64>> = queued.iter().map(|q| q.journal_seq).collect();
+    // Settles `accepted` records of a rejected push (which consumed the
+    // entry) so they are not replayed as live jobs after a restart.
+    let journal_reject = |shared: &Arc<Shared>, code: &str, msg: &str| {
+        if let Some(journal) = &shared.journal {
+            let mut j = journal.lock();
+            for seq in seqs.iter().flatten() {
+                j.failed(*seq, code, msg);
+            }
+        }
+    };
     match shared.queue.try_push(Job {
         items: queued,
         token,
@@ -1164,11 +1330,13 @@ fn submit_jobs(
             // saturated pool drains no faster than one job at a time.
             let retry_ms = 100 * (1 + shared.queue.active() as u64).min(50);
             let msg = format!("queue full ({capacity} queued jobs); retry later");
+            journal_reject(shared, codes::QUEUE_FULL, &msg);
             reject(conn, codes::QUEUE_FULL, &msg, Some(retry_ms));
         }
         Err(PushError::Closed) => {
             shared.jobs_rejected.fetch_add(n, Ordering::Relaxed);
             chameleon_obs::counter!("server.jobs.rejected_shutdown").add(n);
+            journal_reject(shared, codes::SHUTTING_DOWN, "server is shutting down");
             reject(conn, codes::SHUTTING_DOWN, "server is shutting down", None);
         }
     }
@@ -1221,6 +1389,16 @@ fn worker_loop(shared: &Arc<Shared>, respond: &mpsc::Sender<Completion>, waker: 
                     Err(payload) => {
                         shared.jobs_panicked.fetch_add(1, Ordering::Relaxed);
                         chameleon_obs::counter!("server.jobs.panicked").add(1);
+                        // A panicked job is terminal for the journal too:
+                        // replaying it on restart would likely just panic
+                        // again (the client was told to retry).
+                        if let (Some(journal), Some(seq)) = (&shared.journal, item.journal_seq) {
+                            journal.lock().failed(
+                                seq,
+                                codes::JOB_PANICKED,
+                                panic_message(payload.as_ref()),
+                            );
+                        }
                         coded_error_response(
                             item.id.as_deref(),
                             codes::JOB_PANICKED,
@@ -1275,54 +1453,96 @@ fn process_job(shared: &Arc<Shared>, job: &QueuedJob) -> String {
     if let Some(hit) = cached {
         chameleon_obs::counter!("server.cache.hit").add(1);
         shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        // A hit still settles the journal record (result elided: the
+        // self-contained record that produced the hit is already on disk).
+        if let (Some(journal), Some(seq)) = (&shared.journal, job.journal_seq) {
+            journal.lock().completed(seq, &key, None);
+        }
         return ok_response(job.id.as_deref(), true, &hit);
     }
     chameleon_obs::counter!("server.cache.miss").add(1);
+    if let (Some(journal), Some(seq)) = (&shared.journal, job.journal_seq) {
+        journal.lock().started(seq);
+    }
+    // Durability: σ-probe checkpoints stream into the journal as the
+    // search runs, and a checkpoint recovered at replay short-circuits
+    // the probes it already covers.
+    let durability = match (&shared.journal, job.journal_seq) {
+        (Some(_), Some(seq)) => {
+            let sink_shared = Arc::clone(shared);
+            Some(Durability {
+                sink: Some(Arc::new(move |data: &str| {
+                    if let Some(journal) = &sink_shared.journal {
+                        journal.lock().checkpoint(seq, data);
+                    }
+                })),
+                resume: job.resume_checkpoint.clone(),
+            })
+        }
+        _ => None,
+    };
     let _span = match job.spec {
         crate::job::JobSpec::Obfuscate { .. } => chameleon_obs::span!("server.job.obfuscate"),
         crate::job::JobSpec::Check { .. } => chameleon_obs::span!("server.job.check"),
         crate::job::JobSpec::Reliability { .. } => chameleon_obs::span!("server.job.reliability"),
     };
-    match job.spec.execute(&cancel) {
-        Ok(result) => {
-            shared.cache.lock().insert(key, result.clone());
+    match job.spec.execute_durable(&cancel, durability.as_ref()) {
+        Ok(out) => {
+            if out.resumed_probes > 0 {
+                shared
+                    .journal_probes_skipped
+                    .fetch_add(out.resumed_probes, Ordering::Relaxed);
+                chameleon_obs::counter!("server.journal.probes_skipped").add(out.resumed_probes);
+            }
+            if let (Some(journal), Some(seq)) = (&shared.journal, job.journal_seq) {
+                journal.lock().completed(seq, &key, Some(&out.result));
+            }
+            shared.cache.lock().insert(key, out.result.clone());
             shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
             chameleon_obs::counter!("server.jobs.completed").add(1);
-            ok_response(job.id.as_deref(), false, &result)
+            ok_response(job.id.as_deref(), false, &out.result)
         }
-        Err(ExecError::Cancelled) => match cancel.reason() {
-            Some(CancelReason::Explicit) => {
-                // Explicit trips are transient by construction (today:
-                // injected faults) — mark them retryable, unlike a
-                // deadline, which would fire again on an identical retry.
-                shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
-                chameleon_obs::counter!("server.jobs.cancelled").add(1);
-                coded_error_response(
-                    job.id.as_deref(),
-                    codes::CANCELLED,
-                    &format!(
-                        "{} job cancelled before completion; safe to retry",
-                        job.spec.op()
-                    ),
-                    Some(FAULT_RETRY_MS),
-                )
+        Err(ExecError::Cancelled) => {
+            if let (Some(journal), Some(seq)) = (&shared.journal, job.journal_seq) {
+                journal.lock().cancelled(seq);
             }
-            _ => {
-                shared.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
-                chameleon_obs::counter!("server.jobs.timeout").add(1);
-                coded_error_response(
-                    job.id.as_deref(),
-                    codes::TIMEOUT,
-                    &format!(
-                        "{} job cancelled after exceeding its {} ms timeout",
-                        job.spec.op(),
-                        job.timeout.as_millis()
-                    ),
-                    None,
-                )
+            match cancel.reason() {
+                Some(CancelReason::Explicit) => {
+                    // Explicit trips are transient by construction (today:
+                    // injected faults) — mark them retryable, unlike a
+                    // deadline, which would fire again on an identical retry.
+                    shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                    chameleon_obs::counter!("server.jobs.cancelled").add(1);
+                    coded_error_response(
+                        job.id.as_deref(),
+                        codes::CANCELLED,
+                        &format!(
+                            "{} job cancelled before completion; safe to retry",
+                            job.spec.op()
+                        ),
+                        Some(FAULT_RETRY_MS),
+                    )
+                }
+                _ => {
+                    shared.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+                    chameleon_obs::counter!("server.jobs.timeout").add(1);
+                    coded_error_response(
+                        job.id.as_deref(),
+                        codes::TIMEOUT,
+                        &format!(
+                            "{} job cancelled after exceeding its {} ms timeout",
+                            job.spec.op(),
+                            job.timeout.as_millis()
+                        ),
+                        None,
+                    )
+                }
             }
-        },
+        }
         Err(ExecError::Invalid(msg)) | Err(ExecError::Failed(msg)) => {
+            if let (Some(journal), Some(seq)) = (&shared.journal, job.journal_seq) {
+                journal.lock().failed(seq, codes::JOB_FAILED, &msg);
+            }
             shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
             chameleon_obs::counter!("server.jobs.failed").add(1);
             coded_error_response(job.id.as_deref(), codes::JOB_FAILED, &msg, None)

@@ -1,0 +1,347 @@
+//! Crash-recovery tests for the durable-jobs journal (DESIGN.md §11):
+//! SIGKILL a daemon mid-GenObf-search, restart with `--resume`, and the
+//! replayed job must finish with byte-identical output while skipping the
+//! σ probes its checkpoints already cover. Plus: clean shutdown compacts
+//! the journal so a restart replays zero jobs, and a hand-built journal
+//! with an incomplete job is executed (or cancelled) at startup.
+
+use chameleon_core::CancelToken;
+use chameleon_obs::json::Json;
+use chameleon_server::journal::{Journal, JournalSync, DEFAULT_SEGMENT_BYTES};
+use chameleon_server::{parse_request, request_once, Request, Server, ServerConfig, ServerHandle};
+use chameleon_ugraph::io;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+fn unique_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "chameleond-recovery-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn graph_text(nodes: usize, seed: u64) -> String {
+    let g = chameleon_datasets::dblp_like(nodes, seed);
+    let mut buf = Vec::new();
+    io::write_text(&g, &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+fn obfuscate_request(nodes: usize, worlds: usize, trials: usize, seed: u64) -> String {
+    format!(
+        "{{\"op\":\"obfuscate\",\"graph\":{},\"k\":2,\"epsilon\":0.2,\
+         \"method\":\"ME\",\"worlds\":{worlds},\"trials\":{trials},\"seed\":{seed},\
+         \"threads\":1}}",
+        chameleon_obs::json::string(&graph_text(nodes, seed)),
+    )
+}
+
+fn parsed(line: &str) -> Json {
+    Json::parse(line).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"))
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> &'a Json {
+    v.get(key)
+        .unwrap_or_else(|| panic!("response missing {key:?}: {v:?}"))
+}
+
+fn status(addr: &str) -> Json {
+    let line = request_once(addr, r#"{"op":"status"}"#).unwrap();
+    field(&parsed(&line), "result").clone()
+}
+
+fn journal_stat(st: &Json, key: &str) -> u64 {
+    field(field(st, "journal"), key).as_u64().unwrap()
+}
+
+/// The response `result` bytes the library produces for the same request,
+/// computed in-process — the recovery contract is byte-identity with an
+/// uninterrupted run, and an uninterrupted run matches the direct call.
+fn reference_result(request: &str) -> String {
+    let Ok(Request::Job(job)) = parse_request(request) else {
+        panic!("reference request must parse as a job");
+    };
+    let raw = job.spec.execute(&CancelToken::new()).unwrap();
+    parsed(&raw).render()
+}
+
+fn segment_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".wal"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// True once any journal segment contains a `checkpoint` record — the
+/// signal that the in-flight search has completed at least one σ probe.
+fn journal_has_checkpoint(dir: &Path) -> bool {
+    segment_files(dir).iter().any(|p| {
+        std::fs::read(p).is_ok_and(|bytes| {
+            bytes
+                .windows(b"\"kind\":\"checkpoint\"".len())
+                .any(|w| w == b"\"kind\":\"checkpoint\"")
+        })
+    })
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+    /// Held open so the daemon's stderr never blocks on a full pipe.
+    stderr: BufReader<std::process::ChildStderr>,
+}
+
+fn spawn_daemon(journal_dir: &Path, resume: bool) -> Daemon {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_chameleond"));
+    cmd.args([
+        "--port",
+        "0",
+        "--workers",
+        "1",
+        "--journal-dir",
+        journal_dir.to_str().unwrap(),
+        "--journal-sync",
+        "always",
+    ]);
+    if resume {
+        cmd.arg("--resume");
+    }
+    let mut child = cmd
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn chameleond");
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut line = String::new();
+    stderr.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("chameleond listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line {line:?}"))
+        .to_string();
+    Daemon {
+        child,
+        addr,
+        stderr,
+    }
+}
+
+fn wait_until(deadline: Duration, what: &str, mut done: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !done() {
+        assert!(start.elapsed() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// One attempt of the kill/resume cycle. Returns `None` when the job
+/// finished before the kill landed (nothing incomplete to replay), so the
+/// caller can escalate to a slower workload.
+fn try_kill_resume(nodes: usize, worlds: usize, trials: usize, seed: u64) -> Option<()> {
+    let dir = unique_dir("sigkill");
+    let request = obfuscate_request(nodes, worlds, trials, seed);
+
+    let mut daemon = spawn_daemon(&dir, false);
+    // Fire the slow job from a background thread: the connection dies
+    // with the daemon, which is the point.
+    let submit_addr = daemon.addr.clone();
+    let submit_req = request.clone();
+    let submitter = std::thread::spawn(move || {
+        let _ = request_once(&submit_addr, &submit_req);
+    });
+    // SIGKILL as soon as the first σ-probe checkpoint is durable. The
+    // `always` sync policy means the record precedes the kill on disk.
+    wait_until(Duration::from_secs(120), "a checkpoint record", || {
+        journal_has_checkpoint(&dir)
+    });
+    daemon.child.kill().unwrap();
+    let _ = daemon.child.wait();
+    let _ = submitter.join();
+
+    let restarted = spawn_daemon(&dir, true);
+    let st = status(&restarted.addr);
+    let replayed = journal_stat(&st, "replayed_jobs");
+    if replayed == 0 {
+        // The search outran the kill: result already durable. Clean up
+        // and let the caller escalate.
+        let _ = request_once(&restarted.addr, r#"{"op":"shutdown"}"#);
+        let mut child = restarted.child;
+        let _ = child.wait();
+        return None;
+    }
+    // The replayed job finishes in the background; wait it out.
+    wait_until(Duration::from_secs(180), "journal replay to finish", || {
+        let st = status(&restarted.addr);
+        journal_stat(&st, "open_jobs") == 0
+    });
+    let st = status(&restarted.addr);
+    assert!(
+        journal_stat(&st, "probes_skipped") >= 1,
+        "the resumed search must skip checkpointed probes, got {st:?}"
+    );
+    // Byte-identity: the recovered daemon answers the original request
+    // from the journal-backed cache with exactly the bytes an
+    // uninterrupted run produces.
+    let line = request_once(&restarted.addr, &request).unwrap();
+    let v = parsed(&line);
+    assert_eq!(field(&v, "status").as_str(), Some("ok"));
+    assert_eq!(
+        field(&v, "cached").as_bool(),
+        Some(true),
+        "the replayed result must already be cached"
+    );
+    assert_eq!(field(&v, "result").render(), reference_result(&request));
+    let _ = request_once(&restarted.addr, r#"{"op":"shutdown"}"#);
+    let mut child = restarted.child;
+    let _ = child.wait();
+    drop(daemon.stderr);
+    let _ = std::fs::remove_dir_all(&dir);
+    Some(())
+}
+
+#[test]
+fn sigkill_mid_search_then_resume_is_byte_identical() {
+    // Escalating workloads: if the search finishes before the SIGKILL
+    // lands (fast machine), retry with a slower one instead of flaking.
+    for (nodes, worlds, trials) in [(140, 300, 2), (220, 600, 3), (320, 1000, 4)] {
+        if try_kill_resume(nodes, worlds, trials, 17).is_some() {
+            return;
+        }
+    }
+    panic!("every workload completed before the SIGKILL; cannot exercise recovery");
+}
+
+fn start(config: ServerConfig) -> (ServerHandle, String) {
+    let handle = Server::spawn(config).unwrap();
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn shutdown(addr: &str, handle: ServerHandle) {
+    let line = request_once(addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert_eq!(field(&parsed(&line), "status").as_str(), Some("ok"));
+    handle.join().unwrap();
+}
+
+fn journaled_config(dir: &Path, resume: bool) -> ServerConfig {
+    ServerConfig {
+        workers: 1,
+        journal_dir: Some(dir.to_str().unwrap().to_string()),
+        journal_sync: JournalSync::Always,
+        // Tiny segments force rotation so compaction has something to do.
+        journal_segment_bytes: 4096,
+        resume,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn clean_shutdown_compacts_the_journal_and_replays_zero_jobs() {
+    let dir = unique_dir("clean");
+    let (handle, addr) = start(journaled_config(&dir, false));
+    let requests: Vec<String> = (0..3)
+        .map(|i| obfuscate_request(40, 40, 1, 100 + i))
+        .collect();
+    for req in &requests {
+        let line = request_once(&addr, req).unwrap();
+        assert_eq!(field(&parsed(&line), "status").as_str(), Some("ok"));
+    }
+    // Each accepted record carries the full graph, so 4 KiB segments
+    // rotated well before shutdown.
+    assert!(
+        segment_files(&dir).len() >= 2,
+        "workload too small to rotate segments"
+    );
+    shutdown(&addr, handle);
+    assert_eq!(
+        segment_files(&dir).len(),
+        1,
+        "clean shutdown must compact fully-terminal segments"
+    );
+
+    // Restarting replays zero jobs (compaction settled everything); the
+    // same requests still answer byte-identically, cached or recomputed.
+    let (handle, addr) = start(journaled_config(&dir, true));
+    let st = status(&addr);
+    assert_eq!(journal_stat(&st, "replayed_jobs"), 0);
+    assert_eq!(journal_stat(&st, "open_jobs"), 0);
+    for req in &requests {
+        let line = request_once(&addr, req).unwrap();
+        let v = parsed(&line);
+        assert_eq!(field(&v, "status").as_str(), Some("ok"));
+        assert_eq!(field(&v, "result").render(), reference_result(req));
+    }
+    shutdown(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Writes an accepted-but-incomplete job straight into a journal — the
+/// deterministic stand-in for "the process died mid-job".
+fn plant_incomplete_job(dir: &Path, request: &str) {
+    let (mut journal, summary) =
+        Journal::open(dir, JournalSync::Always, DEFAULT_SEGMENT_BYTES).unwrap();
+    assert!(summary.jobs.is_empty());
+    let Ok(Request::Job(job)) = parse_request(request) else {
+        panic!("request must parse as a job");
+    };
+    let seq = journal.accepted(&job.spec, Some(120_000));
+    journal.started(seq);
+}
+
+#[test]
+fn resume_executes_jobs_the_previous_process_never_finished() {
+    let dir = unique_dir("resume");
+    let request = obfuscate_request(40, 40, 1, 7);
+    plant_incomplete_job(&dir, &request);
+
+    let (handle, addr) = start(journaled_config(&dir, true));
+    let st = status(&addr);
+    assert_eq!(journal_stat(&st, "replayed_jobs"), 1);
+    wait_until(Duration::from_secs(120), "replayed job to finish", || {
+        journal_stat(&status(&addr), "open_jobs") == 0
+    });
+    let line = request_once(&addr, &request).unwrap();
+    let v = parsed(&line);
+    assert_eq!(
+        field(&v, "cached").as_bool(),
+        Some(true),
+        "the replayed job's result must be served from cache"
+    );
+    assert_eq!(field(&v, "result").render(), reference_result(&request));
+    shutdown(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn without_resume_incomplete_jobs_are_cancelled_not_replayed() {
+    let dir = unique_dir("noresume");
+    let request = obfuscate_request(40, 40, 1, 9);
+    plant_incomplete_job(&dir, &request);
+
+    let (handle, addr) = start(journaled_config(&dir, false));
+    let st = status(&addr);
+    assert_eq!(journal_stat(&st, "replayed_jobs"), 0);
+    assert_eq!(journal_stat(&st, "open_jobs"), 0);
+    shutdown(&addr, handle);
+
+    // The cancellation is durable: a later `--resume` start finds nothing.
+    let (_, summary) = Journal::open(&dir, JournalSync::Always, DEFAULT_SEGMENT_BYTES).unwrap();
+    assert!(summary.jobs.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
