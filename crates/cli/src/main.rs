@@ -8,8 +8,14 @@
 //!                     [--tolerance T]   # adversary knows degree only up to ±T
 //! chameleon anonymize <in.txt> <out.txt> --k K [--epsilon E] [--method RSME|RS|ME|REPAN]
 //!                     [--seed S] [--worlds N] [--trials T] [--threads T]
+//!                     [--strip-worlds W] [--max-ensemble-bytes B]
 //!                     # --threads 0 (default) uses all cores; results are
-//!                     # bit-identical for every thread count
+//!                     # bit-identical for every thread count.
+//!                     # --strip-worlds W analyzes the Monte-Carlo ensemble
+//!                     # out of core, W worlds at a time (rounded up to 64),
+//!                     # with bit-identical output; --max-ensemble-bytes B
+//!                     # makes B a hard ceiling on tracked ensemble memory —
+//!                     # runs that would exceed it fail cleanly instead.
 //! chameleon attack    <graph.txt> [--original orig.txt] [--candidates C]
 //! chameleon profile   <graph.txt> [--original orig.txt] [--top T]
 //! chameleon compare   <a.txt> <b.txt> [--worlds N] [--pairs P] [--seed S]
@@ -95,6 +101,8 @@ const COMMANDS: &[Command] = &[
             "trials",
             "threads",
             "incremental",
+            "strip-worlds",
+            "max-ensemble-bytes",
         ],
         cmd_anonymize,
     ),
@@ -134,6 +142,7 @@ const COMMANDS: &[Command] = &[
             "worlds",
             "trials",
             "threads",
+            "strip-worlds",
             "tolerance",
             "pairs",
             "chunk-bytes",
@@ -344,14 +353,23 @@ fn cmd_anonymize(cli: &Cli) -> Result<(), String> {
     // (seed, config) but can differ from the non-incremental bytes once
     // the search takes more than one probe.
     let incremental = cli.has("incremental");
-    let config = ChameleonConfig::builder()
-        .k(k)
-        .epsilon(epsilon)
-        .num_world_samples(worlds)
-        .trials(trials)
-        .num_threads(threads)
-        .incremental(incremental)
-        .build();
+    // Out-of-core ensembles (DESIGN.md §12): --strip-worlds streams the
+    // analysis (bit-identical output); --max-ensemble-bytes turns the
+    // tracked-ensemble gauge into a hard, fallible ceiling.
+    let strip_worlds: usize = cli.get("strip-worlds", 0usize)?;
+    let max_ensemble_bytes: usize = cli.get("max-ensemble-bytes", 0usize)?;
+    chameleon_stats::alloc_guard::set_ensemble_limit(max_ensemble_bytes);
+    let config = ChameleonConfig {
+        k,
+        epsilon,
+        num_world_samples: worlds,
+        trials,
+        num_threads: threads,
+        incremental,
+        strip_worlds,
+        ..ChameleonConfig::default()
+    };
+    config.validate()?;
     let (published, sigma, eps_hat) = if method.eq_ignore_ascii_case("repan") {
         let r = RepAn::new(config)
             .anonymize(&graph, seed)
@@ -649,6 +667,13 @@ fn cmd_submit(cli: &Cli) -> Result<(), String> {
             push_field(&mut req, "worlds", cli.get("worlds", 500usize)?.to_string());
             push_field(&mut req, "trials", cli.get("trials", 5usize)?.to_string());
             push_field(&mut req, "threads", cli.get("threads", 0usize)?.to_string());
+            // Out-of-core execution knob: results are bit-identical, so
+            // the server excludes it from the result cache key; omit it
+            // entirely at the default to keep request bytes stable.
+            let strip_worlds: usize = cli.get("strip-worlds", 0usize)?;
+            if strip_worlds > 0 {
+                push_field(&mut req, "strip_worlds", strip_worlds.to_string());
+            }
         }
         "check" => {
             push_field(&mut req, "k", cli.require::<usize>("k")?.to_string());

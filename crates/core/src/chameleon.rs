@@ -2,7 +2,8 @@
 //! in the σ binary-search skeleton (paper Algorithm 1).
 
 use crate::anonymity::{
-    anonymity_check_threads, AdversaryKnowledge, AnonymityReport, DegreePmfCache,
+    anonymity_check_streamed, anonymity_check_threads, AdversaryKnowledge, AnonymityReport,
+    DegreePmfCache,
 };
 use crate::cancel::CancelToken;
 use crate::candidate::{select_candidates, VertexSampler};
@@ -14,10 +15,12 @@ use crate::genobf_plan::TrialPlan;
 use crate::method::Method;
 use crate::perturb::draw_noise;
 use crate::relevance::{
-    edge_reliability_relevance_threads, min_max_normalize, vertex_reliability_relevance,
+    edge_reliability_relevance_streamed, edge_reliability_relevance_threads, min_max_normalize,
+    vertex_reliability_relevance,
 };
 use crate::uniqueness::uniqueness_scores_scaled;
-use chameleon_reliability::WorldEnsemble;
+use chameleon_reliability::{EnsembleStream, WorldEnsemble};
+use chameleon_stats::alloc_guard;
 use chameleon_stats::{parallel, SeedSequence};
 use chameleon_ugraph::{NodeId, UncertainGraph};
 use std::collections::{HashSet, VecDeque};
@@ -51,6 +54,10 @@ pub enum ChameleonError {
     /// reproduce. Callers holding persisted checkpoints should validate
     /// with [`SearchCheckpoint::matches`] and fall back to a fresh run.
     CheckpointInvalid(String),
+    /// The run would exceed the configured ensemble memory ceiling
+    /// (`chameleon_stats::alloc_guard::set_ensemble_limit`). Raise the
+    /// ceiling or lower [`ChameleonConfig::strip_worlds`].
+    ResourceLimit(String),
 }
 
 impl std::fmt::Display for ChameleonError {
@@ -68,6 +75,7 @@ impl std::fmt::Display for ChameleonError {
             ChameleonError::DegenerateInput(msg) => write!(f, "degenerate input: {msg}"),
             ChameleonError::Cancelled => write!(f, "run cancelled before completion"),
             ChameleonError::CheckpointInvalid(msg) => write!(f, "invalid checkpoint: {msg}"),
+            ChameleonError::ResourceLimit(msg) => write!(f, "resource limit: {msg}"),
         }
     }
 }
@@ -245,13 +253,37 @@ impl Chameleon {
         // ---- Lines 1–2 of Algorithm 3, hoisted: invariants of the input.
         let uniq = uniqueness_scores_scaled(graph, self.config.bandwidth_scale);
         let vrr = if method.reliability_oriented() {
-            let ensemble = WorldEnsemble::sample_seeded(
-                graph,
-                self.config.num_world_samples,
-                seq.derive("relevance-ensemble"),
-                threads,
-            );
-            let err = edge_reliability_relevance_threads(graph, &ensemble, threads);
+            let ens_seed = seq.derive("relevance-ensemble");
+            let err = if self.config.strip_worlds > 0 {
+                // Out-of-core path (DESIGN.md §12): compressed worlds,
+                // strip-folded ERR. Bit-identical to the dense branch —
+                // same CRN chunk streams, same fold order.
+                let stream = EnsembleStream::sample(
+                    graph,
+                    self.config.num_world_samples,
+                    ens_seed,
+                    threads,
+                    self.config.strip_worlds,
+                )
+                .map_err(|e| ChameleonError::ResourceLimit(e.to_string()))?;
+                edge_reliability_relevance_streamed(graph, &stream, threads)
+                    .map_err(|e| ChameleonError::ResourceLimit(e.to_string()))?
+            } else {
+                // Dense path under a ceiling: fail up front with advice
+                // instead of blowing through the budget mid-sample.
+                alloc_guard::check_ensemble_budget(WorldEnsemble::estimate_arena_bytes(
+                    graph,
+                    self.config.num_world_samples,
+                ))
+                .map_err(|e| ChameleonError::ResourceLimit(e.to_string()))?;
+                let ensemble = WorldEnsemble::sample_seeded(
+                    graph,
+                    self.config.num_world_samples,
+                    ens_seed,
+                    threads,
+                );
+                edge_reliability_relevance_threads(graph, &ensemble, threads)
+            };
             vertex_reliability_relevance(graph, &err)
         } else {
             Vec::new()
@@ -600,9 +632,21 @@ impl Chameleon {
                         }
                     }
                 }
-                // Anonymity check (line 24).
+                // Anonymity check (line 24). With strip_worlds set the
+                // degree pmfs are built strip-by-strip and discarded
+                // (bit-identical report, O(strip·ω_max) memory).
                 drop(_s_perturb);
-                let report = anonymity_check_threads(&perturbed, knowledge, cfg.k, check_threads);
+                let report = if cfg.strip_worlds > 0 {
+                    anonymity_check_streamed(
+                        &perturbed,
+                        knowledge,
+                        cfg.k,
+                        cfg.strip_worlds,
+                        check_threads,
+                    )
+                } else {
+                    anonymity_check_threads(&perturbed, knowledge, cfg.k, check_threads)
+                };
                 (report.eps_hat, Some((perturbed, report)))
             });
         // Fold in trial order with strict-improvement selection: the
@@ -864,6 +908,33 @@ mod tests {
             for (a, b) in serial.graph.edges().iter().zip(par.graph.edges()) {
                 assert_eq!((a.u, a.v), (b.u, b.v));
                 assert_eq!(a.p.to_bits(), b.p.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn strip_worlds_is_bit_identical_to_dense() {
+        let g = test_graph(15);
+        let base = quick_config(6);
+        let dense = Chameleon::new(base.clone())
+            .anonymize(&g, Method::Rsme, 23)
+            .unwrap();
+        for strip in [1usize, 64, 500] {
+            let cfg = ChameleonConfig {
+                strip_worlds: strip,
+                ..base.clone()
+            };
+            let streamed = Chameleon::new(cfg).anonymize(&g, Method::Rsme, 23).unwrap();
+            assert_eq!(dense.sigma.to_bits(), streamed.sigma.to_bits());
+            assert_eq!(dense.eps_hat.to_bits(), streamed.eps_hat.to_bits());
+            assert_eq!(dense.genobf_calls, streamed.genobf_calls);
+            assert_eq!(dense.graph.num_edges(), streamed.graph.num_edges());
+            for (a, b) in dense.graph.edges().iter().zip(streamed.graph.edges()) {
+                assert_eq!((a.u, a.v), (b.u, b.v));
+                assert_eq!(a.p.to_bits(), b.p.to_bits(), "strip {strip}");
+            }
+            for (a, b) in dense.vrr.iter().zip(&streamed.vrr) {
+                assert_eq!(a.to_bits(), b.to_bits(), "strip {strip}");
             }
         }
     }

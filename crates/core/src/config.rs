@@ -62,6 +62,14 @@ pub struct ChameleonConfig {
     /// fingerprint). Recorded probes are replayed without recomputation;
     /// the final output is bit-identical to an uninterrupted run.
     pub resume_from: Option<SearchCheckpoint>,
+    /// Out-of-core ensemble analysis (DESIGN.md §12): when non-zero, the
+    /// VRR ensemble is held compressed and analyzed `strip_worlds` worlds
+    /// at a time (rounded up to the 64-world alignment), making ensemble
+    /// memory O(strip) instead of O(N). Results are **bit-identical** to
+    /// the in-RAM path for every strip size. `0` keeps the dense in-RAM
+    /// ensemble. Incompatible with `incremental` (which must keep its
+    /// dense ensemble alive across σ probes).
+    pub strip_worlds: usize,
 }
 
 impl Default for ChameleonConfig {
@@ -81,6 +89,7 @@ impl Default for ChameleonConfig {
             incremental: false,
             checkpoint: None,
             resume_from: None,
+            strip_worlds: 0,
         }
     }
 }
@@ -126,6 +135,13 @@ impl ChameleonConfig {
         }
         if !(self.bandwidth_scale.is_finite() && self.bandwidth_scale > 0.0) {
             return Err("bandwidth_scale must be positive and finite".into());
+        }
+        if self.strip_worlds > 0 && self.incremental {
+            return Err(
+                "strip_worlds requires the non-incremental search: the incremental \
+                 GenObf path keeps its dense ensemble alive across probes"
+                    .into(),
+            );
         }
         Ok(())
     }
@@ -207,6 +223,11 @@ impl ChameleonConfigBuilder {
     setter!(
         /// Sets the checkpoint to resume the σ search from.
         resume_from: Option<SearchCheckpoint>
+    );
+    setter!(
+        /// Sets the out-of-core analysis strip (`0` = dense in-RAM
+        /// ensembles).
+        strip_worlds: usize
     );
 
     /// Finalizes the configuration.
@@ -296,6 +317,20 @@ mod tests {
         let mut c = ChameleonConfig::default();
         c.bandwidth_scale = 0.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn strip_worlds_defaults_off_and_rejects_incremental() {
+        assert_eq!(ChameleonConfig::default().strip_worlds, 0);
+        let c = ChameleonConfig::builder().strip_worlds(256).build();
+        assert_eq!(c.strip_worlds, 256);
+        assert!(c.validate().is_ok());
+        let mut c = ChameleonConfig::default();
+        c.strip_worlds = 64;
+        c.incremental = true;
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("incremental"), "{err}");
     }
 
     #[test]

@@ -66,8 +66,9 @@ pub mod relevance;
 pub mod uniqueness;
 
 pub use anonymity::{
-    anonymity_check, anonymity_check_cached, anonymity_check_threads, anonymity_check_tolerant,
-    anonymity_check_tolerant_threads, AdversaryKnowledge, AnonymityReport, DegreePmfCache,
+    anonymity_check, anonymity_check_cached, anonymity_check_streamed, anonymity_check_threads,
+    anonymity_check_tolerant, anonymity_check_tolerant_threads, AdversaryKnowledge,
+    AnonymityReport, DegreePmfCache,
 };
 pub use attack::{simulate_degree_attack, AttackReport};
 pub use cancel::{CancelReason, CancelToken};
@@ -81,6 +82,8 @@ pub use method::Method;
 pub use perturb::PerturbStrategy;
 pub use profile::PrivacyProfile;
 pub use relevance::{
-    edge_reliability_relevance, edge_reliability_relevance_threads, vertex_reliability_relevance,
+    edge_reliability_relevance, edge_reliability_relevance_streamed,
+    edge_reliability_relevance_threads, vertex_reliability_relevance, ErrAlg2Accum,
+    ErrCoupledAccum,
 };
 pub use uniqueness::uniqueness_scores;

@@ -19,7 +19,8 @@
 //! The vertex-level aggregate is `VRR^u = Σ_{e ∋ u} p(e)·ERR^e` — the
 //! expected reliability impact of perturbing around `u`.
 
-use chameleon_reliability::WorldEnsemble;
+use chameleon_reliability::{EnsembleStream, WorldEnsemble};
+use chameleon_stats::alloc_guard::BudgetExceeded;
 use chameleon_stats::parallel;
 use chameleon_ugraph::UncertainGraph;
 use rand::Rng;
@@ -28,6 +29,10 @@ use rand::Rng;
 /// sums are computed per chunk and folded in chunk order, so results are
 /// bit-identical at any thread count; changing this constant regroups the
 /// floating-point accumulation and may shift results by ulps.
+///
+/// `reliability::STRIP_ALIGN` is the lcm of this and the sampling chunk:
+/// strip-streamed folds then replay the same chunk partial sequence as
+/// the in-RAM estimators, keeping the streamed ERR vectors bit-identical.
 const ERR_WORLD_CHUNK: usize = 64;
 
 /// Estimates `ERR^e` for every edge via the paper-faithful reused-sampling
@@ -70,59 +75,99 @@ pub fn edge_reliability_relevance_alg2_threads(
     threads: usize,
 ) -> Vec<f64> {
     let _span = chameleon_obs::span!("relevance.err_alg2");
-    let m = graph.num_edges();
-    let n_worlds = ensemble.len();
-    chameleon_obs::counter!("relevance.worlds_scanned").add(n_worlds as u64);
-    let partials = parallel::map_chunks(n_worlds, ERR_WORLD_CHUNK, threads, |_, range| {
-        let mut cc_with = vec![0.0f64; m];
-        let mut count_with = vec![0u32; m];
-        let mut cc_total = 0.0f64;
-        for w in range {
-            let world = ensemble.world(w);
-            let cc = ensemble.connected_pairs(w) as f64;
-            cc_total += cc;
-            // Walk present edges word-by-word: iterate the set bits of
-            // each 64-edge block. Ascending edge order, exactly like the
-            // historical per-edge `contains` loop, so the floating-point
-            // accumulation order (and thus every bit of the result) is
-            // unchanged.
-            for (wi, &word) in world.words().iter().enumerate() {
-                let mut x = word;
-                while x != 0 {
-                    let e = wi * 64 + x.trailing_zeros() as usize;
-                    x &= x - 1;
-                    cc_with[e] += cc;
-                    count_with[e] += 1;
+    let mut accum = ErrAlg2Accum::new(graph);
+    accum.fold(ensemble, threads);
+    accum.finish()
+}
+
+/// Streaming accumulator behind [`edge_reliability_relevance_alg2`]: folds
+/// worlds strip by strip, replaying the exact per-chunk partial sequence of
+/// the in-RAM estimator.
+///
+/// Bit-identity contract: strips must arrive in ascending world order and
+/// every strip boundary must fall on an [`ERR_WORLD_CHUNK`] multiple
+/// (`reliability::STRIP_ALIGN` guarantees this — a ragged *final* strip is
+/// fine). Then each chunk's partial sums cover exactly the same worlds as
+/// in the in-RAM pass, and the fold adds them in the same order, so
+/// [`ErrAlg2Accum::finish`] is bit-for-bit equal to
+/// [`edge_reliability_relevance_alg2_threads`].
+pub struct ErrAlg2Accum {
+    cc_with: Vec<f64>,
+    count_with: Vec<u32>,
+    cc_total: f64,
+    worlds: usize,
+}
+
+impl ErrAlg2Accum {
+    /// Empty accumulator for `graph`'s edge set.
+    pub fn new(graph: &UncertainGraph) -> Self {
+        let m = graph.num_edges();
+        Self {
+            cc_with: vec![0.0f64; m],
+            count_with: vec![0u32; m],
+            cc_total: 0.0,
+            worlds: 0,
+        }
+    }
+
+    /// Folds one strip of worlds into the running conditional sums.
+    pub fn fold(&mut self, strip: &WorldEnsemble, threads: usize) {
+        let m = self.cc_with.len();
+        chameleon_obs::counter!("relevance.worlds_scanned").add(strip.len() as u64);
+        let partials = parallel::map_chunks(strip.len(), ERR_WORLD_CHUNK, threads, |_, range| {
+            let mut cc_with = vec![0.0f64; m];
+            let mut count_with = vec![0u32; m];
+            let mut cc_total = 0.0f64;
+            for w in range {
+                let world = strip.world(w);
+                let cc = strip.connected_pairs(w) as f64;
+                cc_total += cc;
+                // Walk present edges word-by-word: iterate the set bits of
+                // each 64-edge block. Ascending edge order, exactly like the
+                // historical per-edge `contains` loop, so the floating-point
+                // accumulation order (and thus every bit of the result) is
+                // unchanged.
+                for (wi, &word) in world.words().iter().enumerate() {
+                    let mut x = word;
+                    while x != 0 {
+                        let e = wi * 64 + x.trailing_zeros() as usize;
+                        x &= x - 1;
+                        cc_with[e] += cc;
+                        count_with[e] += 1;
+                    }
                 }
             }
+            (cc_with, count_with, cc_total)
+        });
+        for (part_cc_with, part_count, part_total) in partials {
+            for e in 0..m {
+                self.cc_with[e] += part_cc_with[e];
+                self.count_with[e] += part_count[e];
+            }
+            self.cc_total += part_total;
         }
-        (cc_with, count_with, cc_total)
-    });
-    let mut cc_with = vec![0.0f64; m];
-    let mut count_with = vec![0u32; m];
-    let mut cc_total = 0.0f64;
-    for (part_cc_with, part_count, part_total) in partials {
+        self.worlds += strip.len();
+    }
+
+    /// Finishes the estimate: per-edge conditional-mean gap, clamped at 0.
+    pub fn finish(&self) -> Vec<f64> {
+        let m = self.cc_with.len();
+        let mut err = Vec::with_capacity(m);
         for e in 0..m {
-            cc_with[e] += part_cc_with[e];
-            count_with[e] += part_count[e];
+            let n_e = self.count_with[e];
+            let n_not = self.worlds as u32 - n_e;
+            if n_e == 0 || n_not == 0 {
+                err.push(0.0);
+                continue;
+            }
+            let mean_with = self.cc_with[e] / n_e as f64;
+            let mean_without = (self.cc_total - self.cc_with[e]) / n_not as f64;
+            // Connectivity is monotone in edge presence, so the true gap is
+            // ≥ 0; clamp away sampling noise.
+            err.push((mean_with - mean_without).max(0.0));
         }
-        cc_total += part_total;
+        err
     }
-    let mut err = Vec::with_capacity(m);
-    for e in 0..m {
-        let n_e = count_with[e];
-        let n_not = n_worlds as u32 - n_e;
-        if n_e == 0 || n_not == 0 {
-            err.push(0.0);
-            continue;
-        }
-        let mean_with = cc_with[e] / n_e as f64;
-        let mean_without = (cc_total - cc_with[e]) / n_not as f64;
-        // Connectivity is monotone in edge presence, so the true gap is
-        // ≥ 0; clamp away sampling noise.
-        err.push((mean_with - mean_without).max(0.0));
-    }
-    err
 }
 
 /// Coupled (variance-reduced) ERR estimator — the pipeline default.
@@ -164,60 +209,132 @@ pub fn edge_reliability_relevance_threads(
     threads: usize,
 ) -> Vec<f64> {
     let _span = chameleon_obs::span!("relevance.err_coupled");
-    let m = graph.num_edges();
-    chameleon_obs::counter!("relevance.worlds_scanned").add(ensemble.len() as u64);
+    let mut accum = ErrCoupledAccum::new(graph);
+    accum.fold(ensemble, threads);
+    accum.finish()
+}
+
+/// Streaming accumulator behind [`edge_reliability_relevance`]: same
+/// strip-fold contract as [`ErrAlg2Accum`] (ascending, 64-aligned strips
+/// replay the in-RAM chunk partial sequence bit-for-bit).
+pub struct ErrCoupledAccum {
     // SoA endpoints: the scan only touches endpoints, never probabilities,
     // so cache lines carry twice the useful data of the `Edge` array.
-    let (us, vs) = graph.endpoint_soa();
-    let partials = parallel::map_chunks(ensemble.len(), ERR_WORLD_CHUNK, threads, |_, range| {
-        let mut sum = vec![0.0f64; m];
-        let mut count = vec![0u32; m];
-        for w in range {
-            let world = ensemble.world(w);
-            let labels = ensemble.labels(w);
-            let sizes = ensemble.component_sizes(w);
-            // Walk *absent* edges word-by-word: the set bits of `!word`,
-            // masked to the valid tail in the final 64-edge block. The
-            // edge order is ascending, identical to the historical
-            // per-edge `contains` skip loop, so the accumulation is
-            // bit-for-bit unchanged.
-            for (wi, &word) in world.words().iter().enumerate() {
-                let base = wi * 64;
-                let width = (m - base).min(64);
-                let mut x = !word;
-                if width < 64 {
-                    x &= (1u64 << width) - 1;
-                }
-                while x != 0 {
-                    let e = base + x.trailing_zeros() as usize;
-                    x &= x - 1;
-                    count[e] += 1;
-                    let (lu, lv) = (labels[us[e] as usize], labels[vs[e] as usize]);
-                    if lu != lv {
-                        sum[e] += sizes[lu as usize] as f64 * sizes[lv as usize] as f64;
+    us: Vec<u32>,
+    vs: Vec<u32>,
+    sum: Vec<f64>,
+    count: Vec<u32>,
+}
+
+impl ErrCoupledAccum {
+    /// Empty accumulator for `graph`'s edge set.
+    pub fn new(graph: &UncertainGraph) -> Self {
+        let m = graph.num_edges();
+        let (us, vs) = graph.endpoint_soa();
+        Self {
+            us,
+            vs,
+            sum: vec![0.0f64; m],
+            count: vec![0u32; m],
+        }
+    }
+
+    /// Folds one strip of worlds into the running per-edge sums.
+    pub fn fold(&mut self, strip: &WorldEnsemble, threads: usize) {
+        let m = self.sum.len();
+        let (us, vs) = (&self.us, &self.vs);
+        chameleon_obs::counter!("relevance.worlds_scanned").add(strip.len() as u64);
+        let partials = parallel::map_chunks(strip.len(), ERR_WORLD_CHUNK, threads, |_, range| {
+            let mut sum = vec![0.0f64; m];
+            let mut count = vec![0u32; m];
+            for w in range {
+                let world = strip.world(w);
+                let labels = strip.labels(w);
+                let sizes = strip.component_sizes(w);
+                // Walk *absent* edges word-by-word: the set bits of `!word`,
+                // masked to the valid tail in the final 64-edge block. The
+                // edge order is ascending, identical to the historical
+                // per-edge `contains` skip loop, so the accumulation is
+                // bit-for-bit unchanged.
+                for (wi, &word) in world.words().iter().enumerate() {
+                    let base = wi * 64;
+                    let width = (m - base).min(64);
+                    let mut x = !word;
+                    if width < 64 {
+                        x &= (1u64 << width) - 1;
+                    }
+                    while x != 0 {
+                        let e = base + x.trailing_zeros() as usize;
+                        x &= x - 1;
+                        count[e] += 1;
+                        let (lu, lv) = (labels[us[e] as usize], labels[vs[e] as usize]);
+                        if lu != lv {
+                            sum[e] += sizes[lu as usize] as f64 * sizes[lv as usize] as f64;
+                        }
                     }
                 }
             }
-        }
-        (sum, count)
-    });
-    let mut sum = vec![0.0f64; m];
-    let mut count = vec![0u32; m];
-    for (part_sum, part_count) in partials {
-        for e in 0..m {
-            sum[e] += part_sum[e];
-            count[e] += part_count[e];
+            (sum, count)
+        });
+        for (part_sum, part_count) in partials {
+            for e in 0..m {
+                self.sum[e] += part_sum[e];
+                self.count[e] += part_count[e];
+            }
         }
     }
-    (0..m)
-        .map(|e| {
-            if count[e] == 0 {
-                0.0
-            } else {
-                sum[e] / count[e] as f64
-            }
-        })
-        .collect()
+
+    /// Finishes the estimate: per-edge conditional mean (0 with no samples).
+    pub fn finish(&self) -> Vec<f64> {
+        (0..self.sum.len())
+            .map(|e| {
+                if self.count[e] == 0 {
+                    0.0
+                } else {
+                    self.sum[e] / self.count[e] as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// Strip-streamed [`edge_reliability_relevance`]: folds the compressed
+/// worlds of an [`EnsembleStream`] strip by strip, never materializing more
+/// than one strip of labeled worlds, and returns the *bit-identical* ERR
+/// vector the in-RAM estimator would produce on the same `(n, seed)`
+/// ensemble.
+///
+/// # Errors
+///
+/// Fails if decoding a strip would breach the configured ensemble byte
+/// ceiling (`alloc_guard::set_ensemble_limit`).
+pub fn edge_reliability_relevance_streamed(
+    graph: &UncertainGraph,
+    stream: &EnsembleStream<'_>,
+    threads: usize,
+) -> Result<Vec<f64>, BudgetExceeded> {
+    let _span = chameleon_obs::span!("relevance.err_coupled_streamed");
+    let mut accum = ErrCoupledAccum::new(graph);
+    stream.for_each_strip(|_, strip| accum.fold(strip, threads))?;
+    Ok(accum.finish())
+}
+
+/// Strip-streamed [`edge_reliability_relevance_alg2`]; same contract as
+/// [`edge_reliability_relevance_streamed`].
+///
+/// # Errors
+///
+/// Fails if decoding a strip would breach the configured ensemble byte
+/// ceiling.
+pub fn edge_reliability_relevance_alg2_streamed(
+    graph: &UncertainGraph,
+    stream: &EnsembleStream<'_>,
+    threads: usize,
+) -> Result<Vec<f64>, BudgetExceeded> {
+    let _span = chameleon_obs::span!("relevance.err_alg2_streamed");
+    let mut accum = ErrAlg2Accum::new(graph);
+    stream.for_each_strip(|_, strip| accum.fold(strip, threads))?;
+    Ok(accum.finish())
 }
 
 /// Convenience wrapper: samples an ensemble of `num_worlds` worlds and
@@ -466,6 +583,35 @@ mod tests {
         // The serial entry points are exactly the 1-thread variants.
         assert_eq!(edge_reliability_relevance(&g, &ens), coupled_1);
         assert_eq!(edge_reliability_relevance_alg2(&g, &ens), alg2_1);
+    }
+
+    #[test]
+    fn streamed_estimators_are_bit_identical_to_in_ram() {
+        let g = two_clusters();
+        // Several strips plus a ragged tail, exercising carried partials.
+        let n = 3 * super::ERR_WORLD_CHUNK + 11;
+        let ens = WorldEnsemble::sample_seeded(&g, n, 99, 1);
+        let dense_coupled = edge_reliability_relevance_threads(&g, &ens, 1);
+        let dense_alg2 = edge_reliability_relevance_alg2_threads(&g, &ens, 1);
+        for strip in [1usize, 64, 100, n, 4 * n] {
+            for threads in [1usize, 8] {
+                let stream = EnsembleStream::sample(&g, n, 99, threads, strip).unwrap();
+                let coupled = edge_reliability_relevance_streamed(&g, &stream, threads).unwrap();
+                let alg2 = edge_reliability_relevance_alg2_streamed(&g, &stream, threads).unwrap();
+                for e in 0..g.num_edges() {
+                    assert_eq!(
+                        dense_coupled[e].to_bits(),
+                        coupled[e].to_bits(),
+                        "coupled edge {e}, strip {strip}, {threads} threads"
+                    );
+                    assert_eq!(
+                        dense_alg2[e].to_bits(),
+                        alg2[e].to_bits(),
+                        "alg2 edge {e}, strip {strip}, {threads} threads"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,50 +1,25 @@
 //! Allocation guard for the Monte-Carlo kernel: building an N-world
 //! ensemble and scanning it with the coupled ERR estimator must allocate
-//! O(chunks), not O(worlds). A counting `#[global_allocator]` measures the
-//! exact heap-allocation count of the serial (threads = 1) path; the
-//! historical one-`Vec`-per-world layout allocated ≥ 4·N and would trip
-//! the bound immediately.
+//! O(chunks), not O(worlds). The counting `#[global_allocator]` from
+//! `chameleon_stats::alloc_guard` measures the exact heap-allocation count
+//! of the serial (threads = 1) path; the historical one-`Vec`-per-world
+//! layout allocated ≥ 4·N and would trip the bound immediately.
 //!
-//! One `#[test]` only: the counter is process-global, so concurrent tests
-//! in this binary would pollute the deltas.
+//! One `#[test]` only: the counters are process-global, so concurrent
+//! tests in this binary would pollute the deltas.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use chameleon_core::relevance::edge_reliability_relevance_threads;
-use chameleon_reliability::{WorldEnsemble, WORLD_CHUNK};
+use chameleon_core::relevance::{
+    edge_reliability_relevance_streamed, edge_reliability_relevance_threads,
+};
+use chameleon_reliability::{EnsembleStream, WorldEnsemble, WORLD_CHUNK};
+use chameleon_stats::alloc_guard::{self, CountingAlloc};
 use chameleon_ugraph::UncertainGraph;
-
-struct CountingAlloc;
-
-static ALLOCS: AtomicUsize = AtomicUsize::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(layout)
-    }
-}
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocs() -> usize {
-    ALLOCS.load(Ordering::Relaxed)
+    alloc_guard::alloc_calls()
 }
 
 fn test_graph() -> UncertainGraph {
@@ -113,4 +88,26 @@ fn kernel_allocations_scale_with_chunks_not_worlds() {
         err_allocs < n_worlds,
         "coupled ERR made {err_allocs} allocations for {n_worlds} worlds"
     );
+
+    // Out-of-core path (DESIGN.md §12): the ensemble gauge must show the
+    // streamed analysis peaking far below the dense footprint while
+    // producing the bit-identical ERR vector.
+    drop(ens);
+    alloc_guard::reset_ensemble_peak();
+    let dense = WorldEnsemble::sample_seeded(&g, n_worlds, 7, 1);
+    let dense_peak = alloc_guard::ensemble_peak_bytes();
+    let dense_err = edge_reliability_relevance_threads(&g, &dense, 1);
+    drop(dense);
+    alloc_guard::reset_ensemble_peak();
+    let stream = EnsembleStream::sample(&g, n_worlds, 7, 1, 64).expect("no ceiling configured");
+    let streamed_err = edge_reliability_relevance_streamed(&g, &stream, 1).expect("no ceiling");
+    let stream_peak = alloc_guard::ensemble_peak_bytes();
+    assert!(
+        stream_peak < dense_peak / 2,
+        "streamed peak {stream_peak} bytes should undercut half the dense \
+         peak {dense_peak} bytes at 512 worlds / 64-world strips"
+    );
+    for (a, b) in dense_err.iter().zip(&streamed_err) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
 }

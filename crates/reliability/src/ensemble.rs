@@ -11,6 +11,7 @@
 //! draw order and the analysis replays union–find operations in the same
 //! ascending edge order.
 
+use chameleon_stats::alloc_guard::Tracked;
 use chameleon_stats::parallel;
 use chameleon_stats::SeedSequence;
 use chameleon_ugraph::{
@@ -28,7 +29,7 @@ pub const WORLD_CHUNK: usize = 32;
 /// Pairs per block in [`WorldEnsemble::reliability_many`]: a block of pair
 /// hit-counters is kept hot in cache while the label matrix streams past
 /// once per block.
-const PAIR_BLOCK: usize = 1024;
+pub(crate) const PAIR_BLOCK: usize = 1024;
 
 /// A Monte-Carlo ensemble of possible worlds of one uncertain graph, with
 /// per-world component labels and connected-pair counts cached.
@@ -51,6 +52,10 @@ pub struct WorldEnsemble {
     pub(crate) size_offsets: Vec<usize>,
     pub(crate) connected_pairs: Vec<u64>,
     pub(crate) num_nodes: usize,
+    /// Registration of this ensemble's arena bytes against the
+    /// process-global gauge (`chameleon_stats::alloc_guard`); released on
+    /// drop, re-registered on clone.
+    pub(crate) tracked: Tracked,
 }
 
 impl WorldEnsemble {
@@ -200,11 +205,15 @@ impl WorldEnsemble {
             }
             connected_pairs.extend_from_slice(&pairs);
         }
-        chameleon_obs::counter!("ensemble.arena_bytes").add(
-            (worlds.arena_bytes()
-                + labels.len() * std::mem::size_of::<u32>()
-                + component_sizes.len() * std::mem::size_of::<u32>()) as u64,
-        );
+        let arena_bytes = worlds.arena_bytes()
+            + labels.len() * std::mem::size_of::<u32>()
+            + component_sizes.len() * std::mem::size_of::<u32>();
+        chameleon_obs::counter!("ensemble.arena_bytes").add(arena_bytes as u64);
+        // Infallible gauge registration: construction paths that cannot
+        // return errors still report accurate peak tracked bytes. Fallible
+        // ceiling enforcement happens at the entry points (pipeline
+        // precheck, `EnsembleStream`).
+        let tracked = Tracked::register(arena_bytes);
         Self {
             worlds,
             labels,
@@ -212,7 +221,63 @@ impl WorldEnsemble {
             size_offsets,
             connected_pairs,
             num_nodes: nn,
+            tracked,
         }
+    }
+
+    /// Bytes estimated for the arenas of an `n`-world ensemble of `graph`
+    /// before building it: the world matrix plus the flat label matrix
+    /// plus a component-sizes lower bound. Used for fail-fast ceiling
+    /// prechecks ahead of the actual allocation.
+    pub fn estimate_arena_bytes(graph: &UncertainGraph, n: usize) -> usize {
+        let wpw = graph.num_edges().div_ceil(64);
+        n * (wpw * std::mem::size_of::<u64>() + graph.num_nodes() * std::mem::size_of::<u32>())
+    }
+
+    /// Samples the worlds `[world_offset, world_offset + len)` of the
+    /// ensemble that [`WorldEnsemble::sample_seeded`] with the same
+    /// `(graph, seed)` would produce — bit-identical rows, because chunk
+    /// `c` of the strip draws from the global RNG stream
+    /// `(seed, "world-chunk", world_offset / WORLD_CHUNK + c)`.
+    ///
+    /// # Panics
+    /// Panics unless `world_offset` is a multiple of [`WORLD_CHUNK`]
+    /// (strip boundaries must coincide with global chunk boundaries, or
+    /// the per-chunk streams would desynchronize).
+    pub fn sample_strip_matrix(
+        plan: &SamplePlan,
+        seed: u64,
+        world_offset: usize,
+        len: usize,
+        threads: usize,
+    ) -> WorldMatrix {
+        assert!(
+            world_offset.is_multiple_of(WORLD_CHUNK),
+            "strip offset {world_offset} not aligned to WORLD_CHUNK ({WORLD_CHUNK})"
+        );
+        let seq = SeedSequence::new(seed);
+        let chunk_base = world_offset / WORLD_CHUNK;
+        let wpw = plan.words_per_world();
+        let row_chunks = parallel::map_chunks(len, WORLD_CHUNK, threads, |c, range| {
+            let mut rng = seq.rng_indexed("world-chunk", (chunk_base + c) as u64);
+            let mut rows = vec![0u64; range.len() * wpw];
+            if wpw > 0 {
+                for row in rows.chunks_exact_mut(wpw) {
+                    plan.sample_into(row, &mut rng);
+                }
+            }
+            rows
+        });
+        let mut worlds = WorldMatrix::new(plan.num_edges());
+        worlds.reserve(len);
+        for (c, rows) in row_chunks.iter().enumerate() {
+            if wpw > 0 {
+                worlds.extend_from_words(rows);
+            } else {
+                worlds.grow(parallel::chunk_range(c, WORLD_CHUNK, len).len());
+            }
+        }
+        worlds
     }
 
     /// Builds an ensemble from worlds sampled with *common random numbers*:
@@ -324,6 +389,12 @@ impl WorldEnsemble {
         &self.connected_pairs
     }
 
+    /// Bytes this ensemble's arenas have registered against the
+    /// process-global ensemble gauge (`chameleon_stats::alloc_guard`).
+    pub fn tracked_bytes(&self) -> usize {
+        self.tracked.bytes()
+    }
+
     /// Estimated two-terminal reliability `R_{u,v}` (paper Definition 1):
     /// the fraction of worlds in which `u` and `v` share a component.
     pub fn two_terminal_reliability(&self, u: NodeId, v: NodeId) -> f64 {
@@ -349,6 +420,17 @@ impl WorldEnsemble {
             return vec![0.0; pairs.len()];
         }
         let mut hits = vec![0u32; pairs.len()];
+        self.accumulate_pair_hits(pairs, &mut hits);
+        hits.into_iter().map(|h| h as f64 / n as f64).collect()
+    }
+
+    /// The kernel of [`WorldEnsemble::reliability_many`]: adds this
+    /// ensemble's per-pair hit counts into `hits`. Shared with the
+    /// strip-streamed accumulator (`stream::PairReliabilityAccum`), so
+    /// both paths count hits with literally the same loop — and since hit
+    /// counts are integers, any fold order gives identical totals.
+    pub(crate) fn accumulate_pair_hits(&self, pairs: &[(NodeId, NodeId)], hits: &mut [u32]) {
+        assert_eq!(pairs.len(), hits.len(), "pair/counter length mismatch");
         for (block_idx, block) in pairs.chunks(PAIR_BLOCK).enumerate() {
             let counters = &mut hits[block_idx * PAIR_BLOCK..];
             for l in self.labels.chunks_exact(self.num_nodes) {
@@ -359,7 +441,6 @@ impl WorldEnsemble {
                 }
             }
         }
-        hits.into_iter().map(|h| h as f64 / n as f64).collect()
     }
 
     /// Estimated set-to-set reliability (the "sets of nodes" generalization
@@ -378,10 +459,23 @@ impl WorldEnsemble {
         if n == 0 {
             return 0.0;
         }
-        let mut hits = 0usize;
-        // Sorted scratch of source labels, reused across worlds: after the
-        // first world no allocation happens (capacity is |sources|).
         let mut source_labels: Vec<u32> = Vec::with_capacity(sources.len());
+        let hits = self.count_set_hits(sources, targets, &mut source_labels);
+        hits as f64 / n as f64
+    }
+
+    /// The kernel of [`WorldEnsemble::set_reliability`]: the number of
+    /// worlds where some source shares a component with some target.
+    /// `source_labels` is a sorted scratch reused across worlds (after the
+    /// first world no allocation happens; capacity is |sources|). Shared
+    /// with the strip-streamed accumulator.
+    pub(crate) fn count_set_hits(
+        &self,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        source_labels: &mut Vec<u32>,
+    ) -> usize {
+        let mut hits = 0usize;
         for l in self.labels.chunks_exact(self.num_nodes) {
             source_labels.clear();
             source_labels.extend(sources.iter().map(|&s| l[s as usize]));
@@ -393,7 +487,7 @@ impl WorldEnsemble {
                 hits += 1;
             }
         }
-        hits as f64 / n as f64
+        hits
     }
 
     /// Estimated expected number of connected pairs

@@ -19,6 +19,9 @@
 //!   degree (closed form), degree distributions, average distance and
 //!   diameter (per-world BFS, plus an ANF sketch for large worlds), and
 //!   clustering coefficient.
+//! * [`stream`] — strip-streamed out-of-core ensemble analysis: O(strip)
+//!   memory, compressed world storage, bit-identical to [`WorldEnsemble`]
+//!   (DESIGN.md §12).
 
 //! # Example
 //!
@@ -47,9 +50,11 @@ pub mod ensemble;
 pub mod incremental;
 pub mod metrics;
 pub mod pairs;
+pub mod stream;
 
 pub use dcr::{dcr_profile, distance_constrained_reliability};
 pub use discrepancy::{avg_reliability_discrepancy, DiscrepancyReport};
 pub use ensemble::{crn_uniform_matrix, UniformMatrix, WorldEnsemble, WORLD_CHUNK};
 pub use incremental::IncrementalEnsemble;
 pub use pairs::sample_distinct_pairs;
+pub use stream::{align_strip, EnsembleStream, STRIP_ALIGN};

@@ -1,0 +1,89 @@
+//! Ensemble byte-ceiling enforcement (`--max-ensemble-bytes` contract).
+//!
+//! Runs as its own integration binary: the gauge and limit in
+//! `chameleon_stats::alloc_guard` are process-global, so these tests
+//! serialize on a local mutex and never share a process with the
+//! unlimited-gauge unit tests.
+
+use chameleon_reliability::{EnsembleStream, WorldEnsemble};
+use chameleon_stats::alloc_guard;
+use chameleon_ugraph::GraphBuilder;
+use std::sync::Mutex;
+
+static LIMIT_LOCK: Mutex<()> = Mutex::new(());
+
+fn test_graph() -> chameleon_ugraph::UncertainGraph {
+    let mut b = GraphBuilder::new(0);
+    for i in 0..400u32 {
+        b.add_edge(i, i + 1, 0.3 + f64::from(i % 5) / 10.0).unwrap();
+    }
+    b.build()
+}
+
+#[test]
+fn tiny_ceiling_rejects_streamed_sampling_cleanly() {
+    let _lock = LIMIT_LOCK.lock().unwrap();
+    let g = test_graph();
+    alloc_guard::set_ensemble_limit(1);
+    let result = EnsembleStream::sample(&g, 256, 7, 1, 64);
+    alloc_guard::set_ensemble_limit(0);
+    let Err(err) = result else {
+        panic!("1-byte ceiling must reject the store");
+    };
+    assert!(err.to_string().contains("strip-worlds"), "{err}");
+    assert_eq!(err.limit, 1);
+}
+
+#[test]
+fn generous_ceiling_admits_stream_and_peak_stays_under_it() {
+    let _lock = LIMIT_LOCK.lock().unwrap();
+    let g = test_graph();
+    let n = 192;
+
+    // Measure what the in-RAM ensemble costs, unlimited.
+    alloc_guard::set_ensemble_limit(0);
+    let in_ram_bytes = {
+        let ens = WorldEnsemble::sample_seeded(&g, n, 7, 1);
+        ens.tracked_bytes()
+    };
+    assert!(in_ram_bytes > 0);
+
+    // A ceiling far below the full ensemble but enough for one strip:
+    // the streamed path must fit, strip by strip.
+    alloc_guard::reset_ensemble_peak();
+    let strip_bytes = WorldEnsemble::estimate_arena_bytes(&g, 64);
+    let limit = alloc_guard::ensemble_current_bytes() + strip_bytes * 3;
+    assert!(
+        limit < alloc_guard::ensemble_current_bytes() + in_ram_bytes,
+        "ceiling must be tighter than the in-RAM footprint for this test to bite"
+    );
+    alloc_guard::set_ensemble_limit(limit);
+    let stream = EnsembleStream::sample(&g, n, 7, 1, 64).expect("stream fits under ceiling");
+    let ecp = stream.expected_connected_pairs().expect("strips fit");
+    alloc_guard::set_ensemble_limit(0);
+    let peak = alloc_guard::ensemble_peak_bytes();
+    assert!(
+        peak <= limit,
+        "peak tracked bytes {peak} breached the ceiling {limit}"
+    );
+
+    // And the ceiling-constrained result is still the in-RAM result.
+    let dense = WorldEnsemble::sample_seeded(&g, n, 7, 1);
+    assert_eq!(ecp.to_bits(), dense.expected_connected_pairs().to_bits());
+}
+
+#[test]
+fn strip_analysis_over_ceiling_fails_not_oom() {
+    let _lock = LIMIT_LOCK.lock().unwrap();
+    let g = test_graph();
+    alloc_guard::set_ensemble_limit(0);
+    let stream = EnsembleStream::sample(&g, 192, 7, 1, 192).expect("unlimited sample");
+    // Now clamp below one 192-world strip (but above the compressed
+    // store, which is already registered): analysis must fail fallibly.
+    let limit =
+        alloc_guard::ensemble_current_bytes() + WorldEnsemble::estimate_arena_bytes(&g, 192) / 2;
+    alloc_guard::set_ensemble_limit(limit);
+    let err = stream.for_each_strip(|_, _| {});
+    alloc_guard::set_ensemble_limit(0);
+    assert!(err.is_err(), "strip larger than ceiling must be rejected");
+}

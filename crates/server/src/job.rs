@@ -73,6 +73,10 @@ pub enum JobSpec {
         /// Worker threads inside the job (0 = all cores). Not part of the
         /// cache key: results are thread-count invariant.
         threads: usize,
+        /// Out-of-core analysis strip in worlds (0 = dense in-RAM
+        /// ensembles). Not part of the cache key: streamed results are
+        /// bit-identical to dense ones (DESIGN.md §12).
+        strip_worlds: usize,
         /// Seed driving all randomness.
         seed: u64,
     },
@@ -170,6 +174,7 @@ impl JobSpec {
                 trials,
                 seed,
                 threads: _,
+                strip_worlds: _,
             } => format!(
                 "obfuscate:{:016x}:k={k}:eps={}:method={}:worlds={worlds}:trials={trials}:seed={seed}",
                 fnv1a64(graph.as_bytes()),
@@ -234,6 +239,7 @@ impl JobSpec {
                 worlds,
                 trials,
                 threads,
+                strip_worlds,
                 seed,
             } => {
                 let g = parse_graph(graph)?;
@@ -243,6 +249,7 @@ impl JobSpec {
                     num_world_samples: *worlds,
                     trials: *trials,
                     num_threads: *threads,
+                    strip_worlds: *strip_worlds,
                     ..ChameleonConfig::default()
                 };
                 config.validate().map_err(ExecError::Invalid)?;
@@ -393,7 +400,7 @@ mod tests {
     }
 
     #[test]
-    fn cache_key_ignores_threads_but_not_seed() {
+    fn cache_key_ignores_threads_and_strips_but_not_seed() {
         let base = JobSpec::Obfuscate {
             graph: tiny_graph(),
             k: 2,
@@ -402,9 +409,10 @@ mod tests {
             worlds: 50,
             trials: 1,
             threads: 1,
+            strip_worlds: 0,
             seed: 7,
         };
-        let other_threads = match base.clone() {
+        let rebuild = |threads: usize, strip_worlds: usize, seed: u64| match base.clone() {
             JobSpec::Obfuscate {
                 graph,
                 k,
@@ -412,29 +420,6 @@ mod tests {
                 method,
                 worlds,
                 trials,
-                seed,
-                ..
-            } => JobSpec::Obfuscate {
-                graph,
-                k,
-                epsilon,
-                method,
-                worlds,
-                trials,
-                threads: 8,
-                seed,
-            },
-            _ => unreachable!(),
-        };
-        let other_seed = match base.clone() {
-            JobSpec::Obfuscate {
-                graph,
-                k,
-                epsilon,
-                method,
-                worlds,
-                trials,
-                threads,
                 ..
             } => JobSpec::Obfuscate {
                 graph,
@@ -444,12 +429,16 @@ mod tests {
                 worlds,
                 trials,
                 threads,
-                seed: 8,
+                strip_worlds,
+                seed,
             },
             _ => unreachable!(),
         };
-        assert_eq!(base.cache_key(), other_threads.cache_key());
-        assert_ne!(base.cache_key(), other_seed.cache_key());
+        // Neither threads nor strip_worlds can change results (streamed
+        // analysis is bit-identical), so neither may split the cache.
+        assert_eq!(base.cache_key(), rebuild(8, 0, 7).cache_key());
+        assert_eq!(base.cache_key(), rebuild(1, 128, 7).cache_key());
+        assert_ne!(base.cache_key(), rebuild(1, 0, 8).cache_key());
     }
 
     #[test]

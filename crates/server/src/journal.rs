@@ -613,12 +613,14 @@ fn encode_spec(spec: &JobSpec) -> String {
             worlds,
             trials,
             threads,
+            strip_worlds,
             seed,
         } => {
             let _ = write!(
                 out,
                 "{{\"op\":\"obfuscate\",\"graph\":{},\"k\":{k},\"epsilon\":{},\"method\":\"{}\",\
-                 \"worlds\":{worlds},\"trials\":{trials},\"threads\":{threads},\"seed\":{seed}}}",
+                 \"worlds\":{worlds},\"trials\":{trials},\"threads\":{threads},\
+                 \"strip_worlds\":{strip_worlds},\"seed\":{seed}}}",
                 json::string(graph),
                 json::number(*epsilon),
                 method.name(),
@@ -692,6 +694,7 @@ mod tests {
             worlds: 50,
             trials: 1,
             threads: 1,
+            strip_worlds: 0,
             seed,
         }
     }

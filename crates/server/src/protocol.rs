@@ -230,6 +230,7 @@ fn parse_job_body(v: &Json, op: &str, id: Option<String>) -> Result<JobRequest, 
                 worlds: get_u64(v, "worlds", 500).map_err(&fail)? as usize,
                 trials: get_u64(v, "trials", 5).map_err(&fail)? as usize,
                 threads: get_u64(v, "threads", 0).map_err(&fail)? as usize,
+                strip_worlds: get_u64(v, "strip_worlds", 0).map_err(&fail)? as usize,
                 seed: get_u64(v, "seed", 42).map_err(&fail)?,
             }
         }
@@ -455,6 +456,10 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         assert_eq!(key(implicit), key(explicit));
+        // Streamed analysis is bit-identical to dense, so strip_worlds is
+        // excluded from the cache key just like threads.
+        let streamed = r#"{"op":"obfuscate","graph":"0 1 0.5\n","k":4,"strip_worlds":128}"#;
+        assert_eq!(key(implicit), key(streamed));
     }
 
     #[test]

@@ -22,12 +22,18 @@
 //! * [`parallel`] — fixed-chunk data parallelism whose results are
 //!   bit-identical at any thread count, so the Monte-Carlo hot paths can
 //!   use every core without giving up reproducibility.
+//! * [`alloc_guard`] — allocation accounting: a counting global allocator
+//!   for test binaries plus the process-global ensemble byte budget behind
+//!   `--max-ensemble-bytes` (DESIGN.md §12).
 //!
 //! All samplers take `&mut impl Rng` so callers control determinism.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: alloc_guard implements `GlobalAlloc`, which is an
+// unsafe trait, behind a module-scoped `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 
+pub mod alloc_guard;
 pub mod entropy;
 pub mod gamma;
 pub mod histogram;
@@ -38,7 +44,8 @@ pub mod rng;
 pub mod summary;
 pub mod trunc_normal;
 
-pub use entropy::{shannon_entropy_bits, shannon_entropy_nats};
+pub use alloc_guard::{BudgetExceeded, CountingAlloc, Tracked};
+pub use entropy::{shannon_entropy_bits, shannon_entropy_nats, EntropyTerms, WeightTotal};
 pub use gamma::{sample_beta, sample_gamma};
 pub use histogram::{Histogram, Log2Histogram};
 pub use kde::GaussianKde;

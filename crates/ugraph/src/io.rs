@@ -1,4 +1,6 @@
-//! Plain-text edge-list interchange format.
+//! Graph interchange formats: plain text and compact binary.
+//!
+//! **Text** (human-readable, the historical release format):
 //!
 //! ```text
 //! # optional comments
@@ -9,14 +11,36 @@
 //!
 //! A `nodes N` header fixes the node count (otherwise it is inferred as
 //! 1 + the largest endpoint). Duplicate records resolve via the caller's
-//! [`DedupPolicy`]. This is the format produced for anonymized releases and
-//! consumed by the examples and the CLI-style experiment binaries.
+//! [`DedupPolicy`]. The reader streams line-by-line through one reused
+//! buffer — it never holds more than a single line in memory, so
+//! million-edge files parse without a file-sized allocation.
+//!
+//! **Binary** (compact, for population-scale inputs):
+//!
+//! ```text
+//! magic "CUGB" · version 0x01 · varint num_nodes · varint num_edges ·
+//! (varint u · varint v · 8-byte LE f64 probability)*
+//! ```
+//!
+//! Varints are canonical LEB128 and probabilities are exact IEEE-754
+//! bits, so for a canonically built graph (normalized endpoints,
+//! first-seen edge order — what [`GraphBuilder`] produces) a
+//! write → read → re-write cycle is byte-identical; this is proptested.
+//! [`read_file`] auto-detects the format from the leading magic bytes.
 
 use crate::builder::{DedupPolicy, GraphBuilder};
 use crate::error::GraphError;
 use crate::graph::UncertainGraph;
+use crate::varint;
 use std::io::{BufRead, Write};
 use std::path::Path;
+
+/// Leading magic of the binary format ("Chameleon Uncertain Graph,
+/// Binary").
+pub const BINARY_MAGIC: [u8; 4] = *b"CUGB";
+
+/// Current binary format version.
+pub const BINARY_VERSION: u8 = 1;
 
 /// Writes a graph in the text format.
 pub fn write_text<W: Write>(graph: &UncertainGraph, mut out: W) -> Result<(), GraphError> {
@@ -39,13 +63,23 @@ pub fn write_file<P: AsRef<Path>>(graph: &UncertainGraph, path: P) -> Result<(),
     write_text(graph, std::io::BufWriter::new(file))
 }
 
-/// Reads a graph in the text format.
-pub fn read_text<R: BufRead>(input: R, policy: DedupPolicy) -> Result<UncertainGraph, GraphError> {
+/// Reads a graph in the text format, streaming one line at a time
+/// through a reused buffer (no per-line allocation, no file-sized
+/// buffering).
+pub fn read_text<R: BufRead>(
+    mut input: R,
+    policy: DedupPolicy,
+) -> Result<UncertainGraph, GraphError> {
     let mut builder = GraphBuilder::new(0).dedup_policy(policy);
-    for (lineno, line) in input.lines().enumerate() {
-        let line = line?;
-        let line = line.trim();
-        let lineno = lineno + 1;
+    let mut buf = String::new();
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        if input.read_line(&mut buf)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let line = buf.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
@@ -105,13 +139,107 @@ pub fn read_text<R: BufRead>(input: R, policy: DedupPolicy) -> Result<UncertainG
     Ok(builder.build())
 }
 
-/// Reads a graph from a file.
+/// Writes a graph in the binary format (see module docs).
+pub fn write_binary<W: Write>(graph: &UncertainGraph, mut out: W) -> Result<(), GraphError> {
+    out.write_all(&BINARY_MAGIC)?;
+    out.write_all(&[BINARY_VERSION])?;
+    varint::write_u64(&mut out, graph.num_nodes() as u64)?;
+    varint::write_u64(&mut out, graph.num_edges() as u64)?;
+    for e in graph.edges() {
+        varint::write_u64(&mut out, u64::from(e.u))?;
+        varint::write_u64(&mut out, u64::from(e.v))?;
+        out.write_all(&e.p.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Writes a graph to a file in the binary format.
+pub fn write_binary_file<P: AsRef<Path>>(
+    graph: &UncertainGraph,
+    path: P,
+) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    write_binary(graph, &mut out)?;
+    Ok(out.flush()?)
+}
+
+fn binary_parse_err(message: impl Into<String>) -> GraphError {
+    GraphError::Parse {
+        line: 0,
+        message: message.into(),
+    }
+}
+
+/// Reads a graph in the binary format, streaming edge records one at a
+/// time (memory stays O(graph), never O(file) on top of it).
+pub fn read_binary<R: BufRead>(
+    mut input: R,
+    policy: DedupPolicy,
+) -> Result<UncertainGraph, GraphError> {
+    let mut header = [0u8; 5];
+    input.read_exact(&mut header)?;
+    if header[..4] != BINARY_MAGIC {
+        return Err(binary_parse_err("bad magic: not a binary uncertain graph"));
+    }
+    if header[4] != BINARY_VERSION {
+        return Err(binary_parse_err(format!(
+            "unsupported binary format version {}",
+            header[4]
+        )));
+    }
+    let num_nodes = varint::read_u64(&mut input)?;
+    if num_nodes > u64::from(u32::MAX) {
+        // Same deserialization-boundary guard as the text header.
+        return Err(binary_parse_err(format!(
+            "node count {num_nodes} exceeds the u32 id space"
+        )));
+    }
+    let num_edges = varint::read_u64(&mut input)?;
+    let mut builder = GraphBuilder::new(0).dedup_policy(policy);
+    builder.ensure_nodes(num_nodes as usize);
+    for i in 0..num_edges {
+        let edge_err = |e: String| binary_parse_err(format!("edge record {i}: {e}"));
+        let u = varint::read_u64(&mut input)?;
+        let v = varint::read_u64(&mut input)?;
+        if u > u64::from(u32::MAX) || v > u64::from(u32::MAX) {
+            return Err(edge_err(format!("endpoint out of u32 range ({u}, {v})")));
+        }
+        let mut p_bits = [0u8; 8];
+        input.read_exact(&mut p_bits)?;
+        builder
+            .add_edge(u as u32, v as u32, f64::from_le_bytes(p_bits))
+            .map_err(|e| edge_err(e.to_string()))?;
+    }
+    Ok(builder.build())
+}
+
+/// Reads a graph from a binary-format file.
+pub fn read_binary_file<P: AsRef<Path>>(
+    path: P,
+    policy: DedupPolicy,
+) -> Result<UncertainGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_binary(std::io::BufReader::new(file), policy)
+}
+
+/// Reads a graph from a file, auto-detecting text vs binary format from
+/// the leading magic bytes.
 pub fn read_file<P: AsRef<Path>>(
     path: P,
     policy: DedupPolicy,
 ) -> Result<UncertainGraph, GraphError> {
     let file = std::fs::File::open(path)?;
-    read_text(std::io::BufReader::new(file), policy)
+    let mut reader = std::io::BufReader::new(file);
+    let is_binary = {
+        let head = reader.fill_buf()?;
+        head.len() >= 4 && head[..4] == BINARY_MAGIC
+    };
+    if is_binary {
+        read_binary(reader, policy)
+    } else {
+        read_text(reader, policy)
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +396,143 @@ mod tests {
         let g2 = read_text(first.as_slice(), DedupPolicy::Reject).unwrap();
         assert_eq!(g2.num_nodes(), 7);
         assert_eq!(first, to_bytes(&g2));
+    }
+
+    /// Serializes a graph to the binary format in memory.
+    fn to_binary_bytes(g: &UncertainGraph) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_binary(g, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_everything() {
+        let g = sample_graph();
+        let bytes = to_binary_bytes(&g);
+        let g2 = read_binary(bytes.as_slice(), DedupPolicy::Reject).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for (a, b) in g.edges().iter().zip(g2.edges()) {
+            assert_eq!((a.u, a.v), (b.u, b.v));
+            assert_eq!(a.p.to_bits(), b.p.to_bits());
+        }
+    }
+
+    #[test]
+    fn binary_file_roundtrip_and_autodetect() {
+        let g = sample_graph();
+        let dir = std::env::temp_dir().join("chameleon-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.cugb");
+        write_binary_file(&g, &path).unwrap();
+        let explicit = read_binary_file(&path, DedupPolicy::Reject).unwrap();
+        // read_file sniffs the magic and dispatches to the binary reader.
+        let sniffed = read_file(&path, DedupPolicy::Reject).unwrap();
+        assert_eq!(explicit.num_edges(), 3);
+        assert_eq!(sniffed.num_edges(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic_version_and_truncation() {
+        let g = sample_graph();
+        let good = to_binary_bytes(&g);
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        match read_binary(bad_magic.as_slice(), DedupPolicy::Reject) {
+            Err(GraphError::Parse { message, .. }) => assert!(message.contains("magic")),
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        match read_binary(bad_version.as_slice(), DedupPolicy::Reject) {
+            Err(GraphError::Parse { message, .. }) => assert!(message.contains("version")),
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        let truncated = &good[..good.len() - 3];
+        assert!(matches!(
+            read_binary(truncated, DedupPolicy::Reject),
+            Err(GraphError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn binary_rejects_invalid_probability_bits() {
+        // Hand-build a record whose f64 bits decode to 7.0.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&BINARY_MAGIC);
+        bytes.push(BINARY_VERSION);
+        bytes.push(2); // num_nodes
+        bytes.push(1); // num_edges
+        bytes.push(0); // u
+        bytes.push(1); // v
+        bytes.extend_from_slice(&7.0f64.to_le_bytes());
+        match read_binary(bytes.as_slice(), DedupPolicy::Reject) {
+            Err(GraphError::Parse { message, .. }) => {
+                assert!(message.contains("edge record 0"), "{message}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_header_node_count_can_exceed_max_endpoint() {
+        let mut builder = GraphBuilder::new(0);
+        builder.add_edge(0, 1, 0.5).unwrap();
+        builder.ensure_nodes(20);
+        let g = builder.build();
+        let bytes = to_binary_bytes(&g);
+        let g2 = read_binary(bytes.as_slice(), DedupPolicy::Reject).unwrap();
+        assert_eq!(g2.num_nodes(), 20);
+        assert_eq!(bytes, to_binary_bytes(&g2));
+    }
+
+    proptest! {
+        /// The binary analogue of `rewrite_is_byte_identical`: canonical
+        /// varints plus exact f64 bits make write → read → re-write a
+        /// byte-level fixed point for canonically built graphs.
+        #[test]
+        fn binary_rewrite_is_byte_identical(
+            edges in proptest::collection::vec((0u32..40, 0u32..40, 0.0f64..=1.0), 0..120),
+            extra_nodes in 0usize..10
+        ) {
+            let mut builder = crate::builder::GraphBuilder::new(0);
+            for (u, v, p) in edges {
+                let _ = builder.add_edge(u, v, p);
+            }
+            builder.ensure_nodes(extra_nodes);
+            let g = builder.build();
+            let first = to_binary_bytes(&g);
+            let reread = read_binary(first.as_slice(), DedupPolicy::Reject).unwrap();
+            prop_assert_eq!(&first, &to_binary_bytes(&reread));
+            let reread2 = read_binary(first.as_slice(), DedupPolicy::Reject).unwrap();
+            prop_assert_eq!(&first, &to_binary_bytes(&reread2));
+        }
+
+        /// Binary and text readers agree on the graphs they produce.
+        #[test]
+        fn binary_and_text_agree(
+            edges in proptest::collection::vec((0u32..40, 0u32..40, 0.0f64..=1.0), 0..60),
+        ) {
+            let mut builder = crate::builder::GraphBuilder::new(0);
+            for (u, v, p) in edges {
+                let _ = builder.add_edge(u, v, p);
+            }
+            let g = builder.build();
+            let from_text =
+                read_text(to_bytes(&g).as_slice(), DedupPolicy::Reject).unwrap();
+            let from_binary =
+                read_binary(to_binary_bytes(&g).as_slice(), DedupPolicy::Reject).unwrap();
+            prop_assert_eq!(from_text.num_nodes(), from_binary.num_nodes());
+            prop_assert_eq!(from_text.num_edges(), from_binary.num_edges());
+            for (a, b) in from_text.edges().iter().zip(from_binary.edges()) {
+                prop_assert_eq!((a.u, a.v), (b.u, b.v));
+                prop_assert_eq!(a.p.to_bits(), b.p.to_bits());
+            }
+        }
     }
 
     proptest! {

@@ -23,7 +23,10 @@
 //! * [`traversal`] — BFS distances and components over world views.
 //! * [`generators`] — Erdős–Rényi, Barabási–Albert and Chung-Lu graph
 //!   topology generators used by the synthetic dataset substitutes.
-//! * [`io`] — a plain-text edge-list interchange format.
+//! * [`io`] — plain-text and compact binary edge-list interchange formats
+//!   (binary: magic + varints + exact f64 bits, auto-detected on read).
+//! * [`compressed`] — delta+RLE compressed world storage for out-of-core
+//!   ensemble analysis (DESIGN.md §12).
 //! * [`weighted`] — the weighted+probabilistic data model of the paper's
 //!   road-network motivation (weights ride along; probabilities anonymize).
 
@@ -33,6 +36,7 @@
 pub mod analysis;
 pub mod bitset;
 pub mod builder;
+pub mod compressed;
 pub mod error;
 pub mod generators;
 pub mod graph;
@@ -40,6 +44,7 @@ pub mod io;
 pub mod sample;
 pub mod traversal;
 pub mod union_find;
+pub(crate) mod varint;
 pub mod weighted;
 pub mod world;
 pub mod world_matrix;
@@ -47,6 +52,7 @@ pub mod world_matrix;
 pub use analysis::GraphSummary;
 pub use bitset::BitSet;
 pub use builder::GraphBuilder;
+pub use compressed::CompressedWorlds;
 pub use error::GraphError;
 pub use graph::{Edge, EdgeId, NodeId, UncertainGraph};
 pub use sample::WorldSampler;
