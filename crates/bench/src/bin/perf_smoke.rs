@@ -66,6 +66,7 @@ static SPAN_DISPATCH: SpanSite = SpanSite::new("perf.smoke.server_dispatch");
 static SPAN_PIPELINED: SpanSite = SpanSite::new("perf.smoke.server_pipelined_dispatch");
 static SPAN_BATCH: SpanSite = SpanSite::new("perf.smoke.server_batch_submit");
 static SPAN_JOURNALED: SpanSite = SpanSite::new("perf.smoke.server_journaled_dispatch");
+static SPAN_GATEWAY: SpanSite = SpanSite::new("perf.smoke.gateway_dispatch");
 static SPAN_E2E: SpanSite = SpanSite::new("perf.smoke.anonymize_e2e");
 static SPAN_E2E_INC: SpanSite = SpanSite::new("perf.smoke.anonymize_e2e_incremental");
 
@@ -85,6 +86,18 @@ const BATCH_SPEEDUP_FLOOR: f64 = 5.0;
 /// journaled daemon (two appended records per job, interval fsync) may
 /// cost at most this multiple of the un-journaled lockstep cost.
 const JOURNAL_OVERHEAD_CEILING: f64 = 1.25;
+
+/// Hard ceiling on the gateway tier's tax (DESIGN.md §13): the pipelined
+/// cached burst through chameleon-gate — digest routing, a forward-queue
+/// hand-off, a pooled backend round-trip and a verbatim relay per job —
+/// may cost at most this multiple of ONE direct lockstep round-trip per
+/// job (the `server_dispatch` site). Serial lockstep through a proxy has
+/// a ≥2x physical floor (a second full loopback hop per job), so the
+/// gate instead asserts that a pipelining client overlaps the tier's
+/// whole tax — second hop included — into at most 30% above dispatching
+/// straight to the backend. Losing the forwarder connection pool (a TCP
+/// handshake per job) or burst line-extraction regresses this ~4x.
+const GATEWAY_OVERHEAD_CEILING: f64 = 1.3;
 
 /// Lockstep dispatch is dominated by loopback round-trip latency, which
 /// shared CI runners perturb far more than compute; a single noisy run
@@ -158,7 +171,7 @@ fn main() {
         "perf_smoke times via obs spans; rebuild with the default `obs` feature"
     );
     let args = Args::from_env();
-    let out: String = args.get("out", "BENCH_PR8.json".to_string());
+    let out: String = args.get("out", "BENCH_PR10.json".to_string());
     let baseline_path: String = args.get("baseline", "ci/perf_baseline.json".to_string());
     let tolerance: f64 = args.get("tolerance", 0.25f64);
     let reps: usize = args.get("reps", 5usize);
@@ -506,6 +519,87 @@ fn main() {
     };
     let _ = std::fs::remove_dir_all(&journal_dir);
     let journal_overhead = journaled_seconds / dispatch_seconds;
+    // Gateway tier tax (DESIGN.md §13): the pipelined cached burst through
+    // chameleon-gate fronting one backend, gated against the direct
+    // lockstep site above. The verbatim-relay contract forces the forward
+    // stage itself to stay lockstep per backend connection (backend
+    // completions are worker-ordered, so relayed responses can only be
+    // attributed to jobs one round-trip at a time) — but a pipelining
+    // client overlaps the gateway reactor, the forwarder pool (over
+    // pooled persistent backend connections) and the backend, so the
+    // whole tier tax must fit in the ceiling's margin over one direct
+    // round-trip per job.
+    let gateway_seconds = {
+        use std::io::{BufReader, Write};
+        let backend = chameleon_server::Server::spawn(chameleon_server::ServerConfig {
+            workers: 1,
+            queue_depth: 2 * DISPATCH_ROUNDTRIPS,
+            ..chameleon_server::ServerConfig::default()
+        })
+        .expect("spawn gateway backend chameleond");
+        let backend_addr = backend.addr().to_string();
+        let prime = chameleon_server::request_once(&backend_addr, &req).expect("prime gateway job");
+        assert!(prime.contains("\"status\":\"ok\""), "prime failed: {prime}");
+        let gate = chameleon_server::Gateway::spawn(chameleon_server::GatewayConfig {
+            backends: vec![backend_addr.clone()],
+            // Each forwarder is lockstep with the backend, so the pool size
+            // sets the forward stage's concurrency; 8 keeps that stage off
+            // the critical path without drowning the 1-worker backend.
+            forwarders: 8,
+            queue_depth: 2 * DISPATCH_ROUNDTRIPS,
+            // The probe thread would only add scheduling noise against a
+            // backend that cannot die during the measurement.
+            health_interval_ms: 0,
+            ..chameleon_server::GatewayConfig::default()
+        })
+        .expect("spawn chameleon-gate");
+        let gate_addr = gate.addr().to_string();
+        let conn = std::net::TcpStream::connect(&gate_addr).expect("connect gateway");
+        conn.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        let mut conn = conn;
+        let mut burst = String::new();
+        for i in 0..DISPATCH_ROUNDTRIPS {
+            let _ = writeln!(
+                burst,
+                "{{\"op\":\"check\",\"id\":\"g{i}\",\"graph\":{graph_json},\"k\":2}}"
+            );
+        }
+        let mut gateway: f64;
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            gateway = time_reps(&SPAN_GATEWAY, reps, || {
+                conn.write_all(burst.as_bytes())
+                    .expect("gateway burst write");
+                for _ in 0..DISPATCH_ROUNDTRIPS {
+                    let resp = chameleon_server::read_response(&mut reader).expect("gateway read");
+                    assert!(
+                        resp.contains("\"cached\":true"),
+                        "expected a cache hit via the gateway: {resp}"
+                    );
+                }
+            });
+            if gateway / dispatch_seconds <= GATEWAY_OVERHEAD_CEILING
+                || attempts >= SPEEDUP_MEASURE_ATTEMPTS
+            {
+                break;
+            }
+            println!(
+                "gateway overhead {:.2}x over the {GATEWAY_OVERHEAD_CEILING:.2}x ceiling on \
+                 attempt {attempts}/{SPEEDUP_MEASURE_ATTEMPTS} (runner noise?); re-measuring",
+                gateway / dispatch_seconds
+            );
+        }
+        drop(reader);
+        drop(conn);
+        let _ = chameleon_server::request_once(&gate_addr, "{\"op\":\"shutdown\"}");
+        let _ = gate.join();
+        let _ = chameleon_server::request_once(&backend_addr, "{\"op\":\"shutdown\"}");
+        let _ = backend.join();
+        gateway
+    };
+    let gateway_overhead = gateway_seconds / dispatch_seconds;
 
     let dispatch_us_per_job = dispatch_seconds / DISPATCH_ROUNDTRIPS as f64 * 1e6;
     let batch_us_per_job = batch_seconds / DISPATCH_ROUNDTRIPS as f64 * 1e6;
@@ -513,9 +607,11 @@ fn main() {
     println!(
         "dispatch µs/job: lockstep {dispatch_us_per_job:.1}, pipelined {:.1}, \
          batch {batch_us_per_job:.1} ({batch_speedup:.1}x batch speedup), \
-         journaled {:.1} ({journal_overhead:.2}x journal overhead)",
+         journaled {:.1} ({journal_overhead:.2}x journal overhead), \
+         gateway-pipelined {:.1} ({gateway_overhead:.2}x gateway overhead vs pipelined)",
         pipelined_seconds / DISPATCH_ROUNDTRIPS as f64 * 1e6,
-        journaled_seconds / DISPATCH_ROUNDTRIPS as f64 * 1e6
+        journaled_seconds / DISPATCH_ROUNDTRIPS as f64 * 1e6,
+        gateway_seconds / DISPATCH_ROUNDTRIPS as f64 * 1e6
     );
 
     let mut sites: Vec<Measurement> = sites
@@ -525,6 +621,7 @@ fn main() {
             Measurement::new("server_pipelined_dispatch", pipelined_seconds),
             Measurement::new("server_batch_submit", batch_seconds),
             Measurement::new("server_journaled_dispatch", journaled_seconds),
+            Measurement::new("gateway_dispatch", gateway_seconds),
         ])
         .map(|m| Measurement {
             normalized: m.seconds / calibration_s,
@@ -623,6 +720,10 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"gateway_dispatch_overhead\": {gateway_overhead:.4},"
+    );
+    let _ = writeln!(
+        json,
         "  \"ensemble_streamed_overhead\": {streamed_overhead:.4},"
     );
     let _ = writeln!(
@@ -691,6 +792,18 @@ fn main() {
             "perf_smoke FAILED: journaled dispatch overhead {journal_overhead:.2}x > allowed \
              {JOURNAL_OVERHEAD_CEILING:.2}x after {SPEEDUP_MEASURE_ATTEMPTS} measurement \
              attempts (un-journaled {dispatch_us_per_job:.1} µs/job)"
+        );
+        std::process::exit(1);
+    }
+    // Hard ceiling on the gateway tier's tax: the pipelined cached burst
+    // through chameleon-gate may not cost more than
+    // GATEWAY_OVERHEAD_CEILING× the same burst sent directly to the
+    // backend. Also re-measured above, so a failure here is persistent.
+    if gateway_overhead > GATEWAY_OVERHEAD_CEILING {
+        eprintln!(
+            "perf_smoke FAILED: gateway pipelined overhead {gateway_overhead:.2}x > allowed \
+             {GATEWAY_OVERHEAD_CEILING:.2}x after {SPEEDUP_MEASURE_ATTEMPTS} measurement \
+             attempts (direct lockstep {dispatch_us_per_job:.1} µs/job)"
         );
         std::process::exit(1);
     }

@@ -38,16 +38,31 @@
 //!                     # --fault-panic-budget/--fault-cancel-rate/
 //!                     # --fault-cancel-budget arm a deterministic chaos
 //!                     # schedule (dev/test only).
+//! chameleon gate      --backends addr,addr,... [--host H] [--port P]
+//!                     [--forwarders N] [--queue-depth N] [--replicas N]
+//!                     [--health-interval-ms MS] [--io-retries N]
+//!                     [--retry-base-ms MS] [--retry-seed S]
+//!                     [--max-request-bytes N] [--max-connections N]
+//!                     [--max-batch N]
+//!                     # run chameleon-gate (DESIGN.md §13): shard jobs
+//!                     # across N chameleond backends by graph digest on a
+//!                     # consistent-hash ring; dead backends are detected,
+//!                     # their jobs re-driven to the ring successor, and
+//!                     # results stay byte-identical regardless of placement.
 //! chameleon submit    [in.txt] [out.txt] --job obfuscate|check|reliability|status|shutdown
 //!                     [--host H] [--port P] [--id ID] [--timeout-ms MS]
-//!                     [--retries N] [--retry-base-ms MS]
+//!                     [--retries N] [--retry-base-ms MS] [--io-retries N]
+//!                     [--via-gateway]
 //!                     [job flags as for the matching subcommand]
 //!                     # send one job to a running chameleond; for
 //!                     # obfuscate, the returned graph is written to out.txt
 //!                     # byte-identical to `chameleon anonymize` output.
 //!                     # Retryable rejections (queue full, injected faults)
 //!                     # are retried with seeded-jitter backoff honoring the
-//!                     # server's retry_after_ms hint.
+//!                     # server's retry_after_ms hint; connect/I-O errors
+//!                     # retry under the same backoff up to --io-retries.
+//!                     # --via-gateway targets a chameleon-gate (port 7789)
+//!                     # and widens both retry budgets to outlast failovers.
 //! ```
 //!
 //! Graphs use the text edge-list format of `chameleon_ugraph::io`. When
@@ -125,6 +140,7 @@ const COMMANDS: &[Command] = &[
     ),
     ("synth", &["nodes", "seed", "dp-epsilon"], cmd_synth),
     ("serve", SERVE_FLAGS, cmd_serve),
+    ("gate", GATE_FLAGS, cmd_gate),
     (
         "submit",
         &[
@@ -135,6 +151,8 @@ const COMMANDS: &[Command] = &[
             "timeout-ms",
             "retries",
             "retry-base-ms",
+            "io-retries",
+            "via-gateway",
             "k",
             "epsilon",
             "method",
@@ -149,6 +167,23 @@ const COMMANDS: &[Command] = &[
         ],
         cmd_submit,
     ),
+];
+
+/// `gate` flag whitelist (the gateway tier of DESIGN.md §13).
+const GATE_FLAGS: &[&str] = &[
+    "host",
+    "port",
+    "backends",
+    "forwarders",
+    "queue-depth",
+    "replicas",
+    "health-interval-ms",
+    "io-retries",
+    "retry-base-ms",
+    "retry-seed",
+    "max-request-bytes",
+    "max-connections",
+    "max-batch",
 ];
 
 /// `serve` flag whitelist; the `--fault-*` chaos flags exist only in
@@ -583,6 +618,51 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// Run chameleon-gate (DESIGN.md §13): a consistent-hashing gateway that
+/// shards jobs across a fleet of chameleond backends by graph digest,
+/// health-checks them, and re-drives jobs off dead backends with
+/// byte-identical results.
+fn cmd_gate(cli: &Cli) -> Result<(), String> {
+    let host: String = cli.get("host", "127.0.0.1".to_string())?;
+    let port: u16 = cli.get("port", 7789u16)?;
+    let backends: String = cli.require("backends")?;
+    let defaults = chameleon_server::GatewayConfig::default();
+    let config = chameleon_server::GatewayConfig {
+        addr: format!("{host}:{port}"),
+        backends: backends
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect(),
+        forwarders: cli.get("forwarders", defaults.forwarders)?,
+        queue_depth: cli.get("queue-depth", defaults.queue_depth)?,
+        replicas: cli.get("replicas", defaults.replicas)?,
+        health_interval_ms: cli.get("health-interval-ms", defaults.health_interval_ms)?,
+        retry: chameleon_server::RetryPolicy {
+            io_retries: cli.get("io-retries", defaults.retry.io_retries)?,
+            base_delay_ms: cli.get("retry-base-ms", defaults.retry.base_delay_ms)?,
+            seed: cli.get("retry-seed", defaults.retry.seed)?,
+            ..defaults.retry
+        },
+        max_request_bytes: cli.get("max-request-bytes", defaults.max_request_bytes)?,
+        max_connections: cli.get("max-connections", defaults.max_connections)?,
+        max_batch: cli.get("max-batch", defaults.max_batch)?,
+        metrics_path: match cli.get("metrics", String::new())? {
+            s if s.is_empty() => None,
+            s => Some(s),
+        },
+    };
+    let gateway = chameleon_server::Gateway::bind(config).map_err(|e| format!("bind: {e}"))?;
+    eprintln!("chameleon-gate listening on {}", gateway.local_addr());
+    let report = gateway.run().map_err(|e| format!("gate: {e}"))?;
+    println!(
+        "forwarded {} lines ({} redriven, {} no-backend errors, {} rejected)",
+        report.forwarded, report.redriven, report.no_backend_errors, report.rejected,
+    );
+    Ok(())
+}
+
 /// Builds the deterministic chaos schedule from the `--fault-*` flags
 /// (`fault-injection` builds only; production builds always serve `None`).
 #[cfg(feature = "fault-injection")]
@@ -618,7 +698,11 @@ fn fault_plan(_cli: &Cli) -> Result<Option<chameleon_server::FaultPlan>, String>
 fn cmd_submit(cli: &Cli) -> Result<(), String> {
     use chameleon_obs::json::{self, Json};
     let host: String = cli.get("host", "127.0.0.1".to_string())?;
-    let port: u16 = cli.get("port", 7788u16)?;
+    // --via-gateway targets a chameleon-gate front (default port 7789)
+    // and widens the retry budgets: a failover re-drive can hold a job
+    // for several backoff rounds, so the client should outlast it.
+    let via_gateway = cli.has("via-gateway");
+    let port: u16 = cli.get("port", if via_gateway { 7789u16 } else { 7788u16 })?;
     let addr = format!("{host}:{port}");
     let job: String = cli.get("job", "obfuscate".to_string())?;
 
@@ -705,11 +789,16 @@ fn cmd_submit(cli: &Cli) -> Result<(), String> {
     // Retryable rejections (the server marks them with `retry_after_ms`:
     // queue full, injected faults) are retried with seeded-jitter backoff;
     // reusing the job seed keeps the whole submit schedule reproducible.
+    let defaults = chameleon_server::RetryPolicy::default();
     let policy = chameleon_server::RetryPolicy {
-        max_retries: cli.get("retries", 3u32)?,
+        max_retries: cli.get("retries", if via_gateway { 8 } else { 3u32 })?,
         base_delay_ms: cli.get("retry-base-ms", 50u64)?,
+        io_retries: cli.get(
+            "io-retries",
+            if via_gateway { 8 } else { defaults.io_retries },
+        )?,
         seed: cli.get("seed", 42u64)?,
-        ..chameleon_server::RetryPolicy::default()
+        ..defaults
     };
     let line = chameleon_server::request_with_retry(&addr, &req, &policy)
         .map_err(|e| format!("{addr}: {e}"))?;

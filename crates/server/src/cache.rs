@@ -9,6 +9,7 @@
 //! byte-for-byte.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// 64-bit FNV-1a digest; stable, dependency-free content addressing for
 /// graph payloads and canonical parameter strings.
@@ -37,7 +38,7 @@ pub struct CacheStats {
 }
 
 struct Entry {
-    value: String,
+    value: Arc<str>,
     last_used: u64,
 }
 
@@ -70,13 +71,17 @@ impl ResultCache {
     }
 
     /// Looks up `key`, refreshing its recency on a hit.
-    pub fn get(&mut self, key: &str) -> Option<String> {
+    ///
+    /// Returns a shared handle rather than a copy: rendered results can be
+    /// multi-megabyte (PR 9 scale), and a per-hit deep clone on the
+    /// dispatch path would dominate cached-dispatch latency.
+    pub fn get(&mut self, key: &str) -> Option<Arc<str>> {
         self.tick += 1;
         match self.map.get_mut(key) {
             Some(entry) => {
                 entry.last_used = self.tick;
                 self.hits += 1;
-                Some(entry.value.clone())
+                Some(Arc::clone(&entry.value))
             }
             None => {
                 self.misses += 1;
@@ -87,7 +92,7 @@ impl ResultCache {
 
     /// Stores `value` under `key`, evicting the least-recently-used entry
     /// when at capacity. A no-op when capacity is 0.
-    pub fn insert(&mut self, key: String, value: String) {
+    pub fn insert(&mut self, key: String, value: Arc<str>) {
         if self.capacity == 0 {
             return;
         }
@@ -171,6 +176,16 @@ mod tests {
         assert_eq!(c.stats().evictions, 0);
         assert_eq!(c.get("a").as_deref(), Some("1'"));
         assert_eq!(c.get("b").as_deref(), Some("2"));
+    }
+
+    #[test]
+    fn hits_share_one_allocation() {
+        // Two hits must hand back the same backing buffer, not copies.
+        let mut c = ResultCache::new(2);
+        c.insert("k".into(), "payload".into());
+        let a = c.get("k").unwrap();
+        let b = c.get("k").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

@@ -1,0 +1,1390 @@
+//! chameleon-gate: a thin gateway that consistent-hashes jobs across a
+//! fleet of `chameleond` backends (DESIGN.md §13).
+//!
+//! The gateway speaks the exact `chameleond` wire protocol on its client
+//! side — `submit --via-gateway` is just `submit` pointed at a different
+//! port — and owns no job execution of its own. Each accepted job line is
+//! routed by the FNV-1a digest of its graph text over a consistent-hash
+//! ring ([`HashRing`]) with virtual nodes, so all work on one graph lands
+//! on one backend and that backend's LRU result cache becomes the graph's
+//! shard of a distributed cache. Forwarding uses the retrying client
+//! ([`crate::server::request_with_retry`]'s I/O semantics): transient
+//! connect/read failures are retried with seeded backoff, and a backend
+//! that stays dead is marked down and its jobs are *re-driven* to the
+//! next live replica on the ring.
+//!
+//! Losslessness and byte-identity of failover both come from invariants
+//! established by earlier layers, not from gateway cleverness:
+//!
+//! * backends journal `accepted` before acknowledging (DESIGN.md §11), so
+//!   a killed backend's accepted jobs are recoverable by `--resume` — and
+//!   independently, the gateway holds every request line until it has a
+//!   complete response, so an in-flight job on a dead backend is simply
+//!   re-sent to the ring successor;
+//! * results are thread-count-, cache-state- and placement-invariant
+//!   (the PR-1 determinism contract), so *which* backend computes a job
+//!   cannot change a single result byte.
+//!
+//! Responses are forwarded verbatim (chunk frames included): the bytes a
+//! client reads through the gateway are the bytes the backend wrote.
+//! Structurally the gateway reuses the PR 7 poll(2) reactor shape for its
+//! client side — one event-loop thread owning all sockets, a bounded
+//! forward queue, a small forwarder pool doing the blocking backend I/O,
+//! and an mpsc + self-pipe wakeup channel carrying finished responses
+//! back to the loop. A background health thread probes every backend
+//! with `status` requests, marking dead backends down before a client
+//! job has to discover it, and reviving them when they return.
+
+use crate::cache::fnv1a64;
+use crate::protocol::{coded_error_response, codes, ok_response, parse_request, Request};
+use crate::queue::{BoundedQueue, PushError};
+use crate::reactor::{PollSet, Waker, Wakeup, POLLIN, POLLOUT};
+use crate::server::{send_request, RetryPolicy};
+use chameleon_obs::json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Idle poll timeout (re-check shutdown and deadlines without I/O).
+const IDLE_POLL: Duration = Duration::from_millis(500);
+
+/// Poll timeout while a shutdown waits for the forward queue to drain.
+const DRAIN_POLL: Duration = Duration::from_millis(5);
+
+/// Write-stall deadline, matching the backend daemon's.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Grace period for flushing final responses after shutdown is answered.
+const FLUSH_GRACE: Duration = Duration::from_secs(2);
+
+/// Connect/read budget for one health probe.
+const PROBE_TIMEOUT: Duration = Duration::from_millis(1_000);
+
+/// `retry_after_ms` hint on gateway-synthesized `no_backend` errors.
+const NO_BACKEND_RETRY_MS: u64 = 500;
+
+/// A consistent-hash ring with virtual nodes.
+///
+/// Each backend contributes `replicas` points hashed from
+/// `"{addr}#{replica}"`; a key routes to the first point clockwise from
+/// its own hash whose backend is alive. The construction is a pure
+/// function of the backend list and replica count — two gateways (or two
+/// runs) configured identically route identically — and removing one
+/// backend only remaps the keys that backend owned (the consistent-hash
+/// property the rebalance tests pin).
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, backend index)`, sorted by point.
+    points: Vec<(u64, usize)>,
+    backends: usize,
+}
+
+impl HashRing {
+    /// Builds the ring for `backends` with `replicas` virtual nodes each
+    /// (minimum 1).
+    pub fn new(backends: &[String], replicas: usize) -> Self {
+        let replicas = replicas.max(1);
+        let mut points = Vec::with_capacity(backends.len() * replicas);
+        for (idx, addr) in backends.iter().enumerate() {
+            for r in 0..replicas {
+                points.push((fnv1a64(format!("{addr}#{r}").as_bytes()), idx));
+            }
+        }
+        points.sort_unstable();
+        Self {
+            points,
+            backends: backends.len(),
+        }
+    }
+
+    /// Number of backends the ring was built over.
+    pub fn backend_count(&self) -> usize {
+        self.backends
+    }
+
+    /// Number of ring points (backends × replicas).
+    pub fn point_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Routes `key` to the first live backend clockwise from its hash
+    /// point; `None` when every backend is dead (or the ring is empty).
+    pub fn route(&self, key: u64, alive: impl Fn(usize) -> bool) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = self.points.partition_point(|&(point, _)| point < key);
+        let n = self.points.len();
+        for off in 0..n {
+            let (_, idx) = self.points[(start + off) % n];
+            if alive(idx) {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// The backend owning `key` when everything is alive.
+    pub fn owner(&self, key: u64) -> Option<usize> {
+        self.route(key, |_| true)
+    }
+}
+
+/// Configuration for [`Gateway::bind`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Backend `chameleond` addresses (`host:port`); must be non-empty.
+    pub backends: Vec<String>,
+    /// Forwarder threads doing the blocking backend I/O (0 = auto:
+    /// twice the backend count, at least 4).
+    pub forwarders: usize,
+    /// Bounded forward-queue depth; a full queue rejects with
+    /// `retry_after_ms`, exactly like the backend's job queue.
+    pub queue_depth: usize,
+    /// Virtual nodes per backend on the hash ring.
+    pub replicas: usize,
+    /// Interval between backend health probes in ms (0 disables the
+    /// health thread; forwarders still mark backends dead on failure).
+    pub health_interval_ms: u64,
+    /// Retry policy for backend I/O (`io_retries` attempts with seeded
+    /// backoff before a backend is declared dead and the job re-driven).
+    pub retry: RetryPolicy,
+    /// Request-line byte cap on client connections.
+    pub max_request_bytes: usize,
+    /// Maximum concurrently open client connections.
+    pub max_connections: usize,
+    /// Maximum elements per `batch` line, mirroring the backends'
+    /// `--max-batch` so an oversized batch is rejected here with the
+    /// same response it would get from a backend.
+    pub max_batch: usize,
+    /// Write the final metrics snapshot here on shutdown.
+    pub metrics_path: Option<String>,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            backends: Vec::new(),
+            forwarders: 0,
+            queue_depth: 64,
+            replicas: 64,
+            health_interval_ms: 500,
+            retry: RetryPolicy::default(),
+            max_request_bytes: 16 * 1024 * 1024,
+            max_connections: 256,
+            max_batch: 1024,
+            metrics_path: None,
+        }
+    }
+}
+
+/// Final counters reported by [`Gateway::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GatewayReport {
+    /// Request lines answered from a backend.
+    pub forwarded: u64,
+    /// Request lines re-driven to a ring successor after a backend died.
+    pub redriven: u64,
+    /// Responses synthesized because every backend was dead.
+    pub no_backend_errors: u64,
+    /// Request lines rejected at the gateway (queue full, shutdown).
+    pub rejected: u64,
+}
+
+/// One request line travelling to a backend: the raw line (forwarded
+/// verbatim), its routing key, how many logical responses it owes, and
+/// the per-response ids needed to synthesize errors when no backend is
+/// left to answer them.
+struct ForwardJob {
+    token: ConnToken,
+    line: String,
+    key: u64,
+    expect: usize,
+    ids: Vec<Option<String>>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct ConnToken {
+    idx: usize,
+    gen: u64,
+}
+
+struct Completion {
+    token: ConnToken,
+    wire: Vec<u8>,
+}
+
+struct GwShared {
+    queue: BoundedQueue<ForwardJob>,
+    ring: HashRing,
+    backends: Vec<String>,
+    alive: Vec<AtomicBool>,
+    forwarded_per_backend: Vec<AtomicU64>,
+    forwarded: AtomicU64,
+    redriven: AtomicU64,
+    no_backend_errors: AtomicU64,
+    rejected: AtomicU64,
+    shutting_down: AtomicBool,
+    open_connections: AtomicUsize,
+    started: Instant,
+    retry: RetryPolicy,
+    max_request_bytes: usize,
+    max_connections: usize,
+    max_batch: usize,
+    queue_depth: usize,
+    replicas: usize,
+}
+
+impl GwShared {
+    fn report(&self) -> GatewayReport {
+        GatewayReport {
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            redriven: self.redriven.load(Ordering::Relaxed),
+            no_backend_errors: self.no_backend_errors.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Gateway `status` result object; field order fixed by construction.
+    /// Queued/active are read as one [`crate::queue::QueueSnapshot`].
+    fn status_json(&self) -> String {
+        let queue = self.queue.snapshot();
+        let mut backends = String::new();
+        for (i, addr) in self.backends.iter().enumerate() {
+            if i > 0 {
+                backends.push(',');
+            }
+            backends.push_str(&format!(
+                "{{\"addr\":{},\"alive\":{},\"forwarded\":{}}}",
+                json::string(addr),
+                self.alive[i].load(Ordering::Relaxed),
+                self.forwarded_per_backend[i].load(Ordering::Relaxed),
+            ));
+        }
+        format!(
+            "{{\"gateway\":true,\"uptime_ms\":{},\"backends\":[{}],\
+             \"ring_replicas\":{},\"queue_depth\":{},\"queue_capacity\":{},\
+             \"in_flight\":{},\"forwarded\":{},\"redriven\":{},\
+             \"no_backend_errors\":{},\"rejected\":{},\
+             \"open_connections\":{},\"shutting_down\":{}}}",
+            self.started.elapsed().as_millis(),
+            backends,
+            self.replicas,
+            queue.queued,
+            self.queue_depth,
+            queue.active,
+            self.forwarded.load(Ordering::Relaxed),
+            self.redriven.load(Ordering::Relaxed),
+            self.no_backend_errors.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+            self.open_connections.load(Ordering::Relaxed),
+            self.shutting_down.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A bound-but-not-yet-running gateway instance.
+pub struct Gateway {
+    listener: TcpListener,
+    shared: Arc<GwShared>,
+    health_interval: Option<Duration>,
+    forwarders: usize,
+    metrics_path: Option<String>,
+}
+
+/// Handle to a gateway running on a background thread.
+pub struct GatewayHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<std::io::Result<GatewayReport>>,
+}
+
+impl GatewayHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the gateway to shut down.
+    ///
+    /// # Errors
+    /// Propagates the run loop's I/O error, if any.
+    pub fn join(self) -> std::io::Result<GatewayReport> {
+        self.thread.join().expect("gateway thread panicked")
+    }
+}
+
+impl Gateway {
+    /// Binds the listener (without accepting yet).
+    ///
+    /// # Errors
+    /// Fails on an empty backend list or bind failure.
+    pub fn bind(config: GatewayConfig) -> std::io::Result<Gateway> {
+        if config.backends.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "gateway requires at least one backend (--backends)",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let forwarders = if config.forwarders == 0 {
+            (config.backends.len() * 2).max(4)
+        } else {
+            config.forwarders
+        };
+        let n = config.backends.len();
+        let shared = Arc::new(GwShared {
+            queue: BoundedQueue::new(config.queue_depth),
+            ring: HashRing::new(&config.backends, config.replicas),
+            alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            forwarded_per_backend: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            backends: config.backends,
+            forwarded: AtomicU64::new(0),
+            redriven: AtomicU64::new(0),
+            no_backend_errors: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            open_connections: AtomicUsize::new(0),
+            started: Instant::now(),
+            retry: config.retry,
+            max_request_bytes: config.max_request_bytes.max(64),
+            max_connections: config.max_connections.max(1),
+            max_batch: config.max_batch.max(1),
+            queue_depth: config.queue_depth,
+            replicas: config.replicas.max(1),
+        });
+        Ok(Gateway {
+            listener,
+            shared,
+            health_interval: (config.health_interval_ms > 0)
+                .then(|| Duration::from_millis(config.health_interval_ms)),
+            forwarders,
+            metrics_path: config.metrics_path,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("listener has an address")
+    }
+
+    /// [`Gateway::bind`] + [`Gateway::run`] on a background thread.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn spawn(config: GatewayConfig) -> std::io::Result<GatewayHandle> {
+        let gateway = Gateway::bind(config)?;
+        let addr = gateway.local_addr();
+        let thread = std::thread::Builder::new()
+            .name("chameleon-gate".into())
+            .spawn(move || gateway.run())
+            .expect("spawn gateway thread");
+        Ok(GatewayHandle { addr, thread })
+    }
+
+    /// Serves until a `shutdown` request completes: runs the reactor,
+    /// drains the forward queue, joins the forwarders and the health
+    /// thread, and flushes the final metrics snapshot.
+    ///
+    /// # Errors
+    /// Propagates fatal reactor I/O errors.
+    pub fn run(self) -> std::io::Result<GatewayReport> {
+        let Gateway {
+            listener,
+            shared,
+            health_interval,
+            forwarders,
+            metrics_path,
+        } = self;
+        let wakeup = Wakeup::new()?;
+        let (tx, rx) = mpsc::channel::<Completion>();
+        let forwarder_handles: Vec<_> = (0..forwarders)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                let waker = wakeup.waker().expect("clone waker");
+                std::thread::Builder::new()
+                    .name(format!("gate-forward-{i}"))
+                    .spawn(move || forwarder_loop(&shared, &tx, &waker))
+                    .expect("spawn forwarder")
+            })
+            .collect();
+        drop(tx);
+        let health_run = Arc::new(AtomicBool::new(true));
+        let health_handle = health_interval.map(|interval| {
+            let shared = Arc::clone(&shared);
+            let run = Arc::clone(&health_run);
+            std::thread::Builder::new()
+                .name("gate-health".into())
+                .spawn(move || health_loop(&shared, &run, interval))
+                .expect("spawn health thread")
+        });
+        listener.set_nonblocking(true)?;
+        let mut reactor = GateReactor {
+            listener,
+            wakeup,
+            completions: rx,
+            shared: Arc::clone(&shared),
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_gen: 0,
+            shutdown_requested: false,
+            shutdown_waiters: Vec::new(),
+            shutdown_answered: false,
+            exit_deadline: None,
+            poll: PollSet::new(),
+            conn_slots: Vec::new(),
+            scratch: vec![0u8; 64 * 1024],
+        };
+        let run_result = reactor.run();
+        drop(reactor);
+        shared.queue.close();
+        for handle in forwarder_handles {
+            let _ = handle.join();
+        }
+        health_run.store(false, Ordering::Relaxed);
+        if let Some(handle) = health_handle {
+            let _ = handle.join();
+        }
+        if let Some(path) = &metrics_path {
+            let _ = std::fs::write(path, chameleon_obs::metrics_json());
+        }
+        run_result?;
+        Ok(shared.report())
+    }
+}
+
+/// Settles the forward queue's active count even if a forwarder unwinds.
+struct TaskDoneGuard<'a>(&'a GwShared);
+
+impl Drop for TaskDoneGuard<'_> {
+    fn drop(&mut self) {
+        self.0.queue.task_done();
+    }
+}
+
+/// Per-forwarder pool of persistent backend connections, keyed by ring
+/// index. A forwarder is strictly lockstep per backend (one job in
+/// flight per connection), so reusing the socket across jobs is safe —
+/// and saves a TCP handshake per forwarded job on the hot path.
+type ConnPool = std::collections::HashMap<usize, BufReader<TcpStream>>;
+
+fn forwarder_loop(shared: &Arc<GwShared>, respond: &mpsc::Sender<Completion>, waker: &Waker) {
+    let mut pool = ConnPool::new();
+    while let Some(job) = shared.queue.pop() {
+        let _done = TaskDoneGuard(shared);
+        let wire = drive_job(shared, &mut pool, &job);
+        // The send happens before the guard marks the task done, so a
+        // drained queue implies every response is already in the channel.
+        let _ = respond.send(Completion {
+            token: job.token,
+            wire,
+        });
+        waker.wake();
+    }
+}
+
+/// Synthesized per-response error lines for a job no backend can answer.
+fn no_backend_wire(shared: &GwShared, job: &ForwardJob) -> Vec<u8> {
+    shared
+        .no_backend_errors
+        .fetch_add(job.expect as u64, Ordering::Relaxed);
+    chameleon_obs::counter!("gateway.no_backend").add(job.expect as u64);
+    let mut wire = Vec::new();
+    for id in &job.ids {
+        let line = coded_error_response(
+            id.as_deref(),
+            codes::NO_BACKEND,
+            "no live backend in the ring; retry later",
+            Some(NO_BACKEND_RETRY_MS),
+        );
+        wire.extend_from_slice(line.as_bytes());
+        wire.push(b'\n');
+    }
+    wire
+}
+
+/// Routes one job along the ring until a backend answers it in full, or
+/// until every backend has been declared dead; returns the wire bytes to
+/// hand the client. A backend whose I/O fails past the retry budget is
+/// marked dead for everyone and the job moves to the ring successor
+/// ("re-drive") — lossless because the whole request line is still in
+/// hand, byte-identical because placement cannot change results.
+fn drive_job(shared: &GwShared, pool: &mut ConnPool, job: &ForwardJob) -> Vec<u8> {
+    let mut redrives = 0usize;
+    loop {
+        let Some(idx) = shared
+            .ring
+            .route(job.key, |i| shared.alive[i].load(Ordering::Relaxed))
+        else {
+            return no_backend_wire(shared, job);
+        };
+        match forward_collect(
+            pool,
+            idx,
+            &shared.backends[idx],
+            &job.line,
+            job.expect,
+            &shared.retry,
+        ) {
+            Ok(wire) => {
+                shared.forwarded.fetch_add(1, Ordering::Relaxed);
+                shared.forwarded_per_backend[idx].fetch_add(1, Ordering::Relaxed);
+                chameleon_obs::counter!("gateway.forwarded").add(1);
+                return wire;
+            }
+            Err(_) => {
+                if shared.alive[idx].swap(false, Ordering::Relaxed) {
+                    chameleon_obs::counter!("gateway.backend.died").add(1);
+                }
+                redrives += 1;
+                // The health thread may revive backends while we loop;
+                // bounding re-drives at the fleet size keeps one job from
+                // chasing a flapping ring forever.
+                if redrives > shared.backends.len() {
+                    return no_backend_wire(shared, job);
+                }
+                shared.redriven.fetch_add(1, Ordering::Relaxed);
+                chameleon_obs::counter!("gateway.jobs.redriven").add(1);
+            }
+        }
+    }
+}
+
+/// One backend round-trip with the I/O retry budget of `policy`. A
+/// pooled connection gets one grace attempt first: if it fails, it is
+/// replaced by a fresh connect *without* touching the retry budget, so
+/// a backend that dropped an idle socket is never mistaken for a dead
+/// one. Fresh-connect failures sleep the seeded backoff and try again,
+/// up to `io_retries` extra attempts; a connection that completes a
+/// round-trip goes back into the pool.
+fn forward_collect(
+    pool: &mut ConnPool,
+    idx: usize,
+    addr: &str,
+    line: &str,
+    expect: usize,
+    policy: &RetryPolicy,
+) -> std::io::Result<Vec<u8>> {
+    if let Some(mut reader) = pool.remove(&idx) {
+        if let Ok(wire) = try_forward_on(&mut reader, line, expect) {
+            pool.insert(idx, reader);
+            return Ok(wire);
+        }
+    }
+    let mut attempt = 0u32;
+    loop {
+        match try_forward(addr, line, expect) {
+            Ok((wire, reader)) => {
+                pool.insert(idx, reader);
+                return Ok(wire);
+            }
+            Err(err) => {
+                if !policy.retry_io || attempt >= policy.io_retries {
+                    return Err(err);
+                }
+                chameleon_obs::counter!("gateway.backend.io_retries").add(1);
+                std::thread::sleep(policy.backoff(attempt, None));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// Opens a fresh backend connection and drives one round-trip on it;
+/// returns the response wire bytes plus the connection for pooling.
+fn try_forward(
+    addr: &str,
+    line: &str,
+    expect: usize,
+) -> std::io::Result<(Vec<u8>, BufReader<TcpStream>)> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    let wire = try_forward_on(&mut reader, line, expect)?;
+    Ok((wire, reader))
+}
+
+/// Sends the raw request line down an existing backend connection and
+/// collects `expect` complete logical responses as verbatim wire bytes
+/// (chunk frames are passed through untouched; only their `last` marker
+/// is inspected to count logical completion).
+fn try_forward_on(
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+    expect: usize,
+) -> std::io::Result<Vec<u8>> {
+    send_request(reader.get_mut(), line)?;
+    reader.get_mut().flush()?;
+    let mut wire = Vec::new();
+    for _ in 0..expect {
+        read_logical_verbatim(reader, &mut wire)?;
+    }
+    Ok(wire)
+}
+
+/// Appends the raw lines of one logical response to `wire`. A non-chunk
+/// line is one complete response; chunk frames accumulate until the
+/// `"last":true` frame. A connection that ends early — or mid-line — is
+/// an `UnexpectedEof` so the caller re-drives instead of forwarding a
+/// torn response.
+fn read_logical_verbatim<R: BufRead>(reader: &mut R, wire: &mut Vec<u8>) -> std::io::Result<()> {
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "backend closed the connection mid-response",
+            ));
+        }
+        if !line.ends_with('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "backend connection truncated mid-line",
+            ));
+        }
+        let mut terminal = true;
+        let trimmed = line.trim_end();
+        if trimmed.contains("\"status\":\"chunk\"") {
+            if let Ok(v) = json::Json::parse(trimmed) {
+                if v.get("status").and_then(json::Json::as_str) == Some("chunk") {
+                    terminal = v.get("last").and_then(json::Json::as_bool) == Some(true);
+                }
+            }
+        }
+        wire.extend_from_slice(line.as_bytes());
+        if terminal {
+            return Ok(());
+        }
+    }
+}
+
+fn health_loop(shared: &Arc<GwShared>, run: &AtomicBool, interval: Duration) {
+    while run.load(Ordering::Relaxed) {
+        for (i, addr) in shared.backends.iter().enumerate() {
+            let ok = probe_backend(addr);
+            let was = shared.alive[i].swap(ok, Ordering::Relaxed);
+            if was != ok {
+                if ok {
+                    chameleon_obs::counter!("gateway.backend.revived").add(1);
+                } else {
+                    chameleon_obs::counter!("gateway.backend.died").add(1);
+                }
+            }
+        }
+        // Sleep in short steps so shutdown never waits a full interval.
+        let mut left = interval;
+        while run.load(Ordering::Relaxed) && left > Duration::ZERO {
+            let step = left.min(Duration::from_millis(50));
+            std::thread::sleep(step);
+            left = left.saturating_sub(step);
+        }
+    }
+}
+
+/// One `status` round-trip under [`PROBE_TIMEOUT`]; any complete response
+/// line proves the backend alive (even a `server_busy` rejection — a
+/// saturated backend is not a dead one).
+fn probe_backend(addr: &str) -> bool {
+    let Some(sock_addr) = addr.to_socket_addrs().ok().and_then(|mut it| it.next()) else {
+        return false;
+    };
+    let Ok(mut stream) = TcpStream::connect_timeout(&sock_addr, PROBE_TIMEOUT) else {
+        return false;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(PROBE_TIMEOUT));
+    if send_request(&mut stream, "{\"op\":\"status\"}").is_err() || stream.flush().is_err() {
+        return false;
+    }
+    let mut reader = BufReader::new(stream);
+    crate::server::read_response(&mut reader).is_ok()
+}
+
+/// One client connection owned by the gateway reactor (the trimmed
+/// sibling of the daemon's `Conn`: same buffers and lifecycle states,
+/// minus the per-line read deadline — the gateway fronts trusted
+/// backends' clients, and the byte cap still bounds memory).
+struct GwConn {
+    stream: TcpStream,
+    gen: u64,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    in_flight: usize,
+    close_after_flush: bool,
+    read_closed: bool,
+    last_progress: Instant,
+}
+
+impl GwConn {
+    fn new(stream: TcpStream, gen: u64) -> Self {
+        Self {
+            stream,
+            gen,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            in_flight: 0,
+            close_after_flush: false,
+            read_closed: false,
+            last_progress: Instant::now(),
+        }
+    }
+
+    fn has_pending_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+fn push_line(conn: &mut GwConn, line: &str) {
+    if !conn.has_pending_write() {
+        conn.last_progress = Instant::now();
+    }
+    conn.wbuf.extend_from_slice(line.as_bytes());
+    conn.wbuf.push(b'\n');
+}
+
+fn push_wire(conn: &mut GwConn, wire: &[u8]) {
+    if !conn.has_pending_write() {
+        conn.last_progress = Instant::now();
+    }
+    conn.wbuf.extend_from_slice(wire);
+}
+
+fn reject_busy(stream: &TcpStream, limit: usize) {
+    let mut line = coded_error_response(
+        None,
+        codes::SERVER_BUSY,
+        &format!("connection limit reached ({limit} open connections); retry later"),
+        Some(200),
+    );
+    line.push('\n');
+    let _ = (&*stream).write(line.as_bytes());
+}
+
+struct GateReactor {
+    listener: TcpListener,
+    wakeup: Wakeup,
+    completions: mpsc::Receiver<Completion>,
+    shared: Arc<GwShared>,
+    conns: Vec<Option<GwConn>>,
+    free: Vec<usize>,
+    next_gen: u64,
+    shutdown_requested: bool,
+    shutdown_waiters: Vec<(ConnToken, Option<String>)>,
+    shutdown_answered: bool,
+    exit_deadline: Option<Instant>,
+    poll: PollSet,
+    conn_slots: Vec<(usize, usize)>,
+    scratch: Vec<u8>,
+}
+
+impl GateReactor {
+    fn run(&mut self) -> std::io::Result<()> {
+        loop {
+            self.answer_shutdown_when_drained();
+            if self.exit_ready() {
+                return Ok(());
+            }
+            self.tick()?;
+        }
+    }
+
+    fn tick(&mut self) -> std::io::Result<()> {
+        self.poll.clear();
+        self.conn_slots.clear();
+        let wake_slot = self.poll.register(self.wakeup.fd(), POLLIN);
+        let listen_slot = if self.shutdown_requested {
+            None
+        } else {
+            Some(self.poll.register(self.listener.as_raw_fd(), POLLIN))
+        };
+        for (idx, conn) in self.conns.iter().enumerate() {
+            let Some(conn) = conn else { continue };
+            let mut events: i16 = 0;
+            if !conn.read_closed {
+                events |= POLLIN;
+            }
+            if conn.has_pending_write() {
+                events |= POLLOUT;
+            }
+            if events != 0 {
+                self.conn_slots
+                    .push((self.poll.register(conn.stream.as_raw_fd(), events), idx));
+            }
+        }
+        let timeout = self.poll_timeout();
+        self.poll.poll(Some(timeout))?;
+        chameleon_obs::counter!("gateway.reactor.ticks").add(1);
+
+        if self.poll.revents(wake_slot).readable() {
+            self.wakeup.drain();
+        }
+        self.drain_completions();
+        for k in 0..self.conn_slots.len() {
+            let (slot, idx) = self.conn_slots[k];
+            if self.poll.revents(slot).readable() {
+                self.read_ready(idx);
+            }
+        }
+        self.service_timers_and_flush();
+        // Accept after reads and reaping, like the daemon: a slot freed
+        // this tick must be reusable before the busy check.
+        if let Some(slot) = listen_slot {
+            if self.poll.revents(slot).readable() {
+                self.accept_ready()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn poll_timeout(&self) -> Duration {
+        if self.shutdown_requested && !self.shutdown_answered {
+            return DRAIN_POLL;
+        }
+        let now = Instant::now();
+        let mut nearest: Option<Instant> = self.exit_deadline;
+        for conn in self.conns.iter().flatten() {
+            if conn.has_pending_write() {
+                let d = conn.last_progress + WRITE_TIMEOUT;
+                nearest = Some(nearest.map_or(d, |n| n.min(d)));
+            }
+        }
+        match nearest {
+            Some(d) => d
+                .saturating_duration_since(now)
+                .max(Duration::from_millis(1))
+                .min(IDLE_POLL),
+            None => IDLE_POLL,
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        while let Ok(done) = self.completions.try_recv() {
+            let Some(conn) = self.conns.get_mut(done.token.idx).and_then(Option::as_mut) else {
+                continue;
+            };
+            if conn.gen != done.token.gen {
+                continue;
+            }
+            conn.in_flight = conn.in_flight.saturating_sub(1);
+            if conn.close_after_flush {
+                continue;
+            }
+            push_wire(conn, &done.wire);
+        }
+    }
+
+    fn accept_ready(&mut self) -> std::io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    chameleon_obs::counter!("gateway.connections").add(1);
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    if self.shared.open_connections.load(Ordering::Relaxed)
+                        >= self.shared.max_connections
+                    {
+                        reject_busy(&stream, self.shared.max_connections);
+                        continue;
+                    }
+                    self.insert_conn(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::Interrupted
+                            | std::io::ErrorKind::ConnectionAborted
+                            | std::io::ErrorKind::ConnectionReset
+                    ) =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn insert_conn(&mut self, stream: TcpStream) {
+        self.next_gen += 1;
+        let conn = GwConn::new(stream, self.next_gen);
+        match self.free.pop() {
+            Some(idx) => self.conns[idx] = Some(conn),
+            None => self.conns.push(Some(conn)),
+        }
+        self.shared.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        if self.conns[idx].take().is_some() {
+            self.free.push(idx);
+            self.shared.open_connections.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn read_ready(&mut self, idx: usize) {
+        let mut lines: Vec<Vec<u8>> = Vec::new();
+        let mut fatal = false;
+        let mut overflow = false;
+        let mut truncated_bytes: Option<usize> = None;
+        loop {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    if !conn.rbuf.is_empty() && !conn.close_after_flush && !overflow {
+                        truncated_bytes = Some(conn.rbuf.len());
+                        conn.rbuf.clear();
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    if conn.close_after_flush || overflow {
+                        continue;
+                    }
+                    conn.rbuf.extend_from_slice(&self.scratch[..n]);
+                    while let Some(pos) = conn.rbuf.iter().position(|&b| b == b'\n') {
+                        let mut line: Vec<u8> = conn.rbuf.drain(..=pos).collect();
+                        line.pop();
+                        if line.last() == Some(&b'\r') {
+                            line.pop();
+                        }
+                        if line.len() > self.shared.max_request_bytes {
+                            overflow = true;
+                            break;
+                        }
+                        lines.push(line);
+                    }
+                    if conn.rbuf.len() > self.shared.max_request_bytes {
+                        overflow = true;
+                    }
+                    if overflow {
+                        conn.rbuf.clear();
+                        continue;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    fatal = true;
+                    break;
+                }
+            }
+        }
+        for line in lines {
+            if self.conns[idx].is_none() {
+                return;
+            }
+            self.handle_line(idx, line);
+        }
+        if fatal {
+            self.close_conn(idx);
+            return;
+        }
+        if let Some(conn) = self.conns[idx].as_mut() {
+            if let Some(bytes) = truncated_bytes {
+                push_line(
+                    conn,
+                    &coded_error_response(
+                        None,
+                        codes::BAD_REQUEST,
+                        &format!("truncated request: {bytes} bytes without a newline before EOF"),
+                        None,
+                    ),
+                );
+                conn.close_after_flush = true;
+            }
+            if overflow {
+                push_line(
+                    conn,
+                    &coded_error_response(
+                        None,
+                        codes::REQUEST_TOO_LARGE,
+                        &format!(
+                            "request line exceeds the {} byte limit",
+                            self.shared.max_request_bytes
+                        ),
+                        None,
+                    ),
+                );
+                conn.close_after_flush = true;
+            }
+        }
+        let drained = self.conns[idx].as_ref().is_some_and(|c| {
+            c.read_closed && !c.close_after_flush && c.in_flight == 0 && !c.has_pending_write()
+        });
+        if drained {
+            self.close_conn(idx);
+        }
+    }
+
+    fn handle_line(&mut self, idx: usize, raw: Vec<u8>) {
+        let shared = Arc::clone(&self.shared);
+        let gen = match self.conns[idx].as_ref() {
+            Some(c) => c.gen,
+            None => return,
+        };
+        let token = ConnToken { idx, gen };
+        let line = match String::from_utf8(raw) {
+            Ok(line) => line,
+            Err(_) => {
+                let resp = coded_error_response(
+                    None,
+                    codes::BAD_REQUEST,
+                    "request line is not valid UTF-8",
+                    None,
+                );
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    push_line(conn, &resp);
+                }
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            return;
+        }
+        // Parsed only to route and count responses — the *raw* line is
+        // what a backend receives, so its responses match a direct
+        // submission byte-for-byte.
+        let request = match parse_request(&line) {
+            Ok(request) => request,
+            Err((id, msg)) => {
+                let resp = coded_error_response(id.as_deref(), codes::BAD_REQUEST, &msg, None);
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    push_line(conn, &resp);
+                }
+                return;
+            }
+        };
+        match request {
+            Request::Status { id } => {
+                let resp = ok_response(id.as_deref(), false, &shared.status_json());
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    push_line(conn, &resp);
+                }
+            }
+            Request::Shutdown { id } => {
+                // Shuts down the *gateway*, not the fleet: backends are
+                // shared infrastructure with their own lifecycles.
+                shared.shutting_down.store(true, Ordering::Release);
+                self.shutdown_requested = true;
+                self.shutdown_waiters.push((token, id));
+            }
+            Request::Job(job) => {
+                let key = job.spec.graph_digest();
+                self.enqueue_forward(idx, token, line, key, vec![job.id]);
+            }
+            Request::Batch { id, items } => {
+                if items.len() > shared.max_batch {
+                    let resp = coded_error_response(
+                        id.as_deref(),
+                        codes::BATCH_TOO_LARGE,
+                        &format!(
+                            "batch of {} elements exceeds the {} element limit",
+                            items.len(),
+                            shared.max_batch
+                        ),
+                        None,
+                    );
+                    if let Some(conn) = self.conns[idx].as_mut() {
+                        push_line(conn, &resp);
+                    }
+                    return;
+                }
+                // A batch routes whole-line by its first parsable
+                // element's graph (elements of one batch usually share a
+                // graph; splitting a line would break the protocol's
+                // one-queue-slot batch semantics). Parse-failed elements
+                // still get their per-element error from the backend.
+                let key = items
+                    .iter()
+                    .find_map(|item| item.as_ref().ok())
+                    .map(|job| job.spec.graph_digest())
+                    .unwrap_or_else(|| fnv1a64(line.as_bytes()));
+                let ids = items
+                    .iter()
+                    .map(|item| match item {
+                        Ok(job) => job.id.clone(),
+                        Err((id, _)) => id.clone(),
+                    })
+                    .collect();
+                self.enqueue_forward(idx, token, line, key, ids);
+            }
+        }
+    }
+
+    /// Admits one raw request line to the forward queue, or rejects it
+    /// with the same coded, hinted errors the backend daemon uses.
+    fn enqueue_forward(
+        &mut self,
+        idx: usize,
+        token: ConnToken,
+        line: String,
+        key: u64,
+        ids: Vec<Option<String>>,
+    ) {
+        let shared = &self.shared;
+        let expect = ids.len();
+        let reject = |conn: &mut GwConn, code: &str, msg: &str, retry: Option<u64>| {
+            for id in &ids {
+                push_line(conn, &coded_error_response(id.as_deref(), code, msg, retry));
+            }
+        };
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return;
+        };
+        if shared.shutting_down.load(Ordering::Acquire) {
+            shared.rejected.fetch_add(expect as u64, Ordering::Relaxed);
+            reject(conn, codes::SHUTTING_DOWN, "gateway is shutting down", None);
+            return;
+        }
+        match shared.queue.try_push(ForwardJob {
+            token,
+            line,
+            key,
+            expect,
+            ids: ids.clone(),
+        }) {
+            Ok(_) => {
+                chameleon_obs::counter!("gateway.jobs.accepted").add(expect as u64);
+                conn.in_flight += 1;
+            }
+            Err(PushError::Full { capacity }) => {
+                shared.rejected.fetch_add(expect as u64, Ordering::Relaxed);
+                chameleon_obs::counter!("gateway.jobs.rejected_full").add(expect as u64);
+                let retry_ms = 100 * (1 + shared.queue.snapshot().active as u64).min(50);
+                reject(
+                    conn,
+                    codes::QUEUE_FULL,
+                    &format!("gateway queue full ({capacity} queued lines); retry later"),
+                    Some(retry_ms),
+                );
+            }
+            Err(PushError::Closed) => {
+                shared.rejected.fetch_add(expect as u64, Ordering::Relaxed);
+                reject(conn, codes::SHUTTING_DOWN, "gateway is shutting down", None);
+            }
+        }
+    }
+
+    fn answer_shutdown_when_drained(&mut self) {
+        if !self.shutdown_requested || self.shutdown_answered {
+            return;
+        }
+        if !self.shared.queue.is_drained() {
+            return;
+        }
+        self.drain_completions();
+        let report = self.shared.report();
+        let result = format!(
+            "{{\"drained\":true,\"forwarded\":{},\"redriven\":{},\
+             \"no_backend_errors\":{},\"rejected\":{}}}",
+            report.forwarded, report.redriven, report.no_backend_errors, report.rejected,
+        );
+        for (token, id) in std::mem::take(&mut self.shutdown_waiters) {
+            let Some(conn) = self.conns.get_mut(token.idx).and_then(Option::as_mut) else {
+                continue;
+            };
+            if conn.gen != token.gen {
+                continue;
+            }
+            conn.close_after_flush = false;
+            push_line(conn, &ok_response(id.as_deref(), false, &result));
+            conn.close_after_flush = true;
+        }
+        self.shutdown_answered = true;
+        self.exit_deadline = Some(Instant::now() + FLUSH_GRACE);
+    }
+
+    fn exit_ready(&self) -> bool {
+        if !self.shutdown_answered {
+            return false;
+        }
+        let all_flushed = self.conns.iter().flatten().all(|c| !c.has_pending_write());
+        all_flushed || self.exit_deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    fn service_timers_and_flush(&mut self) {
+        let now = Instant::now();
+        for idx in 0..self.conns.len() {
+            let mut close_now = false;
+            if let Some(conn) = self.conns[idx].as_mut() {
+                if conn.has_pending_write() {
+                    // Dead socket, or alive but stalled past the write
+                    // timeout: either way the connection is done.
+                    close_now = !flush_conn(conn)
+                        || (conn.has_pending_write()
+                            && now.duration_since(conn.last_progress) > WRITE_TIMEOUT);
+                }
+                if !close_now && conn.close_after_flush && !conn.has_pending_write() {
+                    close_now = true;
+                }
+                if !close_now
+                    && conn.read_closed
+                    && !conn.close_after_flush
+                    && conn.in_flight == 0
+                    && !conn.has_pending_write()
+                {
+                    close_now = true;
+                }
+            } else {
+                continue;
+            }
+            if close_now {
+                self.close_conn(idx);
+            }
+        }
+    }
+}
+
+fn flush_conn(conn: &mut GwConn) -> bool {
+    loop {
+        let pending = &conn.wbuf[conn.wpos..];
+        if pending.is_empty() {
+            break;
+        }
+        match conn.stream.write(pending) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.wpos += n;
+                conn.last_progress = Instant::now();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7000")).collect()
+    }
+
+    #[test]
+    fn ring_construction_is_deterministic() {
+        let a = HashRing::new(&addrs(5), 64);
+        let b = HashRing::new(&addrs(5), 64);
+        assert_eq!(a.point_count(), 5 * 64);
+        for key in (0..10_000u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+            assert_eq!(a.owner(key), b.owner(key));
+        }
+    }
+
+    #[test]
+    fn ring_spreads_keys_across_backends() {
+        let ring = HashRing::new(&addrs(4), 64);
+        let mut counts = [0usize; 4];
+        for key in (0..40_000u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+            counts[ring.owner(key).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 40_000 / 16,
+                "backend {i} owns only {c} of 40000 keys — ring badly unbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn killing_a_backend_only_remaps_its_own_keys() {
+        let ring = HashRing::new(&addrs(5), 64);
+        let dead = 2usize;
+        let mut dead_owned = 0usize;
+        for key in (0..20_000u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+            let before = ring.owner(key).unwrap();
+            let after = ring.route(key, |i| i != dead).unwrap();
+            assert_ne!(after, dead);
+            if before == dead {
+                dead_owned += 1;
+            } else {
+                // The consistent-hash property: survivors keep their keys.
+                assert_eq!(before, after, "live backend lost key {key:#x}");
+            }
+        }
+        assert!(dead_owned > 0, "dead backend owned no keys at all");
+    }
+
+    #[test]
+    fn route_skips_dead_backends_deterministically() {
+        let ring = HashRing::new(&addrs(3), 32);
+        for key in (0..5_000u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+            let a = ring.route(key, |i| i != 0);
+            let b = ring.route(key, |i| i != 0);
+            assert_eq!(a, b);
+            assert_ne!(a, Some(0));
+        }
+        assert_eq!(ring.route(1, |_| false), None);
+        assert_eq!(HashRing::new(&[], 64).route(1, |_| true), None);
+    }
+
+    #[test]
+    fn empty_backend_list_fails_bind() {
+        let err = match Gateway::bind(GatewayConfig::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("bind accepted an empty backend list"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn gateway_answers_status_and_synthesizes_no_backend_errors() {
+        // One dead backend (reserved then released port): jobs come back
+        // as retryable `no_backend` errors, status reflects the outage,
+        // and shutdown drains cleanly.
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap().to_string();
+        drop(dead);
+        let handle = Gateway::spawn(GatewayConfig {
+            backends: vec![dead_addr],
+            health_interval_ms: 0,
+            retry: RetryPolicy {
+                io_retries: 0,
+                base_delay_ms: 1,
+                ..RetryPolicy::default()
+            },
+            ..GatewayConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+
+        let status =
+            crate::server::request_once(&addr, "{\"op\":\"status\",\"id\":\"s\"}").unwrap();
+        assert!(status.contains("\"gateway\":true"), "got: {status}");
+        assert!(status.contains("\"alive\":true"), "got: {status}");
+
+        let job = crate::server::request_once(
+            &addr,
+            "{\"op\":\"check\",\"id\":\"j\",\"graph\":\"0 1 0.5\\n\",\"k\":2}",
+        )
+        .unwrap();
+        assert!(job.contains("\"code\":\"no_backend\""), "got: {job}");
+        assert!(job.contains("\"retry_after_ms\""), "got: {job}");
+        assert!(job.contains("\"id\":\"j\""), "got: {job}");
+
+        let bye = crate::server::request_once(&addr, "{\"op\":\"shutdown\"}").unwrap();
+        assert!(bye.contains("\"drained\":true"), "got: {bye}");
+        let report = handle.join().unwrap();
+        assert_eq!(report.forwarded, 0);
+        assert!(report.no_backend_errors >= 1);
+    }
+}

@@ -157,6 +157,18 @@ impl JobSpec {
         }
     }
 
+    /// FNV-1a digest of the job's graph text — the gateway's routing key.
+    /// Placement by graph digest gives cache affinity: every job on the
+    /// same graph lands on the same backend, whose LRU then acts as that
+    /// graph's shard of a distributed result cache.
+    pub fn graph_digest(&self) -> u64 {
+        match self {
+            JobSpec::Obfuscate { graph, .. }
+            | JobSpec::Check { graph, .. }
+            | JobSpec::Reliability { graph, .. } => fnv1a64(graph.as_bytes()),
+        }
+    }
+
     /// Content-addressed cache key: operation, FNV-1a digest of the graph
     /// text, and the canonicalized parameters (defaults already applied by
     /// the protocol layer; `threads` deliberately excluded — the PR-1

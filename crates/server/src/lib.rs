@@ -20,6 +20,10 @@
 //! * [`reactor`] — nonblocking event-loop primitives: a thin, safe
 //!   wrapper over `poll(2)` (the workspace's only unsafe code) and the
 //!   self-pipe wakeup channel worker threads use to rouse the loop.
+//! * [`gateway`] — chameleon-gate (DESIGN.md §13): a consistent-hashing
+//!   gateway that shards jobs across N backend daemons by graph digest,
+//!   health-checks the fleet, and re-drives jobs off dead backends with
+//!   byte-identical results.
 //! * [`server`] — the single-threaded poll reactor owning every socket
 //!   (nonblocking accept, per-connection read/write buffers, pipelined
 //!   dispatch), the worker pool, per-job deadlines (cooperative
@@ -54,6 +58,7 @@
 
 pub mod cache;
 pub mod faults;
+pub mod gateway;
 pub mod job;
 pub mod journal;
 pub mod protocol;
@@ -64,13 +69,14 @@ pub mod sync;
 
 pub use cache::{fnv1a64, CacheStats, ResultCache};
 pub use faults::{FaultInjector, FaultPlan, JobFault};
+pub use gateway::{Gateway, GatewayConfig, GatewayHandle, GatewayReport, HashRing};
 pub use job::{AnonymizeMethod, Durability, ExecError, ExecOutput, JobSpec};
 pub use journal::{Journal, JournalStats, JournalSync, ReplayJob, ReplaySummary};
 pub use protocol::{
     chunk_frames, coded_error_response, codes, error_response, ok_response, parse_request,
     JobRequest, Request,
 };
-pub use queue::{BoundedQueue, PushError};
+pub use queue::{BoundedQueue, PushError, QueueSnapshot};
 pub use server::{
     read_response, request_once, request_with_retry, response_field, retry_hint, roundtrip,
     send_request, RetryPolicy, Server, ServerConfig, ServerHandle, ServerReport,

@@ -321,6 +321,9 @@ pub mod codes {
     pub const JOB_FAILED: &str = "job_failed";
     /// A batch carried more elements than the server's `--max-batch`.
     pub const BATCH_TOO_LARGE: &str = "batch_too_large";
+    /// Gateway-synthesized: every backend in the ring is dead or
+    /// unreachable (retryable — backends may recover).
+    pub const NO_BACKEND: &str = "no_backend";
 }
 
 /// Splits a finished response line into `chunk` frames of at most

@@ -19,6 +19,29 @@ use crate::sync::RecoverableMutex;
 use std::collections::VecDeque;
 use std::sync::Condvar;
 
+/// A single-lock, mutually consistent view of the queue's counters.
+///
+/// `status` and drain checks need queued-and-active as one atomic pair:
+/// reading them through separate [`BoundedQueue::len`] / [`BoundedQueue::active`]
+/// calls can observe a job twice (still queued in one read, already active
+/// in the next) or not at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueSnapshot {
+    /// Items queued but not yet popped.
+    pub queued: usize,
+    /// Items popped but not yet `task_done`d.
+    pub active: usize,
+    /// Whether the queue has stopped accepting pushes.
+    pub closed: bool,
+}
+
+impl QueueSnapshot {
+    /// True when nothing is queued and nothing is in flight.
+    pub fn is_drained(&self) -> bool {
+        self.queued == 0 && self.active == 0
+    }
+}
+
 /// Why a push was refused.
 #[derive(Debug, PartialEq, Eq)]
 pub enum PushError {
@@ -103,9 +126,19 @@ impl<T> BoundedQueue<T> {
         state.active = state.active.saturating_sub(1);
     }
 
+    /// Queued and active counts read under one lock acquisition.
+    pub fn snapshot(&self) -> QueueSnapshot {
+        let state = self.state.lock();
+        QueueSnapshot {
+            queued: state.items.len(),
+            active: state.active,
+            closed: state.closed,
+        }
+    }
+
     /// Current number of queued (not yet popped) items.
     pub fn len(&self) -> usize {
-        self.state.lock().items.len()
+        self.snapshot().queued
     }
 
     /// True when no items are queued.
@@ -115,13 +148,12 @@ impl<T> BoundedQueue<T> {
 
     /// Number of popped-but-unfinished items.
     pub fn active(&self) -> usize {
-        self.state.lock().active
+        self.snapshot().active
     }
 
     /// True when nothing is queued and nothing is in flight.
     pub fn is_drained(&self) -> bool {
-        let state = self.state.lock();
-        state.items.is_empty() && state.active == 0
+        self.snapshot().is_drained()
     }
 
     /// Stops accepting pushes; blocked `pop`s drain the backlog, then
@@ -177,6 +209,24 @@ mod tests {
         assert!(!q.is_drained(), "popped item is still active");
         q.task_done();
         assert!(q.is_drained());
+    }
+
+    #[test]
+    fn snapshot_reads_queued_and_active_as_one_pair() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let _ = q.pop();
+        let snap = q.snapshot();
+        assert_eq!((snap.queued, snap.active, snap.closed), (1, 1, false));
+        assert!(!snap.is_drained());
+        q.task_done();
+        let _ = q.pop();
+        q.task_done();
+        q.close();
+        let snap = q.snapshot();
+        assert_eq!((snap.queued, snap.active, snap.closed), (0, 0, true));
+        assert!(snap.is_drained());
     }
 
     #[test]

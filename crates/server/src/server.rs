@@ -278,6 +278,10 @@ impl Shared {
 
     /// `status` result object; field order is fixed by construction.
     fn status_json(&self) -> String {
+        // One lock acquisition for the queued/active pair: separate len()
+        // and active() reads could report a job in both places (or
+        // neither) while a worker moves it between them.
+        let queue = self.queue.snapshot();
         let cache = self.cache.lock().stats();
         let journal = self.journal.as_ref().map(|j| j.lock().stats());
         let (injected_panics, injected_cancels, injected_defers, injected_short_writes) =
@@ -305,9 +309,9 @@ impl Shared {
              \"probes_skipped\":{}}}}}",
             self.started.elapsed().as_millis(),
             self.workers,
-            self.queue.len(),
+            queue.queued,
             self.queue_depth,
-            self.queue.active(),
+            queue.active,
             self.jobs_completed.load(Ordering::Relaxed),
             self.jobs_failed.load(Ordering::Relaxed),
             self.jobs_rejected.load(Ordering::Relaxed),
@@ -404,7 +408,7 @@ impl Server {
         let mut rehydrated = 0u64;
         if let Some(summary) = &replay {
             for (key, result) in &summary.completed {
-                cache.insert(key.clone(), result.clone());
+                cache.insert(key.clone(), result.as_str().into());
             }
             rehydrated = summary.completed.len() as u64;
             chameleon_obs::counter!("server.journal.rehydrated_results").add(rehydrated);
@@ -1497,7 +1501,7 @@ fn process_job(shared: &Arc<Shared>, job: &QueuedJob) -> String {
             if let (Some(journal), Some(seq)) = (&shared.journal, job.journal_seq) {
                 journal.lock().completed(seq, &key, Some(&out.result));
             }
-            shared.cache.lock().insert(key, out.result.clone());
+            shared.cache.lock().insert(key, out.result.as_str().into());
             shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
             chameleon_obs::counter!("server.jobs.completed").add(1);
             ok_response(job.id.as_deref(), false, &out.result)
@@ -1567,7 +1571,8 @@ pub fn send_request<W: Write>(writer: &mut W, request: &str) -> std::io::Result<
 ///
 /// # Errors
 /// Propagates socket I/O failures; a closed connection without a
-/// complete response is an `UnexpectedEof` error.
+/// complete response — including one reset mid-line, detected as a final
+/// fragment with no trailing newline — is an `UnexpectedEof` error.
 pub fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<String> {
     let mut assembled: Option<String> = None;
     loop {
@@ -1577,6 +1582,15 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<String> {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "server closed the connection without responding",
+            ));
+        }
+        if !line.ends_with('\n') {
+            // read_line returned because the stream ended, not because the
+            // response did: partial bytes must surface as a retryable I/O
+            // error, never as a syntactically truncated response.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response (truncated line)",
             ));
         }
         while line.ends_with('\n') || line.ends_with('\r') {
@@ -1640,6 +1654,13 @@ pub struct RetryPolicy {
     pub max_delay_ms: u64,
     /// Seed for the jitter sequence.
     pub seed: u64,
+    /// Retries granted to connect/I-O failures (refused connection, reset
+    /// mid-read, truncated response), counted separately from the
+    /// hint-driven `max_retries` budget.
+    pub io_retries: u32,
+    /// Whether connect/I-O failures are retried at all. `false` restores
+    /// the fail-fast behavior (first socket error propagates).
+    pub retry_io: bool,
 }
 
 impl Default for RetryPolicy {
@@ -1649,6 +1670,8 @@ impl Default for RetryPolicy {
             base_delay_ms: 50,
             max_delay_ms: 5_000,
             seed: 0,
+            io_retries: 3,
+            retry_io: true,
         }
     }
 }
@@ -1680,25 +1703,44 @@ pub fn retry_hint(line: &str) -> Option<u64> {
 }
 
 /// [`request_once`] with seeded-backoff retries on responses the server
-/// marked retryable (see [`retry_hint`]). Returns the last response —
-/// retries exhausted still yield the server's error line, never a
-/// client-synthesized one.
+/// marked retryable (see [`retry_hint`]) *and* on connect/I-O failures
+/// (dead or restarting backend: ECONNREFUSED, reset mid-read, truncated
+/// response). The two failure classes draw on separate budgets —
+/// `max_retries` hint-driven attempts and `io_retries` socket-level
+/// attempts — so a flapping backend cannot starve the queue-full path or
+/// vice versa. Hint-driven retries sleep the server's hint; I/O retries
+/// have no hint and back off from `base_delay_ms`. Returns the last
+/// response — hint retries exhausted still yield the server's error line,
+/// never a client-synthesized one.
 ///
 /// # Errors
-/// Propagates connection and I/O failures of the final attempt.
+/// Returns the final I/O error once `io_retries` extra attempts (or the
+/// first, when `retry_io` is off) have failed at the socket level.
 pub fn request_with_retry(
     addr: &str,
     request: &str,
     policy: &RetryPolicy,
 ) -> std::io::Result<String> {
-    let mut attempt = 0u32;
+    let mut hint_attempt = 0u32;
+    let mut io_attempt = 0u32;
     loop {
-        let line = request_once(addr, request)?;
+        let line = match request_once(addr, request) {
+            Ok(line) => line,
+            Err(err) => {
+                if !policy.retry_io || io_attempt >= policy.io_retries {
+                    return Err(err);
+                }
+                chameleon_obs::counter!("server.client.io_retries").add(1);
+                std::thread::sleep(policy.backoff(io_attempt, None));
+                io_attempt += 1;
+                continue;
+            }
+        };
         match retry_hint(&line) {
-            Some(hint) if attempt < policy.max_retries => {
+            Some(hint) if hint_attempt < policy.max_retries => {
                 chameleon_obs::counter!("server.client.retries").add(1);
-                std::thread::sleep(policy.backoff(attempt, Some(hint)));
-                attempt += 1;
+                std::thread::sleep(policy.backoff(hint_attempt, Some(hint)));
+                hint_attempt += 1;
             }
             _ => return Ok(line),
         }
@@ -1722,6 +1764,7 @@ mod tests {
             base_delay_ms: 40,
             max_delay_ms: 10_000,
             seed: 9,
+            ..RetryPolicy::default()
         };
         // Reproducible: same policy, same attempt, same sleep.
         assert_eq!(p.backoff(2, Some(100)), p.backoff(2, Some(100)));
@@ -1747,6 +1790,87 @@ mod tests {
             None
         );
         assert_eq!(retry_hint("garbage"), None);
+    }
+
+    #[test]
+    fn connect_refused_backend_is_retried_until_it_appears() {
+        // Reserve a port, then free it so connects are refused.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let fast = RetryPolicy {
+            base_delay_ms: 10,
+            max_delay_ms: 50,
+            io_retries: 40,
+            ..RetryPolicy::default()
+        };
+
+        // Fail-fast semantics are preserved when I/O retries are off.
+        let fail_fast = RetryPolicy {
+            retry_io: false,
+            ..fast
+        };
+        let err = request_with_retry(&addr.to_string(), "{\"op\":\"status\"}", &fail_fast)
+            .expect_err("nothing is listening; fail-fast must propagate the connect error");
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+
+        // A backend that comes up late is reached by the retry loop.
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            let listener = TcpListener::bind(addr).unwrap();
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(conn.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            conn.write_all(b"{\"status\":\"ok\",\"cached\":false,\"result\":{}}\n")
+                .unwrap();
+        });
+        let line = request_with_retry(&addr.to_string(), "{\"op\":\"status\"}", &fast)
+            .expect("retries should outlast the backend's restart window");
+        assert!(line.contains("\"status\":\"ok\""));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn truncated_response_is_retried_not_returned() {
+        // Direct check: a final fragment without '\n' is an I/O error.
+        let mut reader = BufReader::new(std::io::Cursor::new(&b"{\"status\":\"ok\""[..]));
+        let err = read_response(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+
+        // End to end: first connection dies mid-line, the retry gets the
+        // full response from the recovered backend.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(conn.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            conn.write_all(b"{\"status\":\"ok\",\"cach").unwrap();
+            // Close BOTH handles (the BufReader holds a try_clone dup —
+            // the socket only FINs once every descriptor is gone).
+            drop(reader);
+            drop(conn);
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(conn.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            conn.write_all(b"{\"status\":\"ok\",\"cached\":true,\"result\":{}}\n")
+                .unwrap();
+        });
+        let fast = RetryPolicy {
+            base_delay_ms: 5,
+            max_delay_ms: 20,
+            io_retries: 10,
+            ..RetryPolicy::default()
+        };
+        let line = request_with_retry(&addr.to_string(), "{\"op\":\"status\"}", &fast).unwrap();
+        assert!(
+            line.contains("\"cached\":true"),
+            "client must re-drive after a truncated read, got: {line}"
+        );
+        server.join().unwrap();
     }
 
     #[test]

@@ -80,6 +80,7 @@ fn soak_with_faults_on_matches_faults_off_byte_for_byte() {
         base_delay_ms: 10,
         max_delay_ms: 500,
         seed: 99,
+        ..RetryPolicy::default()
     };
 
     // Baseline: no faults.
@@ -175,6 +176,7 @@ fn reactor_faults_leave_responses_byte_identical() {
         base_delay_ms: 10,
         max_delay_ms: 500,
         seed: 7,
+        ..RetryPolicy::default()
     };
 
     // Baseline: no faults.
@@ -241,6 +243,7 @@ fn queue_full_storm_converges_under_the_retry_client() {
                     base_delay_ms: 5,
                     max_delay_ms: 200,
                     seed: i,
+                    ..RetryPolicy::default()
                 };
                 request_with_retry(&addr, &req, &policy).unwrap()
             })
